@@ -1,0 +1,67 @@
+// Ablation (§2.1 / §5): the paper samples tcp_info every 500 ms "to keep
+// overhead low in production" and notes that coarser instrumentation
+// misses sub-chunk events.  Sweep the sampling interval and measure what
+// the analyses lose: per-session SRTT-variability estimates flatten and
+// snapshot volume (the overhead proxy) shrinks.
+#include "bench_common.h"
+
+using namespace vstream;
+
+namespace {
+
+struct SamplingStats {
+  double snapshots_per_chunk = 0.0;
+  double median_sigma_srtt_ms = 0.0;
+  double high_cv_session_share = 0.0;
+};
+
+SamplingStats run_with(double interval_ms) {
+  workload::Scenario scenario = workload::paper_scenario();
+  scenario.session_count = bench::bench_session_count(1'500);
+  scenario.tcp_sample_interval_ms = interval_ms;
+  core::Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+  pipeline.run();
+  const auto proxies = telemetry::detect_proxies(pipeline.dataset());
+  const auto joined =
+      telemetry::JoinedDataset::build(pipeline.dataset(), &proxies);
+
+  SamplingStats stats;
+  stats.snapshots_per_chunk =
+      static_cast<double>(pipeline.dataset().tcp_snapshots.size()) /
+      static_cast<double>(pipeline.dataset().cdn_chunks.size());
+
+  std::vector<double> sigmas;
+  std::size_t high_cv = 0, valid = 0;
+  for (const telemetry::JoinedSession& s : joined.sessions()) {
+    const analysis::SessionNetMetrics m = analysis::session_net_metrics(s);
+    if (!m.valid) continue;
+    ++valid;
+    sigmas.push_back(m.srtt_stddev_ms);
+    if (m.srtt_cv > 1.0) ++high_cv;
+  }
+  stats.median_sigma_srtt_ms = analysis::summarize(sigmas).median;
+  stats.high_cv_session_share =
+      valid == 0 ? 0.0 : static_cast<double>(high_cv) / static_cast<double>(valid);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Ablation: tcp_info sampling interval");
+  core::Table out({"interval ms", "snapshots / chunk", "median sigma_srtt ms",
+                   "CV>1 session share"});
+  for (const double interval : {100.0, 250.0, 500.0, 1'000.0, 2'000.0}) {
+    const SamplingStats s = run_with(interval);
+    out.add_row({core::fmt(interval, 0), core::fmt(s.snapshots_per_chunk, 2),
+                 core::fmt(s.median_sigma_srtt_ms, 2),
+                 core::fmt(100.0 * s.high_cv_session_share, 2) + "%"});
+  }
+  out.print();
+  core::print_paper_reference(
+      "§2.1: 500 ms sampling keeps overhead low; §5: coarser sampling "
+      "misses sub-chunk latency events — variability estimates shrink with "
+      "the interval while overhead (snapshots) falls");
+  return 0;
+}

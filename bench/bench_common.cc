@@ -1,0 +1,30 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace vstream::bench {
+
+std::size_t bench_session_count(std::size_t fallback) {
+  const char* env = std::getenv("VSTREAM_BENCH_SESSIONS");
+  if (env != nullptr) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+BenchRun run_paper_workload(std::size_t sessions, std::uint64_t seed) {
+  BenchRun run;
+  run.scenario = workload::paper_scenario();
+  run.scenario.session_count = sessions;
+  run.scenario.seed = seed;
+  run.pipeline = std::make_unique<core::Pipeline>(run.scenario);
+  run.pipeline->warm_caches();
+  run.pipeline->run();
+  run.proxies = telemetry::detect_proxies(run.pipeline->dataset());
+  run.joined =
+      telemetry::JoinedDataset::build(run.pipeline->dataset(), &run.proxies);
+  return run;
+}
+
+}  // namespace vstream::bench

@@ -1,0 +1,40 @@
+// Shared preamble for the figure/table benches: run the paper-calibrated
+// workload once and hand out the joined dataset.
+//
+// Every bench prints greppable `series`/`bins`/`metric` lines (see
+// core/report.h) plus `PAPER:` reference lines recording what the original
+// figure/table reports, so EXPERIMENTS.md can track paper-vs-measured.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "analysis/aggregate.h"
+#include "analysis/detectors.h"
+#include "analysis/stats.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "telemetry/join.h"
+#include "telemetry/proxy_filter.h"
+
+namespace vstream::bench {
+
+/// One fully simulated and joined run.  The pipeline owns the raw dataset;
+/// `joined` holds pointers into it, so keep the struct alive while using it.
+struct BenchRun {
+  workload::Scenario scenario;
+  std::unique_ptr<core::Pipeline> pipeline;
+  telemetry::ProxyFilterResult proxies;
+  telemetry::JoinedDataset joined;
+};
+
+/// Session count for the default workload; override with the
+/// VSTREAM_BENCH_SESSIONS environment variable.
+std::size_t bench_session_count(std::size_t fallback = 2'500);
+
+/// Run the paper-calibrated scenario end to end (warm caches, all
+/// sessions, proxy filtering, join).
+BenchRun run_paper_workload(std::size_t sessions = bench_session_count(),
+                            std::uint64_t seed = 20160516);
+
+}  // namespace vstream::bench

@@ -1,0 +1,32 @@
+// Figure 4: impact of first-chunk server latency on startup time, with
+// average, median and IQR per latency bin.
+#include <unordered_map>
+
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+
+  std::unordered_map<std::uint64_t, double> startup;
+  for (const auto& s : run.pipeline->dataset().player_sessions) {
+    startup[s.session_id] = s.startup_ms;
+  }
+
+  std::vector<double> server_ms, startup_ms;
+  for (const telemetry::JoinedSession& s : run.joined.sessions()) {
+    if (s.chunks.empty() || s.chunks[0].cdn == nullptr) continue;
+    server_ms.push_back(s.chunks[0].cdn->server_total_ms());
+    startup_ms.push_back(startup[s.session_id] / 1'000.0);  // seconds
+  }
+
+  core::print_header("Figure 4: startup time (s) vs first-chunk server latency (ms)");
+  core::print_bins("fig4_startup_vs_server",
+                   analysis::bin_series(server_ms, startup_ms, 0.0, 600.0, 50.0));
+  core::print_metric("correlation", analysis::pearson(server_ms, startup_ms));
+  core::print_paper_reference(
+      "Fig 4: startup grows from ~0.6 s at ~0 ms server latency to ~2.5 s+ "
+      "at 500 ms; ~5% of sessions have a server-induced QoE problem");
+  return 0;
+}

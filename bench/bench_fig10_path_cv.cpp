@@ -1,0 +1,27 @@
+// Figure 10: CDF of latency variability per (prefix, PoP) path — the
+// coefficient of variation of session-average SRTT.
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+
+  const std::vector<double> cvs = analysis::path_cv_values(run.joined, 3);
+
+  core::print_header("Figure 10: CV of latency per (prefix, PoP) path");
+  core::print_cdf("fig10_path_cv", analysis::make_cdf(cvs, 40));
+  core::print_metric("paths", static_cast<double>(cvs.size()));
+  std::size_t high = 0;
+  for (const double cv : cvs) {
+    if (cv > 1.0) ++high;
+  }
+  core::print_metric("share_cv_above_1",
+                     cvs.empty() ? 0.0
+                                 : static_cast<double>(high) /
+                                       static_cast<double>(cvs.size()));
+  core::print_paper_reference(
+      "Fig 10: ~40% of (prefix, PoP) paths have CV(srtt) > 1 across their "
+      "sessions");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 14: P(re-buffering at chunk X) and P(re-buffering at chunk X |
+// loss at chunk X) — losses on early chunks hurt far more.
+#include <map>
+
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+
+  struct Tally {
+    std::size_t chunks = 0;
+    std::size_t rebuf = 0;
+    std::size_t with_loss = 0;
+    std::size_t rebuf_given_loss = 0;
+  };
+  std::map<std::uint32_t, Tally> by_id;
+
+  for (const telemetry::JoinedSession& s : run.joined.sessions()) {
+    for (const telemetry::JoinedChunk& c : s.chunks) {
+      Tally& t = by_id[c.player->chunk_id];
+      ++t.chunks;
+      const bool rebuf = c.player->rebuffer_count > 0;
+      const bool loss = c.retransmissions > 0;
+      if (rebuf) ++t.rebuf;
+      if (loss) {
+        ++t.with_loss;
+        if (rebuf) ++t.rebuf_given_loss;
+      }
+    }
+  }
+
+  core::print_header(
+      "Figure 14: re-buffering probability per chunk id, unconditional and "
+      "conditioned on loss");
+  for (const auto& [id, t] : by_id) {
+    if (id > 20 || t.chunks < 100) continue;
+    const double p = 100.0 * static_cast<double>(t.rebuf) /
+                     static_cast<double>(t.chunks);
+    const double p_given_loss =
+        t.with_loss == 0 ? 0.0
+                         : 100.0 * static_cast<double>(t.rebuf_given_loss) /
+                               static_cast<double>(t.with_loss);
+    std::printf(
+        "series fig14: chunk=%u p_rebuf=%.2f p_rebuf_given_loss=%.2f n=%zu "
+        "n_loss=%zu\n",
+        id, p, p_given_loss, t.chunks, t.with_loss);
+  }
+  core::print_paper_reference(
+      "Fig 14: loss at a chunk raises its re-buffering probability at every "
+      "position, most dramatically at chunk 0 (~4-5% vs ~1% baseline)");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 15: average per-chunk retransmission rate vs chunk id — the
+// bursty end-of-slow-start loss concentrates on the first chunk.
+#include <map>
+
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+
+  std::map<std::uint32_t, std::pair<double, std::size_t>> by_id;
+  for (const telemetry::JoinedSession& s : run.joined.sessions()) {
+    for (const telemetry::JoinedChunk& c : s.chunks) {
+      if (c.segments == 0) continue;
+      auto& [sum, n] = by_id[c.player->chunk_id];
+      sum += 100.0 * c.retx_rate();
+      ++n;
+    }
+  }
+
+  core::print_header("Figure 15: average retransmission rate (%) per chunk id");
+  for (const auto& [id, entry] : by_id) {
+    if (id > 20 || entry.second < 100) continue;
+    std::printf("series fig15: chunk=%u avg_retx_pct=%.3f n=%zu\n", id,
+                entry.first / static_cast<double>(entry.second), entry.second);
+  }
+  core::print_paper_reference(
+      "Fig 15: chunk 0 averages ~8% retransmissions; later chunks settle "
+      "near ~2% — slow start's exponential growth ends in a loss burst");
+  return 0;
+}

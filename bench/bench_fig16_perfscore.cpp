@@ -1,0 +1,54 @@
+// Figure 16: chunks split by performance score (Eq. 2, tau / (D_FB+D_LB)):
+// (a) CDF of the latency share D_FB/(D_FB+D_LB), (b) CDF of D_FB,
+// (c) CDF of D_LB — bad chunks are throughput-limited, not latency-limited.
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+  const double tau = run.pipeline->catalog().chunk_duration_s();
+
+  std::vector<double> share_good, share_bad, dfb_good, dfb_bad, dlb_good,
+      dlb_bad;
+  for (const telemetry::JoinedSession& s : run.joined.sessions()) {
+    for (const telemetry::JoinedChunk& c : s.chunks) {
+      const double score =
+          analysis::perf_score(tau, c.player->dfb_ms, c.player->dlb_ms);
+      const bool good = score >= 1.0;
+      const double share =
+          c.player->dfb_ms / (c.player->dfb_ms + c.player->dlb_ms);
+      (good ? share_good : share_bad).push_back(share);
+      (good ? dfb_good : dfb_bad).push_back(c.player->dfb_ms);
+      (good ? dlb_good : dlb_bad).push_back(c.player->dlb_ms);
+    }
+  }
+
+  const double total = static_cast<double>(share_good.size() + share_bad.size());
+  core::print_metric("bad_chunk_share",
+                     static_cast<double>(share_bad.size()) / total);
+
+  core::print_header("Figure 16a: latency share CDF by perfscore");
+  core::print_cdf("fig16a_share_good", analysis::make_cdf(share_good, 30));
+  core::print_cdf("fig16a_share_bad", analysis::make_cdf(share_bad, 30));
+
+  core::print_header("Figure 16b: D_FB (ms) CDF by perfscore");
+  core::print_cdf("fig16b_dfb_good", analysis::make_cdf(dfb_good, 30));
+  core::print_cdf("fig16b_dfb_bad", analysis::make_cdf(dfb_bad, 30));
+
+  core::print_header("Figure 16c: D_LB (ms) CDF by perfscore");
+  core::print_cdf("fig16c_dlb_good", analysis::make_cdf(dlb_good, 30));
+  core::print_cdf("fig16c_dlb_bad", analysis::make_cdf(dlb_bad, 30));
+
+  core::print_metric("median_share_good", analysis::summarize(share_good).median);
+  if (!share_bad.empty()) {
+    core::print_metric("median_share_bad", analysis::summarize(share_bad).median);
+    core::print_metric("median_dlb_bad_ms", analysis::summarize(dlb_bad).median);
+    core::print_metric("median_dlb_good_ms", analysis::summarize(dlb_good).median);
+  }
+  core::print_paper_reference(
+      "Fig 16: bad chunks have a lower latency share (throughput-dominated); "
+      "their D_FB differs little from good chunks while D_LB differs by an "
+      "order of magnitude — throughput, not latency, is the bottleneck");
+  return 0;
+}

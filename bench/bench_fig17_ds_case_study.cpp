@@ -1,0 +1,80 @@
+// Figure 17: the download-stack case study — one session where the stack
+// holds a chunk: (a) D_FB and its server/network constituents per chunk,
+// (b) the connection's Eq. 3 throughput vs the player-observed
+// instantaneous throughput.  The detector (Eq. 4) must point at the chunk.
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  // The paper shows one clean example session (chunk 7 held by the stack);
+  // we pick ours the same way — retry seeds until the injection process
+  // produced exactly one mid-session anomaly.
+  std::unique_ptr<core::Pipeline> pipeline;
+  for (std::uint64_t seed = 1717;; ++seed) {
+    workload::Scenario scenario = workload::test_scenario();
+    scenario.session_count = 0;
+    scenario.seed = seed;
+    pipeline = std::make_unique<core::Pipeline>(scenario);
+    pipeline->warm_caches();
+
+    client::DownloadStackProfile profile;
+    profile.anomaly_probability = 0.05;
+    core::SessionOverrides overrides;
+    overrides.chunk_count = 22;
+    overrides.abr = client::AbrKind::kFixed;
+    overrides.fixed_bitrate_kbps = 2'500;
+    overrides.ds_profile = profile;
+    const std::uint64_t id = pipeline->run_session(overrides);
+
+    const auto& truth = pipeline->ground_truth().ds_anomalies;
+    const auto it = truth.find(id);
+    if (it != truth.end() && it->second.size() == 1 && it->second[0] >= 2 &&
+        it->second[0] <= 19) {
+      break;
+    }
+  }
+
+  const auto joined = telemetry::JoinedDataset::build(pipeline->dataset());
+  const telemetry::JoinedSession& s = joined.sessions().front();
+
+  core::print_header("Figure 17a: D_FB and constituents per chunk (ms)");
+  for (const telemetry::JoinedChunk& c : s.chunks) {
+    std::printf(
+        "series fig17a: chunk=%u dfb=%.0f server=%.1f srtt=%.1f\n",
+        c.player->chunk_id, c.player->dfb_ms, c.cdn->server_total_ms(),
+        c.last_snapshot != nullptr ? c.last_snapshot->info.srtt_ms : 0.0);
+  }
+
+  core::print_header(
+      "Figure 17b: connection TP (Eq. 3) vs instantaneous download TP (Mbps)");
+  for (const telemetry::JoinedChunk& c : s.chunks) {
+    const double tp_inst = analysis::instantaneous_throughput_kbps(
+        c.cdn->chunk_bytes, c.player->dlb_ms);
+    const double tp_conn =
+        c.last_snapshot != nullptr
+            ? c.last_snapshot->info.throughput_estimate_kbps()
+            : 0.0;
+    std::printf("series fig17b: chunk=%u conn_tp=%.2f download_tp=%.2f\n",
+                c.player->chunk_id, tp_conn / 1'000.0, tp_inst / 1'000.0);
+  }
+
+  const analysis::DsOutlierResult verdict = analysis::detect_ds_outliers(s);
+  std::printf("\n");
+  core::print_metric("detector_flagged", static_cast<double>(verdict.flagged_count));
+  for (std::size_t i = 0; i < verdict.flagged.size(); ++i) {
+    if (verdict.flagged[i]) {
+      core::print_metric("flagged_chunk", static_cast<double>(i));
+    }
+  }
+  for (const auto& [sid, chunks] : pipeline->ground_truth().ds_anomalies) {
+    for (const std::uint32_t c : chunks) {
+      core::print_metric("ground_truth_chunk", static_cast<double>(c));
+    }
+  }
+  core::print_paper_reference(
+      "Fig 17: the held chunk shows a D_FB spike not explained by server or "
+      "SRTT, and an instantaneous throughput far above the connection's "
+      "Eq. 3 estimate; Eq. 4 localizes it to the client stack");
+  return 0;
+}

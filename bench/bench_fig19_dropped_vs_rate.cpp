@@ -1,0 +1,49 @@
+// Figure 19: percentage of dropped frames vs the chunk's download rate in
+// seconds-of-video per second, with the 1.5 s/s rule-of-thumb, plus the
+// §4.4-1 hypothesis accounting.
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+  const double tau = run.pipeline->catalog().chunk_duration_s();
+
+  std::vector<double> rate, dropped_pct;
+  std::size_t confirm = 0, hidden_by_buffer = 0, cpu_limited = 0, total = 0;
+  for (const auto& c : run.pipeline->dataset().player_chunks) {
+    if (!c.visible || c.total_frames == 0) continue;
+    const double r = c.download_rate(tau);
+    const double d = 100.0 * c.dropped_frames / c.total_frames;
+    rate.push_back(std::min(r, 4.999));
+    dropped_pct.push_back(d);
+    // §4.4-1 accounting: does the 1.5 s/s rule explain this chunk?
+    ++total;
+    const bool bad_rate = r < 1.5;
+    const bool bad_frames = d > 30.0;
+    if (bad_rate == bad_frames) {
+      ++confirm;
+    } else if (bad_rate) {
+      ++hidden_by_buffer;  // low rate, good rendering
+    } else {
+      ++cpu_limited;  // good rate, bad rendering
+    }
+  }
+
+  core::print_header("Figure 19: dropped frames (%) vs download rate (s/s)");
+  core::print_bins("fig19_dropped_vs_rate",
+                   analysis::bin_series(rate, dropped_pct, 0.0, 5.0, 0.5));
+  core::print_metric("hypothesis_confirmed_share",
+                     static_cast<double>(confirm) / static_cast<double>(total));
+  core::print_metric("low_rate_good_rendering_share",
+                     static_cast<double>(hidden_by_buffer) /
+                         static_cast<double>(total));
+  core::print_metric("good_rate_bad_rendering_share",
+                     static_cast<double>(cpu_limited) /
+                         static_cast<double>(total));
+  core::print_paper_reference(
+      "Fig 19 / §4.4-1: drops fall steeply up to ~1.5 s/s and flatten "
+      "beyond; 85.5% of chunks confirm the rule, 5.7% are saved by the "
+      "buffer, 6.9% drop frames despite fast arrival (CPU)");
+  return 0;
+}

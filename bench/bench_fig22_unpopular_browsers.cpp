@@ -1,0 +1,54 @@
+// Figure 22: dropped-frame percentage of the unpopular browsers (plus
+// Safari on Windows) among well-downloaded, visible chunks (rate >= 1.5 s/s,
+// vis = true), compared with the mainstream average.
+#include <map>
+
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+  const double tau = run.pipeline->catalog().chunk_duration_s();
+
+  std::map<std::string, std::pair<double, double>> tallies;  // dropped, frames
+  double rest_dropped = 0.0, rest_frames = 0.0;
+
+  for (const telemetry::JoinedSession& s : run.joined.sessions()) {
+    const std::string& ua = s.player->user_agent;
+    const bool spotlight = ua.find("Yandex") != std::string::npos ||
+                           ua.find("Vivaldi") != std::string::npos ||
+                           ua.find("Opera") != std::string::npos ||
+                           ua.find("SeaMonkey") != std::string::npos ||
+                           ua == "Safari/Windows";
+    for (const telemetry::JoinedChunk& c : s.chunks) {
+      if (!c.player->visible || c.player->total_frames == 0) continue;
+      if (c.player->download_rate(tau) < 1.5) continue;  // the paper's filter
+      if (spotlight) {
+        auto& [dropped, frames] = tallies[ua];
+        dropped += c.player->dropped_frames;
+        frames += c.player->total_frames;
+      } else {
+        rest_dropped += c.player->dropped_frames;
+        rest_frames += c.player->total_frames;
+      }
+    }
+  }
+
+  core::print_header(
+      "Figure 22: dropped % of unpopular (browser, OS), rate >= 1.5, visible");
+  core::Table out({"platform", "dropped %", "frames"});
+  for (const auto& [ua, tally] : tallies) {
+    if (tally.second < 5'000) continue;  // paper: >= 500 chunks processed
+    out.add_row({ua, core::fmt(100.0 * tally.first / tally.second, 2),
+                 core::fmt(tally.second, 0)});
+  }
+  out.add_row({"Average in the rest",
+               core::fmt(100.0 * rest_dropped / rest_frames, 2),
+               core::fmt(rest_frames, 0)});
+  out.print();
+  core::print_paper_reference(
+      "Fig 22: Yandex/Vivaldi/Opera/Safari-on-Windows drop ~15-40% of "
+      "frames vs a low single-digit average for the rest");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: cache
+// operations per eviction policy, TCP chunk transfers, Zipf sampling and
+// the statistical kernels.
+#include <benchmark/benchmark.h>
+
+#include "analysis/detectors.h"
+#include "analysis/stats.h"
+#include "cdn/cache.h"
+#include "net/packet_sim.h"
+#include "net/tcp_model.h"
+#include "sim/zipf.h"
+#include "telemetry/join.h"
+
+using namespace vstream;
+
+namespace {
+
+void BM_CacheInsertLookup(benchmark::State& state) {
+  const auto policy = static_cast<cdn::PolicyKind>(state.range(0));
+  cdn::CacheStore store(64ull << 20, cdn::make_policy(policy));
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    const cdn::ChunkKey k{static_cast<std::uint32_t>(key % 4'096),
+                          static_cast<std::uint32_t>(key % 64), 1'500};
+    store.insert(k, 1 << 20);
+    benchmark::DoNotOptimize(store.contains(k));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertLookup)
+    ->Arg(static_cast<int>(cdn::PolicyKind::kLru))
+    ->Arg(static_cast<int>(cdn::PolicyKind::kPerfectLfu))
+    ->Arg(static_cast<int>(cdn::PolicyKind::kGdSize));
+
+void BM_TwoLevelLookup(benchmark::State& state) {
+  cdn::TwoLevelCache cache(32ull << 20, 512ull << 20, cdn::PolicyKind::kLru);
+  for (std::uint32_t v = 0; v < 512; ++v) {
+    cache.admit(cdn::ChunkKey{v, 0, 1'500}, 1 << 20);
+  }
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.lookup(cdn::ChunkKey{v++ % 1'024, 0, 1'500}, 1 << 20));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoLevelLookup);
+
+void BM_TcpChunkTransfer(benchmark::State& state) {
+  net::PathConfig path;
+  path.base_rtt_ms = 30.0;
+  path.bottleneck_kbps = 12'000.0;
+  path.random_loss = 1e-4;
+  net::TcpConnection conn(net::TcpConfig{}, path, sim::Rng(1));
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conn.transfer(bytes));
+    conn.idle(6'000.0);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TcpChunkTransfer)->Arg(225'000)->Arg(1'875'000)->Arg(4'500'000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const sim::Zipf zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1'000)->Arg(100'000);
+
+void BM_PacketLevelTransfer(benchmark::State& state) {
+  net::PacketSimConfig config;
+  config.bottleneck_kbps = 12'000.0;
+  config.one_way_prop_ms = 15.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::simulate_packet_transfer(
+        static_cast<std::uint64_t>(state.range(0)), config));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PacketLevelTransfer)->Arg(225'000)->Arg(1'875'000);
+
+void BM_DsOutlierDetector(benchmark::State& state) {
+  // One joined session of N chunks through the Eq. 4 screen.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  telemetry::Dataset data;
+  telemetry::PlayerSessionRecord ps;
+  ps.session_id = 1;
+  data.player_sessions.push_back(ps);
+  telemetry::CdnSessionRecord cs;
+  cs.session_id = 1;
+  data.cdn_sessions.push_back(cs);
+  sim::Rng rng(4);
+  for (std::size_t c = 0; c < n; ++c) {
+    telemetry::PlayerChunkRecord pc;
+    pc.session_id = 1;
+    pc.chunk_id = static_cast<std::uint32_t>(c);
+    pc.dfb_ms = rng.lognormal_median(80.0, 0.4);
+    pc.dlb_ms = rng.lognormal_median(2'500.0, 0.3);
+    data.player_chunks.push_back(pc);
+    telemetry::CdnChunkRecord cc;
+    cc.session_id = 1;
+    cc.chunk_id = static_cast<std::uint32_t>(c);
+    cc.dread_ms = 1.5;
+    cc.cache_level = cdn::CacheLevel::kRam;
+    cc.chunk_bytes = 1'125'000;
+    data.cdn_chunks.push_back(cc);
+    telemetry::TcpSnapshotRecord snap;
+    snap.session_id = 1;
+    snap.chunk_id = static_cast<std::uint32_t>(c);
+    snap.at_ms = 1'000.0 * static_cast<double>(c);
+    snap.info.srtt_ms = 50.0;
+    snap.info.cwnd_segments = 40;
+    snap.info.mss_bytes = 1'460;
+    snap.info.segments_out = 800 * (c + 1);
+    data.tcp_snapshots.push_back(snap);
+  }
+  const auto joined = telemetry::JoinedDataset::build(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::detect_ds_outliers(joined.sessions()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DsOutlierDetector)->Arg(16)->Arg(128);
+
+void BM_SummarizeStats(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+  for (double& v : values) v = rng.lognormal_median(50.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::summarize(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SummarizeStats)->Arg(1'000)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

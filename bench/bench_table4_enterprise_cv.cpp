@@ -1,0 +1,42 @@
+// Table 4: organizations with the highest share of sessions whose
+// CV(SRTT) > 1 — enterprises dominate; residential ISPs sit near 1%.
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+
+  const std::vector<analysis::OrgCvRow> table =
+      analysis::org_cv_table(run.joined, /*min_sessions=*/50);
+
+  core::print_header("Table 4: orgs by share of sessions with CV(SRTT) > 1");
+  core::Table out({"org", "access", "CV>1 sessions", "all sessions", "share"});
+  for (const analysis::OrgCvRow& row : table) {
+    out.add_row({row.org, net::to_string(row.access),
+                 std::to_string(row.high_cv_sessions),
+                 std::to_string(row.total_sessions),
+                 core::fmt(row.percent(), 1) + "%"});
+  }
+  out.print();
+
+  double enterprise_best = 0.0, residential_sum = 0.0;
+  std::size_t residential_rows = 0;
+  for (const analysis::OrgCvRow& row : table) {
+    if (row.access == net::AccessType::kEnterprise) {
+      enterprise_best = std::max(enterprise_best, row.percent());
+    } else if (row.access == net::AccessType::kResidential) {
+      residential_sum += row.percent();
+      ++residential_rows;
+    }
+  }
+  core::print_metric("top_enterprise_share_pct", enterprise_best);
+  if (residential_rows > 0) {
+    core::print_metric("mean_residential_share_pct",
+                       residential_sum / static_cast<double>(residential_rows));
+  }
+  core::print_paper_reference(
+      "Table 4: top organizations are enterprises at ~40-43% of sessions "
+      "with CV > 1; major residential ISPs sit near ~1%");
+  return 0;
+}

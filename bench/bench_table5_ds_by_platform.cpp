@@ -1,0 +1,67 @@
+// Table 5: mean download-stack latency lower bound (Eq. 5) by
+// (OS, browser), plus the §4.3-2 aggregate findings.
+#include <map>
+
+#include "bench_common.h"
+
+using namespace vstream;
+
+int main() {
+  const bench::BenchRun run = bench::run_paper_workload();
+
+  struct Tally {
+    double sum_ms = 0.0;
+    std::size_t nonzero = 0;
+    std::size_t chunks = 0;
+  };
+  std::map<std::string, Tally> by_platform;
+  std::size_t chunks_with_ds = 0, chunks_total = 0, ds_dominant = 0;
+
+  for (const telemetry::JoinedSession& s : run.joined.sessions()) {
+    Tally& t = by_platform[s.player->user_agent];
+    for (const telemetry::JoinedChunk& c : s.chunks) {
+      const double bound = analysis::dds_lower_bound_ms(c);
+      ++t.chunks;
+      ++chunks_total;
+      if (bound > 0.0) {
+        t.sum_ms += bound;
+        ++t.nonzero;
+        ++chunks_with_ds;
+        // Is the stack the dominant share of D_FB?
+        const double server = c.cdn->server_total_ms();
+        const double srtt =
+            c.last_snapshot != nullptr ? c.last_snapshot->info.srtt_ms : 0.0;
+        if (bound > server && bound > srtt) ++ds_dominant;
+      }
+    }
+  }
+
+  core::print_header("Table 5: mean D_DS (ms, Eq. 5, chunks with D_DS > 0)");
+  core::Table out({"platform", "mean DS ms", "nonzero chunks", "all chunks"});
+  std::vector<std::pair<double, std::string>> rows;
+  for (const auto& [platform, t] : by_platform) {
+    if (t.nonzero < 30) continue;
+    rows.emplace_back(t.sum_ms / static_cast<double>(t.nonzero), platform);
+  }
+  std::sort(rows.rbegin(), rows.rend());
+  for (const auto& [mean_ms, platform] : rows) {
+    const Tally& t = by_platform[platform];
+    out.add_row({platform, core::fmt(mean_ms, 0), std::to_string(t.nonzero),
+                 std::to_string(t.chunks)});
+  }
+  out.print();
+
+  core::print_metric("share_chunks_with_nonzero_ds",
+                     static_cast<double>(chunks_with_ds) /
+                         static_cast<double>(chunks_total));
+  core::print_metric("ds_dominant_share_among_nonzero",
+                     chunks_with_ds == 0
+                         ? 0.0
+                         : static_cast<double>(ds_dominant) /
+                               static_cast<double>(chunks_with_ds));
+  core::print_paper_reference(
+      "Table 5 / §4.3-2: Safari off-Mac ~1030-1040 ms mean DS; mainstream "
+      "pairs ~275-285 ms; 17.6% of chunks have nonzero DS and in 84% of "
+      "those the stack is the dominant share of D_FB");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// CDN cache study: drive a single ATS-like edge server with a Zipf chunk
+// workload and compare eviction policies and RAM sizes — the experiment
+// behind the paper's §4.1-1 take-away ("the default LRU cache eviction
+// policy in ATS could be changed to better suited policies for
+// popular-heavy workloads such as GD-size or perfect-LFU").
+//
+// Usage: ./build/examples/cdn_cache_study [requests]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cdn/ats_server.h"
+#include "core/report.h"
+#include "sim/zipf.h"
+#include "workload/catalog.h"
+
+using namespace vstream;
+
+namespace {
+
+struct StudyResult {
+  double ram_hit = 0.0;
+  double disk_hit = 0.0;
+  double miss = 0.0;
+  double median_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+StudyResult drive(cdn::PolicyKind policy, std::uint64_t ram_bytes,
+                  std::size_t requests) {
+  cdn::AtsConfig config;
+  config.policy = policy;
+  config.ram_bytes = ram_bytes;
+  config.disk_bytes = 24ull << 30;
+
+  cdn::AtsServer server(config, cdn::BackendConfig{});
+  sim::Rng rng(7);
+
+  workload::CatalogConfig catalog_config;
+  catalog_config.video_count = 2'000;
+  const workload::VideoCatalog catalog(catalog_config, rng);
+
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  double now_ms = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    now_ms += rng.exponential(12.0);  // ~80 requests/s
+    const std::uint32_t video = catalog.sample_video(rng);
+    const workload::VideoMeta& meta = catalog.video(video);
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(rng.uniform_int(0, meta.chunk_count - 1));
+    const std::uint32_t bitrate = 1'500;
+    const cdn::ServeResult r = server.serve(
+        cdn::ChunkKey{video, chunk, bitrate},
+        cdn::chunk_bytes(bitrate, catalog.chunk_duration_s()), now_ms, rng);
+    latencies.push_back(r.total_ms());
+  }
+
+  StudyResult result;
+  const double n = static_cast<double>(server.requests_served());
+  result.ram_hit = server.ram_hits() / n;
+  result.disk_hit = server.disk_hits() / n;
+  result.miss = server.misses() / n;
+  const analysis::SummaryStats stats = analysis::summarize(std::move(latencies));
+  result.median_latency_ms = stats.median;
+  result.p95_latency_ms = stats.p95;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t requests =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 150'000;
+
+  core::print_header("Cache policy comparison (one edge server)");
+  core::Table table({"policy", "ram GiB", "ram-hit", "disk-hit", "miss",
+                     "median ms", "p95 ms"});
+  for (const cdn::PolicyKind policy :
+       {cdn::PolicyKind::kLru, cdn::PolicyKind::kPerfectLfu,
+        cdn::PolicyKind::kGdSize}) {
+    for (const std::uint64_t ram : {1ull << 30, 4ull << 30}) {
+      const StudyResult r = drive(policy, ram, requests);
+      table.add_row({cdn::to_string(policy),
+                     core::fmt(static_cast<double>(ram) / (1ull << 30), 0),
+                     core::fmt(100.0 * r.ram_hit, 1) + "%",
+                     core::fmt(100.0 * r.disk_hit, 1) + "%",
+                     core::fmt(100.0 * r.miss, 1) + "%",
+                     core::fmt(r.median_latency_ms, 2),
+                     core::fmt(r.p95_latency_ms, 2)});
+    }
+  }
+  table.print();
+  core::print_paper_reference(
+      "§4.1-1: LRU could be replaced by GD-size or perfect-LFU for "
+      "popularity-heavy workloads; hit median ~2 ms, miss median ~80 ms");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// PoP planning: the §4.2-1 take-away says finding persistently distant
+// clients "helps video content providers in better placement of new CDN
+// servers".  This example sweeps the PoP count and shows how client
+// distance, baseline latency and startup delay respond — and where the
+// returns diminish (the same reasoning that tells a provider NOT to
+// over-provision near already-fast clients).
+//
+// Usage: ./build/examples/pop_planning [sessions]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/aggregate.h"
+#include "analysis/qoe.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "telemetry/join.h"
+#include "telemetry/proxy_filter.h"
+
+using namespace vstream;
+
+namespace {
+
+struct PlanResult {
+  double mean_distance_km = 0.0;
+  double srtt_min_median_ms = 0.0;
+  double startup_median_ms = 0.0;
+  double rebuffer_mean_pct = 0.0;
+};
+
+PlanResult evaluate(std::uint32_t pop_count, std::size_t sessions) {
+  workload::Scenario scenario = workload::paper_scenario();
+  scenario.session_count = sessions;
+  scenario.fleet.pop_count = pop_count;
+  core::Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+  pipeline.run();
+  const auto proxies = telemetry::detect_proxies(pipeline.dataset());
+  const auto joined =
+      telemetry::JoinedDataset::build(pipeline.dataset(), &proxies);
+
+  PlanResult result;
+  std::vector<double> distance, srtt_min;
+  for (const telemetry::JoinedSession& s : joined.sessions()) {
+    distance.push_back(s.cdn->client_distance_km);
+    const analysis::SessionNetMetrics m = analysis::session_net_metrics(s);
+    if (m.valid) srtt_min.push_back(m.srtt_min_ms);
+  }
+  result.mean_distance_km = analysis::mean_of(distance);
+  result.srtt_min_median_ms = analysis::summarize(srtt_min).median;
+  const analysis::QoeAggregate qoe = analysis::aggregate_qoe(joined);
+  result.startup_median_ms = qoe.startup_ms.median;
+  result.rebuffer_mean_pct = qoe.rebuffer_rate_pct.mean;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t sessions =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 1'000;
+
+  core::print_header("PoP planning sweep (same workload, growing footprint)");
+  core::Table table({"PoPs", "mean client distance km", "srtt_min median ms",
+                     "startup median ms", "rebuffer mean %"});
+  for (const std::uint32_t pops : {1u, 2u, 4u, 8u, 16u}) {
+    const PlanResult r = evaluate(pops, sessions);
+    table.add_row({std::to_string(pops), core::fmt(r.mean_distance_km, 0),
+                   core::fmt(r.srtt_min_median_ms, 1),
+                   core::fmt(r.startup_median_ms, 0),
+                   core::fmt(r.rebuffer_mean_pct, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nDistance (and with it baseline latency) collapses over the first "
+      "few PoPs and then flattens: past that point the residual tail is "
+      "enterprise paths and international clients, which more servers in "
+      "the US cannot fix (§4.2-1).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's chunk-level diagnosis methods, reimplemented on observables
+// only (never on simulator ground truth):
+//
+//   * Eq. 2  — performance score: tau / (D_FB + D_LB); < 1 means the chunk
+//              drained more buffer than it delivered,
+//   * Eq. 3  — server-side throughput estimate MSS * CWND / SRTT
+//              (on net::TcpInfo),
+//   * Eq. 4  — transient download-stack buffering detector (statistical
+//              outlier screen within a session),
+//   * Eq. 5  — persistent download-stack latency lower bound via the
+//              conservative RTO estimate of rtt0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/tcp_info.h"
+#include "sim/time.h"
+#include "telemetry/join.h"
+
+namespace vstream::analysis {
+
+/// Eq. 2: perfscore = tau / (D_FB + D_LB).  Score < 1 flags bad chunks.
+double perf_score(double chunk_duration_s, sim::Ms dfb_ms, sim::Ms dlb_ms);
+
+/// Instantaneous player-observed throughput of a chunk in kbps:
+/// chunk bytes / D_LB (the "TP_inst" of §4.3-1).
+double instantaneous_throughput_kbps(std::uint64_t chunk_bytes,
+                                     sim::Ms dlb_ms);
+
+/// The paper's conservative RTO formula (footnote 5, RFC 2988 flavour):
+/// RTO = 200 ms + srtt + 4 * srttvar.
+sim::Ms rto_conservative_ms(const net::TcpInfo& info);
+
+/// Eq. 5: lower bound of download-stack latency for one chunk:
+/// D_DS >= D_FB - D_CDN - D_BE - RTO, clamped at 0.  Returns 0 when the
+/// chunk lacks either measurement side or a TCP snapshot.
+sim::Ms dds_lower_bound_ms(const telemetry::JoinedChunk& chunk);
+
+struct DsOutlierConfig {
+  double high_sigma = 2.0;    ///< "abnormally higher": > mean + 2 sigma
+  double normal_sigma = 1.0;  ///< "similar": within mean + 1 sigma
+  std::size_t min_chunks = 5; ///< sessions shorter than this are skipped
+  /// §4.3-1: the spike must be one "the measured connection's throughput
+  /// from server (using CWND and SRTT) does not explain" — TP_inst must
+  /// exceed the Eq. 3 estimate by this factor.
+  double tp_unexplained_factor = 2.0;
+};
+
+/// Per-chunk verdict of the Eq. 4 screen for one session.
+struct DsOutlierResult {
+  std::vector<bool> flagged;  ///< parallel to session.chunks
+  std::size_t flagged_count = 0;
+};
+
+/// Eq. 4: flag chunks whose D_FB and instantaneous throughput are both
+/// > mean + high_sigma * sigma while SRTT, server latency and CWND stay
+/// within mean + normal_sigma * sigma — the signature of stack-buffered
+/// delivery (Fig. 17).
+DsOutlierResult detect_ds_outliers(const telemetry::JoinedSession& session,
+                                   const DsOutlierConfig& config = {});
+
+}  // namespace vstream::analysis

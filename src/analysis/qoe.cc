@@ -1,0 +1,54 @@
+#include "analysis/qoe.h"
+
+namespace vstream::analysis {
+
+SessionQoe session_qoe(const telemetry::JoinedSession& session) {
+  SessionQoe qoe;
+  qoe.chunks = session.chunks.size();
+  if (session.player != nullptr) qoe.startup_ms = session.player->startup_ms;
+  qoe.rebuffer_rate_pct = session.rebuffer_rate_percent();
+  qoe.avg_bitrate_kbps = session.avg_bitrate_kbps();
+
+  double frames = 0.0, dropped = 0.0;
+  std::uint32_t last_bitrate = 0;
+  for (const telemetry::JoinedChunk& chunk : session.chunks) {
+    if (chunk.player == nullptr) continue;
+    qoe.rebuffer_events += chunk.player->rebuffer_count;
+    if (chunk.player->visible) {
+      frames += chunk.player->total_frames;
+      dropped += chunk.player->dropped_frames;
+    }
+    if (last_bitrate != 0 && chunk.player->bitrate_kbps != last_bitrate) {
+      ++qoe.bitrate_switches;
+    }
+    last_bitrate = chunk.player->bitrate_kbps;
+  }
+  qoe.dropped_frame_pct = frames == 0.0 ? 0.0 : 100.0 * dropped / frames;
+  return qoe;
+}
+
+QoeAggregate aggregate_qoe(const telemetry::JoinedDataset& data) {
+  QoeAggregate agg;
+  std::vector<double> startup, rebuf, bitrate, dropped;
+  std::size_t with_rebuf = 0;
+  for (const telemetry::JoinedSession& session : data.sessions()) {
+    const SessionQoe qoe = session_qoe(session);
+    startup.push_back(qoe.startup_ms);
+    rebuf.push_back(qoe.rebuffer_rate_pct);
+    bitrate.push_back(qoe.avg_bitrate_kbps);
+    dropped.push_back(qoe.dropped_frame_pct);
+    if (qoe.rebuffer_events > 0) ++with_rebuf;
+  }
+  agg.sessions = data.sessions().size();
+  agg.startup_ms = summarize(std::move(startup));
+  agg.rebuffer_rate_pct = summarize(std::move(rebuf));
+  agg.avg_bitrate_kbps = summarize(std::move(bitrate));
+  agg.dropped_frame_pct = summarize(std::move(dropped));
+  agg.share_with_rebuffering =
+      agg.sessions == 0
+          ? 0.0
+          : static_cast<double>(with_rebuf) / static_cast<double>(agg.sessions);
+  return agg;
+}
+
+}  // namespace vstream::analysis

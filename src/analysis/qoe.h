@@ -1,0 +1,42 @@
+// Quality-of-Experience metrics.
+//
+// The paper grounds its impact statements in the QoE metrics prior work
+// ties to engagement (§4, citing Dobrian et al. and Krishnan & Sitaraman):
+// startup delay, re-buffering ratio, average bitrate and rendering
+// quality.  This module computes them per session and in aggregate so
+// experiments compare like with like.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/stats.h"
+#include "telemetry/join.h"
+
+namespace vstream::analysis {
+
+struct SessionQoe {
+  double startup_ms = 0.0;
+  double rebuffer_rate_pct = 0.0;    ///< stall time / session wall time
+  std::uint32_t rebuffer_events = 0;
+  double avg_bitrate_kbps = 0.0;
+  double dropped_frame_pct = 0.0;    ///< over visible chunks
+  std::uint32_t bitrate_switches = 0;
+  std::size_t chunks = 0;
+};
+
+/// Per-session QoE from the joined records; `startup_ms` comes from the
+/// player session record.
+SessionQoe session_qoe(const telemetry::JoinedSession& session);
+
+struct QoeAggregate {
+  SummaryStats startup_ms;
+  SummaryStats rebuffer_rate_pct;
+  SummaryStats avg_bitrate_kbps;
+  SummaryStats dropped_frame_pct;
+  double share_with_rebuffering = 0.0;
+  std::size_t sessions = 0;
+};
+
+QoeAggregate aggregate_qoe(const telemetry::JoinedDataset& data);
+
+}  // namespace vstream::analysis

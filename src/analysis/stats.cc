@@ -1,0 +1,166 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace vstream::analysis {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev_of(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean_of(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double cv_of(std::span<const double> values) {
+  const double m = mean_of(values);
+  return m == 0.0 ? 0.0 : stddev_of(values) / m;
+}
+
+SummaryStats summarize(std::vector<double> values) {
+  SummaryStats s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.n = values.size();
+  s.mean = mean_of(values);
+  s.stddev = stddev_of(values);
+  s.min = values.front();
+  s.max = values.back();
+  s.median = quantile_sorted(values, 0.5);
+  s.p25 = quantile_sorted(values, 0.25);
+  s.p75 = quantile_sorted(values, 0.75);
+  s.p95 = quantile_sorted(values, 0.95);
+  return s;
+}
+
+namespace {
+
+std::vector<CdfPoint> make_distribution(std::vector<double> values,
+                                        std::size_t max_points,
+                                        bool complementary) {
+  std::vector<CdfPoint> points;
+  if (values.empty()) return points;
+  std::sort(values.begin(), values.end());
+  max_points = std::max<std::size_t>(2, max_points);
+  const std::size_t n = values.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  points.reserve(n / step + 2);
+  for (std::size_t i = 0; i < n; i += step) {
+    const double p = static_cast<double>(i + 1) / static_cast<double>(n);
+    points.push_back({values[i], complementary ? 1.0 - p : p});
+  }
+  // Always include the exact tail point.
+  const double p_last = 1.0;
+  points.push_back({values[n - 1], complementary ? 0.0 : p_last});
+  return points;
+}
+
+}  // namespace
+
+std::vector<CdfPoint> make_cdf(std::vector<double> values,
+                               std::size_t max_points) {
+  return make_distribution(std::move(values), max_points, false);
+}
+
+std::vector<CdfPoint> make_ccdf(std::vector<double> values,
+                                std::size_t max_points) {
+  return make_distribution(std::move(values), max_points, true);
+}
+
+double cdf_at(std::vector<double> values, double x) {
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const double v : values) {
+    if (v <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+std::vector<Bin> bin_series(std::span<const double> x,
+                            std::span<const double> y, double x_min,
+                            double x_max, double bin_width) {
+  std::vector<Bin> bins;
+  if (x.size() != y.size() || x.empty() || bin_width <= 0.0 || x_max <= x_min) {
+    return bins;
+  }
+  const auto bin_count =
+      static_cast<std::size_t>(std::ceil((x_max - x_min) / bin_width));
+  std::vector<std::vector<double>> buckets(bin_count);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < x_min || x[i] >= x_max) continue;
+    const auto b = static_cast<std::size_t>((x[i] - x_min) / bin_width);
+    buckets[std::min(b, bin_count - 1)].push_back(y[i]);
+  }
+  for (std::size_t b = 0; b < bin_count; ++b) {
+    if (buckets[b].empty()) continue;
+    Bin bin;
+    bin.center = x_min + (static_cast<double>(b) + 0.5) * bin_width;
+    bin.stats = summarize(std::move(buckets[b]));
+    bins.push_back(std::move(bin));
+  }
+  return bins;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     double alpha, std::size_t resamples,
+                                     std::uint64_t seed) {
+  ConfidenceInterval ci;
+  if (values.empty()) return ci;
+  ci.point = mean_of(values);
+  if (values.size() == 1 || resamples == 0) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+  sim::Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(values.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sum += values[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  ci.lo = quantile_sorted(means, alpha / 2.0);
+  ci.hi = quantile_sorted(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace vstream::analysis

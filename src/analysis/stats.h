@@ -1,0 +1,90 @@
+// Descriptive statistics: summaries, quantiles, CDF/CCDF series, binned
+// series (the paper's bar-with-IQR plots), correlation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vstream::analysis {
+
+struct SummaryStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+
+  /// Interquartile range (the error bars of Figs. 4, 7, 19).
+  double iqr() const { return p75 - p25; }
+  /// Coefficient of variation (the paper's CV(SRTT) metric, §4.2-2).
+  double cv() const { return mean == 0.0 ? 0.0 : stddev / mean; }
+};
+
+/// Quantile of an ascending-sorted sample (linear interpolation, q in [0,1]).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double mean_of(std::span<const double> values);
+/// Population standard deviation.
+double stddev_of(std::span<const double> values);
+/// Coefficient of variation: stddev / mean (0 when mean == 0).
+double cv_of(std::span<const double> values);
+
+/// Full summary; copies and sorts internally.
+SummaryStats summarize(std::vector<double> values);
+
+struct CdfPoint {
+  double x = 0.0;
+  double p = 0.0;  ///< P(X <= x) for CDFs, P(X > x) for CCDFs
+};
+
+/// Empirical CDF downsampled to at most `max_points` points.
+std::vector<CdfPoint> make_cdf(std::vector<double> values,
+                               std::size_t max_points = 100);
+
+/// Empirical CCDF (1 - CDF), e.g. Fig. 3a, Fig. 11c.
+std::vector<CdfPoint> make_ccdf(std::vector<double> values,
+                                std::size_t max_points = 100);
+
+/// Fraction of values <= x (exact, no downsampling).
+double cdf_at(std::vector<double> values, double x);
+
+/// One bin of a binned series.
+struct Bin {
+  double center = 0.0;
+  SummaryStats stats;  ///< stats of y over samples whose x is in the bin
+};
+
+/// Bin (x, y) pairs into fixed-width bins over [x_min, x_max); samples
+/// outside the range are dropped.  Empty bins are omitted.
+std::vector<Bin> bin_series(std::span<const double> x,
+                            std::span<const double> y, double x_min,
+                            double x_max, double bin_width);
+
+/// Pearson correlation coefficient; 0 for degenerate inputs.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// A two-sided bootstrap confidence interval for a statistic of a sample.
+struct ConfidenceInterval {
+  double point = 0.0;  ///< statistic on the full sample
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double value) const { return value >= lo && value <= hi; }
+};
+
+/// Percentile bootstrap for the mean: resample with replacement
+/// `resamples` times and take the (alpha/2, 1-alpha/2) percentiles.
+/// Deterministic given `seed`.  Useful for deciding whether a bench delta
+/// (e.g. paced vs unpaced re-buffering) is real at the chosen sample size.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     double alpha = 0.05,
+                                     std::size_t resamples = 1'000,
+                                     std::uint64_t seed = 1);
+
+}  // namespace vstream::analysis

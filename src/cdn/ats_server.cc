@@ -1,0 +1,164 @@
+#include "cdn/ats_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vstream::cdn {
+
+AtsServer::AtsServer(AtsConfig config, BackendConfig backend)
+    : config_(config),
+      cache_(config.ram_bytes, config.disk_bytes, config.policy),
+      backend_(backend),
+      thread_free_at_(std::max(1u, config.threads), 0.0) {}
+
+double AtsServer::load() const { return rate_estimate_; }
+
+sim::Ms AtsServer::earliest_thread_free_ms() const {
+  return *std::min_element(thread_free_at_.begin(), thread_free_at_.end());
+}
+
+double AtsServer::miss_ratio() const {
+  return requests_served_ == 0
+             ? 0.0
+             : static_cast<double>(misses_) / static_cast<double>(requests_served_);
+}
+
+sim::Ms AtsServer::seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const {
+  const auto it = last_video_access_.find(video_id);
+  if (it == last_video_access_.end()) return config_.seek_max_ms;
+  const sim::Ms gap = std::max(0.0, now - it->second);
+  // Cold content has fallen out of the OS page cache and sits farther from
+  // the disk head's working region; the penalty saturates at seek_max_ms.
+  const double coldness = std::min(1.0, gap / config_.seek_cold_after_ms);
+  return config_.seek_max_ms * coldness;
+}
+
+ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
+                             sim::Ms now, sim::Rng& rng) {
+  ServeResult result;
+
+  // ---- load tracking (exponentially decayed arrival rate) ----
+  if (last_arrival_ms_ >= 0.0 && now > last_arrival_ms_) {
+    const double dt_s = sim::to_seconds(now - last_arrival_ms_);
+    const double decay = std::exp(-dt_s / 10.0);  // ~10 s horizon
+    rate_estimate_ = rate_estimate_ * decay + (1.0 - decay) / std::max(dt_s, 1e-6);
+  } else if (last_arrival_ms_ < 0.0) {
+    rate_estimate_ = 0.0;
+  }
+  last_arrival_ms_ = now;
+
+  // ---- D_wait: accept-queue time until a service thread picks the
+  // request up.  Well-provisioned in production (§4.1: latency is NOT
+  // correlated with load), so this is normally just scheduling noise; it
+  // only grows when every thread is pinned down (e.g. a backend meltdown
+  // holding threads for hundreds of milliseconds each).
+  const auto thread = std::min_element(thread_free_at_.begin(),
+                                       thread_free_at_.end());
+  const sim::Ms queue_wait = std::max(0.0, *thread - now);
+  result.dwait_ms =
+      queue_wait +
+      rng.lognormal_median(config_.wait_median_ms, config_.wait_sigma);
+
+  // ---- D_open: header read + first open attempt ----
+  result.dopen_ms = rng.lognormal_median(config_.open_median_ms, config_.open_sigma);
+
+  // ---- cache lookup and D_read ----
+  const CacheLevel level = cache_.lookup(key, size_bytes);
+  result.level = level;
+
+  // Read-while-writer: an object admitted by a concurrent miss may still
+  // be streaming in from the backend; a hit on it cannot produce a first
+  // byte before the in-flight fetch does ("many near-simultaneous requests
+  // may overwhelm the backend" — collapsing them is the retry timer's job,
+  // §4.1-2).
+  sim::Ms pending_fetch_ms = 0.0;
+  {
+    const auto inflight = inflight_fetches_.find(key);
+    if (inflight != inflight_fetches_.end() && inflight->second > now) {
+      pending_fetch_ms = inflight->second - now;
+    }
+  }
+
+  switch (level) {
+    case CacheLevel::kRam:
+      ++ram_hits_;
+      result.dread_ms =
+          rng.lognormal_median(config_.ram_read_median_ms, config_.ram_read_sigma);
+      if (pending_fetch_ms > 0.0) {
+        ++collapsed_misses_;
+        result.dread_ms += pending_fetch_ms;
+      }
+      break;
+    case CacheLevel::kDisk: {
+      ++disk_hits_;
+      // First open attempt does not return immediately (object not in RAM):
+      // ATS's asynchronous read retries after the open-read-retry timer,
+      // then pays the disk read plus a cold-content seek penalty.
+      result.retry_timer_fired = true;
+      const sim::Ms disk_read =
+          rng.lognormal_median(config_.disk_read_median_ms, config_.disk_read_sigma) +
+          seek_penalty_ms(key.video_id, now);
+      result.dread_ms = config_.open_retry_ms + disk_read + pending_fetch_ms;
+      if (pending_fetch_ms > 0.0) ++collapsed_misses_;
+      break;
+    }
+    case CacheLevel::kMiss: {
+      ++misses_;
+      result.retry_timer_fired = true;
+      // Collapsed forwarding: if another request already has this object
+      // in flight from the backend, wait for that fetch instead of issuing
+      // a duplicate — the backend-protection behaviour the paper ties to
+      // the retry timer ("many near-simultaneous requests may overwhelm
+      // the backend service", §4.1-2).
+      const auto inflight = inflight_fetches_.find(key);
+      if (inflight != inflight_fetches_.end() && inflight->second > now) {
+        ++collapsed_misses_;
+        result.dbe_ms = inflight->second - now;
+      } else {
+        // Retry timer fires while the backend request is issued; backend
+        // and delivery are pipelined (§2.1) so D_read is dominated by the
+        // backend's first byte.
+        ++backend_fetches_;
+        result.dbe_ms = backend_.fetch_first_byte_ms(rng);
+        inflight_fetches_[key] = now + result.dbe_ms;
+        if (inflight_fetches_.size() > 4'096) {
+          // Lazy purge of completed fetches.
+          std::erase_if(inflight_fetches_, [now](const auto& entry) {
+            return entry.second <= now;
+          });
+        }
+      }
+      result.dread_ms = config_.open_retry_ms + result.dbe_ms;
+      cache_.admit(key, size_bytes);
+
+      // §4.1-2 take-away: after the first miss, fetch the session's next
+      // chunks in the background so its later requests hit.  The transfer
+      // is asynchronous (off the serving path); the cost is backend load,
+      // tracked in backend_requests().
+      for (std::uint32_t ahead = 1; ahead <= config_.prefetch_on_miss;
+           ++ahead) {
+        const ChunkKey next{key.video_id, key.chunk_index + ahead,
+                            key.bitrate_kbps};
+        if (cache_.lookup(next, size_bytes) == CacheLevel::kMiss) {
+          cache_.admit(next, size_bytes);
+          ++prefetched_chunks_;
+          // The speculative fetch is in flight too: a request arriving
+          // before it completes waits for it (read-while-writer), it just
+          // skips the backend round trip of its own.
+          inflight_fetches_[next] = now + backend_.fetch_first_byte_ms(rng);
+        }
+      }
+      break;
+    }
+  }
+
+  // The thread is occupied from pickup until the first byte is written
+  // (asynchronous delivery releases it afterwards).
+  *thread = std::max(now, *thread) + result.dopen_ms + result.dread_ms;
+
+  last_video_access_[key.video_id] = now;
+  ++requests_served_;
+  return result;
+}
+
+}  // namespace vstream::cdn

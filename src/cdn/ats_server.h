@@ -1,0 +1,158 @@
+// ATS-like CDN edge server.
+//
+// Models the Apache Traffic Server behaviours the paper's §4.1 findings
+// hinge on:
+//
+//   * a FIFO accept queue served by a thread pool (D_wait grows only under
+//     heavy load — the paper finds servers well-provisioned),
+//   * D_open: header parsing + first attempt to open the cache object,
+//   * the asynchronous open-read-retry timer: when the object is not
+//     immediately available in RAM, ATS retries the open after a fixed
+//     10 ms timer — the cause of the bimodal D_read distribution (Fig. 5),
+//   * disk reads whose seek latency grows for cold (unpopular) content
+//     (Fig. 6b), and
+//   * backend fetches on misses (D_BE), pipelined with delivery.
+//
+// serve() returns the per-chunk server-side record of Table 2.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/backend.h"
+#include "cdn/cache.h"
+#include "cdn/chunk.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace vstream::cdn {
+
+struct AtsConfig {
+  std::uint64_t ram_bytes = 8ull << 30;    ///< main-memory cache
+  std::uint64_t disk_bytes = 256ull << 30; ///< disk cache
+  PolicyKind policy = PolicyKind::kLru;
+
+  std::uint32_t threads = 64;  ///< service thread pool size
+
+  sim::Ms open_retry_ms = 10.0;  ///< ATS open-read-retry timeout
+
+  // Latency components (log-normal medians/shapes), calibrated to Fig. 5:
+  // most chunks have D_wait < 1 ms and small D_open; RAM reads give a total
+  // hit latency with median ~2 ms.
+  sim::Ms wait_median_ms = 0.25;
+  double wait_sigma = 0.8;
+  sim::Ms open_median_ms = 0.6;
+  double open_sigma = 0.7;
+  sim::Ms ram_read_median_ms = 1.1;
+  double ram_read_sigma = 0.55;
+  sim::Ms disk_read_median_ms = 2.5;
+  double disk_read_sigma = 0.5;
+
+  /// Extra disk seek latency for cold content: grows with the time since
+  /// the video was last touched on this server, up to seek_max_ms.
+  sim::Ms seek_max_ms = 22.0;
+  sim::Ms seek_cold_after_ms = sim::seconds(30.0);
+
+  /// Paper take-away §4.1-2: "the persistence of cache misses could be
+  /// addressed by pre-fetching the subsequent chunks of a video session
+  /// after the first miss."  On a miss, the server asynchronously fetches
+  /// this many following chunks of the same (video, bitrate) from the
+  /// backend and admits them; the session's later requests then hit.
+  /// 0 disables prefetching (the paper's production behaviour).
+  std::uint32_t prefetch_on_miss = 0;
+};
+
+struct ServeResult {
+  sim::Ms dwait_ms = 0.0;  ///< time in the accept queue
+  sim::Ms dopen_ms = 0.0;  ///< header read -> first open attempt
+  sim::Ms dread_ms = 0.0;  ///< first byte read + write to socket
+                           ///< (includes retry timer, disk seek or D_BE)
+  sim::Ms dbe_ms = 0.0;    ///< backend latency (misses only)
+  CacheLevel level = CacheLevel::kMiss;
+  bool retry_timer_fired = false;
+
+  bool cache_hit() const { return level != CacheLevel::kMiss; }
+  /// D_CDN of Eq. 1: everything the CDN adds before the first byte, with
+  /// the backend share reported separately as D_BE.
+  sim::Ms dcdn_ms() const { return dwait_ms + dopen_ms + dread_ms - dbe_ms; }
+  /// Total server-side latency as the paper plots it ("total-hit" /
+  /// "total-miss" in Fig. 5).
+  sim::Ms total_ms() const { return dwait_ms + dopen_ms + dread_ms; }
+};
+
+class AtsServer {
+ public:
+  AtsServer(AtsConfig config, BackendConfig backend);
+
+  /// Serve one chunk request arriving at `now` (simulated clock).
+  ServeResult serve(const ChunkKey& key, std::uint64_t size_bytes, sim::Ms now,
+                    sim::Rng& rng);
+
+  /// Pre-load an object into the cache hierarchy without serving a request
+  /// (steady-state warm-up; does not touch the hit/miss counters).
+  void warm(const ChunkKey& key, std::uint64_t size_bytes) {
+    cache_.admit(key, size_bytes);
+  }
+
+  /// Exponentially decayed request arrival rate (requests/s) — the load
+  /// proxy the paper estimates as "parallel HTTP requests ... per second"
+  /// (§4.1-2 footnote).
+  double load() const;
+
+  /// When the earliest service thread frees up (exposed for tests).
+  sim::Ms earliest_thread_free_ms() const;
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t ram_hits() const { return ram_hits_; }
+  std::uint64_t disk_hits() const { return disk_hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_ratio() const;
+  /// Chunks fetched speculatively after misses (backend load the §4.1-2
+  /// recommendation pays for its latency win).
+  std::uint64_t prefetched_chunks() const { return prefetched_chunks_; }
+  /// Misses that piggybacked on an already in-flight backend fetch for the
+  /// same object (collapsed forwarding — the backend-protection role the
+  /// paper ascribes to the retry timer, §4.1-2 take-away 2).
+  std::uint64_t collapsed_misses() const { return collapsed_misses_; }
+  /// Actual backend fetches issued: misses - collapsed + prefetches.
+  std::uint64_t backend_requests() const {
+    return backend_fetches_ + prefetched_chunks_;
+  }
+
+  const TwoLevelCache& cache() const { return cache_; }
+  const AtsConfig& config() const { return config_; }
+
+ private:
+  /// Cold-content seek penalty from the video's access recency.
+  sim::Ms seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const;
+
+  AtsConfig config_;
+  TwoLevelCache cache_;
+  Backend backend_;
+
+  std::unordered_map<std::uint32_t, sim::Ms> last_video_access_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t ram_hits_ = 0;
+  std::uint64_t disk_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t prefetched_chunks_ = 0;
+  std::uint64_t collapsed_misses_ = 0;
+  std::uint64_t backend_fetches_ = 0;
+
+  /// In-flight backend fetches (key -> completion time): concurrent misses
+  /// for the same object wait for the ongoing fetch instead of issuing
+  /// another backend request.
+  std::unordered_map<ChunkKey, sim::Ms, ChunkKeyHash> inflight_fetches_;
+
+  // Load tracking: exponentially decayed request rate (requests/sec).
+  double rate_estimate_ = 0.0;
+  sim::Ms last_arrival_ms_ = -1.0;
+
+  // Thread pool occupancy: when each service thread becomes free.  A
+  // request waits (D_wait) until the earliest thread frees, then occupies
+  // it for its service time.
+  std::vector<sim::Ms> thread_free_at_;
+};
+
+}  // namespace vstream::cdn

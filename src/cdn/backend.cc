@@ -1,0 +1,14 @@
+#include "cdn/backend.h"
+
+namespace vstream::cdn {
+
+sim::Ms Backend::fetch_first_byte_ms(sim::Rng& rng) const {
+  sim::Ms service =
+      rng.lognormal_median(config_.service_median_ms, config_.service_sigma);
+  if (rng.bernoulli(config_.hiccup_probability)) {
+    service *= config_.hiccup_multiplier;
+  }
+  return config_.rtt_ms + service;
+}
+
+}  // namespace vstream::cdn

@@ -1,0 +1,37 @@
+// Backend (origin) service model.
+//
+// On a CDN cache miss the chunk is fetched from the backend; the paper
+// measures this as D_BE (including network delay to the backend) and reports
+// that misses raise median server latency ~40x (2 ms -> 80 ms, §4.1-1).
+// Characterizing backend internals is out of scope in the paper (§2.1) and
+// here: a latency distribution suffices.
+#pragma once
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace vstream::cdn {
+
+struct BackendConfig {
+  sim::Ms rtt_ms = 30.0;            ///< CDN PoP <-> backend network RTT
+  sim::Ms service_median_ms = 35.0; ///< origin lookup + first byte
+  double service_sigma = 0.45;      ///< log-normal shape of service time
+  /// Probability of a slow outlier (backend hiccup) and its multiplier.
+  double hiccup_probability = 0.01;
+  double hiccup_multiplier = 8.0;
+};
+
+class Backend {
+ public:
+  explicit Backend(BackendConfig config) : config_(config) {}
+
+  /// D_BE: delay until the backend's first byte reaches the CDN server.
+  sim::Ms fetch_first_byte_ms(sim::Rng& rng) const;
+
+  const BackendConfig& config() const { return config_; }
+
+ private:
+  BackendConfig config_;
+};
+
+}  // namespace vstream::cdn

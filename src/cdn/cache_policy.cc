@@ -1,0 +1,123 @@
+#include "cdn/cache_policy.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vstream::cdn {
+
+// ---------------------------------------------------------------- LRU
+
+void LruPolicy::on_insert(const ChunkKey& key, std::uint64_t /*size_bytes*/) {
+  assert(!position_.contains(key));
+  order_.push_front(key);
+  position_[key] = order_.begin();
+}
+
+void LruPolicy::on_access(const ChunkKey& key) {
+  const auto it = position_.find(key);
+  if (it == position_.end()) return;  // tolerate spurious notifications
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+ChunkKey LruPolicy::choose_victim() {
+  if (order_.empty()) throw std::logic_error("LruPolicy: empty cache");
+  return order_.back();
+}
+
+void LruPolicy::on_evict(const ChunkKey& key) {
+  const auto it = position_.find(key);
+  if (it == position_.end()) return;
+  order_.erase(it->second);
+  position_.erase(it);
+}
+
+// ---------------------------------------------------------------- LFU
+
+void PerfectLfuPolicy::on_insert(const ChunkKey& key,
+                                 std::uint64_t /*size_bytes*/) {
+  assert(!resident_.contains(key));
+  const std::uint64_t freq = ++history_[key];  // history survives eviction
+  const Entry entry{freq, next_seq_++};
+  resident_[key] = entry;
+  by_freq_[entry] = key;
+}
+
+void PerfectLfuPolicy::on_access(const ChunkKey& key) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  by_freq_.erase(it->second);
+  const Entry entry{++history_[key], next_seq_++};
+  it->second = entry;
+  by_freq_[entry] = key;
+}
+
+ChunkKey PerfectLfuPolicy::choose_victim() {
+  if (by_freq_.empty()) throw std::logic_error("PerfectLfuPolicy: empty cache");
+  return by_freq_.begin()->second;
+}
+
+void PerfectLfuPolicy::on_evict(const ChunkKey& key) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  by_freq_.erase(it->second);
+  resident_.erase(it);
+}
+
+// ------------------------------------------------------------- GD-Size
+
+void GdSizePolicy::on_insert(const ChunkKey& key, std::uint64_t size_bytes) {
+  assert(!resident_.contains(key));
+  sizes_[key] = std::max<std::uint64_t>(1, size_bytes);
+  const Entry entry{inflation_ + 1.0 / static_cast<double>(sizes_[key]),
+                    next_seq_++};
+  resident_[key] = entry;
+  by_priority_[entry] = key;
+}
+
+void GdSizePolicy::on_access(const ChunkKey& key) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  by_priority_.erase(it->second);
+  const Entry entry{inflation_ + 1.0 / static_cast<double>(sizes_[key]),
+                    next_seq_++};
+  it->second = entry;
+  by_priority_[entry] = key;
+}
+
+ChunkKey GdSizePolicy::choose_victim() {
+  if (by_priority_.empty()) throw std::logic_error("GdSizePolicy: empty cache");
+  // Ageing: future insertions/accesses are credited relative to the evicted
+  // object's priority.
+  inflation_ = by_priority_.begin()->first.priority;
+  return by_priority_.begin()->second;
+}
+
+void GdSizePolicy::on_evict(const ChunkKey& key) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  by_priority_.erase(it->second);
+  resident_.erase(it);
+  sizes_.erase(key);
+}
+
+// ------------------------------------------------------------- factory
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kPerfectLfu: return std::make_unique<PerfectLfuPolicy>();
+    case PolicyKind::kGdSize: return std::make_unique<GdSizePolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kPerfectLfu: return "perfect-lfu";
+    case PolicyKind::kGdSize: return "gd-size";
+  }
+  return "unknown";
+}
+
+}  // namespace vstream::cdn

@@ -1,0 +1,28 @@
+#include "cdn/chunk.h"
+
+namespace vstream::cdn {
+
+double vbr_factor(std::uint32_t video_id, std::uint32_t chunk_index) {
+  // splitmix64 of the (video, chunk) pair -> uniform in [0.75, 1.25].
+  std::uint64_t h = (static_cast<std::uint64_t>(video_id) << 32) |
+                    (static_cast<std::uint64_t>(chunk_index) + 0x9e3779b9u);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const double unit =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  return 0.75 + 0.5 * unit;
+}
+
+std::uint64_t chunk_bytes_vbr(std::uint32_t bitrate_kbps, double duration_s,
+                              std::uint32_t video_id,
+                              std::uint32_t chunk_index) {
+  const double nominal =
+      static_cast<double>(chunk_bytes(bitrate_kbps, duration_s));
+  return static_cast<std::uint64_t>(nominal *
+                                    vbr_factor(video_id, chunk_index));
+}
+
+}  // namespace vstream::cdn

@@ -1,0 +1,55 @@
+// Chunk identity and sizing.
+//
+// A video is split into fixed-duration chunks (6 seconds in the paper's
+// dataset, §3), each encoded at every bitrate of the ladder; the CDN caches
+// (video, chunk index, bitrate) objects independently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.h"
+
+namespace vstream::cdn {
+
+struct ChunkKey {
+  std::uint32_t video_id = 0;
+  std::uint32_t chunk_index = 0;   ///< 0-based position within the video
+  std::uint32_t bitrate_kbps = 0;  ///< encoded bitrate
+
+  friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+};
+
+/// Encoded size of a chunk at its nominal bitrate: bitrate * duration.
+constexpr std::uint64_t chunk_bytes(std::uint32_t bitrate_kbps,
+                                    double duration_s) {
+  return static_cast<std::uint64_t>(bitrate_kbps * duration_s * 1000.0 / 8.0);
+}
+
+/// Deterministic VBR size factor in [0.75, 1.25]: encoders spend more bits
+/// on complex scenes, so chunks of the "same bitrate" vary in size.  The
+/// factor is a pure function of (video, chunk), so every component —
+/// warming, serving, transfer — sees the same bytes for the same object.
+double vbr_factor(std::uint32_t video_id, std::uint32_t chunk_index);
+
+/// Encoded size with the per-chunk VBR factor applied.
+std::uint64_t chunk_bytes_vbr(std::uint32_t bitrate_kbps, double duration_s,
+                              std::uint32_t video_id,
+                              std::uint32_t chunk_index);
+
+struct ChunkKeyHash {
+  std::size_t operator()(const ChunkKey& k) const {
+    std::uint64_t h = (static_cast<std::uint64_t>(k.video_id) << 32) ^
+                      (static_cast<std::uint64_t>(k.chunk_index) << 12) ^
+                      k.bitrate_kbps;
+    // 64-bit mix (splitmix64 finalizer).
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace vstream::cdn

@@ -1,0 +1,117 @@
+#include "cdn/fleet.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace vstream::cdn {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kCacheFocused: return "cache-focused";
+    case RoutingPolicy::kPopularityPartitioned: return "popularity-partitioned";
+  }
+  return "unknown";
+}
+
+Fleet::Fleet(FleetConfig config, std::size_t catalog_size)
+    : config_(config),
+      popular_head_ranks_(static_cast<std::size_t>(
+          config.popular_head_fraction * static_cast<double>(catalog_size))) {
+  const auto cities = net::us_cities();
+  if (config_.pop_count == 0 || config_.servers_per_pop == 0) {
+    throw std::invalid_argument("Fleet: need at least one PoP and server");
+  }
+  if (config_.pop_count > cities.size()) {
+    throw std::invalid_argument("Fleet: more PoPs than available cities");
+  }
+  pop_cities_.assign(cities.begin(), cities.begin() + config_.pop_count);
+  servers_.reserve(static_cast<std::size_t>(config_.pop_count) *
+                   config_.servers_per_pop);
+  for (std::uint32_t i = 0; i < config_.pop_count * config_.servers_per_pop;
+       ++i) {
+    servers_.push_back(
+        std::make_unique<AtsServer>(config_.server, config_.backend));
+  }
+  down_.assign(servers_.size(), false);
+}
+
+void Fleet::set_server_down(ServerRef ref, bool down) {
+  down_.at(static_cast<std::size_t>(ref.pop) * config_.servers_per_pop +
+           ref.server) = down;
+}
+
+bool Fleet::is_down(ServerRef ref) const {
+  return down_.at(static_cast<std::size_t>(ref.pop) * config_.servers_per_pop +
+                  ref.server);
+}
+
+std::uint32_t Fleet::nearest_pop(const net::GeoPoint& client) const {
+  std::uint32_t best = 0;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < pop_cities_.size(); ++i) {
+    const double km = net::haversine_km(client, pop_cities_[i].location);
+    if (km < best_km) {
+      best_km = km;
+      best = i;
+    }
+  }
+  return best;
+}
+
+ServerRef Fleet::route(const net::GeoPoint& client, std::uint32_t video_id,
+                       std::size_t video_rank, std::uint64_t session_token,
+                       RoutingPolicy policy) const {
+  ServerRef ref;
+  ref.pop = nearest_pop(client);
+  const bool spread =
+      policy == RoutingPolicy::kPopularityPartitioned &&
+      video_rank <= popular_head_ranks_;
+  // Cache-focused: all requests for a video land on one server of the PoP.
+  // Partitioned: the popular head is spread per-session across servers.
+  const std::uint64_t token =
+      spread ? mix64(video_id ^ mix64(session_token)) : mix64(video_id);
+  ref.server = static_cast<std::uint32_t>(token % config_.servers_per_pop);
+  // Fail over within the PoP: probe the next indexes until a live server
+  // is found (if the whole PoP is down, keep the original assignment —
+  // the caller gets whatever error semantics it models).
+  for (std::uint32_t probe = 0;
+       probe < config_.servers_per_pop && is_down(ref); ++probe) {
+    ref.server = (ref.server + 1) % config_.servers_per_pop;
+  }
+  return ref;
+}
+
+std::uint32_t Fleet::server_index_for_video(std::uint32_t video_id) const {
+  return static_cast<std::uint32_t>(mix64(video_id) % config_.servers_per_pop);
+}
+
+AtsServer& Fleet::server(ServerRef ref) {
+  return *servers_.at(static_cast<std::size_t>(ref.pop) *
+                          config_.servers_per_pop +
+                      ref.server);
+}
+
+const AtsServer& Fleet::server(ServerRef ref) const {
+  return *servers_.at(static_cast<std::size_t>(ref.pop) *
+                          config_.servers_per_pop +
+                      ref.server);
+}
+
+const net::City& Fleet::pop_city(std::uint32_t pop) const {
+  return pop_cities_.at(pop);
+}
+
+}  // namespace vstream::cdn

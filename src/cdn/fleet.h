@@ -1,0 +1,89 @@
+// CDN fleet: PoPs of ATS servers plus the traffic-engineering mapping.
+//
+// The paper's traffic engineering "maps clients to CDN nodes using a
+// function of geography, latency, load, cache likelihood" and "tries to
+// route clients to the server that is likely to have a hot cache" (§4.1).
+// We model that as: nearest PoP by geography, then within the PoP a
+// cache-focused server choice (hash of the video id, so each video's
+// requests concentrate on one server).  The paper's §4.1-3 take-away —
+// explicitly partitioning the popular head across servers — is the
+// alternative routing policy used by the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cdn/ats_server.h"
+#include "net/geo.h"
+
+namespace vstream::cdn {
+
+struct FleetConfig {
+  std::uint32_t pop_count = 4;         ///< PoPs placed on the first N US cities
+  std::uint32_t servers_per_pop = 4;
+  AtsConfig server;
+  BackendConfig backend;
+  /// Fraction of the video head treated as "popular" by the partitioning
+  /// policy (paper: top 10% of videos = 66% of playbacks).
+  double popular_head_fraction = 0.10;
+};
+
+enum class RoutingPolicy {
+  kCacheFocused,           ///< video -> one server per PoP (hot cache)
+  kPopularityPartitioned,  ///< popular head spread across servers
+};
+
+const char* to_string(RoutingPolicy policy);
+
+struct ServerRef {
+  std::uint32_t pop = 0;
+  std::uint32_t server = 0;
+  friend bool operator==(const ServerRef&, const ServerRef&) = default;
+};
+
+class Fleet {
+ public:
+  /// `catalog_size` is needed to decide head membership for partitioning;
+  /// ranks are 1-based with 1 the most popular video.
+  Fleet(FleetConfig config, std::size_t catalog_size);
+
+  std::uint32_t nearest_pop(const net::GeoPoint& client) const;
+
+  /// Choose the serving server for a session.  `video_rank` is the video's
+  /// popularity rank (1 = hottest); `session_token` spreads partitioned
+  /// requests across servers.
+  ServerRef route(const net::GeoPoint& client, std::uint32_t video_id,
+                  std::size_t video_rank, std::uint64_t session_token,
+                  RoutingPolicy policy) const;
+
+  AtsServer& server(ServerRef ref);
+  const AtsServer& server(ServerRef ref) const;
+
+  /// The within-PoP server index a video concentrates on under
+  /// cache-focused routing (used for cache warming).
+  std::uint32_t server_index_for_video(std::uint32_t video_id) const;
+
+  /// Mark a server down/up.  route() fails over to the next live server of
+  /// the PoP — whose cache was warmed for a *different* video set, so a
+  /// failover also shows the cache-focused mapping's cold-cache cost
+  /// ("directing client requests to different servers", §1).
+  void set_server_down(ServerRef ref, bool down = true);
+  bool is_down(ServerRef ref) const;
+
+  const net::City& pop_city(std::uint32_t pop) const;
+  std::uint32_t pop_count() const { return config_.pop_count; }
+  std::uint32_t servers_per_pop() const { return config_.servers_per_pop; }
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+  std::size_t popular_head_ranks_;
+  std::vector<net::City> pop_cities_;
+  // servers_[pop * servers_per_pop + server]; unique_ptr keeps AtsServer
+  // addresses stable (it is move-averse because of its internal maps).
+  std::vector<std::unique_ptr<AtsServer>> servers_;
+  std::vector<bool> down_;
+};
+
+}  // namespace vstream::cdn

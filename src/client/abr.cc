@@ -1,0 +1,147 @@
+#include "client/abr.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace vstream::client {
+
+namespace {
+
+// A typical 2015-era VoD ladder (kbps).
+constexpr std::array<std::uint32_t, 6> kLadder = {300,  700,  1500,
+                                                  2500, 4000, 6000};
+
+std::uint32_t highest_not_above(std::span<const std::uint32_t> ladder,
+                                double kbps) {
+  std::uint32_t pick = ladder.front();
+  for (const std::uint32_t rung : ladder) {
+    if (static_cast<double>(rung) <= kbps) pick = rung;
+  }
+  return pick;
+}
+
+}  // namespace
+
+std::span<const std::uint32_t> default_bitrate_ladder() { return kLadder; }
+
+std::uint32_t FixedAbr::choose(const AbrContext& /*context*/,
+                               std::span<const std::uint32_t> ladder) {
+  if (ladder.empty()) throw std::invalid_argument("ABR: empty ladder");
+  return highest_not_above(ladder, static_cast<double>(bitrate_));
+}
+
+std::uint32_t RateBasedAbr::choose(const AbrContext& context,
+                                   std::span<const std::uint32_t> ladder) {
+  if (ladder.empty()) throw std::invalid_argument("ABR: empty ladder");
+  if (context.smoothed_throughput_kbps <= 0.0) {
+    // No sample yet: start at the conservative second rung (fast startup),
+    // or the floor when the client's prefix is known to have persistent
+    // network problems (§4.2-1 take-away).
+    if (context.known_bad_prefix) return ladder[0];
+    return ladder.size() >= 2 ? ladder[1] : ladder[0];
+  }
+  return highest_not_above(ladder,
+                           safety_ * context.smoothed_throughput_kbps);
+}
+
+std::uint32_t BufferBasedAbr::choose(const AbrContext& context,
+                                     std::span<const std::uint32_t> ladder) {
+  if (ladder.empty()) throw std::invalid_argument("ABR: empty ladder");
+  if (context.buffer_s <= reservoir_s_) return ladder.front();
+  if (context.buffer_s >= cushion_s_) return ladder.back();
+  const double fraction =
+      (context.buffer_s - reservoir_s_) / (cushion_s_ - reservoir_s_);
+  const auto index = static_cast<std::size_t>(
+      fraction * static_cast<double>(ladder.size() - 1));
+  return ladder[std::min(index, ladder.size() - 1)];
+}
+
+double MpcAbr::plan_utility(std::span<const std::uint32_t> ladder,
+                            double throughput_kbps, double buffer_s,
+                            std::uint32_t prev_bitrate, std::size_t depth,
+                            std::uint32_t* first_choice) const {
+  if (depth == 0) return 0.0;
+  double best = -1e18;
+  std::uint32_t best_rung = ladder.front();
+  for (const std::uint32_t rung : ladder) {
+    // Predicted download time of one chunk at this rung.
+    const double download_s =
+        static_cast<double>(rung) * config_.chunk_duration_s /
+        std::max(1.0, config_.throughput_safety * throughput_kbps);
+    const double stalled_s = std::max(0.0, download_s - buffer_s);
+    const double next_buffer =
+        std::max(0.0, buffer_s - download_s) + config_.chunk_duration_s;
+
+    double utility = static_cast<double>(rung) -
+                     config_.rebuffer_penalty * stalled_s -
+                     config_.switch_penalty *
+                         std::abs(static_cast<double>(rung) -
+                                  static_cast<double>(
+                                      prev_bitrate == 0 ? rung : prev_bitrate));
+    utility += plan_utility(ladder, throughput_kbps, next_buffer, rung,
+                            depth - 1, nullptr);
+    if (utility > best) {
+      best = utility;
+      best_rung = rung;
+    }
+  }
+  if (first_choice != nullptr) *first_choice = best_rung;
+  return best;
+}
+
+std::uint32_t MpcAbr::choose(const AbrContext& context,
+                             std::span<const std::uint32_t> ladder) {
+  if (ladder.empty()) throw std::invalid_argument("ABR: empty ladder");
+  if (context.smoothed_throughput_kbps <= 0.0) {
+    // No evidence yet: same cold start as the rate-based family.
+    if (context.known_bad_prefix) return ladder[0];
+    return ladder.size() >= 2 ? ladder[1] : ladder[0];
+  }
+  std::uint32_t first = ladder.front();
+  plan_utility(ladder, context.smoothed_throughput_kbps, context.buffer_s,
+               context.last_bitrate_kbps, config_.horizon, &first);
+  return first;
+}
+
+std::uint32_t HybridAbr::choose(const AbrContext& context,
+                                std::span<const std::uint32_t> ladder) {
+  const std::uint32_t by_rate = rate_.choose(context, ladder);
+  const std::uint32_t by_buffer = buffer_.choose(context, ladder);
+  // Deep buffer may raise quality above the rate pick — typically one rung,
+  // since the cap is 2.5x the rate estimate and rungs roughly double — and
+  // the result must stay on the ladder.
+  const std::uint32_t candidate = std::max(by_rate, by_buffer);
+  const double cap = static_cast<double>(by_rate) * 2.5;
+  if (static_cast<double>(candidate) <= cap) return candidate;
+  return std::max(by_rate, highest_not_above(ladder, cap));
+}
+
+std::unique_ptr<AbrAlgorithm> make_abr(AbrKind kind,
+                                       std::uint32_t fixed_bitrate_kbps) {
+  switch (kind) {
+    case AbrKind::kFixed:
+      return std::make_unique<FixedAbr>(
+          fixed_bitrate_kbps != 0 ? fixed_bitrate_kbps
+                                  : default_bitrate_ladder()[2]);
+    case AbrKind::kRateBased: return std::make_unique<RateBasedAbr>();
+    case AbrKind::kBufferBased: return std::make_unique<BufferBasedAbr>();
+    case AbrKind::kHybrid: return std::make_unique<HybridAbr>();
+    case AbrKind::kMpc: return std::make_unique<MpcAbr>();
+  }
+  throw std::invalid_argument("make_abr: unknown kind");
+}
+
+const char* to_string(AbrKind kind) {
+  switch (kind) {
+    case AbrKind::kFixed: return "fixed";
+    case AbrKind::kRateBased: return "rate-based";
+    case AbrKind::kBufferBased: return "buffer-based";
+    case AbrKind::kHybrid: return "hybrid";
+    case AbrKind::kMpc: return "mpc";
+  }
+  return "unknown";
+}
+
+}  // namespace vstream::client

@@ -1,0 +1,145 @@
+// Adaptive bitrate (ABR) algorithms.
+//
+// The paper's player runs a production ABR "tuned ... to balance between
+// low startup delay, low re-buffering rate, high quality and smoothness"
+// (§2).  We implement the algorithm families its related-work section
+// catalogues — rate-based [23, 32], buffer-based [20] and hybrid [37] —
+// plus a fixed-bitrate control, behind one interface.  §4.3's over/under-
+// shooting discussion is exercised by feeding rate-based ABR the
+// client-observed throughput (which DS anomalies corrupt).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vstream::client {
+
+/// The standard bitrate ladder used across the library (kbps).
+std::span<const std::uint32_t> default_bitrate_ladder();
+
+/// Everything an ABR may look at when picking the next chunk's bitrate.
+struct AbrContext {
+  std::uint32_t chunk_index = 0;
+  double buffer_s = 0.0;
+  double max_buffer_s = 30.0;
+  /// Client-observed throughput of the previous chunk (kbps); 0 before the
+  /// first sample.  NOTE: inflated by download-stack buffering (§4.3-1).
+  double last_throughput_kbps = 0.0;
+  /// EWMA of observed throughput (kbps); what rate-based ABRs smooth over.
+  double smoothed_throughput_kbps = 0.0;
+  std::uint32_t last_bitrate_kbps = 0;
+  /// A-priori knowledge that this client's /24 prefix has persistent
+  /// network problems (§4.2-1 take-away: "identify the IP prefixes with
+  /// known persistent problems and adjust the streaming algorithm
+  /// accordingly, for example, to start the streaming with a more
+  /// conservative initial bitrate").
+  bool known_bad_prefix = false;
+};
+
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+
+  /// Pick a bitrate from `ladder` (ascending kbps) for the next chunk.
+  virtual std::uint32_t choose(const AbrContext& context,
+                               std::span<const std::uint32_t> ladder) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Always requests the same rung (clamped to the ladder).
+class FixedAbr final : public AbrAlgorithm {
+ public:
+  explicit FixedAbr(std::uint32_t bitrate_kbps) : bitrate_(bitrate_kbps) {}
+  std::uint32_t choose(const AbrContext& context,
+                       std::span<const std::uint32_t> ladder) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::uint32_t bitrate_;
+};
+
+/// Rate-based: highest rung below safety * smoothed observed throughput,
+/// starting conservatively on the first chunk.
+class RateBasedAbr final : public AbrAlgorithm {
+ public:
+  explicit RateBasedAbr(double safety = 0.8) : safety_(safety) {}
+  std::uint32_t choose(const AbrContext& context,
+                       std::span<const std::uint32_t> ladder) override;
+  std::string name() const override { return "rate-based"; }
+
+ private:
+  double safety_;
+};
+
+/// Buffer-based (BBA-style): map the buffer level linearly onto the ladder
+/// between a reservoir and a cushion.
+class BufferBasedAbr final : public AbrAlgorithm {
+ public:
+  BufferBasedAbr(double reservoir_s = 5.0, double cushion_s = 30.0)
+      : reservoir_s_(reservoir_s), cushion_s_(cushion_s) {}
+  std::uint32_t choose(const AbrContext& context,
+                       std::span<const std::uint32_t> ladder) override;
+  std::string name() const override { return "buffer-based"; }
+
+ private:
+  double reservoir_s_;
+  double cushion_s_;
+};
+
+/// Model-predictive control (the control-theoretic approach of Yin et al.
+/// [37], simplified): exhaustively search bitrate plans over a short
+/// horizon, simulate the buffer dynamics each plan implies under the
+/// current throughput estimate, and pick the first step of the plan with
+/// the best QoE utility (bitrate reward − re-buffering penalty − switching
+/// penalty).
+class MpcAbr final : public AbrAlgorithm {
+ public:
+  struct Config {
+    std::size_t horizon = 3;           ///< chunks of lookahead
+    double chunk_duration_s = 6.0;
+    double rebuffer_penalty = 3'000.0; ///< utility loss per stalled second
+    double switch_penalty = 0.5;       ///< per kbps of bitrate change
+    double throughput_safety = 0.9;    ///< discount on the estimate
+  };
+
+  MpcAbr() = default;
+  explicit MpcAbr(Config config) : config_(config) {}
+  std::uint32_t choose(const AbrContext& context,
+                       std::span<const std::uint32_t> ladder) override;
+  std::string name() const override { return "mpc"; }
+
+ private:
+  /// Utility of one plan starting from `buffer_s` (recursive search).
+  double plan_utility(std::span<const std::uint32_t> ladder,
+                      double throughput_kbps, double buffer_s,
+                      std::uint32_t prev_bitrate, std::size_t depth,
+                      std::uint32_t* first_choice) const;
+
+  Config config_{};
+};
+
+/// Hybrid: rate-based ceiling, buffer-based floor — never pick a rung the
+/// throughput cannot sustain, but let a deep buffer reach higher than the
+/// rate alone would.
+class HybridAbr final : public AbrAlgorithm {
+ public:
+  std::uint32_t choose(const AbrContext& context,
+                       std::span<const std::uint32_t> ladder) override;
+  std::string name() const override { return "hybrid"; }
+
+ private:
+  RateBasedAbr rate_{0.9};
+  BufferBasedAbr buffer_{};
+};
+
+enum class AbrKind { kFixed, kRateBased, kBufferBased, kHybrid, kMpc };
+
+std::unique_ptr<AbrAlgorithm> make_abr(AbrKind kind,
+                                       std::uint32_t fixed_bitrate_kbps = 0);
+const char* to_string(AbrKind kind);
+
+}  // namespace vstream::client

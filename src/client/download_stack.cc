@@ -1,0 +1,78 @@
+#include "client/download_stack.h"
+
+namespace vstream::client {
+
+DownloadStackProfile profile_for(const UserAgent& ua) {
+  DownloadStackProfile p;
+
+  const bool safari_off_mac =
+      ua.browser == Browser::kSafari && ua.os != Os::kMacOs;
+  const bool unpopular = !is_popular(ua.browser);
+
+  if (safari_off_mac) {
+    // Table 5: Safari on Linux/Windows mean DS ~1.03-1.04 s.
+    p.extra_probability = 0.45;
+    p.extra_median_ms = 1'500.0;
+    p.extra_sigma = 0.8;
+    p.anomaly_probability = 0.010;
+    return p;
+  }
+  if (unpopular) {
+    // Yandex/SeaMonkey "have higher download stack latencies" (§4.3-2).
+    p.extra_probability = 0.30;
+    p.extra_median_ms = 600.0;
+    p.extra_sigma = 0.9;
+    p.anomaly_probability = 0.006;
+    return p;
+  }
+
+  switch (ua.browser) {
+    case Browser::kChrome:
+      // In-process (PPAPI) Flash: the most efficient data path.
+      p.extra_probability = 0.10;
+      p.extra_median_ms = 90.0;
+      break;
+    case Browser::kFirefox:
+      // Out-of-process "protected mode" Flash: Table 5 mean ~283 ms
+      // (Windows) / ~275 ms (Mac) among non-zero-DS chunks.
+      p.extra_probability = 0.16;
+      p.extra_median_ms = 170.0;
+      break;
+    case Browser::kInternetExplorer:
+    case Browser::kEdge:
+      p.extra_probability = 0.15;
+      p.extra_median_ms = 150.0;
+      break;
+    case Browser::kSafari:  // on a Mac: native HLS, no Flash hop
+      p.extra_probability = 0.08;
+      p.extra_median_ms = 80.0;
+      break;
+    default:
+      break;  // unreachable; unpopular handled above
+  }
+  return p;
+}
+
+DownloadStackSample DownloadStack::sample(std::uint32_t chunk_index,
+                                          sim::Rng& rng) const {
+  DownloadStackSample s;
+  s.ds_ms = rng.lognormal_median(profile_.base_median_ms, profile_.base_sigma);
+
+  if (rng.bernoulli(profile_.extra_probability)) {
+    s.ds_ms +=
+        rng.lognormal_median(profile_.extra_median_ms, profile_.extra_sigma);
+  }
+  if (chunk_index == 0) {
+    // Progress-event registration / data-path setup (Fig. 18).
+    s.ds_ms += rng.lognormal_median(profile_.first_chunk_median_ms,
+                                    profile_.first_chunk_sigma);
+  }
+  if (rng.bernoulli(profile_.anomaly_probability)) {
+    s.buffered_anomaly = true;
+    s.hold_ms = rng.lognormal_median(profile_.anomaly_hold_median_ms,
+                                     profile_.anomaly_hold_sigma);
+  }
+  return s;
+}
+
+}  // namespace vstream::client

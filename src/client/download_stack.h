@@ -1,0 +1,76 @@
+// Client download-stack model (OS -> browser -> Flash runtime -> player).
+//
+// §4.3: bytes traversing the client stack can be delayed by buffered
+// delivery.  Three observable behaviours are modelled:
+//
+//   1. transient buffered delivery ("DS anomaly"): a chunk's bytes are held
+//      in the stack and delivered at once, inflating D_FB while the bytes
+//      already sit at the client — so D_LB collapses and the instantaneous
+//      throughput spikes (Fig. 17; detected by Eq. 4; 0.32% of chunks),
+//   2. persistent per-platform latency: some (OS, browser) pairs add large
+//      DS latency on many chunks (Table 5: Safari on Windows ~1 s mean),
+//   3. a first-chunk penalty: progress-event listener/data-path setup adds
+//      latency to the first chunk of a session (Fig. 18; median D_FB
+//      ~300 ms higher).
+#pragma once
+
+#include "client/user_agent.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace vstream::client {
+
+/// Per-platform download-stack behaviour.
+struct DownloadStackProfile {
+  /// Baseline per-chunk stack latency (always present): the Flash
+  /// progress-event delivery hop costs tens of milliseconds per chunk.
+  sim::Ms base_median_ms = 45.0;
+  double base_sigma = 0.6;
+
+  /// Probability a chunk incurs an *extra* stack delay, and its size.
+  /// The paper finds 17.6% of chunks have non-zero DS latency overall.
+  double extra_probability = 0.15;
+  sim::Ms extra_median_ms = 120.0;
+  double extra_sigma = 0.9;
+
+  /// Transient buffered-delivery anomaly (Eq. 4 target): bytes held for
+  /// hold_median_ms then delivered at once.
+  double anomaly_probability = 0.003;
+  sim::Ms anomaly_hold_median_ms = 1'200.0;
+  double anomaly_hold_sigma = 0.5;
+
+  /// First-chunk data-path setup cost (progress-event registration).
+  sim::Ms first_chunk_median_ms = 300.0;
+  double first_chunk_sigma = 0.6;
+};
+
+/// Profile for a platform, following Table 5's ordering: Safari off-Mac is
+/// pathological; unpopular Windows browsers are bad; mainstream pairs are
+/// mild.
+DownloadStackProfile profile_for(const UserAgent& ua);
+
+/// What the stack did to one chunk.
+struct DownloadStackSample {
+  /// Stack latency added to D_FB (beyond network/server), excluding holds.
+  sim::Ms ds_ms = 0.0;
+  /// If true, the stack held the whole chunk and released it at once:
+  /// D_FB additionally grows by hold_ms and the player-observed D_LB
+  /// collapses to near zero (instantaneous delivery).
+  bool buffered_anomaly = false;
+  sim::Ms hold_ms = 0.0;
+};
+
+class DownloadStack {
+ public:
+  explicit DownloadStack(DownloadStackProfile profile) : profile_(profile) {}
+  DownloadStack(const UserAgent& ua) : profile_(profile_for(ua)) {}
+
+  DownloadStackSample sample(std::uint32_t chunk_index, sim::Rng& rng) const;
+
+  const DownloadStackProfile& profile() const { return profile_; }
+
+ private:
+  DownloadStackProfile profile_;
+};
+
+}  // namespace vstream::client

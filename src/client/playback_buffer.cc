@@ -1,0 +1,51 @@
+#include "client/playback_buffer.h"
+
+#include <algorithm>
+
+namespace vstream::client {
+
+DrainResult PlaybackBuffer::advance(sim::Ms wall_ms) {
+  DrainResult result;
+  if (wall_ms <= 0.0) return result;
+
+  sim::Ms remaining = wall_ms;
+  if (playing_) {
+    const sim::Ms playable_ms = sim::seconds(level_s_);
+    if (playable_ms > remaining) {
+      level_s_ -= sim::to_seconds(remaining);
+      remaining = 0.0;
+    } else {
+      // Buffer ran dry mid-interval: play out what we had, then stall.
+      level_s_ = 0.0;
+      remaining -= playable_ms;
+      playing_ = false;
+      ++result.stall_events;
+    }
+  }
+  if (!playing_ && remaining > 0.0) {
+    // Stalled (after startup) or still waiting for startup.  Only stalls
+    // after playback began count as re-buffering.
+    if (started_) result.stalled_ms += remaining;
+  }
+  clock_ms_ += wall_ms;
+  return result;
+}
+
+void PlaybackBuffer::add_chunk(double seconds) {
+  level_s_ += std::max(0.0, seconds);
+  const double threshold =
+      started_ ? config_.resume_threshold_s : config_.startup_threshold_s;
+  if (!playing_ && level_s_ >= threshold) {
+    playing_ = true;
+    if (!started_) {
+      started_ = true;
+      startup_ms_ = clock_ms_;
+    }
+  }
+}
+
+double PlaybackBuffer::headroom_s() const {
+  return std::max(0.0, config_.max_buffer_s - level_s_);
+}
+
+}  // namespace vstream::client

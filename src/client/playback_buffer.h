@@ -1,0 +1,66 @@
+// Playback buffer and QoE accounting.
+//
+// The player fills the buffer as chunks arrive and drains it in real time
+// once playback starts.  Startup delay, re-buffering event counts and
+// re-buffering durations (the QoE metrics prior work ties to engagement,
+// §4) fall out of this bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace vstream::client {
+
+struct PlaybackBufferConfig {
+  /// Seconds of video required before playback starts (startup threshold)
+  /// and before it resumes after a stall.
+  double startup_threshold_s = 2.0;
+  double resume_threshold_s = 2.0;
+  /// Target ceiling: the player stops requesting ahead of this level
+  /// (the paper's case study shows buffers building to ~30 s, §4.2-3).
+  double max_buffer_s = 30.0;
+};
+
+/// What happened at the player between two instants.
+struct DrainResult {
+  sim::Ms stalled_ms = 0.0;       ///< wall time spent stalled (rebuffering)
+  std::uint32_t stall_events = 0; ///< number of *new* stalls entered
+};
+
+class PlaybackBuffer {
+ public:
+  explicit PlaybackBuffer(PlaybackBufferConfig config) : config_(config) {}
+  PlaybackBuffer() : PlaybackBuffer(PlaybackBufferConfig{}) {}
+
+  /// Advance wall time by `wall_ms` with no data arriving; drains the
+  /// buffer if playing, accumulates stall time if not.
+  DrainResult advance(sim::Ms wall_ms);
+
+  /// A whole chunk of `seconds` of video arrived (chunks become playable
+  /// when complete; sub-chunk delivery is not visible to Flash players,
+  /// §2.1).
+  void add_chunk(double seconds);
+
+  double level_s() const { return level_s_; }
+  bool playing() const { return playing_; }
+  bool started() const { return started_; }
+  /// Wall time of playback start (startup delay), set on first play.
+  sim::Ms startup_ms() const { return startup_ms_; }
+
+  /// Seconds of video the player may still request without exceeding the
+  /// buffer ceiling; callers pause requesting when this hits zero.
+  double headroom_s() const;
+
+  const PlaybackBufferConfig& config() const { return config_; }
+
+ private:
+  PlaybackBufferConfig config_;
+  double level_s_ = 0.0;
+  bool playing_ = false;
+  bool started_ = false;
+  sim::Ms clock_ms_ = 0.0;
+  sim::Ms startup_ms_ = 0.0;
+};
+
+}  // namespace vstream::client

@@ -1,0 +1,92 @@
+#include "client/rendering.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vstream::client {
+
+double rendering_efficiency(const UserAgent& ua) {
+  // Fig. 21/22: in-process Flash (Chrome) and native HLS (Safari on Mac)
+  // lead; out-of-process Flash (Firefox protected mode) trails; Safari off
+  // Mac and the unpopular tail (Yandex, Vivaldi, Opera, SeaMonkey) do worst.
+  if (ua.browser == Browser::kSafari && ua.os == Os::kMacOs) return 1.0;
+  if (ua.browser == Browser::kSafari) return 0.35;
+  switch (ua.browser) {
+    case Browser::kChrome: return 0.95;
+    case Browser::kEdge: return 0.85;
+    case Browser::kInternetExplorer: return 0.80;
+    case Browser::kFirefox: return 0.75;
+    case Browser::kOpera: return 0.45;
+    case Browser::kVivaldi: return 0.40;
+    case Browser::kYandex: return 0.35;
+    case Browser::kSeaMonkey: return 0.40;
+    default: return 0.5;
+  }
+}
+
+RenderResult RenderingPath::render_chunk(double chunk_duration_s,
+                                         std::uint32_t bitrate_kbps,
+                                         double download_rate,
+                                         double buffered_s,
+                                         sim::Rng& rng) const {
+  RenderResult result;
+  result.total_frames = static_cast<std::uint32_t>(
+      std::lround(chunk_duration_s * config_.encoded_fps));
+  if (result.total_frames == 0) return result;
+
+  double drop_fraction = 0.0;
+
+  if (!config_.visible) {
+    // Hidden tab / minimized window: frames dropped on purpose (§2.1).
+    drop_fraction = rng.uniform(0.6, 0.95);
+  } else if (config_.gpu) {
+    // Hardware rendering: near-zero drops regardless of CPU load (Fig. 20,
+    // first bar).
+    drop_fraction = std::max(0.0, rng.normal(0.002, 0.002));
+  } else {
+    // --- arrival-limited term (Fig. 19) ---
+    // Below 1 s/s the decoder starves outright; between 1 and 1.5 s/s there
+    // is not enough slack for demux+decode; past 1.5 s/s arrival no longer
+    // matters.  A full buffer hides slow arrival.
+    double arrival_term = 0.0;
+    if (download_rate < 1.5) {
+      arrival_term = std::min(1.0, (1.5 - download_rate) / 1.5) * 0.55;
+      // A deep buffer hides slow arrival, but only partially: demux/decode
+      // still runs behind when frames trickle in (§4.4-1's 5.7% of chunks
+      // are the lucky sheltered ones, not the rule).
+      const double shelter = std::min(1.0, buffered_s / 20.0);
+      arrival_term *= (1.0 - 0.6 * shelter);
+    }
+
+    // --- CPU-limited term (Fig. 20) ---
+    // Decode work scales with bitrate; capacity with idle CPU and the
+    // browser's path efficiency.  The OS scheduler still grants the
+    // renderer a share on a loaded machine, so capacity floors well above
+    // zero — the paper's controlled experiment tops out near ~10% drops
+    // even with every core busy.
+    const double demand =
+        (static_cast<double>(bitrate_kbps) / 3000.0) * (0.20 / efficiency_);
+    const double capacity = std::max(0.12, 1.0 - 0.85 * config_.cpu_load);
+    double cpu_term = 0.0;
+    if (demand > capacity) {
+      cpu_term = std::min(1.0, (demand - capacity) / demand);
+    }
+    // Render-path overhead (jank, event-loop stalls) independent of CPU
+    // load: negligible for efficient browsers, dominant for the unpopular
+    // tail (Fig. 22's 15-40%).
+    const double base = 0.01 / efficiency_ +
+                        0.35 * (1.0 - efficiency_) * (1.0 - efficiency_);
+
+    drop_fraction = std::clamp(
+        base + arrival_term + cpu_term + rng.normal(0.0, 0.01), 0.0, 1.0);
+  }
+
+  result.dropped_frames = static_cast<std::uint32_t>(
+      std::lround(drop_fraction * result.total_frames));
+  result.dropped_frames = std::min(result.dropped_frames, result.total_frames);
+  result.avg_fps = config_.encoded_fps *
+                   (1.0 - result.dropped_fraction());
+  return result;
+}
+
+}  // namespace vstream::client

@@ -1,0 +1,63 @@
+// Client rendering path: demux -> decode -> render.
+//
+// §4.4: without GPU offload the CPU decodes and renders; frames are dropped
+// when (a) data arrives too slowly — a chunk download rate of at least
+// 1.5 seconds of video per second of wall time is needed for clean playback
+// (Fig. 19), (b) the CPU is loaded (Fig. 20), or (c) the browser's rendering
+// path is inefficient (Figs. 21-22).  Hidden/minimized players deliberately
+// drop frames to save CPU.
+#pragma once
+
+#include <cstdint>
+
+#include "client/user_agent.h"
+#include "sim/rng.h"
+
+namespace vstream::client {
+
+struct RenderConfig {
+  bool gpu = false;          ///< hardware rendering available and used
+  double cpu_load = 0.0;     ///< background CPU utilization in [0, 1]
+  bool visible = true;       ///< player tab visible (vis of Table 2)
+  double encoded_fps = 30.0;
+};
+
+/// Relative software-decode efficiency of the browser's rendering path in
+/// (0, 1]; 1.0 = best in class.
+double rendering_efficiency(const UserAgent& ua);
+
+/// Outcome of rendering one chunk.
+struct RenderResult {
+  std::uint32_t total_frames = 0;
+  std::uint32_t dropped_frames = 0;
+  double avg_fps = 0.0;
+
+  double dropped_fraction() const {
+    return total_frames == 0
+               ? 0.0
+               : static_cast<double>(dropped_frames) / total_frames;
+  }
+};
+
+class RenderingPath {
+ public:
+  RenderingPath(RenderConfig config, const UserAgent& ua)
+      : config_(config), efficiency_(rendering_efficiency(ua)) {}
+
+  /// Render one chunk of `chunk_duration_s` seconds encoded at
+  /// `bitrate_kbps`, downloaded at `download_rate` seconds-of-video per
+  /// second (tau / (D_FB + D_LB)); `buffered_s` is the playback buffer
+  /// level, which can hide slow arrival (§4.4-1).
+  RenderResult render_chunk(double chunk_duration_s, std::uint32_t bitrate_kbps,
+                            double download_rate, double buffered_s,
+                            sim::Rng& rng) const;
+
+  const RenderConfig& config() const { return config_; }
+  double efficiency() const { return efficiency_; }
+
+ private:
+  RenderConfig config_;
+  double efficiency_;
+};
+
+}  // namespace vstream::client

@@ -1,0 +1,50 @@
+#include "client/user_agent.h"
+
+namespace vstream::client {
+
+const char* to_string(Os os) {
+  switch (os) {
+    case Os::kWindows: return "Windows";
+    case Os::kMacOs: return "Mac";
+    case Os::kLinux: return "Linux";
+  }
+  return "unknown";
+}
+
+const char* to_string(Browser browser) {
+  switch (browser) {
+    case Browser::kChrome: return "Chrome";
+    case Browser::kFirefox: return "Firefox";
+    case Browser::kInternetExplorer: return "IE";
+    case Browser::kEdge: return "Edge";
+    case Browser::kSafari: return "Safari";
+    case Browser::kOpera: return "Opera";
+    case Browser::kYandex: return "Yandex";
+    case Browser::kVivaldi: return "Vivaldi";
+    case Browser::kSeaMonkey: return "SeaMonkey";
+  }
+  return "unknown";
+}
+
+bool is_popular(Browser browser) {
+  switch (browser) {
+    case Browser::kChrome:
+    case Browser::kFirefox:
+    case Browser::kInternetExplorer:
+    case Browser::kEdge:
+    case Browser::kSafari:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string browser_label(Browser browser) {
+  return is_popular(browser) ? to_string(browser) : "Other";
+}
+
+std::string user_agent_string(const UserAgent& ua) {
+  return std::string(to_string(ua.browser)) + "/" + to_string(ua.os);
+}
+
+}  // namespace vstream::client

@@ -1,0 +1,52 @@
+// Client platform identity: operating system, browser and rendering
+// capabilities.
+//
+// §3 of the paper gives the population mix (43% Chrome, 37% Firefox, 13%
+// IE, 6% Safari, ~2% other; 88.5% Windows, 9.38% OS X) and §4.3/§4.4 tie
+// download-stack latency and rendering quality to the (OS, browser) pair:
+// browsers with in-process Flash (Chrome) or native HLS (Safari on OS X)
+// outperform out-of-process setups; unpopular browsers (Yandex, Vivaldi,
+// Opera, SeaMonkey) and Safari-on-Windows do worst.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vstream::client {
+
+enum class Os : std::uint8_t { kWindows, kMacOs, kLinux };
+
+enum class Browser : std::uint8_t {
+  kChrome,
+  kFirefox,
+  kInternetExplorer,
+  kEdge,
+  kSafari,
+  kOpera,
+  kYandex,
+  kVivaldi,
+  kSeaMonkey,
+};
+
+const char* to_string(Os os);
+const char* to_string(Browser browser);
+
+struct UserAgent {
+  Os os = Os::kWindows;
+  Browser browser = Browser::kChrome;
+
+  friend bool operator==(const UserAgent&, const UserAgent&) = default;
+};
+
+/// "Other" = the long tail the paper groups together (~2% of sessions).
+bool is_popular(Browser browser);
+
+/// Mainstream label used by the Fig. 21/22 benches, e.g. "Chrome" or
+/// "Other"; platform given separately.
+std::string browser_label(Browser browser);
+
+/// User-agent header string (used by the proxy filter, which compares the
+/// UA seen in HTTP requests against the one in client-side beacons).
+std::string user_agent_string(const UserAgent& ua);
+
+}  // namespace vstream::client

@@ -1,0 +1,125 @@
+// The end-to-end measurement pipeline — the paper's primary contribution,
+// as a library.
+//
+// Pipeline wires every subsystem together per session: the workload
+// generator picks a viewer, video and platform; traffic engineering routes
+// the session to a PoP/server; each chunk then flows ABR -> HTTP GET ->
+// ATS server (cache hierarchy, retry timer, backend) -> TCP transfer over
+// the client's path -> download stack -> playback buffer -> rendering
+// path.  Both sides log independently (telemetry::Collector), with
+// tcp_info sampled every 500 ms, and the join happens offline
+// (telemetry::JoinedDataset), exactly mirroring §2 of the paper.
+//
+// The pipeline also keeps *ground truth* (which chunks were DS-buffered,
+// which sessions sat behind proxies) so tests can score the paper's
+// detectors — something the paper itself could not do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cdn/fleet.h"
+#include "client/download_stack.h"
+#include "sim/event_queue.h"
+#include "telemetry/collector.h"
+#include "workload/scenario.h"
+
+namespace vstream::core {
+
+/// Simulator ground truth for validation (never fed to analyses).
+struct GroundTruth {
+  /// session -> chunk ids whose bytes were held by the download stack.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> ds_anomalies;
+  /// sessions that really sat behind a proxy.
+  std::unordered_map<std::uint64_t, bool> proxied;
+  std::uint64_t total_chunks = 0;
+  std::uint64_t total_ds_anomalies = 0;
+  /// Sessions cut short because a stall drove the viewer away (only with
+  /// scenario.stall_abandonment_probability > 0).
+  std::uint64_t stall_abandonments = 0;
+};
+
+/// Per-session knobs for scripted experiments (case studies, ablations).
+struct SessionOverrides {
+  std::optional<client::DownloadStackProfile> ds_profile;
+  /// Per-chunk random-loss override (index = chunk id; missing entries keep
+  /// the path default).  Drives the Fig. 13 loss-timing case study.
+  std::vector<std::optional<double>> per_chunk_loss;
+  std::optional<client::AbrKind> abr;
+  std::optional<std::uint32_t> fixed_bitrate_kbps;
+  /// Exact number of chunks to stream (clamped to the video's length).
+  std::optional<std::uint32_t> chunk_count;
+  std::optional<bool> gpu;
+  std::optional<double> cpu_load;
+  std::optional<double> bottleneck_kbps;
+  std::optional<bool> disable_ds_anomalies;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(workload::Scenario scenario);
+
+  /// Pre-populate server caches in popularity order, emulating servers
+  /// that have been running for weeks (the paper measures steady state:
+  /// ~2% session-chunk miss rate).  `disk_fill` is the fraction of disk
+  /// capacity to fill.  `universal_head` additionally pins the first few
+  /// chunks of *every* video — the §4.3-3 take-away ("cache the first
+  /// chunk of every video ... to reduce the startup delay").
+  void warm_caches(double disk_fill = 0.92, bool universal_head = false);
+
+  /// Run all scenario.session_count sessions, event-driven: sessions
+  /// overlap in simulated time exactly as their chunk requests would hit
+  /// the servers, so cache recency, server load and the per-server request
+  /// interleaving evolve in true timestamp order.
+  void run();
+
+  /// Run one extra session with scripted overrides; returns its session id.
+  std::uint64_t run_session(const SessionOverrides& overrides);
+
+  /// Mark /24 prefixes as having known persistent network problems; ABRs
+  /// of later sessions from these prefixes receive the a-priori hint
+  /// (§4.2-1 take-away).  Typically fed from a previous measurement
+  /// round's analysis::persistent_tail_prefixes().
+  void set_bad_prefixes(std::unordered_set<net::Prefix24> prefixes) {
+    bad_prefixes_ = std::move(prefixes);
+  }
+
+  const workload::Scenario& scenario() const { return scenario_; }
+  const workload::VideoCatalog& catalog() const { return *catalog_; }
+  const workload::Population& population() const { return *population_; }
+  cdn::Fleet& fleet() { return *fleet_; }
+  const cdn::Fleet& fleet() const { return *fleet_; }
+  const telemetry::Dataset& dataset() const { return collector_.data(); }
+  /// Move the collected dataset out (invalidates dataset()).
+  telemetry::Dataset take_dataset() { return collector_.take(); }
+  const GroundTruth& ground_truth() const { return ground_truth_; }
+
+ private:
+  /// Per-session state machine; steps one chunk at a time so run() can
+  /// interleave sessions through the event queue (defined in pipeline.cc).
+  class SessionRuntime;
+
+  void step_event(SessionRuntime* runtime);
+
+  workload::Scenario scenario_;
+  sim::Rng rng_;
+  std::unique_ptr<workload::VideoCatalog> catalog_;
+  std::unique_ptr<workload::Population> population_;
+  std::unique_ptr<workload::SessionGenerator> generator_;
+  std::unique_ptr<cdn::Fleet> fleet_;
+  sim::EventQueue queue_;
+  telemetry::Collector collector_;
+  GroundTruth ground_truth_;
+  std::unordered_set<net::Prefix24> bad_prefixes_;
+  double extra_session_clock_ms_ = 0.0;
+};
+
+/// Convenience: build, warm, run, and return the raw dataset for a
+/// scenario (the common bench preamble).
+telemetry::Dataset run_scenario(const workload::Scenario& scenario);
+
+}  // namespace vstream::core

@@ -1,0 +1,107 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace vstream::core {
+
+namespace {
+
+/// Open <VSTREAM_SERIES_DIR>/<name>.dat for writing; null stream when the
+/// feature is disabled or the directory cannot be created.
+std::ofstream open_series_file(const std::string& name) {
+  const std::string dir = series_export_dir();
+  if (dir.empty()) return {};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  return std::ofstream(std::filesystem::path(dir) / (name + ".dat"));
+}
+
+}  // namespace
+
+std::string series_export_dir() {
+  const char* dir = std::getenv("VSTREAM_SERIES_DIR");
+  return dir != nullptr ? dir : "";
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void print_cdf(const std::string& name,
+               std::span<const analysis::CdfPoint> points) {
+  std::ofstream dat = open_series_file(name);
+  if (dat) dat << "# x p\n";
+  for (const analysis::CdfPoint& p : points) {
+    std::printf("series %s: x=%.4f p=%.4f\n", name.c_str(), p.x, p.p);
+    if (dat) dat << p.x << ' ' << p.p << '\n';
+  }
+}
+
+void print_bins(const std::string& name,
+                std::span<const analysis::Bin> bins) {
+  std::ofstream dat = open_series_file(name);
+  if (dat) dat << "# x n mean median p25 p75 p95\n";
+  for (const analysis::Bin& b : bins) {
+    std::printf(
+        "bins %s: x=%.2f n=%zu mean=%.3f median=%.3f p25=%.3f p75=%.3f\n",
+        name.c_str(), b.center, b.stats.n, b.stats.mean, b.stats.median,
+        b.stats.p25, b.stats.p75);
+    if (dat) {
+      dat << b.center << ' ' << b.stats.n << ' ' << b.stats.mean << ' '
+          << b.stats.median << ' ' << b.stats.p25 << ' ' << b.stats.p75 << ' '
+          << b.stats.p95 << '\n';
+    }
+  }
+}
+
+void print_metric(const std::string& name, double value) {
+  std::printf("metric %s = %.4f\n", name.c_str(), value);
+}
+
+void print_metric(const std::string& name, const std::string& value) {
+  std::printf("metric %s = %s\n", name.c_str(), value.c_str());
+}
+
+void print_paper_reference(const std::string& claim) {
+  std::printf("PAPER: %s\n", claim.c_str());
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace vstream::core

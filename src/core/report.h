@@ -1,0 +1,54 @@
+// Plain-text reporting helpers shared by the bench binaries: every bench
+// prints the series/rows of one paper figure or table in a uniform,
+// greppable format, plus a PAPER: reference line for EXPERIMENTS.md.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace vstream::core {
+
+/// Section banner: "== Figure 5: CDN latency breakdown ==".
+void print_header(const std::string& title);
+
+/// One "series <name>: x=<x> y=<y>" line per point.
+void print_cdf(const std::string& name,
+               std::span<const analysis::CdfPoint> points);
+
+/// Binned series with mean/median/IQR per bin (the bar+errorbar figures).
+void print_bins(const std::string& name,
+                std::span<const analysis::Bin> bins);
+
+/// "metric <name> = <value>" line.
+void print_metric(const std::string& name, double value);
+void print_metric(const std::string& name, const std::string& value);
+
+/// "PAPER: <claim>" reference line (what the paper reports, for
+/// paper-vs-measured comparison in EXPERIMENTS.md).
+void print_paper_reference(const std::string& claim);
+
+/// Simple fixed-width table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed decimals.
+std::string fmt(double value, int decimals = 2);
+
+/// When the environment variable VSTREAM_SERIES_DIR is set, print_cdf and
+/// print_bins additionally write gnuplot-ready two/seven-column .dat files
+/// (<dir>/<name>.dat) so the regenerated figures can be plotted directly.
+/// Returns the active directory, or an empty string when disabled.
+std::string series_export_dir();
+
+}  // namespace vstream::core

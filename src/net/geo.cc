@@ -1,0 +1,95 @@
+#include "net/geo.h"
+
+#include <array>
+#include <cmath>
+
+namespace vstream::net {
+
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+
+double deg2rad(double deg) { return deg * kPi / 180.0; }
+
+// A representative set of US metros (population centres + typical CDN PoP
+// locations) and international cities.  Coordinates are approximate city
+// centres; the analyses only care about distances at 100 km granularity.
+const std::array<City, 30> kUsCities = {{
+    {"New York", "US", {40.71, -74.01}},
+    {"Los Angeles", "US", {34.05, -118.24}},
+    {"Chicago", "US", {41.88, -87.63}},
+    {"Houston", "US", {29.76, -95.37}},
+    {"Phoenix", "US", {33.45, -112.07}},
+    {"Philadelphia", "US", {39.95, -75.17}},
+    {"San Antonio", "US", {29.42, -98.49}},
+    {"San Diego", "US", {32.72, -117.16}},
+    {"Dallas", "US", {32.78, -96.80}},
+    {"San Jose", "US", {37.34, -121.89}},
+    {"Austin", "US", {30.27, -97.74}},
+    {"Seattle", "US", {47.61, -122.33}},
+    {"Denver", "US", {39.74, -104.99}},
+    {"Washington DC", "US", {38.91, -77.04}},
+    {"Boston", "US", {42.36, -71.06}},
+    {"Atlanta", "US", {33.75, -84.39}},
+    {"Miami", "US", {25.76, -80.19}},
+    {"Minneapolis", "US", {44.98, -93.27}},
+    {"Detroit", "US", {42.33, -83.05}},
+    {"Portland", "US", {45.52, -122.68}},
+    {"Salt Lake City", "US", {40.76, -111.89}},
+    {"St. Louis", "US", {38.63, -90.20}},
+    {"Kansas City", "US", {39.10, -94.58}},
+    {"Charlotte", "US", {35.23, -80.84}},
+    {"Nashville", "US", {36.16, -86.78}},
+    {"Pittsburgh", "US", {40.44, -80.00}},
+    {"Cleveland", "US", {41.50, -81.69}},
+    {"Tampa", "US", {27.95, -82.46}},
+    {"Sacramento", "US", {38.58, -121.49}},
+    {"Raleigh", "US", {35.78, -78.64}},
+}};
+
+const std::array<City, 20> kWorldCities = {{
+    {"London", "GB", {51.51, -0.13}},
+    {"Frankfurt", "DE", {50.11, 8.68}},
+    {"Paris", "FR", {48.86, 2.35}},
+    {"Amsterdam", "NL", {52.37, 4.90}},
+    {"Madrid", "ES", {40.42, -3.70}},
+    {"Rome", "IT", {41.90, 12.50}},
+    {"Stockholm", "SE", {59.33, 18.07}},
+    {"Warsaw", "PL", {52.23, 21.01}},
+    {"Tokyo", "JP", {35.68, 139.69}},
+    {"Seoul", "KR", {37.57, 126.98}},
+    {"Singapore", "SG", {1.35, 103.82}},
+    {"Sydney", "AU", {-33.87, 151.21}},
+    {"Mumbai", "IN", {19.08, 72.88}},
+    {"Sao Paulo", "BR", {-23.55, -46.63}},
+    {"Buenos Aires", "AR", {-34.60, -58.38}},
+    {"Mexico City", "MX", {19.43, -99.13}},
+    {"Toronto", "CA", {43.65, -79.38}},
+    {"Vancouver", "CA", {49.28, -123.12}},
+    {"Johannesburg", "ZA", {-26.20, 28.05}},
+    {"Tel Aviv", "IL", {32.09, 34.78}},
+}};
+
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_rtt_ms(double distance_km) {
+  return distance_km / 100.0;  // ~1 ms RTT per 100 km great-circle
+}
+
+std::span<const City> us_cities() { return kUsCities; }
+
+std::span<const City> world_cities() { return kWorldCities; }
+
+}  // namespace vstream::net

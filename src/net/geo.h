@@ -1,0 +1,41 @@
+// Geography substrate: coordinates, great-circle distance and a small city
+// table used to place CDN PoPs and client populations.
+//
+// The paper (§4.2-1) aggregates tail-latency prefixes by geographic distance
+// from the CDN servers (Fig. 9); we reproduce that analysis with a synthetic
+// but structurally faithful client geography (93% US clients, the rest
+// international, matching §3).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace vstream::net {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance between two points, in kilometres.
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Rough one-way propagation delay over fibre for a great-circle distance.
+/// Fibre paths are not straight lines; the customary rule of thumb is
+/// ~1 ms of RTT per 100 km of great-circle distance, which folds in the
+/// refractive index of glass and route stretch.
+double propagation_rtt_ms(double distance_km);
+
+struct City {
+  std::string name;
+  std::string country;  // ISO-like short code, "US", "DE", ...
+  GeoPoint location;
+};
+
+/// US metro areas used for clients and PoPs.
+std::span<const City> us_cities();
+
+/// Non-US cities used for the international client slice.
+std::span<const City> world_cities();
+
+}  // namespace vstream::net

@@ -1,0 +1,233 @@
+#include "net/packet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace vstream::net {
+
+namespace {
+
+/// Whole simulation state, driven by the event queue.
+struct Flow {
+  explicit Flow(std::uint32_t packet_count, const PacketSimConfig& config)
+      : config(config),
+        total(packet_count),
+        retx_epoch(packet_count, 0),
+        received(packet_count, false),
+        transmitted_once(packet_count, false) {}
+
+  const PacketSimConfig& config;
+  sim::EventQueue queue;
+
+  // Sender state.
+  std::uint32_t total;
+  double cwnd = 0.0;
+  std::uint32_t ssthresh = 0;
+  std::uint32_t next_to_send = 0;  ///< lowest never-transmitted id
+  std::uint32_t cum_ack = 0;       ///< first unacked id at the sender
+  std::uint32_t dupacks = 0;
+  bool in_recovery = false;
+  std::uint32_t recover_point = 0;
+  sim::Ms last_progress_ms = 0.0;
+  // SACK-style recovery: the receiver's `received` array doubles as the
+  // SACK scoreboard (the information real SACK blocks would carry); during
+  // recovery each incoming ACK clocks out the next un-retransmitted hole.
+  std::uint32_t recovery_epoch = 0;
+  std::uint32_t next_hole_scan = 0;
+  std::vector<std::uint32_t> retx_epoch;
+
+  // Receiver state.
+  std::vector<bool> received;
+  std::uint32_t next_expected = 0;
+
+  // Bottleneck link (data direction).
+  sim::Ms link_free_at_ms = 0.0;
+
+  // Accounting.
+  std::vector<bool> transmitted_once;
+  PacketSimResult result;
+  bool done = false;
+
+  sim::Ms serialize_ms() const {
+    return static_cast<double>(config.mss_bytes) * 8.0 /
+           config.bottleneck_kbps;
+  }
+
+  std::uint32_t inflight() const {
+    return next_to_send > cum_ack ? next_to_send - cum_ack : 0;
+  }
+
+  void transmit(std::uint32_t id);
+  void send_available();
+  void retransmit_next_hole();
+  void on_data_at_receiver(std::uint32_t id);
+  void on_ack_at_sender(std::uint32_t ack_no);
+  void arm_rto();
+  void on_rto_check(sim::Ms armed_for_progress_at);
+  void grow_on_ack(std::uint32_t newly_acked);
+};
+
+void Flow::transmit(std::uint32_t id) {
+  if (done || id >= total) return;
+  if (transmitted_once[id]) {
+    ++result.retransmissions;
+  } else {
+    transmitted_once[id] = true;
+  }
+
+  // Drop-tail bottleneck: a packet that would wait longer than the buffer
+  // depth is dropped on arrival.
+  const sim::Ms now = queue.now();
+  const sim::Ms start = std::max(now, link_free_at_ms);
+  if (start - now > config.max_queue_ms) {
+    return;  // lost; recovery via dupacks or RTO
+  }
+  link_free_at_ms = start + serialize_ms();
+  const sim::Ms deliver_at = link_free_at_ms + config.one_way_prop_ms;
+  queue.schedule_at(deliver_at, [this, id] { on_data_at_receiver(id); });
+}
+
+void Flow::send_available() {
+  const auto window = static_cast<std::uint32_t>(
+      std::min<double>(std::floor(cwnd), config.max_cwnd));
+  while (!done && next_to_send < total && inflight() < window) {
+    transmit(next_to_send++);
+  }
+  result.max_cwnd_seen =
+      std::max(result.max_cwnd_seen, static_cast<std::uint32_t>(cwnd));
+}
+
+void Flow::retransmit_next_hole() {
+  std::uint32_t id = std::max(next_hole_scan, cum_ack);
+  while (id < recover_point) {
+    if (!received[id] && retx_epoch[id] != recovery_epoch) {
+      retx_epoch[id] = recovery_epoch;
+      next_hole_scan = id + 1;
+      transmit(id);
+      return;
+    }
+    ++id;
+  }
+  next_hole_scan = id;
+}
+
+void Flow::on_data_at_receiver(std::uint32_t id) {
+  if (done) return;
+  const sim::Ms now = queue.now();
+  if (id == 0 && result.first_byte_ms == 0.0) result.first_byte_ms = now;
+  if (!received[id]) {
+    received[id] = true;
+    while (next_expected < total && received[next_expected]) ++next_expected;
+  }
+  if (next_expected >= total) {
+    // All data at the client: the transfer is complete from the player's
+    // perspective (the final ACK still travels, but nobody waits for it).
+    result.duration_ms = now;
+    done = true;
+    queue.clear();
+    return;
+  }
+  // Cumulative ACK back to the sender (uncontended reverse path).
+  const std::uint32_t ack_no = next_expected;
+  queue.schedule_at(now + config.one_way_prop_ms,
+                    [this, ack_no] { on_ack_at_sender(ack_no); });
+}
+
+void Flow::grow_on_ack(std::uint32_t newly_acked) {
+  if (cwnd < static_cast<double>(ssthresh)) {
+    cwnd += static_cast<double>(newly_acked);  // slow start: +1 per ack
+  } else {
+    cwnd += static_cast<double>(newly_acked) / std::max(1.0, cwnd);
+  }
+  cwnd = std::min(cwnd, static_cast<double>(config.max_cwnd));
+}
+
+void Flow::on_ack_at_sender(std::uint32_t ack_no) {
+  if (done) return;
+  if (ack_no > cum_ack) {
+    const std::uint32_t newly_acked = ack_no - cum_ack;
+    cum_ack = ack_no;
+    dupacks = 0;
+    last_progress_ms = queue.now();
+    if (in_recovery) {
+      if (cum_ack >= recover_point) {
+        in_recovery = false;
+        cwnd = static_cast<double>(ssthresh);  // deflate after recovery
+      } else {
+        // Partial ACK: clock out the next hole (SACK-style recovery).
+        retransmit_next_hole();
+      }
+    } else {
+      grow_on_ack(newly_acked);
+    }
+    arm_rto();
+    send_available();
+    return;
+  }
+  // Duplicate ACK.
+  ++dupacks;
+  if (dupacks == 3 && !in_recovery) {
+    // Fast retransmit / fast recovery with SACK scoreboard.
+    ssthresh = std::max(2u, inflight() / 2);
+    cwnd = static_cast<double>(ssthresh) + 3.0;
+    in_recovery = true;
+    ++recovery_epoch;
+    recover_point = next_to_send;
+    next_hole_scan = cum_ack;
+    retransmit_next_hole();
+  } else if (in_recovery) {
+    cwnd += 1.0;  // window inflation per extra dupack
+    retransmit_next_hole();
+    send_available();
+  }
+}
+
+void Flow::arm_rto() {
+  const sim::Ms armed_for = last_progress_ms;
+  queue.schedule_at(queue.now() + config.rto_ms,
+                    [this, armed_for] { on_rto_check(armed_for); });
+}
+
+void Flow::on_rto_check(sim::Ms armed_for_progress_at) {
+  if (done || cum_ack >= total) return;
+  if (last_progress_ms > armed_for_progress_at) return;  // progress since
+  // Retransmission timeout: collapse to one segment and slow start again.
+  ++result.timeouts;
+  ssthresh = std::max(2u, inflight() / 2);
+  cwnd = 1.0;
+  in_recovery = false;
+  dupacks = 0;
+  last_progress_ms = queue.now();
+  transmit(cum_ack);
+  arm_rto();
+}
+
+}  // namespace
+
+PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
+                                         const PacketSimConfig& config) {
+  PacketSimResult empty;
+  if (bytes == 0) return empty;
+  const auto packets = static_cast<std::uint32_t>(
+      (bytes + config.mss_bytes - 1) / config.mss_bytes);
+
+  Flow flow(packets, config);
+  flow.cwnd = static_cast<double>(std::max(1u, config.initial_window));
+  flow.ssthresh = config.initial_ssthresh;
+  flow.result.segments = packets;
+
+  // The request travels client -> server for half an RTT before the first
+  // data packet leaves (mirrors the round model's rtt0 accounting).
+  flow.queue.schedule_at(config.one_way_prop_ms, [&flow] {
+    flow.last_progress_ms = flow.queue.now();
+    flow.arm_rto();
+    flow.send_available();
+  });
+  flow.queue.run();
+  return flow.result;
+}
+
+}  // namespace vstream::net

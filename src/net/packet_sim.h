@@ -1,0 +1,45 @@
+// Packet-level single-flow TCP reference simulation.
+//
+// The production model (net::TcpConnection) works at round granularity for
+// speed.  This module is its ground truth: an event-driven, per-packet
+// Reno sender pushing one transfer through a FIFO drop-tail bottleneck.
+// It exists to *validate* the round model — bench_model_validation runs
+// both across a (bandwidth, RTT, buffer, size) grid and compares transfer
+// durations and loss behaviour — and is deliberately scoped to a single
+// deterministic flow (no random loss, no jitter): every divergence is then
+// a modelling difference, not noise.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace vstream::net {
+
+struct PacketSimConfig {
+  double bottleneck_kbps = 12'000.0;
+  sim::Ms one_way_prop_ms = 15.0;  ///< each direction; RTT = 2x + queueing
+  sim::Ms max_queue_ms = 100.0;    ///< drop-tail buffer depth in time units
+  std::uint32_t mss_bytes = 1'460;
+  std::uint32_t initial_window = 10;
+  std::uint32_t initial_ssthresh = 1'000;
+  std::uint32_t max_cwnd = 4'096;
+  sim::Ms rto_ms = 400.0;  ///< fixed retransmission timeout
+};
+
+struct PacketSimResult {
+  sim::Ms duration_ms = 0.0;        ///< request sent -> last byte acked
+  sim::Ms first_byte_ms = 0.0;      ///< request sent -> first data packet
+                                    ///< arrives at the receiver
+  std::uint32_t segments = 0;
+  std::uint32_t retransmissions = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t max_cwnd_seen = 0;
+};
+
+/// Simulate one `bytes`-long transfer (preceded by a half-RTT request, as
+/// in the round model's accounting).  Fully deterministic.
+PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
+                                         const PacketSimConfig& config);
+
+}  // namespace vstream::net

@@ -1,0 +1,31 @@
+#include "net/prefix.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vstream::net {
+
+std::string format_ip(IpV4 ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+std::string format_prefix24(Prefix24 prefix) {
+  return format_ip(prefix) + "/24";
+}
+
+IpV4 parse_ip(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("parse_ip: malformed address: " + text);
+  }
+  return make_ip(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                 static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+}  // namespace vstream::net

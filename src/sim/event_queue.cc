@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vstream::sim {
+
+void EventQueue::schedule_at(Ms at, Callback cb) {
+  queue_.push(Entry{std::max(at, now_), next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(Ms delay, Callback cb) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(cb));
+}
+
+std::size_t EventQueue::run(Ms until) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (until >= 0.0 && queue_.top().at > until) break;
+    // Move the callback out before popping so it may schedule new events.
+    Entry top = queue_.top();
+    queue_.pop();
+    now_ = top.at;
+    top.cb();
+    ++executed;
+  }
+  if (until >= 0.0) now_ = std::max(now_, until);
+  return executed;
+}
+
+void EventQueue::clear() {
+  queue_ = {};
+}
+
+}  // namespace vstream::sim

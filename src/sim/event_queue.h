@@ -1,0 +1,58 @@
+// Discrete-event simulation core: a clock plus a time-ordered event queue.
+//
+// Components schedule callbacks at absolute simulated times; run() drains
+// the queue in time order (FIFO among equal timestamps, so a run is fully
+// deterministic for a given seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vstream::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.  Starts at 0 and only moves forward.
+  Ms now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at` (clamped to now()).
+  void schedule_at(Ms at, Callback cb);
+
+  /// Schedule `cb` to run `delay` ms from now (negative delays clamp to 0).
+  void schedule_in(Ms delay, Callback cb);
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Run events until the queue is empty or `until` is reached (the event at
+  /// exactly `until` still runs).  Returns the number of events executed.
+  std::size_t run(Ms until = -1.0);
+
+  /// Drop all pending events (used to abort a scenario).
+  void clear();
+
+ private:
+  struct Entry {
+    Ms at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Ms now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace vstream::sim

@@ -1,0 +1,78 @@
+// Seeded random number generation for deterministic simulations.
+//
+// Every stochastic component in the library draws from an explicitly passed
+// Rng so that a simulation run is a pure function of (scenario, seed).  The
+// helpers cover the distributions the workload and path models need:
+// uniform, Bernoulli, exponential, normal, log-normal, Pareto and discrete.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace vstream::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal parameterized by the *median* and the shape sigma of the
+  /// underlying normal.  median = exp(mu), so mu = ln(median).
+  double lognormal_median(double median, double sigma);
+
+  /// Pareto with scale x_m (minimum) and shape alpha.
+  double pareto(double x_m, double alpha);
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vstream::sim

@@ -1,0 +1,20 @@
+// Simulation time primitives.
+//
+// The whole library measures time in milliseconds, matching the paper's
+// instrumentation (D_FB, D_LB, SRTT, ... are all reported in ms).  We use a
+// double so sub-millisecond server-side latencies (Fig. 5 starts at 0.1 ms)
+// are representable without a separate unit type.
+#pragma once
+
+namespace vstream::sim {
+
+/// Milliseconds of simulated time (duration or absolute clock reading).
+using Ms = double;
+
+/// Seconds -> milliseconds.
+constexpr Ms seconds(double s) { return s * 1000.0; }
+
+/// Milliseconds -> seconds.
+constexpr double to_seconds(Ms ms) { return ms / 1000.0; }
+
+}  // namespace vstream::sim

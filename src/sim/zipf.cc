@@ -1,0 +1,60 @@
+#include "sim/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vstream::sim {
+
+Zipf::Zipf(std::size_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be > 0");
+  if (alpha < 0.0) throw std::invalid_argument("Zipf: alpha must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    acc += std::pow(static_cast<double>(r), -alpha);
+    cdf_[r - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double Zipf::pmf(std::size_t rank) const {
+  if (rank == 0 || rank > cdf_.size()) return 0.0;
+  const double hi = cdf_[rank - 1];
+  const double lo = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return hi - lo;
+}
+
+double Zipf::share_of_top(std::size_t k) const {
+  if (k == 0) return 0.0;
+  k = std::min(k, cdf_.size());
+  return cdf_[k - 1];
+}
+
+double fit_zipf_alpha(std::size_t n, double top_fraction, double target_share) {
+  if (n == 0 || top_fraction <= 0.0 || top_fraction >= 1.0 ||
+      target_share <= top_fraction || target_share >= 1.0) {
+    throw std::invalid_argument("fit_zipf_alpha: infeasible target");
+  }
+  const auto k = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                              top_fraction * static_cast<double>(n)));
+  double lo = 0.0, hi = 4.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double share = Zipf(n, mid).share_of_top(k);
+    if (share < target_share) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace vstream::sim

@@ -1,0 +1,43 @@
+// Zipf(alpha) sampler over ranks 1..n.
+//
+// Video popularity in the paper's dataset is heavily skewed: the top 10% of
+// videos receive ~66% of all playbacks (Fig. 3b).  A Zipf law P(rank r)
+// proportional to r^-alpha reproduces that skew; Zipf::share_of_top() lets
+// callers (and tests) check the top-k mass directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace vstream::sim {
+
+class Zipf {
+ public:
+  /// Distribution over ranks 1..n with weight r^-alpha.
+  Zipf(std::size_t n, double alpha);
+
+  /// Sample a rank in [1, n] (rank 1 is the most popular item).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of an individual rank (1-based).
+  double pmf(std::size_t rank) const;
+
+  /// Total probability mass of the top `k` ranks.
+  double share_of_top(std::size_t k) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1)
+};
+
+/// Find the Zipf alpha for which the top `top_fraction` of n ranks carry
+/// `target_share` of the mass (bisection; used to match the paper's
+/// "top 10% -> 66% of playbacks").
+double fit_zipf_alpha(std::size_t n, double top_fraction, double target_share);
+
+}  // namespace vstream::sim

@@ -1,0 +1,39 @@
+#include "telemetry/collector.h"
+
+namespace vstream::telemetry {
+
+void Collector::sample_transfer(std::uint64_t session_id,
+                                std::uint32_t chunk_id,
+                                sim::Ms transfer_start_ms,
+                                const std::vector<net::RoundSample>& rounds) {
+  if (rounds.empty()) return;
+  // The sampling clock is per-session (each connection has its own timer).
+  if (sampled_session_ != session_id) {
+    sampled_session_ = session_id;
+    next_sample_at_ms_ = transfer_start_ms + tcp_sample_interval_ms_;
+  }
+
+  sim::Ms last_sampled_at = -1.0;
+  for (const net::RoundSample& round : rounds) {
+    const sim::Ms at = transfer_start_ms + round.at_ms;
+    if (at >= next_sample_at_ms_) {
+      data_.tcp_snapshots.push_back(
+          TcpSnapshotRecord{session_id, chunk_id, at, round.info});
+      last_sampled_at = at;
+      while (next_sample_at_ms_ <= at) {
+        next_sample_at_ms_ += tcp_sample_interval_ms_;
+      }
+    }
+  }
+  // The CDN service also samples when it finishes writing the chunk, so
+  // every chunk carries at least one snapshot and the cumulative counters
+  // (retransmissions, segments) can be attributed per chunk exactly.
+  const net::RoundSample& last = rounds.back();
+  const sim::Ms end_at = transfer_start_ms + last.at_ms;
+  if (last_sampled_at < end_at) {
+    data_.tcp_snapshots.push_back(
+        TcpSnapshotRecord{session_id, chunk_id, end_at, last.info});
+  }
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,51 @@
+// Collector: the two independent log streams (player-side beacons and
+// CDN-side logs) plus the periodic tcp_info sampler.
+#pragma once
+
+#include <vector>
+
+#include "net/tcp_model.h"
+#include "telemetry/records.h"
+
+namespace vstream::telemetry {
+
+/// Raw (un-joined) measurement data, as it would land in the two logging
+/// systems.
+struct Dataset {
+  std::vector<PlayerSessionRecord> player_sessions;
+  std::vector<CdnSessionRecord> cdn_sessions;
+  std::vector<PlayerChunkRecord> player_chunks;
+  std::vector<CdnChunkRecord> cdn_chunks;
+  std::vector<TcpSnapshotRecord> tcp_snapshots;
+};
+
+class Collector {
+ public:
+  explicit Collector(sim::Ms tcp_sample_interval_ms = 500.0)
+      : tcp_sample_interval_ms_(tcp_sample_interval_ms) {}
+
+  void record(PlayerSessionRecord r) { data_.player_sessions.push_back(std::move(r)); }
+  void record(CdnSessionRecord r) { data_.cdn_sessions.push_back(std::move(r)); }
+  void record(PlayerChunkRecord r) { data_.player_chunks.push_back(std::move(r)); }
+  void record(CdnChunkRecord r) { data_.cdn_chunks.push_back(std::move(r)); }
+  void record(TcpSnapshotRecord r) { data_.tcp_snapshots.push_back(std::move(r)); }
+
+  /// Downsample a transfer's per-round snapshot timeline to the production
+  /// sampling cadence (every 500 ms of session time, §2.1), while always
+  /// keeping at least one sample per chunk ("we snapshot TCP variables ...
+  /// at least once per-chunk").  `transfer_start_ms` is session-relative.
+  void sample_transfer(std::uint64_t session_id, std::uint32_t chunk_id,
+                       sim::Ms transfer_start_ms,
+                       const std::vector<net::RoundSample>& rounds);
+
+  const Dataset& data() const { return data_; }
+  Dataset&& take() { return std::move(data_); }
+
+ private:
+  sim::Ms tcp_sample_interval_ms_;
+  sim::Ms next_sample_at_ms_ = 0.0;
+  std::uint64_t sampled_session_ = 0;
+  Dataset data_;
+};
+
+}  // namespace vstream::telemetry

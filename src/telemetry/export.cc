@@ -1,0 +1,336 @@
+#include "telemetry/export.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vstream::telemetry {
+
+namespace {
+
+// ------------------------------------------------------------------ util
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+void expect_header(std::istream& in, const std::string& expected,
+                   const char* stream_name) {
+  std::string line;
+  if (!std::getline(in, line) || line != expected) {
+    throw std::runtime_error(std::string("csv: bad header for ") +
+                             stream_name + ": got '" + line + "'");
+  }
+}
+
+void expect_fields(const std::vector<std::string>& fields, std::size_t n,
+                   const char* stream_name) {
+  if (fields.size() != n) {
+    throw std::runtime_error(std::string("csv: wrong field count in ") +
+                             stream_name + ": expected " + std::to_string(n) +
+                             ", got " + std::to_string(fields.size()));
+  }
+}
+
+const char* cache_level_token(cdn::CacheLevel level) {
+  return cdn::to_string(level);  // "ram-hit" / "disk-hit" / "miss"
+}
+
+cdn::CacheLevel parse_cache_level(const std::string& token) {
+  if (token == "ram-hit") return cdn::CacheLevel::kRam;
+  if (token == "disk-hit") return cdn::CacheLevel::kDisk;
+  if (token == "miss") return cdn::CacheLevel::kMiss;
+  throw std::runtime_error("csv: unknown cache level '" + token + "'");
+}
+
+const char* access_token(net::AccessType access) {
+  return net::to_string(access);
+}
+
+net::AccessType parse_access(const std::string& token) {
+  if (token == "residential") return net::AccessType::kResidential;
+  if (token == "enterprise") return net::AccessType::kEnterprise;
+  if (token == "international") return net::AccessType::kInternational;
+  throw std::runtime_error("csv: unknown access type '" + token + "'");
+}
+
+}  // namespace
+
+// --------------------------------------------------------- player sessions
+
+namespace {
+constexpr const char* kPlayerSessionHeader =
+    "session_id,client_ip,user_agent,video_duration_s,start_time_ms,"
+    "startup_ms,chunks_requested";
+}
+
+void write_player_sessions_csv(std::ostream& out,
+                               const std::vector<PlayerSessionRecord>& records) {
+  out << kPlayerSessionHeader << '\n';
+  for (const PlayerSessionRecord& r : records) {
+    out << r.session_id << ',' << net::format_ip(r.client_ip) << ','
+        << r.user_agent << ',' << r.video_duration_s << ',' << r.start_time_ms
+        << ',' << r.startup_ms << ',' << r.chunks_requested << '\n';
+  }
+}
+
+std::vector<PlayerSessionRecord> read_player_sessions_csv(std::istream& in) {
+  expect_header(in, kPlayerSessionHeader, "player_sessions");
+  std::vector<PlayerSessionRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    expect_fields(f, 7, "player_sessions");
+    PlayerSessionRecord r;
+    r.session_id = std::stoull(f[0]);
+    r.client_ip = net::parse_ip(f[1]);
+    r.user_agent = f[2];
+    r.video_duration_s = std::stod(f[3]);
+    r.start_time_ms = std::stod(f[4]);
+    r.startup_ms = std::stod(f[5]);
+    r.chunks_requested = static_cast<std::uint32_t>(std::stoul(f[6]));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// ------------------------------------------------------------ cdn sessions
+
+namespace {
+constexpr const char* kCdnSessionHeader =
+    "session_id,observed_ip,observed_user_agent,pop,server,org,access,city,"
+    "country,client_distance_km";
+}
+
+void write_cdn_sessions_csv(std::ostream& out,
+                            const std::vector<CdnSessionRecord>& records) {
+  out << kCdnSessionHeader << '\n';
+  for (const CdnSessionRecord& r : records) {
+    out << r.session_id << ',' << net::format_ip(r.observed_ip) << ','
+        << r.observed_user_agent << ',' << r.pop << ',' << r.server << ','
+        << r.org << ',' << access_token(r.access) << ',' << r.city << ','
+        << r.country << ',' << r.client_distance_km << '\n';
+  }
+}
+
+std::vector<CdnSessionRecord> read_cdn_sessions_csv(std::istream& in) {
+  expect_header(in, kCdnSessionHeader, "cdn_sessions");
+  std::vector<CdnSessionRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    expect_fields(f, 10, "cdn_sessions");
+    CdnSessionRecord r;
+    r.session_id = std::stoull(f[0]);
+    r.observed_ip = net::parse_ip(f[1]);
+    r.observed_user_agent = f[2];
+    r.pop = static_cast<std::uint32_t>(std::stoul(f[3]));
+    r.server = static_cast<std::uint32_t>(std::stoul(f[4]));
+    r.org = f[5];
+    r.access = parse_access(f[6]);
+    r.city = f[7];
+    r.country = f[8];
+    r.client_distance_km = std::stod(f[9]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// ------------------------------------------------------------ player chunks
+
+namespace {
+constexpr const char* kPlayerChunkHeader =
+    "session_id,chunk_id,request_sent_ms,dfb_ms,dlb_ms,bitrate_kbps,"
+    "rebuffer_ms,rebuffer_count,visible,avg_fps,dropped_frames,total_frames";
+}
+
+void write_player_chunks_csv(std::ostream& out,
+                             const std::vector<PlayerChunkRecord>& records) {
+  out << kPlayerChunkHeader << '\n';
+  for (const PlayerChunkRecord& r : records) {
+    out << r.session_id << ',' << r.chunk_id << ',' << r.request_sent_ms << ','
+        << r.dfb_ms << ',' << r.dlb_ms << ',' << r.bitrate_kbps << ','
+        << r.rebuffer_ms << ',' << r.rebuffer_count << ','
+        << (r.visible ? 1 : 0) << ',' << r.avg_fps << ',' << r.dropped_frames
+        << ',' << r.total_frames << '\n';
+  }
+}
+
+std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in) {
+  expect_header(in, kPlayerChunkHeader, "player_chunks");
+  std::vector<PlayerChunkRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    expect_fields(f, 12, "player_chunks");
+    PlayerChunkRecord r;
+    r.session_id = std::stoull(f[0]);
+    r.chunk_id = static_cast<std::uint32_t>(std::stoul(f[1]));
+    r.request_sent_ms = std::stod(f[2]);
+    r.dfb_ms = std::stod(f[3]);
+    r.dlb_ms = std::stod(f[4]);
+    r.bitrate_kbps = static_cast<std::uint32_t>(std::stoul(f[5]));
+    r.rebuffer_ms = std::stod(f[6]);
+    r.rebuffer_count = static_cast<std::uint32_t>(std::stoul(f[7]));
+    r.visible = f[8] == "1";
+    r.avg_fps = std::stod(f[9]);
+    r.dropped_frames = static_cast<std::uint32_t>(std::stoul(f[10]));
+    r.total_frames = static_cast<std::uint32_t>(std::stoul(f[11]));
+    records.push_back(r);
+  }
+  return records;
+}
+
+// --------------------------------------------------------------- cdn chunks
+
+namespace {
+constexpr const char* kCdnChunkHeader =
+    "session_id,chunk_id,dwait_ms,dopen_ms,dread_ms,dbe_ms,cache_level,"
+    "chunk_bytes";
+}
+
+void write_cdn_chunks_csv(std::ostream& out,
+                          const std::vector<CdnChunkRecord>& records) {
+  out << kCdnChunkHeader << '\n';
+  for (const CdnChunkRecord& r : records) {
+    out << r.session_id << ',' << r.chunk_id << ',' << r.dwait_ms << ','
+        << r.dopen_ms << ',' << r.dread_ms << ',' << r.dbe_ms << ','
+        << cache_level_token(r.cache_level) << ',' << r.chunk_bytes << '\n';
+  }
+}
+
+std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in) {
+  expect_header(in, kCdnChunkHeader, "cdn_chunks");
+  std::vector<CdnChunkRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    expect_fields(f, 8, "cdn_chunks");
+    CdnChunkRecord r;
+    r.session_id = std::stoull(f[0]);
+    r.chunk_id = static_cast<std::uint32_t>(std::stoul(f[1]));
+    r.dwait_ms = std::stod(f[2]);
+    r.dopen_ms = std::stod(f[3]);
+    r.dread_ms = std::stod(f[4]);
+    r.dbe_ms = std::stod(f[5]);
+    r.cache_level = parse_cache_level(f[6]);
+    r.chunk_bytes = std::stoull(f[7]);
+    records.push_back(r);
+  }
+  return records;
+}
+
+// ------------------------------------------------------------ tcp snapshots
+
+namespace {
+constexpr const char* kTcpSnapshotHeader =
+    "session_id,chunk_id,at_ms,srtt_ms,rttvar_ms,cwnd_segments,"
+    "ssthresh_segments,mss_bytes,total_retrans,segments_out,bytes_acked,"
+    "in_slow_start";
+}
+
+void write_tcp_snapshots_csv(std::ostream& out,
+                             const std::vector<TcpSnapshotRecord>& records) {
+  out << kTcpSnapshotHeader << '\n';
+  for (const TcpSnapshotRecord& r : records) {
+    out << r.session_id << ',' << r.chunk_id << ',' << r.at_ms << ','
+        << r.info.srtt_ms << ',' << r.info.rttvar_ms << ','
+        << r.info.cwnd_segments << ',' << r.info.ssthresh_segments << ','
+        << r.info.mss_bytes << ',' << r.info.total_retrans << ','
+        << r.info.segments_out << ',' << r.info.bytes_acked << ','
+        << (r.info.in_slow_start ? 1 : 0) << '\n';
+  }
+}
+
+std::vector<TcpSnapshotRecord> read_tcp_snapshots_csv(std::istream& in) {
+  expect_header(in, kTcpSnapshotHeader, "tcp_snapshots");
+  std::vector<TcpSnapshotRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    expect_fields(f, 12, "tcp_snapshots");
+    TcpSnapshotRecord r;
+    r.session_id = std::stoull(f[0]);
+    r.chunk_id = static_cast<std::uint32_t>(std::stoul(f[1]));
+    r.at_ms = std::stod(f[2]);
+    r.info.srtt_ms = std::stod(f[3]);
+    r.info.rttvar_ms = std::stod(f[4]);
+    r.info.cwnd_segments = static_cast<std::uint32_t>(std::stoul(f[5]));
+    r.info.ssthresh_segments = static_cast<std::uint32_t>(std::stoul(f[6]));
+    r.info.mss_bytes = static_cast<std::uint32_t>(std::stoul(f[7]));
+    r.info.total_retrans = std::stoull(f[8]);
+    r.info.segments_out = std::stoull(f[9]);
+    r.info.bytes_acked = std::stoull(f[10]);
+    r.info.in_slow_start = f[11] == "1";
+    records.push_back(r);
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------- directory
+
+namespace {
+
+template <typename Writer>
+void write_file(const std::filesystem::path& path, Writer&& writer) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open " + path.string());
+  writer(out);
+}
+
+template <typename Reader>
+auto read_file(const std::filesystem::path& path, Reader&& reader) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path.string());
+  return reader(in);
+}
+
+}  // namespace
+
+void export_dataset(const Dataset& data,
+                    const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  write_file(directory / "player_sessions.csv", [&](std::ostream& out) {
+    write_player_sessions_csv(out, data.player_sessions);
+  });
+  write_file(directory / "cdn_sessions.csv", [&](std::ostream& out) {
+    write_cdn_sessions_csv(out, data.cdn_sessions);
+  });
+  write_file(directory / "player_chunks.csv", [&](std::ostream& out) {
+    write_player_chunks_csv(out, data.player_chunks);
+  });
+  write_file(directory / "cdn_chunks.csv", [&](std::ostream& out) {
+    write_cdn_chunks_csv(out, data.cdn_chunks);
+  });
+  write_file(directory / "tcp_snapshots.csv", [&](std::ostream& out) {
+    write_tcp_snapshots_csv(out, data.tcp_snapshots);
+  });
+}
+
+Dataset import_dataset(const std::filesystem::path& directory) {
+  Dataset data;
+  data.player_sessions = read_file(directory / "player_sessions.csv",
+                                   read_player_sessions_csv);
+  data.cdn_sessions =
+      read_file(directory / "cdn_sessions.csv", read_cdn_sessions_csv);
+  data.player_chunks =
+      read_file(directory / "player_chunks.csv", read_player_chunks_csv);
+  data.cdn_chunks = read_file(directory / "cdn_chunks.csv", read_cdn_chunks_csv);
+  data.tcp_snapshots =
+      read_file(directory / "tcp_snapshots.csv", read_tcp_snapshots_csv);
+  return data;
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,53 @@
+// CSV export/import of the raw telemetry streams.
+//
+// Production measurement systems land their logs in files and join them
+// offline; this module emits the five record streams (Tables 2 and 3 plus
+// the tcp_info snapshots) as CSV with stable headers, and loads them back,
+// so datasets can be generated once and analysed elsewhere (or inspected
+// with standard tooling).
+//
+// Format notes: one file per stream, first line is the header, fields are
+// comma-separated; strings (user agents, orgs, cities) are written
+// verbatim — they never contain commas by construction, and the loader
+// rejects rows with the wrong field count rather than guessing.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "telemetry/collector.h"
+
+namespace vstream::telemetry {
+
+// ---- stream writers (stable column order, documented in the header row) --
+
+void write_player_sessions_csv(std::ostream& out,
+                               const std::vector<PlayerSessionRecord>& records);
+void write_cdn_sessions_csv(std::ostream& out,
+                            const std::vector<CdnSessionRecord>& records);
+void write_player_chunks_csv(std::ostream& out,
+                             const std::vector<PlayerChunkRecord>& records);
+void write_cdn_chunks_csv(std::ostream& out,
+                          const std::vector<CdnChunkRecord>& records);
+void write_tcp_snapshots_csv(std::ostream& out,
+                             const std::vector<TcpSnapshotRecord>& records);
+
+// ---- stream readers ----
+// Throw std::runtime_error on malformed headers or rows.
+
+std::vector<PlayerSessionRecord> read_player_sessions_csv(std::istream& in);
+std::vector<CdnSessionRecord> read_cdn_sessions_csv(std::istream& in);
+std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in);
+std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in);
+std::vector<TcpSnapshotRecord> read_tcp_snapshots_csv(std::istream& in);
+
+/// Write all five streams into `directory` (created if missing) as
+/// player_sessions.csv, cdn_sessions.csv, player_chunks.csv,
+/// cdn_chunks.csv, tcp_snapshots.csv.
+void export_dataset(const Dataset& data,
+                    const std::filesystem::path& directory);
+
+/// Load a dataset previously written by export_dataset().
+Dataset import_dataset(const std::filesystem::path& directory);
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,88 @@
+// Joining the two measurement sides.
+//
+// "A key to end-to-end analysis is to trace session performance from the
+// player through the CDN (at the granularity of chunks).  We implement
+// tracing by using a globally unique session ID and per-session chunk IDs."
+// (§2.2).  JoinedDataset::build() performs that join and optionally drops
+// proxy sessions (§3 preprocessing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "telemetry/collector.h"
+#include "telemetry/proxy_filter.h"
+
+namespace vstream::telemetry {
+
+/// Both views of one chunk, plus TCP context.
+struct JoinedChunk {
+  const PlayerChunkRecord* player = nullptr;
+  const CdnChunkRecord* cdn = nullptr;
+  /// Last tcp_info snapshot taken while this chunk was being served (the
+  /// per-chunk SRTT/CWND context of Table 2); null if none.
+  const TcpSnapshotRecord* last_snapshot = nullptr;
+
+  // Per-chunk deltas of the cumulative connection counters, derived from
+  // consecutive snapshots at join time.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t segments = 0;
+
+  /// Per-chunk retransmission rate (Fig. 13/15).
+  double retx_rate() const {
+    return segments == 0 ? 0.0
+                         : static_cast<double>(retransmissions) /
+                               static_cast<double>(segments);
+  }
+};
+
+/// One session after the join.
+struct JoinedSession {
+  std::uint64_t session_id = 0;
+  const PlayerSessionRecord* player = nullptr;
+  const CdnSessionRecord* cdn = nullptr;
+  std::vector<JoinedChunk> chunks;                    // chunk-id order
+  std::vector<const TcpSnapshotRecord*> snapshots;    // time order
+
+  // -- convenience aggregates used all over §4 --
+
+  std::uint64_t total_retransmissions() const;
+  std::uint64_t total_segments() const;
+  /// Session retransmission rate; >90% of sessions are below 10% (§4.2-3).
+  double retx_rate() const;
+  bool has_loss() const { return total_retransmissions() > 0; }
+
+  sim::Ms total_rebuffer_ms() const;
+  /// Re-buffering rate: stall time over session wall time (%).
+  double rebuffer_rate_percent() const;
+
+  double avg_bitrate_kbps() const;
+
+  /// Wall-clock span of the session at the player (first request to end of
+  /// last chunk's arrival).
+  sim::Ms duration_ms() const;
+};
+
+class JoinedDataset {
+ public:
+  /// Join player and CDN views by (sessionID, chunkID).  Sessions flagged
+  /// by `proxies` (if provided) are dropped, as are sessions missing either
+  /// side.  The Dataset must outlive the JoinedDataset.
+  static JoinedDataset build(const Dataset& data,
+                             const ProxyFilterResult* proxies = nullptr);
+
+  const std::vector<JoinedSession>& sessions() const { return sessions_; }
+  std::size_t dropped_as_proxy() const { return dropped_as_proxy_; }
+  std::size_t dropped_incomplete() const { return dropped_incomplete_; }
+
+  /// Total chunk count across sessions.
+  std::size_t chunk_count() const;
+
+ private:
+  std::vector<JoinedSession> sessions_;
+  std::size_t dropped_as_proxy_ = 0;
+  std::size_t dropped_incomplete_ = 0;
+};
+
+}  // namespace vstream::telemetry

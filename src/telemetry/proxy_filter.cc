@@ -1,0 +1,46 @@
+#include "telemetry/proxy_filter.h"
+
+#include <unordered_map>
+
+namespace vstream::telemetry {
+
+ProxyFilterResult detect_proxies(const Dataset& data,
+                                 const ProxyFilterConfig& config) {
+  ProxyFilterResult result;
+
+  // Index the beacon (player) view by session.
+  std::unordered_map<std::uint64_t, const PlayerSessionRecord*> beacons;
+  beacons.reserve(data.player_sessions.size());
+  for (const PlayerSessionRecord& r : data.player_sessions) {
+    beacons.emplace(r.session_id, &r);
+  }
+
+  // Rule (ii) bookkeeping: sessions per CDN-observed IP.
+  std::unordered_map<net::IpV4, std::size_t> sessions_per_ip;
+  for (const CdnSessionRecord& r : data.cdn_sessions) {
+    ++sessions_per_ip[r.observed_ip];
+  }
+
+  for (const CdnSessionRecord& cdn : data.cdn_sessions) {
+    const auto it = beacons.find(cdn.session_id);
+    bool proxy = false;
+    if (it != beacons.end()) {
+      const PlayerSessionRecord& beacon = *it->second;
+      // Rule (i): IP or UA mismatch between HTTP (CDN) view and beacon.
+      if (beacon.client_ip != cdn.observed_ip ||
+          beacon.user_agent != cdn.observed_user_agent) {
+        proxy = true;
+        ++result.mismatch_detections;
+      }
+    }
+    if (!proxy &&
+        sessions_per_ip[cdn.observed_ip] > config.max_sessions_per_ip) {
+      proxy = true;
+      ++result.volume_detections;
+    }
+    if (proxy) result.proxy_sessions.insert(cdn.session_id);
+  }
+  return result;
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,38 @@
+#include "workload/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vstream::workload {
+
+namespace {
+
+double resolve_alpha(const CatalogConfig& config) {
+  if (config.zipf_alpha > 0.0) return config.zipf_alpha;
+  return sim::fit_zipf_alpha(config.video_count, config.head_fraction,
+                             config.head_share);
+}
+
+}  // namespace
+
+VideoCatalog::VideoCatalog(const CatalogConfig& config, sim::Rng& rng)
+    : config_(config), popularity_(config.video_count, resolve_alpha(config)) {
+  videos_.reserve(config.video_count);
+  for (std::size_t i = 0; i < config.video_count; ++i) {
+    VideoMeta meta;
+    meta.id = static_cast<std::uint32_t>(i);
+    meta.duration_s = std::clamp(
+        rng.lognormal_median(config.duration_median_s, config.duration_sigma),
+        config.min_duration_s, config.max_duration_s);
+    meta.chunk_count = static_cast<std::uint32_t>(
+        std::ceil(meta.duration_s / config.chunk_duration_s));
+    videos_.push_back(meta);
+  }
+}
+
+std::uint32_t VideoCatalog::sample_video(sim::Rng& rng) const {
+  // Zipf ranks are 1-based; ids are the 0-based popularity order.
+  return static_cast<std::uint32_t>(popularity_.sample(rng) - 1);
+}
+
+}  // namespace vstream::workload

@@ -1,0 +1,65 @@
+// Video catalog: durations and popularity.
+//
+// §3 of the paper: all chunks carry six seconds of video; video lengths
+// span two orders of magnitude (Fig. 3a, CCDF straight-ish on log-log);
+// popularity is heavily skewed — the top 10% of videos receive ~66% of all
+// playbacks (Fig. 3b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/zipf.h"
+
+namespace vstream::workload {
+
+struct CatalogConfig {
+  std::size_t video_count = 20'000;
+  /// Zipf skew; <= 0 means "fit so that the top `head_fraction` of videos
+  /// draw `head_share` of playbacks" (the paper's 10% -> 66%).
+  double zipf_alpha = 0.0;
+  double head_fraction = 0.10;
+  double head_share = 0.66;
+
+  /// Log-normal video durations, clamped to [min, max] (Fig. 3a spans
+  /// ~10 s news clips to multi-hour events).
+  double duration_median_s = 180.0;
+  double duration_sigma = 1.1;
+  double min_duration_s = 10.0;
+  double max_duration_s = 10'800.0;
+
+  double chunk_duration_s = 6.0;  ///< fixed per §3
+};
+
+struct VideoMeta {
+  std::uint32_t id = 0;       ///< dense id; also the 0-based popularity index
+  double duration_s = 0.0;
+  std::uint32_t chunk_count = 0;
+};
+
+class VideoCatalog {
+ public:
+  VideoCatalog(const CatalogConfig& config, sim::Rng& rng);
+
+  /// Draw a video id according to popularity.
+  std::uint32_t sample_video(sim::Rng& rng) const;
+
+  const VideoMeta& video(std::uint32_t id) const { return videos_.at(id); }
+
+  /// 1-based popularity rank (1 = most popular).  Ids are assigned in
+  /// popularity order, so this is id + 1.
+  std::size_t rank_of(std::uint32_t id) const { return id + 1; }
+
+  std::size_t size() const { return videos_.size(); }
+  double chunk_duration_s() const { return config_.chunk_duration_s; }
+  const sim::Zipf& popularity() const { return popularity_; }
+  const CatalogConfig& config() const { return config_; }
+
+ private:
+  CatalogConfig config_;
+  sim::Zipf popularity_;
+  std::vector<VideoMeta> videos_;
+};
+
+}  // namespace vstream::workload

@@ -1,0 +1,145 @@
+#include "workload/population.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace vstream::workload {
+
+namespace {
+
+constexpr std::array<const char*, 8> kResidentialIsps = {
+    "ComNet Cable", "FiberLink", "MetroDSL",       "SunCast",
+    "BlueWave",     "PrairieNet", "CoastalBroadband", "RiverTel"};
+
+constexpr std::array<const char*, 5> kEnterprises = {
+    "Enterprise#1", "Enterprise#2", "Enterprise#3", "Enterprise#4",
+    "Enterprise#5"};
+
+constexpr std::array<const char*, 6> kIntlCarriers = {
+    "GlobalTransit", "EuroLink", "AsiaPacNet",
+    "SouthernCross", "AtlanticWave", "AndesNet"};
+
+}  // namespace
+
+Population::Population(const PopulationConfig& config, sim::Rng& rng)
+    : config_(config) {
+  prefixes_.reserve(config.prefix_count);
+  const auto us = net::us_cities();
+  const auto world = net::world_cities();
+
+  for (std::size_t i = 0; i < config.prefix_count; ++i) {
+    PrefixProfile p;
+    // Synthetic, collision-free /24s: 10.x.y.0/24 style but spread over a
+    // wide space so prefix arithmetic is exercised realistically.
+    p.prefix = net::prefix24_of(net::make_ip(
+        static_cast<std::uint8_t>(20 + (i >> 14)),
+        static_cast<std::uint8_t>((i >> 8) & 0x3F),
+        static_cast<std::uint8_t>(i & 0xFF), 0));
+
+    const bool in_us = rng.bernoulli(config.us_fraction);
+    if (in_us) {
+      const auto& city = us[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(us.size()) - 1))];
+      p.city = city.name;
+      p.country = city.country;
+      // Scatter clients ~0.3 degrees around the metro centre.
+      p.location = {city.location.lat_deg + rng.normal(0.0, 0.3),
+                    city.location.lon_deg + rng.normal(0.0, 0.3)};
+      if (rng.bernoulli(config.enterprise_fraction)) {
+        p.access = net::AccessType::kEnterprise;
+        p.org = kEnterprises[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(kEnterprises.size()) - 1))];
+      } else {
+        p.access = net::AccessType::kResidential;
+        p.org = kResidentialIsps[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(kResidentialIsps.size()) - 1))];
+      }
+    } else {
+      const auto& city = world[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(world.size()) - 1))];
+      p.city = city.name;
+      p.country = city.country;
+      p.location = {city.location.lat_deg + rng.normal(0.0, 0.3),
+                    city.location.lon_deg + rng.normal(0.0, 0.3)};
+      p.access = net::AccessType::kInternational;
+      p.org = kIntlCarriers[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(kIntlCarriers.size()) - 1))];
+    }
+    p.bandwidth_kbps = std::max(
+        config.min_bandwidth_kbps,
+        rng.lognormal_median(config.bandwidth_median_kbps,
+                             config.bandwidth_sigma));
+    // Heavy-tailed loss heterogeneity: median prefix ~1x, a small tail of
+    // chronically lossy last miles at 10-100x.
+    p.loss_multiplier = rng.pareto(0.5, 0.9);
+    p.congestion_prone = rng.bernoulli(config.congestion_prone_fraction);
+    prefixes_.push_back(std::move(p));
+  }
+}
+
+client::UserAgent Population::sample_user_agent(sim::Rng& rng) const {
+  using client::Browser;
+  using client::Os;
+  client::UserAgent ua;
+
+  const double os_draw = rng.uniform01();
+  if (os_draw < config_.windows_fraction) {
+    ua.os = Os::kWindows;
+  } else if (os_draw < config_.windows_fraction + config_.mac_fraction) {
+    ua.os = Os::kMacOs;
+  } else {
+    ua.os = Os::kLinux;
+  }
+
+  // §3 browser shares; the ~2% "other" tail split across the unpopular
+  // browsers the paper names in Fig. 22.
+  static constexpr std::array<double, 9> weights = {
+      0.43,   // Chrome
+      0.37,   // Firefox
+      0.11,   // IE
+      0.02,   // Edge
+      0.05,   // Safari
+      0.008,  // Opera
+      0.005,  // Yandex
+      0.004,  // Vivaldi
+      0.003,  // SeaMonkey
+  };
+  static constexpr std::array<Browser, 9> browsers = {
+      Browser::kChrome, Browser::kFirefox,   Browser::kInternetExplorer,
+      Browser::kEdge,   Browser::kSafari,    Browser::kOpera,
+      Browser::kYandex, Browser::kVivaldi,   Browser::kSeaMonkey,
+  };
+  ua.browser = browsers[rng.discrete(weights)];
+
+  // Platform coherence: Edge/IE only on Windows; Safari mostly on Mac but
+  // a Windows remnant exists (and is exactly the pathological case of
+  // Table 5 / Fig. 22).
+  if (ua.os != Os::kWindows &&
+      (ua.browser == Browser::kInternetExplorer || ua.browser == Browser::kEdge)) {
+    ua.browser = Browser::kSafari;
+  }
+  if (ua.browser == Browser::kSafari && ua.os == Os::kWindows &&
+      rng.bernoulli(0.7)) {
+    ua.os = Os::kMacOs;  // most Safari sessions are Macs
+  }
+  return ua;
+}
+
+ClientProfile Population::sample(sim::Rng& rng) const {
+  ClientProfile c;
+  const auto& prefix = prefixes_[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(prefixes_.size()) - 1))];
+  c.prefix = &prefix;
+  c.ip = prefix.prefix |
+         static_cast<net::IpV4>(rng.uniform_int(1, 254));
+  c.ua = sample_user_agent(rng);
+  c.gpu = rng.bernoulli(config_.gpu_fraction);
+  c.visible = rng.bernoulli(config_.visible_fraction);
+  c.cpu_load = std::min(
+      0.98, rng.lognormal_median(config_.cpu_load_median, config_.cpu_load_sigma));
+  c.behind_proxy = rng.bernoulli(config_.proxy_fraction);
+  return c;
+}
+
+}  // namespace vstream::workload

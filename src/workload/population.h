@@ -1,0 +1,100 @@
+// Client population: /24 prefixes with geography, organization and access
+// type, plus the per-session platform mix.
+//
+// §3: >93% of clients are in North America; sessions aggregate into /24
+// prefixes for the persistent-problem analyses; the browser mix is 43%
+// Chrome / 37% Firefox / 13% IE / 6% Safari / ~2% other and the OS mix is
+// 88.5% Windows / 9.4% OS X.  §4.2 distinguishes residential ISPs,
+// enterprises (high latency variability even near the CDN) and
+// international clients (high base RTT).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/user_agent.h"
+#include "net/geo.h"
+#include "net/path_model.h"
+#include "net/prefix.h"
+#include "sim/rng.h"
+
+namespace vstream::workload {
+
+struct PopulationConfig {
+  std::size_t prefix_count = 4'000;
+  double us_fraction = 0.93;
+  /// Among US prefixes, the share on enterprise paths (the rest are
+  /// residential); international prefixes use the international profile.
+  double enterprise_fraction = 0.12;
+
+  /// Access capacity (kbps): log-normal around a broadband median.
+  double bandwidth_median_kbps = 12'000.0;
+  double bandwidth_sigma = 0.7;
+  double min_bandwidth_kbps = 1'200.0;
+
+  /// Client platform mix (§3).
+  double windows_fraction = 0.885;
+  double mac_fraction = 0.094;
+  double gpu_fraction = 0.35;      ///< sessions with hardware rendering
+  double visible_fraction = 0.95;  ///< player visible (not hidden tab)
+  /// Background CPU load is Beta-ish: mostly light, occasionally pegged.
+  double cpu_load_median = 0.25;
+  double cpu_load_sigma = 0.8;
+
+  /// Share of prefixes whose path suffers peak-hour congestion epochs.
+  double congestion_prone_fraction = 0.45;
+
+  /// Share of sessions behind an HTTP proxy (filtered in preprocessing;
+  /// the paper keeps 77% of sessions after filtering, but most removals
+  /// are mega-proxies detected by volume).
+  double proxy_fraction = 0.03;
+};
+
+/// A /24 prefix and everything persistent about its clients.
+struct PrefixProfile {
+  net::Prefix24 prefix = 0;
+  net::GeoPoint location;
+  std::string city;
+  std::string country;
+  net::AccessType access = net::AccessType::kResidential;
+  std::string org;  ///< ISP or enterprise name
+  double bandwidth_kbps = 0.0;
+  /// Multiplier on the access type's baseline random-loss rate; Pareto
+  /// distributed — most prefixes are clean, a few are chronically lossy.
+  double loss_multiplier = 1.0;
+  /// Paths prone to peak-hour congestion: their sessions sometimes run
+  /// during an epoch of heavily inflated latency (Fig. 10's 40% of paths
+  /// with CV(srtt) > 1).
+  bool congestion_prone = false;
+};
+
+/// A client drawn for one session.
+struct ClientProfile {
+  net::IpV4 ip = 0;
+  const PrefixProfile* prefix = nullptr;  ///< owned by the Population
+  client::UserAgent ua;
+  bool gpu = false;
+  bool visible = true;
+  double cpu_load = 0.0;
+  bool behind_proxy = false;
+};
+
+class Population {
+ public:
+  Population(const PopulationConfig& config, sim::Rng& rng);
+
+  /// Draw a client for a new session (prefix uniform, platform per mix).
+  ClientProfile sample(sim::Rng& rng) const;
+
+  const std::vector<PrefixProfile>& prefixes() const { return prefixes_; }
+  const PopulationConfig& config() const { return config_; }
+
+ private:
+  client::UserAgent sample_user_agent(sim::Rng& rng) const;
+
+  PopulationConfig config_;
+  std::vector<PrefixProfile> prefixes_;
+};
+
+}  // namespace vstream::workload

@@ -1,0 +1,49 @@
+#include "workload/scenario.h"
+
+namespace vstream::workload {
+
+Scenario paper_scenario() {
+  Scenario s;
+
+  // Catalog sized so the fleet's disks cover ~97% of requests at steady
+  // state (paper: ~2% session-chunk miss rate, §4.1-2).
+  s.catalog.video_count = 3'500;
+  s.catalog.duration_median_s = 120.0;
+  s.catalog.duration_sigma = 0.9;
+
+  // Dense enough that /24 prefixes and (prefix, PoP) paths accumulate the
+  // multiple sessions per epoch the §4.2 aggregations need.
+  s.population.prefix_count = 300;
+
+  s.sessions.mean_interarrival_ms = 40.0;
+
+  s.fleet.pop_count = 4;
+  s.fleet.servers_per_pop = 4;
+  // Calibrated so ~65% of requests hit RAM, ~33% disk, ~2% miss (§4.1:
+  // retry timer touches ~35% of chunks, session-chunk miss rate ~2%).
+  s.fleet.server.ram_bytes = 32ull << 30;
+  s.fleet.server.disk_bytes = 240ull << 30;
+
+  // The paper's servers ran Linux with CUBIC (the kernel default since
+  // 2.6.19).
+  s.tcp.congestion_control = net::CongestionControl::kCubic;
+
+  s.session_count = 4'000;
+  return s;
+}
+
+Scenario test_scenario() {
+  Scenario s = paper_scenario();
+  s.session_count = 300;
+  // Sized so each test server's disk still covers most of its assigned
+  // catalog, as at paper scale.
+  s.catalog.video_count = 400;
+  s.population.prefix_count = 150;
+  s.fleet.pop_count = 2;
+  s.fleet.servers_per_pop = 2;
+  s.fleet.server.ram_bytes = 2ull << 30;
+  s.fleet.server.disk_bytes = 48ull << 30;
+  return s;
+}
+
+}  // namespace vstream::workload

@@ -1,0 +1,75 @@
+// Scenario: the complete configuration of one simulated deployment —
+// catalog, client population, CDN fleet, transport, player — plus presets.
+#pragma once
+
+#include <cstdint>
+
+#include "cdn/fleet.h"
+#include "client/abr.h"
+#include "client/playback_buffer.h"
+#include "net/tcp_model.h"
+#include "workload/catalog.h"
+#include "workload/population.h"
+#include "workload/session_generator.h"
+
+namespace vstream::workload {
+
+struct Scenario {
+  std::uint64_t seed = 20160516;  ///< the paper's arXiv date, why not
+  std::size_t session_count = 4'000;
+
+  CatalogConfig catalog;
+  PopulationConfig population;
+  SessionGeneratorConfig sessions;
+  cdn::FleetConfig fleet;
+  cdn::RoutingPolicy routing = cdn::RoutingPolicy::kCacheFocused;
+  net::TcpConfig tcp;
+  client::PlaybackBufferConfig buffer;
+  client::AbrKind abr = client::AbrKind::kHybrid;
+
+  /// tcp_info sampling cadence (500 ms in production, §2.1).
+  double tcp_sample_interval_ms = 500.0;
+
+  /// Per-session receiver window draw (log-normal, in segments).  2015-era
+  /// client OSes autotuned receive buffers to modest sizes; sessions whose
+  /// rwnd sits below the path pipe never overflow the bottleneck and stay
+  /// loss-free (§4.2-3: ~40% of sessions see no loss).  0 disables.
+  double rwnd_median_segments = 150.0;
+  double rwnd_sigma = 0.7;
+
+  /// Diurnal/peak-hour congestion: on congestion-prone prefixes (a
+  /// population property), each session runs during a congestion epoch
+  /// with this probability and its base RTT carries a large extra offset
+  /// for the whole session.  Because clean sessions of the same prefix
+  /// stay fast, this drives the cross-session path variability of Fig. 10
+  /// without making prefixes *persistently* slow (Fig. 9 stays
+  /// distance/enterprise-driven).
+  double congestion_epoch_probability = 0.35;
+  double congestion_offset_median_ms = 150.0;
+  double congestion_offset_sigma = 0.7;
+
+  /// QoE-sensitive engagement (Krishnan & Sitaraman [25], Dobrian et al.
+  /// [14], which the paper's QoE framing builds on): after each
+  /// re-buffering event the viewer abandons the session with this
+  /// probability.  0 (default) keeps watch time independent of QoE, as the
+  /// calibration scenarios assume.
+  double stall_abandonment_probability = 0.0;
+
+  /// §4.3-1 recommendation (2): rate-based ABRs relying on client-side
+  /// measurements "should exclude these outliers in their
+  /// throughput/latency estimations."  When set, a chunk whose
+  /// instantaneous throughput exceeds 4x the smoothed estimate is not fed
+  /// into the ABR's EWMA (it is almost certainly stack-buffered delivery,
+  /// not network speed).
+  bool abr_filters_throughput_outliers = false;
+};
+
+/// Default scenario calibrated to §3/§4: Zipf head 10% -> 66%, ~2% session
+/// chunk miss rate, ~35% of chunks behind the retry timer, enterprise
+/// jitter, platform mixes, etc.
+Scenario paper_scenario();
+
+/// Smaller/faster variant for unit and integration tests.
+Scenario test_scenario();
+
+}  // namespace vstream::workload

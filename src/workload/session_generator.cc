@@ -1,0 +1,31 @@
+#include "workload/session_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vstream::workload {
+
+SessionSpec SessionGenerator::next(sim::Rng& rng) {
+  SessionSpec spec;
+  spec.session_id = next_session_id_++;
+  clock_ms_ += rng.exponential(config_.mean_interarrival_ms);
+  spec.start_time_ms = clock_ms_;
+
+  spec.video_id = catalog_->sample_video(rng);
+  spec.video_rank = catalog_->rank_of(spec.video_id);
+  const VideoMeta& meta = catalog_->video(spec.video_id);
+  spec.video_duration_s = meta.duration_s;
+
+  std::uint32_t chunks = meta.chunk_count;
+  if (rng.bernoulli(config_.abandon_probability)) {
+    const double fraction = rng.uniform(0.05, 1.0);
+    chunks = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::ceil(fraction * meta.chunk_count)));
+  }
+  spec.chunk_count = chunks;
+
+  spec.client = population_->sample(rng);
+  return spec;
+}
+
+}  // namespace vstream::workload

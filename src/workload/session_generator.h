@@ -1,0 +1,48 @@
+// Session generation: who watches what, when, for how long.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/catalog.h"
+#include "workload/population.h"
+
+namespace vstream::workload {
+
+struct SessionGeneratorConfig {
+  /// Mean session inter-arrival time (ms); exponential arrivals.
+  double mean_interarrival_ms = 40.0;
+  /// Probability the viewer abandons before the video ends; if so the
+  /// watched fraction is uniform.  (The paper measures per-chunk QoE, so
+  /// realistic partial viewing keeps session-length CDFs honest, Fig. 11a.)
+  double abandon_probability = 0.55;
+};
+
+struct SessionSpec {
+  std::uint64_t session_id = 0;
+  std::uint32_t video_id = 0;
+  std::size_t video_rank = 0;   ///< 1-based popularity rank
+  std::uint32_t chunk_count = 0; ///< chunks the viewer will actually fetch
+  double video_duration_s = 0.0;
+  ClientProfile client;
+  double start_time_ms = 0.0;  ///< arrival time on the fleet-wide clock
+};
+
+class SessionGenerator {
+ public:
+  SessionGenerator(SessionGeneratorConfig config, const VideoCatalog& catalog,
+                   const Population& population)
+      : config_(config), catalog_(&catalog), population_(&population) {}
+
+  SessionSpec next(sim::Rng& rng);
+
+  const SessionGeneratorConfig& config() const { return config_; }
+
+ private:
+  SessionGeneratorConfig config_;
+  const VideoCatalog* catalog_;
+  const Population* population_;
+  std::uint64_t next_session_id_ = 1;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace vstream::workload

@@ -1,0 +1,230 @@
+#include "analysis/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/join.h"
+
+namespace vstream::analysis {
+namespace {
+
+using telemetry::Dataset;
+using telemetry::JoinedDataset;
+
+/// Append one session with constant SRTT samples plus one configurable
+/// chunk-baseline; enough structure for the §4.2 aggregations.
+void add_session(Dataset& d, std::uint64_t id, net::IpV4 ip,
+                 const std::string& org, net::AccessType access,
+                 const std::string& country, double srtt_base_ms,
+                 double srtt_wiggle_ms, std::uint32_t pop = 0,
+                 double distance_km = 100.0, double start_ms = 0.0,
+                 std::size_t chunks = 4, double srtt_spike_ms = 0.0) {
+  telemetry::PlayerSessionRecord ps;
+  ps.session_id = id;
+  ps.client_ip = ip;
+  ps.user_agent = "Chrome/Windows";
+  ps.start_time_ms = start_ms;
+  d.player_sessions.push_back(ps);
+
+  telemetry::CdnSessionRecord cs;
+  cs.session_id = id;
+  cs.observed_ip = ip;
+  cs.observed_user_agent = ps.user_agent;
+  cs.pop = pop;
+  cs.org = org;
+  cs.access = access;
+  cs.country = country;
+  cs.client_distance_km = distance_km;
+  d.cdn_sessions.push_back(cs);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    telemetry::PlayerChunkRecord pc;
+    pc.session_id = id;
+    pc.chunk_id = static_cast<std::uint32_t>(c);
+    pc.request_sent_ms = 3'000.0 * static_cast<double>(c);
+    // D_FB = server (2.0) + rtt0 (srtt_base): the rtt0 bound is tight here.
+    pc.dfb_ms = 2.0 + srtt_base_ms;
+    pc.dlb_ms = 2'000.0;
+    pc.bitrate_kbps = 1'500;
+    d.player_chunks.push_back(pc);
+
+    telemetry::CdnChunkRecord cc;
+    cc.session_id = id;
+    cc.chunk_id = static_cast<std::uint32_t>(c);
+    cc.dwait_ms = 0.3;
+    cc.dopen_ms = 0.4;
+    cc.dread_ms = 1.3;
+    cc.cache_level = cdn::CacheLevel::kRam;
+    cc.chunk_bytes = 1'125'000;
+    d.cdn_chunks.push_back(cc);
+
+    telemetry::TcpSnapshotRecord snap;
+    snap.session_id = id;
+    snap.chunk_id = static_cast<std::uint32_t>(c);
+    snap.at_ms = 1'000.0 * static_cast<double>(c);
+    // SRTT alternates base +/- wiggle (mean = base, stddev = wiggle) and
+    // optionally spikes on the last chunk (for CV > 1 cases — alternating
+    // positive samples alone cannot push CV past 1).
+    snap.info.srtt_ms =
+        srtt_base_ms + (c % 2 == 0 ? srtt_wiggle_ms : -srtt_wiggle_ms);
+    if (c + 1 == chunks) snap.info.srtt_ms += srtt_spike_ms;
+    snap.info.rttvar_ms = 5.0;
+    snap.info.cwnd_segments = 30;
+    snap.info.mss_bytes = 1'460;
+    snap.info.segments_out = 800 * (c + 1);
+    d.tcp_snapshots.push_back(snap);
+  }
+}
+
+TEST(SessionNetMetricsTest, ComputesSrttStatistics) {
+  Dataset d;
+  add_session(d, 1, net::make_ip(10, 0, 0, 1), "Org", net::AccessType::kResidential,
+              "US", 50.0, 10.0);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const SessionNetMetrics m = session_net_metrics(joined.sessions()[0]);
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.srtt_mean_ms, 50.0, 1e-9);
+  EXPECT_NEAR(m.srtt_stddev_ms, 10.0, 1e-9);
+  EXPECT_NEAR(m.srtt_cv, 0.2, 1e-9);
+  // Baseline: min over chunks of min(SRTT, D_FB - D_CDN) = min(40, 50) = 40.
+  EXPECT_NEAR(m.srtt_min_ms, 40.0, 1e-9);
+  EXPECT_NEAR(m.first_chunk_srtt_ms, 60.0, 1e-9);
+}
+
+TEST(SessionNetMetricsTest, InvalidWithoutSnapshots) {
+  Dataset d;
+  add_session(d, 1, net::make_ip(10, 0, 0, 1), "Org", net::AccessType::kResidential,
+              "US", 50.0, 0.0);
+  d.tcp_snapshots.clear();
+  const JoinedDataset joined = JoinedDataset::build(d);
+  EXPECT_FALSE(session_net_metrics(joined.sessions()[0]).valid);
+}
+
+TEST(RollupPrefixesTest, GroupsByPrefix) {
+  Dataset d;
+  // Two sessions in the same /24, one in another.
+  add_session(d, 1, net::make_ip(10, 0, 0, 1), "OrgA", net::AccessType::kResidential,
+              "US", 50.0, 5.0, 0, 120.0);
+  add_session(d, 2, net::make_ip(10, 0, 0, 99), "OrgA", net::AccessType::kResidential,
+              "US", 70.0, 5.0, 0, 140.0);
+  add_session(d, 3, net::make_ip(10, 0, 1, 1), "OrgB", net::AccessType::kEnterprise,
+              "US", 90.0, 5.0, 0, 300.0);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const auto rollups = rollup_prefixes(joined);
+  ASSERT_EQ(rollups.size(), 2u);
+  const PrefixRollup& first = rollups[0];
+  EXPECT_EQ(first.prefix, net::prefix24_of(net::make_ip(10, 0, 0, 1)));
+  EXPECT_EQ(first.session_count, 2u);
+  EXPECT_NEAR(first.srtt_min_ms, 45.0, 1e-9);  // min of 45 and 65 baselines
+  EXPECT_NEAR(first.distance_km, 130.0, 1e-9);
+  EXPECT_EQ(first.org, "OrgA");
+  EXPECT_EQ(rollups[1].session_count, 1u);
+  EXPECT_EQ(rollups[1].access, net::AccessType::kEnterprise);
+}
+
+TEST(OrgCvTableTest, RanksEnterprisesAboveResidential) {
+  // Table 4's shape: enterprise orgs have far more CV > 1 sessions.
+  Dataset d;
+  std::uint64_t id = 1;
+  for (int i = 0; i < 60; ++i) {
+    // Enterprise: most sessions spike hard on one chunk -> CV > 1.
+    add_session(d, id++, net::make_ip(10, 1, static_cast<std::uint8_t>(i), 1),
+                "Enterprise#1", net::AccessType::kEnterprise, "US", 40.0, 2.0,
+                0, 100.0, 0.0, 4, i % 5 == 0 ? 0.0 : 500.0);
+    // Residential: tiny wiggle, no spikes.
+    add_session(d, id++, net::make_ip(10, 2, static_cast<std::uint8_t>(i), 1),
+                "ComNet", net::AccessType::kResidential, "US", 40.0, 2.0);
+  }
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const auto table = org_cv_table(joined, 50);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].org, "Enterprise#1");
+  EXPECT_GT(table[0].percent(), 70.0);
+  EXPECT_EQ(table[1].org, "ComNet");
+  EXPECT_NEAR(table[1].percent(), 0.0, 1e-9);
+}
+
+TEST(OrgCvTableTest, MinSessionThresholdApplied) {
+  Dataset d;
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    add_session(d, id, net::make_ip(10, 3, static_cast<std::uint8_t>(id), 1),
+                "SmallOrg", net::AccessType::kEnterprise, "US", 40.0, 60.0);
+  }
+  const JoinedDataset joined = JoinedDataset::build(d);
+  EXPECT_TRUE(org_cv_table(joined, 50).empty());
+  EXPECT_EQ(org_cv_table(joined, 10).size(), 1u);
+}
+
+TEST(PathCvTest, ComputesPerPathVariation) {
+  Dataset d;
+  std::uint64_t id = 1;
+  // Path A (prefix 10.5.1.0/24, pop 0): stable session means.
+  for (int i = 0; i < 5; ++i) {
+    add_session(d, id++, net::make_ip(10, 5, 1, static_cast<std::uint8_t>(i + 1)),
+                "OrgA", net::AccessType::kResidential, "US", 50.0, 0.0, 0);
+  }
+  // Path B (prefix 10.5.2.0/24, pop 0): wildly varying session means.
+  const double bases[] = {20.0, 200.0, 20.0, 200.0, 20.0};
+  for (int i = 0; i < 5; ++i) {
+    add_session(d, id++, net::make_ip(10, 5, 2, static_cast<std::uint8_t>(i + 1)),
+                "OrgA", net::AccessType::kResidential, "US", bases[i], 0.0, 0);
+  }
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const auto cvs = path_cv_values(joined, 3);
+  ASSERT_EQ(cvs.size(), 2u);
+  const double low = std::min(cvs[0], cvs[1]);
+  const double high = std::max(cvs[0], cvs[1]);
+  EXPECT_NEAR(low, 0.0, 1e-9);
+  EXPECT_GT(high, 0.5);
+}
+
+TEST(PathCvTest, MinSessionsFilter) {
+  Dataset d;
+  add_session(d, 1, net::make_ip(10, 6, 1, 1), "OrgA",
+              net::AccessType::kResidential, "US", 50.0, 0.0);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  EXPECT_TRUE(path_cv_values(joined, 3).empty());
+  EXPECT_EQ(path_cv_values(joined, 1).size(), 1u);
+}
+
+TEST(TailPrefixTest, FindsPersistentlySlowPrefixes) {
+  Dataset d;
+  std::uint64_t id = 1;
+  // A persistently slow international prefix: slow in every epoch.
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    add_session(d, id++, net::make_ip(20, 1, 1, static_cast<std::uint8_t>(epoch + 1)),
+                "GlobalTransit", net::AccessType::kInternational, "DE", 150.0,
+                5.0, 0, 6'000.0, epoch * 10'000.0);
+  }
+  // A fast US prefix, present in every epoch.
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    add_session(d, id++, net::make_ip(20, 2, 2, static_cast<std::uint8_t>(epoch + 1)),
+                "ComNet", net::AccessType::kResidential, "US", 30.0, 2.0, 0,
+                100.0, epoch * 10'000.0);
+  }
+  // A once-slow US prefix (transient congestion in one epoch only).
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    add_session(d, id++, net::make_ip(20, 3, 3, static_cast<std::uint8_t>(epoch + 1)),
+                "ComNet", net::AccessType::kResidential, "US",
+                epoch == 2 ? 150.0 : 30.0, 2.0, 0, 100.0, epoch * 10'000.0);
+  }
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const TailPrefixStudy study =
+      persistent_tail_prefixes(joined, 100.0, 6, 0.5);
+  EXPECT_EQ(study.total_prefix_count, 3u);
+  EXPECT_EQ(study.tail_prefix_count, 2u);  // persistent + transient
+  ASSERT_EQ(study.persistent_tail.size(), 1u);
+  EXPECT_EQ(study.persistent_tail[0].prefix,
+            net::prefix24_of(net::make_ip(20, 1, 1, 0)));
+  EXPECT_DOUBLE_EQ(study.non_us_share, 1.0);
+}
+
+TEST(TailPrefixTest, EmptyDataset) {
+  const Dataset d;
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const TailPrefixStudy study = persistent_tail_prefixes(joined);
+  EXPECT_TRUE(study.persistent_tail.empty());
+  EXPECT_EQ(study.total_prefix_count, 0u);
+}
+
+}  // namespace
+}  // namespace vstream::analysis

@@ -1,0 +1,176 @@
+#include "analysis/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/join.h"
+
+namespace vstream::analysis {
+namespace {
+
+using telemetry::Dataset;
+using telemetry::JoinedDataset;
+
+TEST(PerfScoreTest, Equation2) {
+  // tau = 6 s; D_FB + D_LB = 3 s -> score 2 (good).
+  EXPECT_DOUBLE_EQ(perf_score(6.0, 1'000.0, 2'000.0), 2.0);
+  // 12 s to move 6 s of video -> score 0.5 (bad).
+  EXPECT_DOUBLE_EQ(perf_score(6.0, 2'000.0, 10'000.0), 0.5);
+  EXPECT_DOUBLE_EQ(perf_score(6.0, 0.0, 0.0), 0.0);  // guarded
+}
+
+TEST(InstantaneousThroughputTest, Formula) {
+  // 1,125,000 bytes in 3000 ms = 3,000 kbps.
+  EXPECT_NEAR(instantaneous_throughput_kbps(1'125'000, 3'000.0), 3'000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(instantaneous_throughput_kbps(1'000, 0.0), 0.0);
+}
+
+TEST(RtoConservativeTest, PaperFootnoteFormula) {
+  net::TcpInfo info;
+  info.srtt_ms = 60.0;
+  info.rttvar_ms = 10.0;
+  // RTO = 200 + srtt + 4 * srttvar.
+  EXPECT_DOUBLE_EQ(rto_conservative_ms(info), 300.0);
+}
+
+/// Build a synthetic session of `n` well-behaved chunks; optionally plant a
+/// stack-buffered chunk (high D_FB + instantaneous delivery) at index
+/// `anomaly_at`, and/or a *network*-caused slow chunk at `slow_net_at`
+/// (which Eq. 4 must NOT flag because SRTT explains it).
+Dataset make_session(std::size_t n, int anomaly_at = -1, int slow_net_at = -1,
+                     double ds_extra_ms = 0.0) {
+  Dataset d;
+  telemetry::PlayerSessionRecord ps;
+  ps.session_id = 1;
+  ps.user_agent = "Chrome/Windows";
+  d.player_sessions.push_back(ps);
+  telemetry::CdnSessionRecord cs;
+  cs.session_id = 1;
+  d.cdn_sessions.push_back(cs);
+
+  for (std::size_t c = 0; c < n; ++c) {
+    const bool anomaly = static_cast<int>(c) == anomaly_at;
+    const bool slow_net = static_cast<int>(c) == slow_net_at;
+
+    telemetry::CdnChunkRecord cc;
+    cc.session_id = 1;
+    cc.chunk_id = static_cast<std::uint32_t>(c);
+    cc.dwait_ms = 0.3;
+    cc.dopen_ms = 0.5;
+    cc.dread_ms = 1.5;
+    cc.cache_level = cdn::CacheLevel::kRam;
+    cc.chunk_bytes = 1'125'000;
+    d.cdn_chunks.push_back(cc);
+
+    telemetry::TcpSnapshotRecord snap;
+    snap.session_id = 1;
+    snap.chunk_id = static_cast<std::uint32_t>(c);
+    snap.at_ms = 1'000.0 * static_cast<double>(c);
+    snap.info.srtt_ms = slow_net ? 400.0 : 50.0;
+    snap.info.rttvar_ms = 10.0;
+    snap.info.cwnd_segments = 40;
+    snap.info.mss_bytes = 1'460;
+    snap.info.segments_out = 800 * (c + 1);
+    snap.info.total_retrans = 0;
+    d.tcp_snapshots.push_back(snap);
+
+    telemetry::PlayerChunkRecord pc;
+    pc.session_id = 1;
+    pc.chunk_id = static_cast<std::uint32_t>(c);
+    pc.request_sent_ms = 3'000.0 * static_cast<double>(c);
+    pc.bitrate_kbps = 1'500;
+    if (anomaly) {
+      // Whole chunk held in the stack, then delivered at once.
+      pc.dfb_ms = 3'000.0;
+      pc.dlb_ms = 5.0;
+    } else if (slow_net) {
+      pc.dfb_ms = 400.0 + 2.3;
+      pc.dlb_ms = 6'000.0;
+    } else {
+      pc.dfb_ms = 50.0 + 2.3 + ds_extra_ms;
+      pc.dlb_ms = 2'500.0;
+    }
+    d.player_chunks.push_back(pc);
+  }
+  return d;
+}
+
+TEST(DsOutlierTest, DetectsPlantedAnomaly) {
+  const Dataset d = make_session(12, /*anomaly_at=*/7);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  ASSERT_EQ(joined.sessions().size(), 1u);
+  const DsOutlierResult r = detect_ds_outliers(joined.sessions()[0]);
+  ASSERT_EQ(r.flagged.size(), 12u);
+  EXPECT_EQ(r.flagged_count, 1u);
+  EXPECT_TRUE(r.flagged[7]);
+}
+
+TEST(DsOutlierTest, CleanSessionHasNoFlags) {
+  const Dataset d = make_session(12);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const DsOutlierResult r = detect_ds_outliers(joined.sessions()[0]);
+  EXPECT_EQ(r.flagged_count, 0u);
+}
+
+TEST(DsOutlierTest, NetworkSlownessNotBlamedOnStack) {
+  // A chunk slowed by the *network* (high SRTT, low TP_inst) must not be
+  // flagged: Eq. 4 requires normal SRTT and an abnormally HIGH TP_inst.
+  const Dataset d = make_session(12, /*anomaly_at=*/-1, /*slow_net_at=*/5);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const DsOutlierResult r = detect_ds_outliers(joined.sessions()[0]);
+  EXPECT_FALSE(r.flagged[5]);
+}
+
+TEST(DsOutlierTest, ShortSessionsSkipped) {
+  const Dataset d = make_session(3, /*anomaly_at=*/1);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  DsOutlierConfig config;
+  config.min_chunks = 5;
+  const DsOutlierResult r = detect_ds_outliers(joined.sessions()[0], config);
+  EXPECT_EQ(r.flagged_count, 0u);
+}
+
+TEST(DdsLowerBoundTest, ZeroForNormalChunks) {
+  // Eq. 5 is conservative: an ordinary chunk's D_FB is far below
+  // D_CDN + RTO, so the bound clamps to zero.
+  const Dataset d = make_session(8);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  for (const telemetry::JoinedChunk& chunk : joined.sessions()[0].chunks) {
+    EXPECT_DOUBLE_EQ(dds_lower_bound_ms(chunk), 0.0);
+  }
+}
+
+TEST(DdsLowerBoundTest, PositiveForPersistentStackLatency) {
+  // Give every chunk 1.5 s of stack latency (a Table 5 Safari-on-Windows
+  // host): D_FB - D_CDN - RTO is comfortably positive.
+  const Dataset d = make_session(8, -1, -1, /*ds_extra_ms=*/1'500.0);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  for (const telemetry::JoinedChunk& chunk : joined.sessions()[0].chunks) {
+    const double bound = dds_lower_bound_ms(chunk);
+    EXPECT_GT(bound, 1'000.0);
+    // RTO = 200 + 50 + 40 = 290; D_FB = 1552.3; D_CDN = 2.3 -> bound 1260.
+    EXPECT_NEAR(bound, 1'260.0, 1.0);
+  }
+}
+
+TEST(DdsLowerBoundTest, MissingSidesYieldZero) {
+  telemetry::JoinedChunk chunk;  // all null
+  EXPECT_DOUBLE_EQ(dds_lower_bound_ms(chunk), 0.0);
+}
+
+// Property sweep: detector precision under different anomaly positions.
+class DsPositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsPositionTest, FlagsExactlyThePlantedChunk) {
+  const int position = GetParam();
+  const Dataset d = make_session(15, position);
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const DsOutlierResult r = detect_ds_outliers(joined.sessions()[0]);
+  EXPECT_EQ(r.flagged_count, 1u);
+  EXPECT_TRUE(r.flagged[static_cast<std::size_t>(position)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, DsPositionTest,
+                         ::testing::Values(0, 1, 7, 13, 14));
+
+}  // namespace
+}  // namespace vstream::analysis

@@ -1,0 +1,104 @@
+#include "analysis/qoe.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::analysis {
+namespace {
+
+using telemetry::Dataset;
+using telemetry::JoinedDataset;
+
+Dataset make_dataset() {
+  Dataset d;
+  telemetry::PlayerSessionRecord ps;
+  ps.session_id = 1;
+  ps.startup_ms = 900.0;
+  d.player_sessions.push_back(ps);
+  telemetry::CdnSessionRecord cs;
+  cs.session_id = 1;
+  d.cdn_sessions.push_back(cs);
+
+  const std::uint32_t bitrates[] = {700, 1'500, 1'500, 2'500};
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    telemetry::PlayerChunkRecord pc;
+    pc.session_id = 1;
+    pc.chunk_id = c;
+    pc.request_sent_ms = 6'000.0 * c;
+    pc.dfb_ms = 100.0;
+    pc.dlb_ms = 1'900.0;
+    pc.bitrate_kbps = bitrates[c];
+    pc.rebuffer_ms = c == 2 ? 600.0 : 0.0;
+    pc.rebuffer_count = c == 2 ? 1 : 0;
+    pc.visible = c != 3;  // last chunk hidden
+    pc.total_frames = 180;
+    pc.dropped_frames = c == 1 ? 18 : 0;
+    d.player_chunks.push_back(pc);
+
+    telemetry::CdnChunkRecord cc;
+    cc.session_id = 1;
+    cc.chunk_id = c;
+    cc.cache_level = cdn::CacheLevel::kRam;
+    cc.chunk_bytes = 1'000'000;
+    d.cdn_chunks.push_back(cc);
+  }
+  return d;
+}
+
+TEST(QoeTest, SessionMetrics) {
+  const Dataset d = make_dataset();
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const SessionQoe qoe = session_qoe(joined.sessions()[0]);
+
+  EXPECT_DOUBLE_EQ(qoe.startup_ms, 900.0);
+  EXPECT_EQ(qoe.rebuffer_events, 1u);
+  EXPECT_EQ(qoe.chunks, 4u);
+  EXPECT_NEAR(qoe.avg_bitrate_kbps, (700 + 1'500 + 1'500 + 2'500) / 4.0, 1e-9);
+  // Two bitrate changes: 700->1500 and 1500->2500.
+  EXPECT_EQ(qoe.bitrate_switches, 2u);
+  // Dropped % over visible chunks only: 18 / (3 * 180).
+  EXPECT_NEAR(qoe.dropped_frame_pct, 100.0 * 18.0 / 540.0, 1e-9);
+}
+
+TEST(QoeTest, AggregateAcrossSessions) {
+  Dataset d = make_dataset();
+  // Add a second, stall-free session.
+  telemetry::PlayerSessionRecord ps;
+  ps.session_id = 2;
+  ps.startup_ms = 500.0;
+  d.player_sessions.push_back(ps);
+  telemetry::CdnSessionRecord cs;
+  cs.session_id = 2;
+  d.cdn_sessions.push_back(cs);
+  telemetry::PlayerChunkRecord pc;
+  pc.session_id = 2;
+  pc.chunk_id = 0;
+  pc.dfb_ms = 50.0;
+  pc.dlb_ms = 1'000.0;
+  pc.bitrate_kbps = 4'000;
+  pc.visible = true;
+  pc.total_frames = 180;
+  d.player_chunks.push_back(pc);
+  telemetry::CdnChunkRecord cc;
+  cc.session_id = 2;
+  cc.chunk_id = 0;
+  cc.cache_level = cdn::CacheLevel::kRam;
+  d.cdn_chunks.push_back(cc);
+
+  const JoinedDataset joined = JoinedDataset::build(d);
+  const QoeAggregate agg = aggregate_qoe(joined);
+  EXPECT_EQ(agg.sessions, 2u);
+  EXPECT_DOUBLE_EQ(agg.startup_ms.min, 500.0);
+  EXPECT_DOUBLE_EQ(agg.startup_ms.max, 900.0);
+  EXPECT_DOUBLE_EQ(agg.share_with_rebuffering, 0.5);
+  EXPECT_DOUBLE_EQ(agg.avg_bitrate_kbps.max, 4'000.0);
+}
+
+TEST(QoeTest, EmptyDataset) {
+  const JoinedDataset joined = JoinedDataset::build(Dataset{});
+  const QoeAggregate agg = aggregate_qoe(joined);
+  EXPECT_EQ(agg.sessions, 0u);
+  EXPECT_DOUBLE_EQ(agg.share_with_rebuffering, 0.0);
+}
+
+}  // namespace
+}  // namespace vstream::analysis

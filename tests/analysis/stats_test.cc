@@ -1,0 +1,197 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace vstream::analysis {
+namespace {
+
+TEST(StatsTest, QuantileSortedBasics) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.125), 1.5);  // interpolation
+}
+
+TEST(StatsTest, QuantileEdgeCases) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.9), 7.0);
+  const std::vector<double> two = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(two, 1.5), 3.0);  // q clamped
+  EXPECT_DOUBLE_EQ(quantile_sorted(two, -1.0), 1.0);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean_of(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev_of(v), 2.0);  // classic population-sd example
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({}), 0.0);
+  const std::vector<double> single = {3.0};
+  EXPECT_DOUBLE_EQ(stddev_of(single), 0.0);
+}
+
+TEST(StatsTest, CoefficientOfVariation) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(cv_of(v), 0.4);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cv_of(zeros), 0.0);  // guarded
+}
+
+TEST(StatsTest, SummarizeConsistent) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const SummaryStats s = summarize(v);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p25, 25.75, 1e-9);
+  EXPECT_NEAR(s.p75, 75.25, 1e-9);
+  EXPECT_NEAR(s.iqr(), 49.5, 1e-9);
+  EXPECT_GT(s.p95, s.p75);
+  EXPECT_NEAR(s.cv(), s.stddev / s.mean, 1e-12);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  const SummaryStats s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, CdfMonotoneAndBounded) {
+  std::vector<double> v;
+  for (int i = 0; i < 1'000; ++i) v.push_back(std::sin(i) * 100.0);
+  const auto cdf = make_cdf(v, 50);
+  ASSERT_GE(cdf.size(), 2u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].p, cdf[i - 1].p);
+  }
+  EXPECT_GT(cdf.front().p, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().p, 1.0);
+}
+
+TEST(StatsTest, CcdfComplementsCdf) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto ccdf = make_ccdf(v, 100);
+  EXPECT_DOUBLE_EQ(ccdf.back().p, 0.0);
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LE(ccdf[i].p, ccdf[i - 1].p);
+  }
+}
+
+TEST(StatsTest, CdfAtExactFractions) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at({}, 1.0), 0.0);
+}
+
+TEST(StatsTest, BinSeriesAssignsAndSummarizes) {
+  const std::vector<double> x = {5, 15, 15, 25, 95, 150};
+  const std::vector<double> y = {1, 2, 4, 8, 16, 32};
+  const auto bins = bin_series(x, y, 0.0, 100.0, 10.0);
+  // 150 is out of range; bins at 5 (y=1), 15 (y=2,4), 25 (y=8), 95 (y=16).
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(bins[0].center, 5.0);
+  EXPECT_EQ(bins[0].stats.n, 1u);
+  EXPECT_DOUBLE_EQ(bins[1].center, 15.0);
+  EXPECT_EQ(bins[1].stats.n, 2u);
+  EXPECT_DOUBLE_EQ(bins[1].stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(bins[3].center, 95.0);
+}
+
+TEST(StatsTest, BinSeriesRejectsDegenerateInput) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_TRUE(bin_series(x, y, 0, 10, 1).empty());      // size mismatch
+  EXPECT_TRUE(bin_series(x, x, 0, 10, 0).empty());      // zero width
+  EXPECT_TRUE(bin_series(x, x, 10, 0, 1).empty());      // inverted range
+  EXPECT_TRUE(bin_series({}, {}, 0, 10, 1).empty());    // empty
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerate) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> flat = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, {}), 0.0);
+  const std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(pearson(one, one), 0.0);
+}
+
+TEST(BootstrapTest, CoversTrueMeanOfTightSample) {
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(10.0 + (i % 3));  // mean 11.0-ish
+  const ConfidenceInterval ci = bootstrap_mean_ci(v);
+  EXPECT_NEAR(ci.point, mean_of(v), 1e-12);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_TRUE(ci.contains(ci.point));
+  // A tight sample gives a tight interval.
+  EXPECT_LT(ci.hi - ci.lo, 0.5);
+}
+
+TEST(BootstrapTest, WiderIntervalForWiderSpread) {
+  vstream::sim::Rng rng(5);
+  std::vector<double> tight, wide;
+  for (int i = 0; i < 200; ++i) {
+    tight.push_back(rng.normal(50.0, 1.0));
+    wide.push_back(rng.normal(50.0, 25.0));
+  }
+  const ConfidenceInterval a = bootstrap_mean_ci(tight);
+  const ConfidenceInterval b = bootstrap_mean_ci(wide);
+  EXPECT_LT(a.hi - a.lo, b.hi - b.lo);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  std::vector<double> v = {1, 5, 9, 2, 8, 3, 7};
+  const ConfidenceInterval a = bootstrap_mean_ci(v, 0.05, 500, 42);
+  const ConfidenceInterval b = bootstrap_mean_ci(v, 0.05, 500, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(bootstrap_mean_ci({}).point, 0.0);
+  const std::vector<double> one = {7.0};
+  const ConfidenceInterval ci = bootstrap_mean_ci(one);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+// Property: CDF of n distinct values hits p = k/n at the k-th value.
+class CdfSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CdfSizeTest, FullResolutionCdfExact) {
+  const std::size_t n = GetParam();
+  std::vector<double> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<double>(i));
+  const auto cdf = make_cdf(v, n * 2);  // no downsampling
+  ASSERT_GE(cdf.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(cdf[i].x, static_cast<double>(i));
+    EXPECT_NEAR(cdf[i].p, static_cast<double>(i + 1) / n, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CdfSizeTest, ::testing::Values(1u, 2u, 17u, 256u));
+
+}  // namespace
+}  // namespace vstream::analysis

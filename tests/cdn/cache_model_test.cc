@@ -1,0 +1,130 @@
+// Model-based testing: CacheStore with the LRU policy is checked against a
+// trivially correct reference implementation under long random operation
+// sequences.  Any divergence in membership, usage accounting or eviction
+// order is a bug in the optimized structures.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "cdn/cache.h"
+#include "sim/rng.h"
+
+namespace vstream::cdn {
+namespace {
+
+/// Reference LRU cache: O(n) everywhere, obviously correct.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::uint64_t capacity) : capacity_(capacity) {}
+
+  bool contains(const ChunkKey& key) const {
+    for (const auto& [k, s] : entries_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  void touch(const ChunkKey& key) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return;
+      }
+    }
+  }
+
+  bool insert(const ChunkKey& key, std::uint64_t size) {
+    if (size > capacity_) return false;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return true;
+      }
+    }
+    while (used_ + size > capacity_) {
+      used_ -= entries_.back().second;
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, size);
+    used_ += size;
+    return true;
+  }
+
+  void erase(const ChunkKey& key) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        used_ -= it->second;
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+  std::uint64_t used() const { return used_; }
+  std::size_t count() const { return entries_.size(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<std::pair<ChunkKey, std::uint64_t>> entries_;  // front = MRU
+};
+
+ChunkKey random_key(sim::Rng& rng, std::uint32_t key_space) {
+  return ChunkKey{
+      static_cast<std::uint32_t>(rng.uniform_int(0, key_space - 1)),
+      static_cast<std::uint32_t>(rng.uniform_int(0, 3)), 1'500};
+}
+
+class CacheModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheModelTest, MatchesReferenceUnderRandomOps) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed);
+  const std::uint64_t capacity = 10'000;
+  CacheStore store(capacity, make_policy(PolicyKind::kLru));
+  ReferenceLru reference(capacity);
+
+  for (int op = 0; op < 5'000; ++op) {
+    const ChunkKey key = random_key(rng, 40);
+    const double action = rng.uniform01();
+    if (action < 0.55) {
+      const std::uint64_t size = 200 + static_cast<std::uint64_t>(
+                                           rng.uniform_int(0, 1'800));
+      const bool a = store.insert(key, size);
+      const bool b = reference.insert(key, size);
+      ASSERT_EQ(a, b) << "insert disagreement at op " << op;
+    } else if (action < 0.85) {
+      store.touch(key);
+      reference.touch(key);
+    } else {
+      store.erase(key);
+      reference.erase(key);
+    }
+    ASSERT_EQ(store.used_bytes(), reference.used()) << "op " << op;
+    ASSERT_EQ(store.object_count(), reference.count()) << "op " << op;
+    // Membership spot check on a handful of keys.
+    for (int probe = 0; probe < 5; ++probe) {
+      const ChunkKey p = random_key(rng, 40);
+      ASSERT_EQ(store.contains(p), reference.contains(p))
+          << "membership disagreement at op " << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(CacheModelTest, InsertWithDuplicateKeepsOriginalSizeAccounting) {
+  // Duplicate insert refreshes recency; size accounting must not change
+  // even if the caller passes a different size (the object is the object).
+  CacheStore store(5'000, make_policy(PolicyKind::kLru));
+  const ChunkKey key{1, 2, 1'500};
+  store.insert(key, 1'000);
+  store.insert(key, 2'000);  // duplicate with different size
+  EXPECT_EQ(store.used_bytes(), 1'000u);
+  EXPECT_EQ(store.object_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vstream::cdn

@@ -1,0 +1,140 @@
+#include "cdn/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::cdn {
+namespace {
+
+ChunkKey key(std::uint32_t v, std::uint32_t c = 0) { return ChunkKey{v, c, 1500}; }
+
+TEST(CacheStoreTest, InsertAndContains) {
+  CacheStore store(1'000, make_policy(PolicyKind::kLru));
+  EXPECT_TRUE(store.insert(key(1), 400));
+  EXPECT_TRUE(store.contains(key(1)));
+  EXPECT_FALSE(store.contains(key(2)));
+  EXPECT_EQ(store.used_bytes(), 400u);
+  EXPECT_EQ(store.object_count(), 1u);
+}
+
+TEST(CacheStoreTest, EvictsWhenFull) {
+  CacheStore store(1'000, make_policy(PolicyKind::kLru));
+  store.insert(key(1), 400);
+  store.insert(key(2), 400);
+  store.insert(key(3), 400);  // evicts key(1)
+  EXPECT_FALSE(store.contains(key(1)));
+  EXPECT_TRUE(store.contains(key(2)));
+  EXPECT_TRUE(store.contains(key(3)));
+  EXPECT_LE(store.used_bytes(), 1'000u);
+  EXPECT_EQ(store.eviction_count(), 1u);
+}
+
+TEST(CacheStoreTest, TouchProtectsFromEviction) {
+  CacheStore store(1'000, make_policy(PolicyKind::kLru));
+  store.insert(key(1), 400);
+  store.insert(key(2), 400);
+  store.touch(key(1));
+  store.insert(key(3), 400);  // LRU victim is now key(2)
+  EXPECT_TRUE(store.contains(key(1)));
+  EXPECT_FALSE(store.contains(key(2)));
+}
+
+TEST(CacheStoreTest, OversizedObjectRejected) {
+  CacheStore store(1'000, make_policy(PolicyKind::kLru));
+  EXPECT_FALSE(store.insert(key(1), 2'000));
+  EXPECT_FALSE(store.contains(key(1)));
+  EXPECT_EQ(store.used_bytes(), 0u);
+}
+
+TEST(CacheStoreTest, DuplicateInsertIsAccess) {
+  CacheStore store(1'000, make_policy(PolicyKind::kLru));
+  store.insert(key(1), 400);
+  store.insert(key(2), 400);
+  EXPECT_TRUE(store.insert(key(1), 400));  // refresh, no size change
+  EXPECT_EQ(store.used_bytes(), 800u);
+  store.insert(key(3), 400);  // victim should be key(2)
+  EXPECT_TRUE(store.contains(key(1)));
+  EXPECT_FALSE(store.contains(key(2)));
+}
+
+TEST(CacheStoreTest, EraseFreesSpace) {
+  CacheStore store(1'000, make_policy(PolicyKind::kLru));
+  store.insert(key(1), 600);
+  store.erase(key(1));
+  EXPECT_FALSE(store.contains(key(1)));
+  EXPECT_EQ(store.used_bytes(), 0u);
+  store.erase(key(1));  // idempotent
+}
+
+TEST(CacheStoreTest, NullPolicyRejected) {
+  EXPECT_THROW(CacheStore(100, nullptr), std::invalid_argument);
+}
+
+TEST(TwoLevelCacheTest, MissThenAdmitThenRamHit) {
+  TwoLevelCache cache(10'000, 100'000, PolicyKind::kLru);
+  EXPECT_EQ(cache.lookup(key(1), 500), CacheLevel::kMiss);
+  cache.admit(key(1), 500);
+  EXPECT_EQ(cache.lookup(key(1), 500), CacheLevel::kRam);
+}
+
+TEST(TwoLevelCacheTest, RamEvictionFallsBackToDisk) {
+  // RAM holds 2 objects, disk holds everything: evicted-from-RAM objects
+  // must still disk-hit and get promoted back.
+  TwoLevelCache cache(1'000, 100'000, PolicyKind::kLru);
+  cache.admit(key(1), 500);
+  cache.admit(key(2), 500);
+  cache.admit(key(3), 500);  // RAM evicts key(1)
+  EXPECT_EQ(cache.lookup(key(1), 500), CacheLevel::kDisk);
+  // Promotion: the second lookup is a RAM hit.
+  EXPECT_EQ(cache.lookup(key(1), 500), CacheLevel::kRam);
+}
+
+TEST(TwoLevelCacheTest, DiskEvictionLosesObject) {
+  TwoLevelCache cache(500, 1'000, PolicyKind::kLru);
+  cache.admit(key(1), 500);
+  cache.admit(key(2), 500);
+  cache.admit(key(3), 500);  // disk evicts key(1)
+  EXPECT_EQ(cache.lookup(key(1), 500), CacheLevel::kMiss);
+}
+
+TEST(TwoLevelCacheTest, LevelNames) {
+  EXPECT_STREQ(to_string(CacheLevel::kRam), "ram-hit");
+  EXPECT_STREQ(to_string(CacheLevel::kDisk), "disk-hit");
+  EXPECT_STREQ(to_string(CacheLevel::kMiss), "miss");
+}
+
+// Property: used_bytes never exceeds capacity under random workloads, for
+// every policy.
+class CacheInvariantTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(CacheInvariantTest, CapacityNeverExceeded) {
+  CacheStore store(10'000, make_policy(GetParam()));
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 2'000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint32_t video = static_cast<std::uint32_t>(state >> 33) % 100;
+    const std::uint64_t size = 100 + (state >> 20) % 2'000;
+    store.insert(key(video), size);
+    ASSERT_LE(store.used_bytes(), store.capacity_bytes());
+  }
+}
+
+TEST_P(CacheInvariantTest, HotObjectSurvives) {
+  // A small object touched on every step should never be evicted: it is
+  // the most recent (LRU), the most frequent (LFU) and the highest
+  // priority per byte (GD-Size).
+  CacheStore store(10'000, make_policy(GetParam()));
+  store.insert(key(999), 100);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    store.touch(key(999));
+    store.insert(key(i), 2'000);
+    ASSERT_TRUE(store.contains(key(999))) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CacheInvariantTest,
+                         ::testing::Values(PolicyKind::kLru,
+                                           PolicyKind::kPerfectLfu,
+                                           PolicyKind::kGdSize));
+
+}  // namespace
+}  // namespace vstream::cdn

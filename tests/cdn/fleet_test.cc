@@ -1,0 +1,160 @@
+#include "cdn/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/geo.h"
+
+namespace vstream::cdn {
+namespace {
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.pop_count = 3;
+  config.servers_per_pop = 4;
+  config.server.ram_bytes = 1ull << 20;
+  config.server.disk_bytes = 8ull << 20;
+  return config;
+}
+
+TEST(FleetTest, RejectsDegenerateConfigs) {
+  FleetConfig config = small_fleet();
+  config.pop_count = 0;
+  EXPECT_THROW(Fleet(config, 1'000), std::invalid_argument);
+  config = small_fleet();
+  config.servers_per_pop = 0;
+  EXPECT_THROW(Fleet(config, 1'000), std::invalid_argument);
+  config = small_fleet();
+  config.pop_count = 10'000;  // more than the city table
+  EXPECT_THROW(Fleet(config, 1'000), std::invalid_argument);
+}
+
+TEST(FleetTest, NearestPopIsGeographicallyNearest) {
+  const Fleet fleet(small_fleet(), 1'000);
+  // A client sitting exactly on a PoP city must be routed to it.
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    EXPECT_EQ(fleet.nearest_pop(fleet.pop_city(pop).location), pop);
+  }
+}
+
+TEST(FleetTest, CacheFocusedRoutingIsStablePerVideo) {
+  const Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef a =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  for (std::uint64_t session = 2; session < 50; ++session) {
+    const ServerRef b =
+        fleet.route(client, 42, 500, session, RoutingPolicy::kCacheFocused);
+    EXPECT_EQ(a, b) << "cache-focused routing must ignore the session";
+  }
+}
+
+TEST(FleetTest, PartitionedRoutingSpreadsPopularHead) {
+  const Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  std::set<std::uint32_t> servers;
+  // Rank 5 of 1000 is inside the top-10% head: sessions spread.
+  for (std::uint64_t session = 0; session < 100; ++session) {
+    servers.insert(fleet
+                       .route(client, 42, 5, session,
+                              RoutingPolicy::kPopularityPartitioned)
+                       .server);
+  }
+  EXPECT_EQ(servers.size(), fleet.servers_per_pop());
+}
+
+TEST(FleetTest, PartitionedRoutingKeepsTailConcentrated) {
+  const Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  std::set<std::uint32_t> servers;
+  // Rank 900 is in the tail: cache-focused behaviour even when partitioned.
+  for (std::uint64_t session = 0; session < 100; ++session) {
+    servers.insert(fleet
+                       .route(client, 42, 900, session,
+                              RoutingPolicy::kPopularityPartitioned)
+                       .server);
+  }
+  EXPECT_EQ(servers.size(), 1u);
+}
+
+TEST(FleetTest, ServerIndexForVideoMatchesRouting) {
+  const Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{41.9, -87.6};
+  for (std::uint32_t video = 0; video < 200; ++video) {
+    const ServerRef ref =
+        fleet.route(client, video, 999, 7, RoutingPolicy::kCacheFocused);
+    EXPECT_EQ(ref.server, fleet.server_index_for_video(video));
+  }
+}
+
+TEST(FleetTest, VideosSpreadAcrossServers) {
+  const Fleet fleet(small_fleet(), 1'000);
+  std::set<std::uint32_t> indexes;
+  for (std::uint32_t video = 0; video < 100; ++video) {
+    indexes.insert(fleet.server_index_for_video(video));
+  }
+  EXPECT_EQ(indexes.size(), fleet.servers_per_pop());
+}
+
+TEST(FleetTest, ServersAreIndependentInstances) {
+  Fleet fleet(small_fleet(), 1'000);
+  sim::Rng rng(1);
+  fleet.server({0, 0}).serve(ChunkKey{1, 0, 1500}, 1'000, 0.0, rng);
+  EXPECT_EQ(fleet.server({0, 0}).requests_served(), 1u);
+  EXPECT_EQ(fleet.server({0, 1}).requests_served(), 0u);
+  EXPECT_EQ(fleet.server({1, 0}).requests_served(), 0u);
+}
+
+TEST(FleetTest, FailoverRoutesAroundDownServer) {
+  Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef original =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  fleet.set_server_down(original);
+  const ServerRef rerouted =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  EXPECT_EQ(rerouted.pop, original.pop);
+  EXPECT_NE(rerouted.server, original.server);
+  EXPECT_FALSE(fleet.is_down(rerouted));
+
+  // Recovery restores the cache-focused assignment.
+  fleet.set_server_down(original, false);
+  EXPECT_EQ(fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused),
+            original);
+}
+
+TEST(FleetTest, FailoverSkipsMultipleDownServers) {
+  Fleet fleet(small_fleet(), 1'000);  // 4 servers per PoP
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef original =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  fleet.set_server_down(original);
+  fleet.set_server_down(
+      {original.pop, (original.server + 1) % fleet.servers_per_pop()});
+  const ServerRef rerouted =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  EXPECT_FALSE(fleet.is_down(rerouted));
+}
+
+TEST(FleetTest, WholePopDownKeepsAssignment) {
+  Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef original =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  for (std::uint32_t s = 0; s < fleet.servers_per_pop(); ++s) {
+    fleet.set_server_down({original.pop, s});
+  }
+  const ServerRef rerouted =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  EXPECT_EQ(rerouted, original);  // degenerate case: nothing better exists
+}
+
+TEST(FleetTest, RoutingPolicyNames) {
+  EXPECT_STREQ(to_string(RoutingPolicy::kCacheFocused), "cache-focused");
+  EXPECT_STREQ(to_string(RoutingPolicy::kPopularityPartitioned),
+               "popularity-partitioned");
+}
+
+}  // namespace
+}  // namespace vstream::cdn

@@ -1,0 +1,190 @@
+#include "client/abr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vstream::client {
+namespace {
+
+AbrContext context(double buffer_s, double smoothed_kbps,
+                   std::uint32_t chunk = 3) {
+  AbrContext ctx;
+  ctx.chunk_index = chunk;
+  ctx.buffer_s = buffer_s;
+  ctx.smoothed_throughput_kbps = smoothed_kbps;
+  ctx.last_throughput_kbps = smoothed_kbps;
+  return ctx;
+}
+
+bool on_ladder(std::uint32_t rate) {
+  const auto ladder = default_bitrate_ladder();
+  return std::find(ladder.begin(), ladder.end(), rate) != ladder.end();
+}
+
+TEST(LadderTest, AscendingAndNonEmpty) {
+  const auto ladder = default_bitrate_ladder();
+  ASSERT_GE(ladder.size(), 3u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i], ladder[i - 1]);
+  }
+}
+
+TEST(FixedAbrTest, ClampsToLadder) {
+  FixedAbr abr(1'500);
+  EXPECT_EQ(abr.choose(context(10, 5'000), default_bitrate_ladder()), 1'500u);
+  FixedAbr odd(2'000);  // not a rung: highest rung below
+  EXPECT_EQ(odd.choose(context(10, 5'000), default_bitrate_ladder()), 1'500u);
+  FixedAbr tiny(10);  // below the ladder: lowest rung
+  EXPECT_EQ(tiny.choose(context(10, 5'000), default_bitrate_ladder()), 300u);
+}
+
+TEST(RateBasedAbrTest, StartsConservatively) {
+  RateBasedAbr abr;
+  const std::uint32_t first =
+      abr.choose(context(0.0, 0.0, 0), default_bitrate_ladder());
+  EXPECT_EQ(first, default_bitrate_ladder()[1]);
+}
+
+TEST(RateBasedAbrTest, TracksThroughputWithSafetyMargin) {
+  RateBasedAbr abr(0.8);
+  // 0.8 * 5000 = 4000: exactly the 4000 rung.
+  EXPECT_EQ(abr.choose(context(10, 5'000), default_bitrate_ladder()), 4'000u);
+  // 0.8 * 4999 = 3999: just below, drop to 2500.
+  EXPECT_EQ(abr.choose(context(10, 4'999), default_bitrate_ladder()), 2'500u);
+  // Very low throughput: floor of the ladder.
+  EXPECT_EQ(abr.choose(context(10, 100), default_bitrate_ladder()), 300u);
+  // Huge throughput: ceiling.
+  EXPECT_EQ(abr.choose(context(10, 100'000), default_bitrate_ladder()), 6'000u);
+}
+
+TEST(BufferBasedAbrTest, ReservoirPinsToFloor) {
+  BufferBasedAbr abr(5.0, 30.0);
+  EXPECT_EQ(abr.choose(context(0.0, 50'000), default_bitrate_ladder()), 300u);
+  EXPECT_EQ(abr.choose(context(5.0, 50'000), default_bitrate_ladder()), 300u);
+}
+
+TEST(BufferBasedAbrTest, CushionPinsToCeiling) {
+  BufferBasedAbr abr(5.0, 30.0);
+  EXPECT_EQ(abr.choose(context(30.0, 100), default_bitrate_ladder()), 6'000u);
+  EXPECT_EQ(abr.choose(context(60.0, 100), default_bitrate_ladder()), 6'000u);
+}
+
+TEST(BufferBasedAbrTest, MonotoneInBufferLevel) {
+  BufferBasedAbr abr(5.0, 30.0);
+  std::uint32_t prev = 0;
+  for (double level = 0.0; level <= 35.0; level += 1.0) {
+    const std::uint32_t pick =
+        abr.choose(context(level, 1'000), default_bitrate_ladder());
+    EXPECT_GE(pick, prev) << "level " << level;
+    EXPECT_TRUE(on_ladder(pick));
+    prev = pick;
+  }
+}
+
+TEST(HybridAbrTest, DeepBufferLiftsAboveRatePick) {
+  HybridAbr abr;
+  // Rate alone picks 700 (0.9 * 1000 = 900); a deep buffer lifts it, but
+  // never beyond 2x the rate pick.
+  const std::uint32_t pick =
+      abr.choose(context(60.0, 1'000), default_bitrate_ladder());
+  EXPECT_GT(pick, 700u);
+  EXPECT_LE(pick, 1'500u);
+  EXPECT_TRUE(on_ladder(pick));
+}
+
+TEST(HybridAbrTest, EmptyBufferFollowsConservativeSide) {
+  HybridAbr abr;
+  const std::uint32_t pick =
+      abr.choose(context(2.0, 20'000), default_bitrate_ladder());
+  // Buffer in reservoir -> buffer-based says floor; rate says ceiling; the
+  // hybrid takes the max bounded by rate: the rate pick wins.
+  EXPECT_EQ(pick, 6'000u);
+}
+
+TEST(AbrFactoryTest, MakesAllKinds) {
+  EXPECT_EQ(make_abr(AbrKind::kFixed)->name(), "fixed");
+  EXPECT_EQ(make_abr(AbrKind::kRateBased)->name(), "rate-based");
+  EXPECT_EQ(make_abr(AbrKind::kBufferBased)->name(), "buffer-based");
+  EXPECT_EQ(make_abr(AbrKind::kHybrid)->name(), "hybrid");
+  EXPECT_EQ(make_abr(AbrKind::kMpc)->name(), "mpc");
+  EXPECT_STREQ(to_string(AbrKind::kHybrid), "hybrid");
+  EXPECT_STREQ(to_string(AbrKind::kMpc), "mpc");
+}
+
+TEST(MpcAbrTest, StarvedThroughputPicksTheFloor) {
+  MpcAbr abr;
+  // 400 kbps of throughput and an empty buffer: anything above the floor
+  // stalls immediately and the re-buffering penalty dominates.
+  EXPECT_EQ(abr.choose(context(0.5, 400.0), default_bitrate_ladder()), 300u);
+}
+
+TEST(MpcAbrTest, AbundantThroughputPicksTheCeiling) {
+  MpcAbr abr;
+  EXPECT_EQ(abr.choose(context(20.0, 50'000.0), default_bitrate_ladder()),
+            6'000u);
+}
+
+TEST(MpcAbrTest, DeepBufferToleratesHigherRungThanRateAlone) {
+  MpcAbr abr;
+  // Throughput sustains ~2,200 kbps; a deep buffer lets MPC plan through a
+  // temporarily slow download without stalling, picking at least the rung a
+  // 0.9-discounted rate pick would.
+  const std::uint32_t shallow =
+      abr.choose(context(1.0, 2'400.0), default_bitrate_ladder());
+  const std::uint32_t deep =
+      abr.choose(context(25.0, 2'400.0), default_bitrate_ladder());
+  EXPECT_GE(deep, shallow);
+  EXPECT_GE(deep, 1'500u);
+}
+
+TEST(MpcAbrTest, SwitchPenaltyStabilizesBorderlineChoices) {
+  MpcAbr abr;
+  // Throughput right at a rung boundary: whatever the previous bitrate
+  // was, MPC should not jump multiple rungs for a marginal gain.
+  AbrContext ctx = context(12.0, 2'700.0);
+  ctx.last_bitrate_kbps = 2'500;
+  const std::uint32_t pick = abr.choose(ctx, default_bitrate_ladder());
+  EXPECT_GE(pick, 1'500u);
+  EXPECT_LE(pick, 2'500u);
+}
+
+TEST(MpcAbrTest, ColdStartMatchesRateBasedFamily) {
+  MpcAbr abr;
+  AbrContext ctx = context(0.0, 0.0, 0);
+  EXPECT_EQ(abr.choose(ctx, default_bitrate_ladder()),
+            default_bitrate_ladder()[1]);
+  ctx.known_bad_prefix = true;
+  EXPECT_EQ(abr.choose(ctx, default_bitrate_ladder()),
+            default_bitrate_ladder()[0]);
+}
+
+TEST(AbrTest, EmptyLadderRejected) {
+  RateBasedAbr abr;
+  EXPECT_THROW(abr.choose(context(10, 1'000), {}), std::invalid_argument);
+}
+
+// Property: every algorithm returns a ladder rung for any context.
+class AbrPropertyTest : public ::testing::TestWithParam<AbrKind> {};
+
+TEST_P(AbrPropertyTest, AlwaysOnLadder) {
+  const auto abr = make_abr(GetParam());
+  for (double buffer = 0.0; buffer <= 60.0; buffer += 7.3) {
+    for (double tp : {0.0, 150.0, 900.0, 2'800.0, 12'000.0, 1e6}) {
+      for (std::uint32_t chunk : {0u, 1u, 50u}) {
+        const std::uint32_t pick =
+            abr->choose(context(buffer, tp, chunk), default_bitrate_ladder());
+        EXPECT_TRUE(on_ladder(pick))
+            << abr->name() << " returned off-ladder " << pick;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AbrPropertyTest,
+                         ::testing::Values(AbrKind::kFixed, AbrKind::kRateBased,
+                                           AbrKind::kBufferBased,
+                                           AbrKind::kHybrid, AbrKind::kMpc));
+
+}  // namespace
+}  // namespace vstream::client

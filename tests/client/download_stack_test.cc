@@ -1,0 +1,127 @@
+#include "client/download_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vstream::client {
+namespace {
+
+double mean_ds(const DownloadStack& stack, std::uint32_t chunk_index, int n,
+               std::uint64_t seed) {
+  sim::Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += stack.sample(chunk_index, rng).ds_ms;
+  return sum / n;
+}
+
+TEST(DownloadStackTest, SamplesAreNonNegative) {
+  const DownloadStack stack(UserAgent{Os::kWindows, Browser::kChrome});
+  sim::Rng rng(1);
+  for (int i = 0; i < 1'000; ++i) {
+    const DownloadStackSample s = stack.sample(3, rng);
+    EXPECT_GE(s.ds_ms, 0.0);
+    EXPECT_GE(s.hold_ms, 0.0);
+  }
+}
+
+TEST(DownloadStackTest, FirstChunkHasHigherLatency) {
+  // Fig. 18: first chunks carry the data-path setup cost (~300 ms median).
+  const DownloadStack stack(UserAgent{Os::kWindows, Browser::kChrome});
+  const double first = mean_ds(stack, 0, 4'000, 2);
+  const double later = mean_ds(stack, 5, 4'000, 3);
+  EXPECT_GT(first, later + 150.0);
+}
+
+TEST(DownloadStackTest, SafariOffMacIsPathological) {
+  // Table 5: Safari on Windows/Linux mean DS ~1 s, far above mainstream.
+  const DownloadStack bad(UserAgent{Os::kWindows, Browser::kSafari});
+  const DownloadStack good(UserAgent{Os::kMacOs, Browser::kSafari});
+  EXPECT_GT(mean_ds(bad, 5, 6'000, 4), 4.0 * mean_ds(good, 5, 6'000, 5));
+}
+
+TEST(DownloadStackTest, UnpopularBrowsersWorseThanMainstream) {
+  const DownloadStack yandex(UserAgent{Os::kWindows, Browser::kYandex});
+  const DownloadStack chrome(UserAgent{Os::kWindows, Browser::kChrome});
+  EXPECT_GT(mean_ds(yandex, 5, 6'000, 6), mean_ds(chrome, 5, 6'000, 7));
+}
+
+TEST(DownloadStackTest, AnomalyRateMatchesProfile) {
+  DownloadStackProfile profile;
+  profile.anomaly_probability = 0.05;
+  const DownloadStack stack(profile);
+  sim::Rng rng(8);
+  int anomalies = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (stack.sample(3, rng).buffered_anomaly) ++anomalies;
+  }
+  EXPECT_NEAR(anomalies / static_cast<double>(n), 0.05, 0.006);
+}
+
+TEST(DownloadStackTest, AnomalyCarriesHoldTime) {
+  DownloadStackProfile profile;
+  profile.anomaly_probability = 1.0;
+  const DownloadStack stack(profile);
+  sim::Rng rng(9);
+  const DownloadStackSample s = stack.sample(3, rng);
+  EXPECT_TRUE(s.buffered_anomaly);
+  EXPECT_GT(s.hold_ms, 100.0);
+}
+
+TEST(DownloadStackTest, ZeroAnomalyProbabilityNeverFires) {
+  DownloadStackProfile profile;
+  profile.anomaly_probability = 0.0;
+  const DownloadStack stack(profile);
+  sim::Rng rng(10);
+  for (int i = 0; i < 5'000; ++i) {
+    EXPECT_FALSE(stack.sample(i % 20, rng).buffered_anomaly);
+  }
+}
+
+TEST(DownloadStackProfileTest, MainstreamPairsAreMild) {
+  for (const Browser b : {Browser::kChrome, Browser::kFirefox,
+                          Browser::kInternetExplorer, Browser::kEdge}) {
+    const DownloadStackProfile p = profile_for(UserAgent{Os::kWindows, b});
+    EXPECT_LE(p.extra_probability, 0.2) << to_string(b);
+    EXPECT_LE(p.extra_median_ms, 300.0) << to_string(b);
+  }
+}
+
+TEST(DownloadStackProfileTest, ChromeBeatsFirefox) {
+  // In-process Flash (Chrome) vs protected-mode Firefox (§4.3-2).
+  const DownloadStackProfile chrome =
+      profile_for(UserAgent{Os::kWindows, Browser::kChrome});
+  const DownloadStackProfile firefox =
+      profile_for(UserAgent{Os::kWindows, Browser::kFirefox});
+  EXPECT_LT(chrome.extra_median_ms, firefox.extra_median_ms);
+}
+
+// Property sweep: every platform yields valid profiles.
+class ProfileSweepTest
+    : public ::testing::TestWithParam<std::tuple<Os, Browser>> {};
+
+TEST_P(ProfileSweepTest, ProfileSane) {
+  const auto [os, browser] = GetParam();
+  const DownloadStackProfile p = profile_for(UserAgent{os, browser});
+  EXPECT_GT(p.base_median_ms, 0.0);
+  EXPECT_GE(p.extra_probability, 0.0);
+  EXPECT_LE(p.extra_probability, 1.0);
+  EXPECT_GT(p.extra_median_ms, 0.0);
+  EXPECT_GE(p.anomaly_probability, 0.0);
+  EXPECT_LT(p.anomaly_probability, 0.05);
+  EXPECT_GT(p.first_chunk_median_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, ProfileSweepTest,
+    ::testing::Combine(::testing::Values(Os::kWindows, Os::kMacOs, Os::kLinux),
+                       ::testing::Values(Browser::kChrome, Browser::kFirefox,
+                                         Browser::kInternetExplorer,
+                                         Browser::kEdge, Browser::kSafari,
+                                         Browser::kOpera, Browser::kYandex,
+                                         Browser::kVivaldi,
+                                         Browser::kSeaMonkey)));
+
+}  // namespace
+}  // namespace vstream::client

@@ -1,0 +1,124 @@
+#include "client/playback_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace vstream::client {
+namespace {
+
+PlaybackBufferConfig config(double startup = 2.0, double resume = 2.0,
+                            double max = 60.0) {
+  return PlaybackBufferConfig{startup, resume, max};
+}
+
+TEST(PlaybackBufferTest, InitialState) {
+  PlaybackBuffer buffer(config());
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 0.0);
+  EXPECT_FALSE(buffer.playing());
+  EXPECT_FALSE(buffer.started());
+}
+
+TEST(PlaybackBufferTest, PlaybackStartsAtThreshold) {
+  PlaybackBuffer buffer(config(5.0));
+  buffer.add_chunk(4.0);
+  EXPECT_FALSE(buffer.playing());
+  buffer.add_chunk(1.5);
+  EXPECT_TRUE(buffer.playing());
+  EXPECT_TRUE(buffer.started());
+}
+
+TEST(PlaybackBufferTest, StartupDelayIsWallClockAtStart) {
+  PlaybackBuffer buffer(config(2.0));
+  buffer.advance(sim::seconds(1.2));  // download time of the first chunk
+  buffer.add_chunk(6.0);
+  EXPECT_TRUE(buffer.started());
+  EXPECT_NEAR(buffer.startup_ms(), 1'200.0, 1e-9);
+}
+
+TEST(PlaybackBufferTest, WaitingBeforeStartIsNotRebuffering) {
+  PlaybackBuffer buffer(config());
+  const DrainResult r = buffer.advance(sim::seconds(3.0));
+  EXPECT_DOUBLE_EQ(r.stalled_ms, 0.0);
+  EXPECT_EQ(r.stall_events, 0u);
+}
+
+TEST(PlaybackBufferTest, PlayingDrainsBuffer) {
+  PlaybackBuffer buffer(config(2.0));
+  buffer.add_chunk(6.0);
+  ASSERT_TRUE(buffer.playing());
+  buffer.advance(sim::seconds(2.5));
+  EXPECT_NEAR(buffer.level_s(), 3.5, 1e-9);
+}
+
+TEST(PlaybackBufferTest, UnderrunStallsAndCounts) {
+  PlaybackBuffer buffer(config(2.0));
+  buffer.add_chunk(6.0);
+  const DrainResult r = buffer.advance(sim::seconds(10.0));
+  EXPECT_EQ(r.stall_events, 1u);
+  EXPECT_NEAR(r.stalled_ms, sim::seconds(4.0), 1e-9);
+  EXPECT_FALSE(buffer.playing());
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 0.0);
+}
+
+TEST(PlaybackBufferTest, ResumeAfterStallNeedsThreshold) {
+  PlaybackBuffer buffer(config(2.0, 4.0));
+  buffer.add_chunk(6.0);
+  buffer.advance(sim::seconds(10.0));  // stall
+  buffer.add_chunk(3.0);               // below resume threshold
+  EXPECT_FALSE(buffer.playing());
+  buffer.add_chunk(1.5);
+  EXPECT_TRUE(buffer.playing());
+}
+
+TEST(PlaybackBufferTest, StallTimeKeepsAccumulatingWhileStalled) {
+  PlaybackBuffer buffer(config(2.0));
+  buffer.add_chunk(6.0);
+  buffer.advance(sim::seconds(6.0));  // exact drain, enters stall
+  const DrainResult r = buffer.advance(sim::seconds(2.0));
+  EXPECT_NEAR(r.stalled_ms, sim::seconds(2.0), 1e-9);
+  EXPECT_EQ(r.stall_events, 0u);  // not a *new* stall
+}
+
+TEST(PlaybackBufferTest, HeadroomTracksCeiling) {
+  PlaybackBuffer buffer(config(2.0, 2.0, 30.0));
+  EXPECT_DOUBLE_EQ(buffer.headroom_s(), 30.0);
+  buffer.add_chunk(12.0);
+  EXPECT_DOUBLE_EQ(buffer.headroom_s(), 18.0);
+  buffer.add_chunk(24.0);
+  EXPECT_DOUBLE_EQ(buffer.headroom_s(), 0.0);  // clamped
+}
+
+TEST(PlaybackBufferTest, ZeroAndNegativeAdvanceAreNoops) {
+  PlaybackBuffer buffer(config(2.0));
+  buffer.add_chunk(6.0);
+  const DrainResult r0 = buffer.advance(0.0);
+  const DrainResult rn = buffer.advance(-5.0);
+  EXPECT_DOUBLE_EQ(r0.stalled_ms + rn.stalled_ms, 0.0);
+  EXPECT_NEAR(buffer.level_s(), 6.0, 1e-9);
+}
+
+TEST(PlaybackBufferTest, MultipleStallsCounted) {
+  PlaybackBuffer buffer(config(2.0, 2.0));
+  buffer.add_chunk(3.0);
+  std::uint32_t stalls = 0;
+  for (int i = 0; i < 3; ++i) {
+    stalls += buffer.advance(sim::seconds(5.0)).stall_events;
+    buffer.add_chunk(3.0);
+  }
+  EXPECT_EQ(stalls, 3u);
+}
+
+TEST(PlaybackBufferTest, StartupAccountedOnlyOnce) {
+  PlaybackBuffer buffer(config(2.0));
+  buffer.advance(sim::seconds(1.0));
+  buffer.add_chunk(6.0);
+  const sim::Ms first_startup = buffer.startup_ms();
+  buffer.advance(sim::seconds(10.0));  // stall
+  buffer.advance(sim::seconds(5.0));
+  buffer.add_chunk(6.0);  // resume
+  EXPECT_DOUBLE_EQ(buffer.startup_ms(), first_startup);
+}
+
+}  // namespace
+}  // namespace vstream::client

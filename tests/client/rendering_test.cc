@@ -1,0 +1,147 @@
+#include "client/rendering.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::client {
+namespace {
+
+constexpr UserAgent kChromeWin{Os::kWindows, Browser::kChrome};
+
+double mean_drop_fraction(const RenderingPath& path, double rate,
+                          std::uint32_t bitrate, double buffered_s, int n,
+                          std::uint64_t seed) {
+  sim::Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += path.render_chunk(6.0, bitrate, rate, buffered_s, rng)
+               .dropped_fraction();
+  }
+  return sum / n;
+}
+
+TEST(RenderingTest, FrameCountMatchesDuration) {
+  const RenderingPath path(RenderConfig{.gpu = true}, kChromeWin);
+  sim::Rng rng(1);
+  EXPECT_EQ(path.render_chunk(6.0, 1500, 3.0, 10.0, rng).total_frames, 180u);
+  EXPECT_EQ(path.render_chunk(2.0, 1500, 3.0, 10.0, rng).total_frames, 60u);
+  EXPECT_EQ(path.render_chunk(0.0, 1500, 3.0, 10.0, rng).total_frames, 0u);
+}
+
+TEST(RenderingTest, GpuRendersNearlyEverything) {
+  // Fig. 20, first bar: hardware rendering drops ~nothing even under load.
+  const RenderingPath path(RenderConfig{.gpu = true, .cpu_load = 0.9},
+                           kChromeWin);
+  EXPECT_LT(mean_drop_fraction(path, 3.0, 4000, 20.0, 2'000, 2), 0.02);
+}
+
+TEST(RenderingTest, HiddenPlayerDropsDeliberately) {
+  const RenderingPath path(
+      RenderConfig{.gpu = true, .cpu_load = 0.0, .visible = false},
+      kChromeWin);
+  EXPECT_GT(mean_drop_fraction(path, 3.0, 1500, 20.0, 2'000, 3), 0.5);
+}
+
+TEST(RenderingTest, SlowArrivalDropsFrames) {
+  // Fig. 19: below 1.5 s/s the drop rate climbs steeply.
+  const RenderingPath path(RenderConfig{.gpu = false, .cpu_load = 0.1},
+                           kChromeWin);
+  const double at_03 = mean_drop_fraction(path, 0.3, 1500, 0.0, 2'000, 4);
+  const double at_10 = mean_drop_fraction(path, 1.0, 1500, 0.0, 2'000, 5);
+  const double at_15 = mean_drop_fraction(path, 1.5, 1500, 0.0, 2'000, 6);
+  const double at_30 = mean_drop_fraction(path, 3.0, 1500, 0.0, 2'000, 7);
+  EXPECT_GT(at_03, at_10);
+  EXPECT_GT(at_10, at_15 + 0.05);
+  // The paper's knee: past 1.5 s/s more speed does not help.
+  EXPECT_NEAR(at_15, at_30, 0.02);
+  EXPECT_LT(at_30, 0.05);
+}
+
+TEST(RenderingTest, BufferHidesSlowArrival) {
+  // §4.4-1: "5.7% of chunks have low rates but good rendering, which can be
+  // explained by the buffered video frames".
+  const RenderingPath path(RenderConfig{.gpu = false, .cpu_load = 0.1},
+                           kChromeWin);
+  const double empty_buffer = mean_drop_fraction(path, 0.8, 1500, 0.0, 2'000, 8);
+  const double deep_buffer = mean_drop_fraction(path, 0.8, 1500, 30.0, 2'000, 9);
+  EXPECT_GT(empty_buffer, 2.0 * deep_buffer);
+}
+
+TEST(RenderingTest, CpuLoadDegradesSoftwareRendering) {
+  // Fig. 20: each extra loaded core raises the drop rate.
+  double prev = -1.0;
+  for (const double load : {0.0, 0.5, 0.75, 0.9, 0.97}) {
+    const RenderingPath path(RenderConfig{.gpu = false, .cpu_load = load},
+                             kChromeWin);
+    const double drop = mean_drop_fraction(path, 3.0, 4000, 20.0, 2'000, 10);
+    EXPECT_GE(drop, prev - 0.01) << "load " << load;
+    prev = drop;
+  }
+  const RenderingPath loaded(RenderConfig{.gpu = false, .cpu_load = 0.97},
+                             kChromeWin);
+  EXPECT_GT(mean_drop_fraction(loaded, 3.0, 4000, 20.0, 2'000, 11), 0.2);
+}
+
+TEST(RenderingTest, EfficiencyOrderingMatchesPaper) {
+  // Figs. 21-22: Chrome and Safari-on-Mac lead; unpopular browsers trail;
+  // Safari off Mac is among the worst.
+  const double safari_mac =
+      rendering_efficiency(UserAgent{Os::kMacOs, Browser::kSafari});
+  const double chrome = rendering_efficiency(kChromeWin);
+  const double firefox =
+      rendering_efficiency(UserAgent{Os::kWindows, Browser::kFirefox});
+  const double yandex =
+      rendering_efficiency(UserAgent{Os::kWindows, Browser::kYandex});
+  const double safari_win =
+      rendering_efficiency(UserAgent{Os::kWindows, Browser::kSafari});
+  EXPECT_GT(safari_mac, firefox);
+  EXPECT_GT(chrome, firefox);
+  EXPECT_GT(firefox, yandex);
+  EXPECT_GT(firefox, safari_win);
+}
+
+TEST(RenderingTest, InefficienBrowserDropsMoreUnderSameConditions) {
+  const RenderingPath chrome(RenderConfig{.gpu = false, .cpu_load = 0.5},
+                             kChromeWin);
+  const RenderingPath yandex(RenderConfig{.gpu = false, .cpu_load = 0.5},
+                             UserAgent{Os::kWindows, Browser::kYandex});
+  EXPECT_GT(mean_drop_fraction(yandex, 3.0, 4000, 20.0, 2'000, 12),
+            mean_drop_fraction(chrome, 3.0, 4000, 20.0, 2'000, 13));
+}
+
+TEST(RenderingTest, AvgFpsConsistentWithDrops) {
+  const RenderingPath path(RenderConfig{.gpu = false, .cpu_load = 0.2},
+                           kChromeWin);
+  sim::Rng rng(14);
+  const RenderResult r = path.render_chunk(6.0, 1500, 2.0, 10.0, rng);
+  EXPECT_NEAR(r.avg_fps, 30.0 * (1.0 - r.dropped_fraction()), 1e-6);
+  EXPECT_LE(r.dropped_frames, r.total_frames);
+}
+
+// Property sweep: dropped fraction is always within [0, 1] across the
+// whole parameter grid.
+class RenderSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<bool, double, double, std::uint32_t>> {};
+
+TEST_P(RenderSweepTest, DropFractionInRange) {
+  const auto [gpu, load, rate, bitrate] = GetParam();
+  const RenderingPath path(RenderConfig{.gpu = gpu, .cpu_load = load},
+                           kChromeWin);
+  sim::Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    const RenderResult r = path.render_chunk(6.0, bitrate, rate, 5.0, rng);
+    EXPECT_GE(r.dropped_fraction(), 0.0);
+    EXPECT_LE(r.dropped_fraction(), 1.0);
+    EXPECT_GE(r.avg_fps, 0.0);
+    EXPECT_LE(r.avg_fps, 30.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RenderSweepTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(0.0, 0.6, 0.95),
+                       ::testing::Values(0.2, 1.0, 2.0, 5.0),
+                       ::testing::Values(300u, 1500u, 6000u)));
+
+}  // namespace
+}  // namespace vstream::client

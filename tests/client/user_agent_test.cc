@@ -1,0 +1,50 @@
+#include "client/user_agent.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::client {
+namespace {
+
+TEST(UserAgentTest, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(Os::kWindows), "Windows");
+  EXPECT_STREQ(to_string(Os::kMacOs), "Mac");
+  EXPECT_STREQ(to_string(Os::kLinux), "Linux");
+  EXPECT_STREQ(to_string(Browser::kChrome), "Chrome");
+  EXPECT_STREQ(to_string(Browser::kSeaMonkey), "SeaMonkey");
+}
+
+TEST(UserAgentTest, PopularityClassification) {
+  EXPECT_TRUE(is_popular(Browser::kChrome));
+  EXPECT_TRUE(is_popular(Browser::kFirefox));
+  EXPECT_TRUE(is_popular(Browser::kInternetExplorer));
+  EXPECT_TRUE(is_popular(Browser::kEdge));
+  EXPECT_TRUE(is_popular(Browser::kSafari));
+  EXPECT_FALSE(is_popular(Browser::kOpera));
+  EXPECT_FALSE(is_popular(Browser::kYandex));
+  EXPECT_FALSE(is_popular(Browser::kVivaldi));
+  EXPECT_FALSE(is_popular(Browser::kSeaMonkey));
+}
+
+TEST(UserAgentTest, BrowserLabelGroupsUnpopularAsOther) {
+  EXPECT_EQ(browser_label(Browser::kChrome), "Chrome");
+  EXPECT_EQ(browser_label(Browser::kYandex), "Other");
+  EXPECT_EQ(browser_label(Browser::kOpera), "Other");
+}
+
+TEST(UserAgentTest, UserAgentStringEncodesBoth) {
+  const UserAgent ua{Os::kWindows, Browser::kFirefox};
+  EXPECT_EQ(user_agent_string(ua), "Firefox/Windows");
+  const UserAgent mac{Os::kMacOs, Browser::kSafari};
+  EXPECT_EQ(user_agent_string(mac), "Safari/Mac");
+}
+
+TEST(UserAgentTest, Equality) {
+  const UserAgent a{Os::kWindows, Browser::kChrome};
+  const UserAgent b{Os::kWindows, Browser::kChrome};
+  const UserAgent c{Os::kMacOs, Browser::kChrome};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace vstream::client

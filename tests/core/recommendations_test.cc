@@ -1,0 +1,208 @@
+// Tests for the paper's take-away recommendations wired through the
+// pipeline: bad-prefix ABR hints, throughput-outlier exclusion, universal
+// head caching and prefetch-on-miss at fleet scale.
+#include <gtest/gtest.h>
+
+#include "analysis/qoe.h"
+#include "client/abr.h"
+#include "core/pipeline.h"
+#include "telemetry/join.h"
+
+namespace vstream::core {
+namespace {
+
+TEST(BadPrefixHintTest, RateBasedStartsAtFloorWhenHinted) {
+  client::RateBasedAbr abr;
+  client::AbrContext ctx;
+  ctx.known_bad_prefix = true;
+  EXPECT_EQ(abr.choose(ctx, client::default_bitrate_ladder()),
+            client::default_bitrate_ladder()[0]);
+  ctx.known_bad_prefix = false;
+  EXPECT_EQ(abr.choose(ctx, client::default_bitrate_ladder()),
+            client::default_bitrate_ladder()[1]);
+}
+
+TEST(BadPrefixHintTest, HintOnlyAffectsTheColdStart) {
+  client::RateBasedAbr abr;
+  client::AbrContext ctx;
+  ctx.known_bad_prefix = true;
+  ctx.smoothed_throughput_kbps = 10'000.0;
+  // With throughput evidence the hint no longer constrains the choice.
+  EXPECT_GT(abr.choose(ctx, client::default_bitrate_ladder()), 1'500u);
+}
+
+TEST(BadPrefixHintTest, PipelineAppliesHintToFlaggedPrefixSessions) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 0;
+  scenario.abr = client::AbrKind::kRateBased;
+  Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+
+  // Flag every prefix: the next session must start at the floor rung.
+  std::unordered_set<net::Prefix24> all;
+  for (const auto& p : pipeline.population().prefixes()) all.insert(p.prefix);
+  pipeline.set_bad_prefixes(std::move(all));
+
+  SessionOverrides overrides;
+  overrides.chunk_count = 5;
+  overrides.disable_ds_anomalies = true;
+  pipeline.run_session(overrides);
+
+  const auto joined = telemetry::JoinedDataset::build(pipeline.dataset());
+  ASSERT_EQ(joined.sessions().size(), 1u);
+  EXPECT_EQ(joined.sessions()[0].chunks[0].player->bitrate_kbps,
+            client::default_bitrate_ladder()[0]);
+}
+
+TEST(BadPrefixHintTest, UnflaggedSessionsUnaffected) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 0;
+  scenario.abr = client::AbrKind::kRateBased;
+  Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+  pipeline.set_bad_prefixes({});  // nothing flagged
+
+  SessionOverrides overrides;
+  overrides.chunk_count = 5;
+  overrides.disable_ds_anomalies = true;
+  pipeline.run_session(overrides);
+
+  const auto joined = telemetry::JoinedDataset::build(pipeline.dataset());
+  EXPECT_EQ(joined.sessions()[0].chunks[0].player->bitrate_kbps,
+            client::default_bitrate_ladder()[1]);
+}
+
+TEST(OutlierFilterTest, FilterPreventsOvershootAfterBufferedChunk) {
+  // Download stacks that frequently hold chunks corrupt the client-side
+  // throughput signal; the §4.3-1 filter keeps the rate-based ABR honest.
+  const auto run_overshoot_share = [](bool filter) {
+    workload::Scenario scenario = workload::test_scenario();
+    scenario.session_count = 0;
+    scenario.abr = client::AbrKind::kRateBased;
+    scenario.abr_filters_throughput_outliers = filter;
+    Pipeline pipeline(scenario);
+    pipeline.warm_caches();
+
+    client::DownloadStackProfile noisy;
+    noisy.anomaly_probability = 0.15;
+    std::size_t overshoot = 0, chunks = 0;
+    for (int i = 0; i < 40; ++i) {
+      SessionOverrides overrides;
+      overrides.chunk_count = 15;
+      overrides.ds_profile = noisy;
+      overrides.bottleneck_kbps = 4'000.0;
+      pipeline.run_session(overrides);
+    }
+    for (const auto& c : pipeline.dataset().player_chunks) {
+      ++chunks;
+      if (c.bitrate_kbps > 4'000) ++overshoot;
+    }
+    return static_cast<double>(overshoot) / static_cast<double>(chunks);
+  };
+
+  const double naive = run_overshoot_share(false);
+  const double filtered = run_overshoot_share(true);
+  EXPECT_LT(filtered, naive);
+  EXPECT_LT(filtered, 0.05);
+}
+
+TEST(UniversalHeadCacheTest, RemovesFirstChunkMisses) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 250;
+
+  const auto first_chunk_miss_count = [&](bool universal) {
+    Pipeline pipeline(scenario);
+    pipeline.warm_caches(0.92, universal);
+    pipeline.run();
+    std::size_t misses = 0;
+    for (const auto& c : pipeline.dataset().cdn_chunks) {
+      if (c.chunk_id == 0 && !c.cache_hit()) ++misses;
+    }
+    return misses;
+  };
+
+  EXPECT_EQ(first_chunk_miss_count(true), 0u);
+  EXPECT_GE(first_chunk_miss_count(false), first_chunk_miss_count(true));
+}
+
+TEST(PrefetchFleetTest, ReducesMissesEndToEnd) {
+  const auto miss_ratio = [](std::uint32_t depth) {
+    workload::Scenario scenario = workload::test_scenario();
+    scenario.session_count = 250;
+    scenario.fleet.server.prefetch_on_miss = depth;
+    Pipeline pipeline(scenario);
+    pipeline.warm_caches();
+    pipeline.run();
+    std::size_t misses = 0;
+    for (const auto& c : pipeline.dataset().cdn_chunks) {
+      if (!c.cache_hit()) ++misses;
+    }
+    return static_cast<double>(misses) /
+           static_cast<double>(pipeline.dataset().cdn_chunks.size());
+  };
+  const double without = miss_ratio(0);
+  const double with = miss_ratio(6);
+  EXPECT_LT(with, without);
+}
+
+TEST(StallAbandonmentTest, StallsShortenSessionsWhenEnabled) {
+  const auto mean_chunks_and_abandons = [](double p) {
+    workload::Scenario scenario = workload::test_scenario();
+    scenario.session_count = 250;
+    scenario.sessions.abandon_probability = 0.0;
+    scenario.stall_abandonment_probability = p;
+    Pipeline pipeline(scenario);
+    pipeline.warm_caches();
+    pipeline.run();
+    double chunks = 0.0;
+    for (const auto& s : pipeline.dataset().player_sessions) {
+      chunks += s.chunks_requested;
+    }
+    return std::pair<double, std::uint64_t>(
+        chunks / 250.0, pipeline.ground_truth().stall_abandonments);
+  };
+  const auto [chunks_off, abandons_off] = mean_chunks_and_abandons(0.0);
+  const auto [chunks_on, abandons_on] = mean_chunks_and_abandons(1.0);
+  EXPECT_EQ(abandons_off, 0u);
+  // With certain abandonment on every stall, stalled sessions truncate.
+  EXPECT_GT(abandons_on, 0u);
+  EXPECT_LT(chunks_on, chunks_off);
+}
+
+TEST(StallAbandonmentTest, TruncatedCountMatchesTelemetry) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 200;
+  scenario.stall_abandonment_probability = 1.0;
+  Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+  pipeline.run();
+  // chunks_requested must equal the number of chunk records per session.
+  std::unordered_map<std::uint64_t, std::uint32_t> counts;
+  for (const auto& c : pipeline.dataset().player_chunks) {
+    ++counts[c.session_id];
+  }
+  for (const auto& s : pipeline.dataset().player_sessions) {
+    EXPECT_EQ(counts[s.session_id], s.chunks_requested)
+        << "session " << s.session_id;
+  }
+}
+
+TEST(QoeIntegrationTest, AggregateFromPipelineIsSane) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 120;
+  Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+  pipeline.run();
+  const auto joined = telemetry::JoinedDataset::build(pipeline.dataset());
+  const analysis::QoeAggregate agg = analysis::aggregate_qoe(joined);
+  EXPECT_EQ(agg.sessions, 120u);
+  EXPECT_GT(agg.startup_ms.median, 0.0);
+  EXPECT_LT(agg.startup_ms.median, 30'000.0);
+  EXPECT_GE(agg.share_with_rebuffering, 0.0);
+  EXPECT_LE(agg.share_with_rebuffering, 1.0);
+  EXPECT_GE(agg.avg_bitrate_kbps.min, 300.0);
+  EXPECT_LE(agg.avg_bitrate_kbps.max, 6'000.0);
+}
+
+}  // namespace
+}  // namespace vstream::core

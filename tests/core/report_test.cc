@@ -1,0 +1,78 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace vstream::core {
+namespace {
+
+TEST(ReportTest, FmtFixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt(0.0), "0.00");
+}
+
+TEST(ReportTest, TableHandlesRaggedRows) {
+  Table t({"a", "bb", "ccc"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"only-one"});
+  t.print();  // must not crash on short rows
+  SUCCEED();
+}
+
+TEST(ReportTest, PrintersDoNotCrash) {
+  print_header("Test section");
+  print_metric("answer", 42.0);
+  print_metric("label", std::string("value"));
+  print_paper_reference("top 10% of videos receive 66% of playbacks");
+  const std::vector<analysis::CdfPoint> cdf = {{1.0, 0.5}, {2.0, 1.0}};
+  print_cdf("demo", cdf);
+  const std::vector<analysis::Bin> bins = {
+      {5.0, analysis::summarize({1.0, 2.0, 3.0})}};
+  print_bins("demo", bins);
+  SUCCEED();
+}
+
+TEST(ReportTest, SeriesExportWritesDatFiles) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "vstream_series_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(setenv("VSTREAM_SERIES_DIR", dir.c_str(), 1), 0);
+
+  const std::vector<analysis::CdfPoint> cdf = {{1.0, 0.5}, {2.0, 1.0}};
+  print_cdf("export_demo", cdf);
+  const std::vector<analysis::Bin> bins = {
+      {5.0, analysis::summarize({1.0, 2.0, 3.0})}};
+  print_bins("export_bins", bins);
+
+  unsetenv("VSTREAM_SERIES_DIR");
+
+  std::ifstream in(dir / "export_demo.dat");
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "# x p");
+  double x = 0.0, p = 0.0;
+  in >> x >> p;
+  EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_DOUBLE_EQ(p, 0.5);
+
+  EXPECT_TRUE(std::filesystem::exists(dir / "export_bins.dat"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReportTest, SeriesExportDisabledByDefault) {
+  unsetenv("VSTREAM_SERIES_DIR");
+  EXPECT_TRUE(series_export_dir().empty());
+  // Printing without the env var must not create stray files.
+  const std::vector<analysis::CdfPoint> cdf = {{1.0, 1.0}};
+  print_cdf("no_export_demo", cdf);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vstream::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "net/tcp_model.h"
+
+namespace vstream::net {
+namespace {
+
+PathConfig clean_path() {
+  PathConfig p;
+  p.base_rtt_ms = 40.0;
+  p.jitter_median_ms = 0.01;
+  p.jitter_sigma = 0.01;
+  p.random_loss = 0.0;
+  p.spike_prob_per_round = 0.0;
+  p.bottleneck_kbps = 1'000'000.0;
+  return p;
+}
+
+TcpConfig cubic_config() {
+  TcpConfig c;
+  c.congestion_control = CongestionControl::kCubic;
+  return c;
+}
+
+/// Drive the connection to a known CA state: grow to ~`w` then force one
+/// loss round so cwnd = beta*w and the cubic epoch starts.
+void establish_loss_at(TcpConnection& conn, std::uint32_t w) {
+  while (conn.cwnd() < w) conn.transfer(conn.cwnd() * 1460ull);
+  conn.mutable_path().set_random_loss(1.0);
+  conn.transfer(1460);
+  conn.mutable_path().set_random_loss(0.0);
+}
+
+TEST(CubicTest, ToStringNames) {
+  EXPECT_STREQ(to_string(CongestionControl::kReno), "reno");
+  EXPECT_STREQ(to_string(CongestionControl::kCubic), "cubic");
+}
+
+TEST(CubicTest, LossBacksOffByBeta) {
+  TcpConnection conn(cubic_config(), clean_path(), sim::Rng(1));
+  establish_loss_at(conn, 160);
+  // cwnd after loss = beta * cwnd_at_loss (within rounding).
+  EXPECT_NEAR(static_cast<double>(conn.cwnd()), 0.7 * 160.0, 160.0 * 0.05);
+  EXPECT_FALSE(conn.in_slow_start());
+}
+
+TEST(CubicTest, ConcaveRecoveryTowardWmax) {
+  TcpConnection conn(cubic_config(), clean_path(), sim::Rng(2));
+  establish_loss_at(conn, 160);
+  const std::uint32_t after_loss = conn.cwnd();
+  // CA rounds: cwnd climbs back toward W_max = ~160 and slows near it.
+  std::uint32_t prev = after_loss;
+  std::uint32_t max_seen = after_loss;
+  for (int round = 0; round < 200; ++round) {
+    conn.transfer(conn.cwnd() * 1460ull);  // one clean CA round
+    EXPECT_GE(conn.cwnd(), prev);          // monotone while clean
+    prev = conn.cwnd();
+    max_seen = std::max(max_seen, conn.cwnd());
+  }
+  EXPECT_GT(max_seen, after_loss);
+  EXPECT_GE(max_seen + 5, 160u) << "should re-approach W_max";
+}
+
+TEST(CubicTest, GrowthBoundedPerRound) {
+  TcpConnection conn(cubic_config(), clean_path(), sim::Rng(3));
+  establish_loss_at(conn, 160);
+  std::uint32_t prev = conn.cwnd();
+  for (int round = 0; round < 400; ++round) {
+    conn.transfer(conn.cwnd() * 1460ull);
+    EXPECT_LE(conn.cwnd(), static_cast<std::uint32_t>(prev * 1.5) + 1)
+        << "round " << round;
+    prev = conn.cwnd();
+  }
+}
+
+TEST(CubicTest, EventuallyProbesBeyondWmax) {
+  TcpConnection conn(cubic_config(), clean_path(), sim::Rng(4));
+  establish_loss_at(conn, 160);
+  for (int round = 0; round < 600 && conn.cwnd() <= 170; ++round) {
+    conn.transfer(conn.cwnd() * 1460ull);
+  }
+  EXPECT_GT(conn.cwnd(), 170u) << "convex region must probe past W_max";
+}
+
+TEST(CubicTest, FriendlyRegionKeepsUpWithRenoEarly) {
+  // Right after the backoff, CUBIC must not be slower than the Reno
+  // equivalent (the RFC 8312 TCP-friendly region).
+  TcpConnection cubic(cubic_config(), clean_path(), sim::Rng(5));
+  TcpConnection reno(TcpConfig{}, clean_path(), sim::Rng(5));
+  establish_loss_at(cubic, 160);
+  establish_loss_at(reno, 160);
+  const std::uint32_t cubic_start = cubic.cwnd();
+  const std::uint32_t reno_start = reno.cwnd();
+  for (int round = 0; round < 30; ++round) {
+    cubic.transfer(cubic.cwnd() * 1460ull);
+    reno.transfer(reno.cwnd() * 1460ull);
+  }
+  // Both grew; cubic's absolute gain is at least ~half reno's (it starts
+  // from a higher floor: beta = 0.7 vs reno's 0.5).
+  EXPECT_GT(cubic.cwnd(), cubic_start);
+  EXPECT_GE(cubic.cwnd() - cubic_start, (reno.cwnd() - reno_start) / 2);
+  EXPECT_GT(cubic.cwnd(), reno.cwnd());  // higher floor + curve
+}
+
+TEST(CubicTest, SlowStartUnchanged) {
+  TcpConnection conn(cubic_config(), clean_path(), sim::Rng(6));
+  EXPECT_EQ(conn.cwnd(), 10u);
+  conn.transfer(10 * 1460);
+  EXPECT_EQ(conn.cwnd(), 20u);  // doubling still applies before any loss
+}
+
+TEST(CubicTest, DeterministicForSeed) {
+  PathConfig path = clean_path();
+  path.random_loss = 0.01;
+  TcpConnection a(cubic_config(), path, sim::Rng(77));
+  TcpConnection b(cubic_config(), path, sim::Rng(77));
+  for (int i = 0; i < 20; ++i) {
+    const TransferResult ra = a.transfer(300'000);
+    const TransferResult rb = b.transfer(300'000);
+    ASSERT_DOUBLE_EQ(ra.duration_ms, rb.duration_ms);
+    ASSERT_EQ(a.cwnd(), b.cwnd());
+  }
+}
+
+}  // namespace
+}  // namespace vstream::net

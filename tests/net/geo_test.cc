@@ -1,0 +1,66 @@
+#include "net/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::net {
+namespace {
+
+TEST(GeoTest, HaversineZeroForSamePoint) {
+  const GeoPoint p{40.71, -74.01};
+  EXPECT_NEAR(haversine_km(p, p), 0.0, 1e-9);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  const GeoPoint a{40.71, -74.01};
+  const GeoPoint b{34.05, -118.24};
+  EXPECT_NEAR(haversine_km(a, b), haversine_km(b, a), 1e-9);
+}
+
+TEST(GeoTest, KnownDistanceNycToLa) {
+  // Great-circle NYC <-> LA is ~3,940 km.
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint la{34.05, -118.24};
+  EXPECT_NEAR(haversine_km(nyc, la), 3'940.0, 60.0);
+}
+
+TEST(GeoTest, KnownDistanceNycToLondon) {
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  EXPECT_NEAR(haversine_km(nyc, london), 5'570.0, 80.0);
+}
+
+TEST(GeoTest, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 20'015.0, 30.0);
+}
+
+TEST(GeoTest, PropagationRttScalesWithDistance) {
+  EXPECT_DOUBLE_EQ(propagation_rtt_ms(0.0), 0.0);
+  EXPECT_NEAR(propagation_rtt_ms(100.0), 1.0, 1e-9);
+  EXPECT_NEAR(propagation_rtt_ms(4'000.0), 40.0, 1e-9);
+}
+
+TEST(GeoTest, CityTablesNonEmptyAndLabelled) {
+  ASSERT_FALSE(us_cities().empty());
+  ASSERT_FALSE(world_cities().empty());
+  for (const City& c : us_cities()) {
+    EXPECT_EQ(c.country, "US");
+    EXPECT_FALSE(c.name.empty());
+  }
+  for (const City& c : world_cities()) {
+    EXPECT_NE(c.country, "US");
+  }
+}
+
+TEST(GeoTest, CityCoordinatesPlausible) {
+  for (const City& c : us_cities()) {
+    EXPECT_GT(c.location.lat_deg, 24.0);   // south of Miami
+    EXPECT_LT(c.location.lat_deg, 50.0);   // north of Seattle
+    EXPECT_LT(c.location.lon_deg, -66.0);  // east coast
+    EXPECT_GT(c.location.lon_deg, -125.0); // west coast
+  }
+}
+
+}  // namespace
+}  // namespace vstream::net

@@ -1,0 +1,135 @@
+#include "net/packet_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "net/tcp_model.h"
+
+namespace vstream::net {
+namespace {
+
+PacketSimConfig wide_pipe() {
+  PacketSimConfig c;
+  c.bottleneck_kbps = 1'000'000.0;
+  c.one_way_prop_ms = 20.0;
+  c.max_queue_ms = 100.0;
+  return c;
+}
+
+TEST(PacketSimTest, ZeroBytesIsNoop) {
+  const PacketSimResult r = simulate_packet_transfer(0, wide_pipe());
+  EXPECT_EQ(r.segments, 0u);
+  EXPECT_DOUBLE_EQ(r.duration_ms, 0.0);
+}
+
+TEST(PacketSimTest, SingleWindowTransferTakesOneRtt) {
+  // 5 segments fit in IW10: request up (20 ms) + data down (20 ms + tiny
+  // serialization).
+  const PacketSimResult r = simulate_packet_transfer(5 * 1460, wide_pipe());
+  EXPECT_EQ(r.segments, 5u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_NEAR(r.first_byte_ms, 40.0, 1.0);
+  EXPECT_NEAR(r.duration_ms, 40.0, 2.0);
+}
+
+TEST(PacketSimTest, CleanTransferHasNoLosses) {
+  PacketSimConfig c = wide_pipe();
+  const PacketSimResult r = simulate_packet_transfer(2'000'000, c);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_GT(r.duration_ms, 0.0);
+}
+
+TEST(PacketSimTest, ThroughputBoundedByBottleneck) {
+  PacketSimConfig c;
+  c.bottleneck_kbps = 8'000.0;
+  c.one_way_prop_ms = 15.0;
+  c.max_queue_ms = 100.0;
+  const std::uint64_t bytes = 4'000'000;  // 32 Mbit -> >= 4 s at 8 Mbps
+  const PacketSimResult r = simulate_packet_transfer(bytes, c);
+  const double tp_kbps = static_cast<double>(bytes) * 8.0 / r.duration_ms;
+  EXPECT_LE(tp_kbps, 8'100.0);
+  EXPECT_GE(tp_kbps, 5'000.0);  // and reasonably efficient
+}
+
+TEST(PacketSimTest, SmallBufferForcesDropTailLosses) {
+  PacketSimConfig c;
+  c.bottleneck_kbps = 4'000.0;
+  c.one_way_prop_ms = 25.0;
+  c.max_queue_ms = 20.0;  // shallow buffer: slow start must overflow
+  const PacketSimResult r = simulate_packet_transfer(1'500'000, c);
+  EXPECT_GT(r.retransmissions, 0u);
+  // Recovery still completes the transfer.
+  EXPECT_GT(r.duration_ms, 0.0);
+}
+
+TEST(PacketSimTest, DeterministicByConstruction) {
+  PacketSimConfig c;
+  c.bottleneck_kbps = 6'000.0;
+  c.max_queue_ms = 40.0;
+  const PacketSimResult a = simulate_packet_transfer(2'000'000, c);
+  const PacketSimResult b = simulate_packet_transfer(2'000'000, c);
+  EXPECT_DOUBLE_EQ(a.duration_ms, b.duration_ms);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+}
+
+TEST(PacketSimTest, DeepEnoughBufferAbsorbsAShortTransfer) {
+  // A transfer smaller than the pipe (BDP + buffer) never overflows when
+  // the buffer is deep; a shallow buffer drops parts of the slow-start
+  // burst.
+  PacketSimConfig shallow;
+  shallow.bottleneck_kbps = 6'000.0;
+  shallow.one_way_prop_ms = 15.0;
+  shallow.max_queue_ms = 10.0;
+  PacketSimConfig deep = shallow;
+  deep.max_queue_ms = 400.0;  // pipe ~220 packets > the 206-packet transfer
+  const PacketSimResult a = simulate_packet_transfer(300'000, shallow);
+  const PacketSimResult b = simulate_packet_transfer(300'000, deep);
+  EXPECT_GT(a.retransmissions, 0u);
+  EXPECT_EQ(b.retransmissions, 0u);
+}
+
+// The validation property this module exists for: the round-based model's
+// transfer duration stays within a factor of the packet-level reference
+// across a broad parameter grid (clean paths: no random loss/jitter, same
+// drop-tail physics).
+class ModelAgreementTest
+    : public ::testing::TestWithParam<
+          std::tuple<double, double, double, std::uint64_t>> {};
+
+TEST_P(ModelAgreementTest, RoundModelWithinFactorOfPacketLevel) {
+  const auto [bw_kbps, prop_ms, queue_ms, bytes] = GetParam();
+
+  PacketSimConfig packet;
+  packet.bottleneck_kbps = bw_kbps;
+  packet.one_way_prop_ms = prop_ms;
+  packet.max_queue_ms = queue_ms;
+  const PacketSimResult reference = simulate_packet_transfer(bytes, packet);
+
+  PathConfig path;
+  path.bottleneck_kbps = bw_kbps;
+  path.base_rtt_ms = 2.0 * prop_ms;
+  path.max_queue_ms = queue_ms;
+  path.jitter_median_ms = 0.01;
+  path.jitter_sigma = 0.01;
+  path.random_loss = 0.0;
+  path.spike_prob_per_round = 0.0;
+  TcpConfig tcp;
+  tcp.hystart_success_prob = 0.0;  // packet reference has no HyStart
+  TcpConnection conn(tcp, path, sim::Rng(1));
+  const TransferResult model = conn.transfer(bytes);
+
+  ASSERT_GT(reference.duration_ms, 0.0);
+  const double ratio = model.duration_ms / reference.duration_ms;
+  EXPECT_GT(ratio, 0.4) << "round model too fast vs packet-level";
+  EXPECT_LT(ratio, 2.5) << "round model too slow vs packet-level";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelAgreementTest,
+    ::testing::Combine(::testing::Values(3'000.0, 12'000.0, 50'000.0),
+                       ::testing::Values(10.0, 40.0),
+                       ::testing::Values(50.0, 150.0),
+                       ::testing::Values(450'000ull, 1'875'000ull)));
+
+}  // namespace
+}  // namespace vstream::net

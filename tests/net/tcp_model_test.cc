@@ -1,0 +1,268 @@
+#include "net/tcp_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vstream::net {
+namespace {
+
+PathConfig clean_path() {
+  PathConfig p;
+  p.base_rtt_ms = 40.0;
+  p.jitter_median_ms = 0.01;
+  p.jitter_sigma = 0.01;
+  p.random_loss = 0.0;
+  p.spike_prob_per_round = 0.0;
+  p.bottleneck_kbps = 1'000'000.0;  // effectively unconstrained
+  return p;
+}
+
+TEST(TcpModelTest, ZeroByteTransferIsNoop) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(1));
+  const TransferResult r = conn.transfer(0);
+  EXPECT_EQ(r.segments, 0u);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_DOUBLE_EQ(r.duration_ms, 0.0);
+}
+
+TEST(TcpModelTest, SmallTransferTakesOneRound) {
+  TcpConfig config;
+  config.initial_window = 10;
+  TcpConnection conn(config, clean_path(), sim::Rng(1));
+  // 5 segments fit in IW10.
+  const TransferResult r = conn.transfer(5 * 1460);
+  EXPECT_EQ(r.segments, 5u);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_NEAR(r.duration_ms, 40.0, 2.0);
+  // Last byte trails the first by exactly the serialization tail.
+  EXPECT_NEAR(r.duration_ms - r.first_byte_ms, 5.0 * 1460 * 8 / 1'000'000.0,
+              1e-9);
+}
+
+TEST(TcpModelTest, SegmentsMatchBytes) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(1));
+  EXPECT_EQ(conn.transfer(1).segments, 1u);          // partial segment
+  EXPECT_EQ(conn.transfer(1460).segments, 1u);       // exact
+  EXPECT_EQ(conn.transfer(1461).segments, 2u);       // spill
+  EXPECT_EQ(conn.transfer(146'000).segments, 100u);
+}
+
+TEST(TcpModelTest, SlowStartDoublesWindow) {
+  TcpConfig config;
+  config.initial_window = 10;
+  TcpConnection conn(config, clean_path(), sim::Rng(1));
+  EXPECT_EQ(conn.cwnd(), 10u);
+  EXPECT_TRUE(conn.in_slow_start());
+  conn.transfer(10 * 1460);  // one clean round
+  EXPECT_EQ(conn.cwnd(), 20u);
+  conn.transfer(20 * 1460);
+  EXPECT_EQ(conn.cwnd(), 40u);
+}
+
+TEST(TcpModelTest, LossHalvesWindowAndExitsSlowStart) {
+  PathConfig path = clean_path();
+  path.random_loss = 1.0;  // force loss on every segment of the next round
+  TcpConfig config;
+  config.initial_window = 16;
+  TcpConnection conn(config, path, sim::Rng(1));
+  conn.mutable_path().set_random_loss(1.0);
+  conn.transfer(16 * 1460);
+  EXPECT_FALSE(conn.in_slow_start());
+  EXPECT_EQ(conn.cwnd(), 8u);
+}
+
+TEST(TcpModelTest, RetransmissionsCounted) {
+  PathConfig path = clean_path();
+  path.random_loss = 0.5;
+  TcpConnection conn(TcpConfig{}, path, sim::Rng(42));
+  const TransferResult r = conn.transfer(200 * 1460);
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_EQ(conn.info().total_retrans, r.retransmissions);
+}
+
+TEST(TcpModelTest, CumulativeCountersMonotone) {
+  PathConfig path = clean_path();
+  path.random_loss = 0.02;
+  TcpConnection conn(TcpConfig{}, path, sim::Rng(9));
+  std::uint64_t prev_retrans = 0, prev_segments = 0;
+  for (int i = 0; i < 20; ++i) {
+    conn.transfer(50 * 1460);
+    const TcpInfo info = conn.info();
+    EXPECT_GE(info.total_retrans, prev_retrans);
+    EXPECT_GT(info.segments_out, prev_segments);
+    prev_retrans = info.total_retrans;
+    prev_segments = info.segments_out;
+  }
+}
+
+TEST(TcpModelTest, SrttConvergesToPathRtt) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(3));
+  for (int i = 0; i < 50; ++i) conn.transfer(10 * 1460);
+  EXPECT_NEAR(conn.info().srtt_ms, 40.0, 4.0);
+}
+
+TEST(TcpModelTest, FirstRttInitializesSrttExactly) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(3));
+  conn.transfer(1460);
+  const TcpInfo info = conn.info();
+  // RFC 6298: srtt = R, rttvar = R/2 after the first measurement.
+  EXPECT_NEAR(info.rttvar_ms, info.srtt_ms / 2.0, 1e-6);
+}
+
+TEST(TcpModelTest, RtoRespectsFloor) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(3));
+  conn.transfer(10 * 1460);
+  EXPECT_GE(conn.rto_ms(), 200.0);
+}
+
+TEST(TcpModelTest, RtoUsesVariance) {
+  TcpConfig config;
+  config.min_rto_ms = 0.0;
+  TcpConnection conn(config, clean_path(), sim::Rng(3));
+  conn.transfer(1460);
+  const TcpInfo info = conn.info();
+  EXPECT_NEAR(conn.rto_ms(), info.srtt_ms + 4.0 * info.rttvar_ms, 1e-9);
+}
+
+TEST(TcpModelTest, InfoSnapshotConsistent) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(5));
+  conn.transfer(30 * 1460);
+  const TcpInfo info = conn.info();
+  EXPECT_EQ(info.mss_bytes, 1460u);
+  EXPECT_EQ(info.cwnd_segments, conn.cwnd());
+  EXPECT_EQ(info.in_slow_start, conn.in_slow_start());
+  EXPECT_GT(info.bytes_acked, 0u);
+}
+
+TEST(TcpModelTest, ThroughputEstimateFormula) {
+  TcpInfo info;
+  info.mss_bytes = 1460;
+  info.cwnd_segments = 20;
+  info.srtt_ms = 50.0;
+  // Eq. 3: MSS * CWND / SRTT = 1460 * 20 * 8 bits / 50 ms = 4672 kbps.
+  EXPECT_NEAR(info.throughput_estimate_kbps(), 4'672.0, 1e-6);
+  info.srtt_ms = 0.0;
+  EXPECT_DOUBLE_EQ(info.throughput_estimate_kbps(), 0.0);
+}
+
+TEST(TcpModelTest, RoundSamplesCoverTransfer) {
+  TcpConnection conn(TcpConfig{}, clean_path(), sim::Rng(7));
+  std::vector<RoundSample> rounds;
+  const TransferResult r = conn.transfer(100 * 1460, &rounds);
+  ASSERT_EQ(rounds.size(), r.rounds);
+  // Samples are time ordered and end at the transfer duration.
+  for (std::size_t i = 1; i < rounds.size(); ++i) {
+    EXPECT_GE(rounds[i].at_ms, rounds[i - 1].at_ms);
+  }
+  EXPECT_NEAR(rounds.back().at_ms, r.duration_ms, 1e-9);
+}
+
+TEST(TcpModelTest, BottleneckCapsThroughput) {
+  PathConfig path = clean_path();
+  path.bottleneck_kbps = 4'000.0;  // 4 Mbps
+  TcpConnection conn(TcpConfig{}, path, sim::Rng(11));
+  const std::uint64_t bytes = 2'000'000;  // 16 Mbit
+  const TransferResult r = conn.transfer(bytes);
+  const double tp_kbps = static_cast<double>(bytes) * 8.0 / r.duration_ms;
+  EXPECT_LE(tp_kbps, 4'400.0);  // within ~10% of the bottleneck
+}
+
+TEST(TcpModelTest, PacingSuppressesOvershootLosses) {
+  // §4.2-3 take-away: pacing avoids the end-of-slow-start burst (modelled
+  // as clamping to the pipe instead of overflowing the bottleneck buffer).
+  PathConfig path = clean_path();
+  path.bottleneck_kbps = 3'000.0;
+  path.max_queue_ms = 60.0;
+
+  TcpConfig paced;
+  paced.pacing = true;
+  TcpConfig unpaced;
+  unpaced.pacing = false;
+
+  std::uint64_t paced_retx = 0, unpaced_retx = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    TcpConnection a(paced, path, sim::Rng(100 + trial));
+    TcpConnection b(unpaced, path, sim::Rng(100 + trial));
+    paced_retx += a.transfer(500 * 1460).retransmissions;
+    unpaced_retx += b.transfer(500 * 1460).retransmissions;
+  }
+  EXPECT_EQ(paced_retx, 0u);
+  EXPECT_GT(unpaced_retx, 0u);
+}
+
+TEST(TcpModelTest, IdlePastRtoResetsWindowKeepsSsthresh) {
+  // RFC 2861 congestion-window validation.
+  PathConfig path = clean_path();
+  TcpConnection conn(TcpConfig{}, path, sim::Rng(55));
+  for (int i = 0; i < 5; ++i) conn.transfer(100 * 1460);
+  ASSERT_GT(conn.cwnd(), 100u);
+  const std::uint32_t ssthresh_before = conn.info().ssthresh_segments;
+  conn.idle(50.0);  // shorter than RTO: no reset
+  EXPECT_GT(conn.cwnd(), 100u);
+  conn.idle(10'000.0);  // way past RTO: reset to IW
+  EXPECT_EQ(conn.cwnd(), 10u);
+  EXPECT_EQ(conn.info().ssthresh_segments, ssthresh_before);
+}
+
+TEST(TcpModelTest, FirstChunkSeesMoreRetransmissions) {
+  // Fig. 15: slow start's doubling overshoots the pipe on the first chunk;
+  // later chunks ride congestion avoidance with only trickle losses.
+  PathConfig path = clean_path();
+  path.bottleneck_kbps = 5'000.0;
+  path.random_loss = 0.001;
+  path.max_queue_ms = 60.0;
+
+  double first = 0.0, later = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    TcpConnection conn(TcpConfig{}, path, sim::Rng(t));
+    const std::uint64_t chunk = 1'500'000;
+    const TransferResult c0 = conn.transfer(chunk);
+    first += static_cast<double>(c0.retransmissions) / c0.segments;
+    for (int c = 1; c < 5; ++c) {
+      const TransferResult ci = conn.transfer(chunk);
+      later += static_cast<double>(ci.retransmissions) / ci.segments / 4.0;
+    }
+  }
+  EXPECT_GT(first / trials, later / trials);
+}
+
+TEST(TcpModelTest, DurationPositiveAndFirstByteLeqDuration) {
+  PathConfig path = clean_path();
+  path.random_loss = 0.05;
+  TcpConnection conn(TcpConfig{}, path, sim::Rng(21));
+  for (int i = 0; i < 50; ++i) {
+    const TransferResult r = conn.transfer(20'000 + 1'000 * i);
+    EXPECT_GT(r.duration_ms, 0.0);
+    EXPECT_GT(r.first_byte_ms, 0.0);
+    EXPECT_LE(r.first_byte_ms, r.duration_ms + 1e-9);
+  }
+}
+
+// Parameterized determinism sweep: same seed -> identical outcome across
+// transfer sizes and loss rates.
+class TcpDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(TcpDeterminismTest, SameSeedSameResult) {
+  const auto [bytes, loss] = GetParam();
+  PathConfig path = clean_path();
+  path.random_loss = loss;
+  TcpConnection a(TcpConfig{}, path, sim::Rng(77));
+  TcpConnection b(TcpConfig{}, path, sim::Rng(77));
+  const TransferResult ra = a.transfer(bytes);
+  const TransferResult rb = b.transfer(bytes);
+  EXPECT_DOUBLE_EQ(ra.duration_ms, rb.duration_ms);
+  EXPECT_EQ(ra.retransmissions, rb.retransmissions);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_DOUBLE_EQ(a.info().srtt_ms, b.info().srtt_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TcpDeterminismTest,
+    ::testing::Combine(::testing::Values(1'460ull, 146'000ull, 1'460'000ull),
+                       ::testing::Values(0.0, 0.01, 0.2)));
+
+}  // namespace
+}  // namespace vstream::net

@@ -1,0 +1,109 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vstream::sim {
+namespace {
+
+TEST(EventQueueTest, StartsAtZero) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(100.0, [&] {
+    q.schedule_in(50.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(100.0, [&] {
+    q.schedule_at(10.0, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 100.0);
+}
+
+TEST(EventQueueTest, NegativeDelayClampsToZero) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_in(-5.0, [&] { fired = true; });
+  q.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.schedule_at(20.0, [&] { ++fired; });
+  q.schedule_at(30.0, [&] { ++fired; });
+  EXPECT_EQ(q.run(20.0), 2u);  // event exactly at `until` runs
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 20.0);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) q.schedule_in(1.0, chain);
+  };
+  q.schedule_in(1.0, chain);
+  EXPECT_EQ(q.run(), 100u);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueueTest, ClearDropsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.schedule_at(20.0, [&] { ++fired; });
+  q.clear();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, RunUntilWithEmptyQueueAdvancesClock) {
+  EventQueue q;
+  q.run(500.0);
+  EXPECT_DOUBLE_EQ(q.now(), 500.0);
+}
+
+}  // namespace
+}  // namespace vstream::sim

@@ -1,0 +1,124 @@
+#include "sim/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vstream::sim {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const Zipf z(100, 0.8);
+  double sum = 0.0;
+  for (std::size_t r = 1; r <= 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotonicallyDecreasing) {
+  const Zipf z(1'000, 1.0);
+  for (std::size_t r = 2; r <= 1'000; ++r) {
+    EXPECT_LE(z.pmf(r), z.pmf(r - 1)) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, PmfOutOfRangeIsZero) {
+  const Zipf z(10, 1.0);
+  EXPECT_DOUBLE_EQ(z.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(z.pmf(11), 0.0);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const Zipf z(50, 0.0);
+  for (std::size_t r = 1; r <= 50; ++r) {
+    EXPECT_NEAR(z.pmf(r), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ShareOfTopBoundaries) {
+  const Zipf z(100, 0.9);
+  EXPECT_DOUBLE_EQ(z.share_of_top(0), 0.0);
+  EXPECT_NEAR(z.share_of_top(100), 1.0, 1e-12);
+  EXPECT_NEAR(z.share_of_top(1'000), 1.0, 1e-12);  // clamped
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  const Zipf z(20, 1.2);
+  Rng rng(5);
+  std::vector<int> counts(21, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 1; r <= 20; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), z.pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SampleWithinRange) {
+  const Zipf z(7, 0.5);
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::size_t r = z.sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 7u);
+  }
+}
+
+TEST(ZipfTest, RejectsDegenerateParams) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Zipf(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfFitTest, ReproducesPaperPopularitySkew) {
+  // Paper §3: top 10% of videos receive ~66% of playbacks (Fig. 3b).
+  const std::size_t n = 10'000;
+  const double alpha = fit_zipf_alpha(n, 0.10, 0.66);
+  const Zipf z(n, alpha);
+  EXPECT_NEAR(z.share_of_top(n / 10), 0.66, 0.01);
+}
+
+TEST(ZipfFitTest, AlphaIncreasesWithTargetShare) {
+  const std::size_t n = 5'000;
+  const double a1 = fit_zipf_alpha(n, 0.10, 0.50);
+  const double a2 = fit_zipf_alpha(n, 0.10, 0.80);
+  EXPECT_LT(a1, a2);
+}
+
+TEST(ZipfFitTest, RejectsInfeasibleTargets) {
+  EXPECT_THROW(fit_zipf_alpha(0, 0.1, 0.6), std::invalid_argument);
+  EXPECT_THROW(fit_zipf_alpha(100, 0.0, 0.6), std::invalid_argument);
+  EXPECT_THROW(fit_zipf_alpha(100, 0.1, 1.0), std::invalid_argument);
+  // target share below the top fraction itself is impossible for alpha >= 0
+  EXPECT_THROW(fit_zipf_alpha(100, 0.5, 0.4), std::invalid_argument);
+}
+
+// Property sweep: share_of_top is monotone in k and in alpha.
+class ZipfPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfPropertyTest, ShareMonotoneInK) {
+  const Zipf z(500, GetParam());
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 500; k += 7) {
+    const double share = z.share_of_top(k);
+    EXPECT_GE(share, prev);
+    prev = share;
+  }
+}
+
+TEST_P(ZipfPropertyTest, CdfSampleableAtExtremes) {
+  const Zipf z(500, GetParam());
+  Rng rng(77);
+  std::size_t min_seen = 500, max_seen = 1;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::size_t r = z.sample(rng);
+    min_seen = std::min(min_seen, r);
+    max_seen = std::max(max_seen, r);
+  }
+  EXPECT_EQ(min_seen, 1u);  // the head is always hit eventually
+  EXPECT_GT(max_seen, 250u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfPropertyTest,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.8, 1.0, 1.3));
+
+}  // namespace
+}  // namespace vstream::sim

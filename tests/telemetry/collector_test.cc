@@ -1,0 +1,100 @@
+#include "telemetry/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::telemetry {
+namespace {
+
+net::RoundSample round_at(sim::Ms at, double srtt = 50.0,
+                          std::uint64_t retrans = 0) {
+  net::RoundSample r;
+  r.at_ms = at;
+  r.info.srtt_ms = srtt;
+  r.info.total_retrans = retrans;
+  return r;
+}
+
+TEST(CollectorTest, RecordsAllStreams) {
+  Collector collector;
+  PlayerSessionRecord ps;
+  ps.session_id = 1;
+  collector.record(ps);
+  CdnSessionRecord cs;
+  cs.session_id = 1;
+  collector.record(cs);
+  PlayerChunkRecord pc;
+  pc.session_id = 1;
+  collector.record(pc);
+  CdnChunkRecord cc;
+  cc.session_id = 1;
+  collector.record(cc);
+  TcpSnapshotRecord snap;
+  snap.session_id = 1;
+  collector.record(snap);
+  const Dataset& d = collector.data();
+  EXPECT_EQ(d.player_sessions.size(), 1u);
+  EXPECT_EQ(d.cdn_sessions.size(), 1u);
+  EXPECT_EQ(d.player_chunks.size(), 1u);
+  EXPECT_EQ(d.cdn_chunks.size(), 1u);
+  EXPECT_EQ(d.tcp_snapshots.size(), 1u);
+}
+
+TEST(CollectorTest, AtLeastOneSnapshotPerChunk) {
+  // §2.1: "we snapshot TCP variables ... at least once per-chunk".
+  Collector collector(500.0);
+  // A 40 ms transfer never crosses a 500 ms boundary.
+  collector.sample_transfer(7, 0, 0.0, {round_at(40.0)});
+  ASSERT_EQ(collector.data().tcp_snapshots.size(), 1u);
+  EXPECT_EQ(collector.data().tcp_snapshots[0].chunk_id, 0u);
+  EXPECT_DOUBLE_EQ(collector.data().tcp_snapshots[0].at_ms, 40.0);
+}
+
+TEST(CollectorTest, SamplesEvery500MsWithinLongTransfer) {
+  Collector collector(500.0);
+  std::vector<net::RoundSample> rounds;
+  for (int i = 1; i <= 30; ++i) rounds.push_back(round_at(i * 100.0));
+  collector.sample_transfer(7, 0, 0.0, rounds);  // 3 s transfer
+  // Boundaries at 500, 1000, ..., 3000 -> 6 samples.
+  EXPECT_EQ(collector.data().tcp_snapshots.size(), 6u);
+}
+
+TEST(CollectorTest, CadenceSpansChunksOfSameSession) {
+  Collector collector(500.0);
+  // Chunk 0: 300 ms (no boundary), chunk 1 starts at 300 and runs 300 ms,
+  // crossing the 500 ms session boundary.
+  collector.sample_transfer(7, 0, 0.0, {round_at(300.0)});
+  collector.sample_transfer(7, 1, 300.0, {round_at(150.0), round_at(300.0)});
+  const auto& snaps = collector.data().tcp_snapshots;
+  // chunk 0 fallback sample + chunk 1 boundary sample.
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].chunk_id, 0u);
+  EXPECT_EQ(snaps[1].chunk_id, 1u);
+  EXPECT_DOUBLE_EQ(snaps[1].at_ms, 600.0);
+}
+
+TEST(CollectorTest, NewSessionResetsCadence) {
+  Collector collector(500.0);
+  collector.sample_transfer(7, 0, 0.0, {round_at(300.0)});
+  collector.sample_transfer(8, 0, 0.0, {round_at(300.0)});
+  // Both sessions get their per-chunk fallback sample; neither crossed its
+  // own 500 ms boundary.
+  EXPECT_EQ(collector.data().tcp_snapshots.size(), 2u);
+}
+
+TEST(CollectorTest, EmptyRoundsIgnored) {
+  Collector collector;
+  collector.sample_transfer(7, 0, 0.0, {});
+  EXPECT_TRUE(collector.data().tcp_snapshots.empty());
+}
+
+TEST(CollectorTest, TakeMovesData) {
+  Collector collector;
+  PlayerChunkRecord moved;
+  moved.session_id = 1;
+  collector.record(moved);
+  const Dataset taken = collector.take();
+  EXPECT_EQ(taken.player_chunks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vstream::telemetry

@@ -1,0 +1,106 @@
+#include "workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vstream::workload {
+namespace {
+
+TEST(CatalogTest, SizesAndIds) {
+  CatalogConfig config;
+  config.video_count = 500;
+  sim::Rng rng(1);
+  const VideoCatalog catalog(config, rng);
+  EXPECT_EQ(catalog.size(), 500u);
+  for (std::uint32_t id = 0; id < 500; ++id) {
+    EXPECT_EQ(catalog.video(id).id, id);
+    EXPECT_EQ(catalog.rank_of(id), id + 1u);
+  }
+}
+
+TEST(CatalogTest, DurationsClamped) {
+  CatalogConfig config;
+  config.video_count = 5'000;
+  config.min_duration_s = 10.0;
+  config.max_duration_s = 600.0;
+  sim::Rng rng(2);
+  const VideoCatalog catalog(config, rng);
+  for (std::uint32_t id = 0; id < catalog.size(); ++id) {
+    const VideoMeta& v = catalog.video(id);
+    EXPECT_GE(v.duration_s, 10.0);
+    EXPECT_LE(v.duration_s, 600.0);
+  }
+}
+
+TEST(CatalogTest, ChunkCountCoversDuration) {
+  CatalogConfig config;
+  config.video_count = 2'000;
+  sim::Rng rng(3);
+  const VideoCatalog catalog(config, rng);
+  for (std::uint32_t id = 0; id < catalog.size(); ++id) {
+    const VideoMeta& v = catalog.video(id);
+    EXPECT_GE(v.chunk_count * config.chunk_duration_s, v.duration_s);
+    EXPECT_LT((v.chunk_count - 1) * config.chunk_duration_s, v.duration_s);
+  }
+}
+
+TEST(CatalogTest, DefaultSkewMatchesPaper) {
+  // §3 / Fig. 3b: top 10% of videos -> ~66% of playbacks.
+  CatalogConfig config;
+  config.video_count = 5'000;
+  sim::Rng rng(4);
+  const VideoCatalog catalog(config, rng);
+  EXPECT_NEAR(catalog.popularity().share_of_top(500), 0.66, 0.02);
+}
+
+TEST(CatalogTest, ExplicitAlphaRespected) {
+  CatalogConfig config;
+  config.video_count = 1'000;
+  config.zipf_alpha = 1.0;
+  sim::Rng rng(5);
+  const VideoCatalog catalog(config, rng);
+  EXPECT_DOUBLE_EQ(catalog.popularity().alpha(), 1.0);
+}
+
+TEST(CatalogTest, SampleSkewedTowardHead) {
+  CatalogConfig config;
+  config.video_count = 1'000;
+  sim::Rng rng(6);
+  const VideoCatalog catalog(config, rng);
+  std::size_t head_draws = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (catalog.rank_of(catalog.sample_video(rng)) <= 100) ++head_draws;
+  }
+  EXPECT_NEAR(head_draws / static_cast<double>(n), 0.66, 0.03);
+}
+
+TEST(CatalogTest, DurationMedianRoughlyConfigured) {
+  CatalogConfig config;
+  config.video_count = 20'000;
+  config.duration_median_s = 120.0;
+  sim::Rng rng(7);
+  const VideoCatalog catalog(config, rng);
+  std::vector<double> durations;
+  durations.reserve(catalog.size());
+  for (std::uint32_t id = 0; id < catalog.size(); ++id) {
+    durations.push_back(catalog.video(id).duration_s);
+  }
+  std::nth_element(durations.begin(), durations.begin() + durations.size() / 2,
+                   durations.end());
+  EXPECT_NEAR(durations[durations.size() / 2], 120.0, 8.0);
+}
+
+TEST(CatalogTest, DeterministicForSeed) {
+  CatalogConfig config;
+  config.video_count = 300;
+  sim::Rng rng_a(9), rng_b(9);
+  const VideoCatalog a(config, rng_a), b(config, rng_b);
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    EXPECT_DOUBLE_EQ(a.video(id).duration_s, b.video(id).duration_s);
+  }
+}
+
+}  // namespace
+}  // namespace vstream::workload

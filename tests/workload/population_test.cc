@@ -1,0 +1,170 @@
+#include "workload/population.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace vstream::workload {
+namespace {
+
+Population make_population(std::size_t prefixes = 2'000, std::uint64_t seed = 1) {
+  PopulationConfig config;
+  config.prefix_count = prefixes;
+  sim::Rng rng(seed);
+  return Population(config, rng);
+}
+
+TEST(PopulationTest, PrefixCountRespected) {
+  const Population pop = make_population(500);
+  EXPECT_EQ(pop.prefixes().size(), 500u);
+}
+
+TEST(PopulationTest, PrefixesAreUniqueSlash24s) {
+  const Population pop = make_population(3'000);
+  std::set<net::Prefix24> seen;
+  for (const PrefixProfile& p : pop.prefixes()) {
+    EXPECT_EQ(p.prefix & 0xFFu, 0u) << "host bits must be zero";
+    EXPECT_TRUE(seen.insert(p.prefix).second) << "duplicate prefix";
+  }
+}
+
+TEST(PopulationTest, UsShareMatchesConfig) {
+  // §3: >93% of clients in North America.
+  const Population pop = make_population(5'000, 2);
+  std::size_t us = 0;
+  for (const PrefixProfile& p : pop.prefixes()) {
+    if (p.country == "US") ++us;
+  }
+  EXPECT_NEAR(us / 5'000.0, 0.93, 0.02);
+}
+
+TEST(PopulationTest, AccessTypesConsistentWithGeography) {
+  const Population pop = make_population(5'000, 3);
+  for (const PrefixProfile& p : pop.prefixes()) {
+    if (p.country == "US") {
+      EXPECT_NE(p.access, net::AccessType::kInternational);
+    } else {
+      EXPECT_EQ(p.access, net::AccessType::kInternational);
+    }
+    EXPECT_FALSE(p.org.empty());
+    EXPECT_FALSE(p.city.empty());
+    EXPECT_GE(p.bandwidth_kbps, 1'200.0);
+  }
+}
+
+TEST(PopulationTest, EnterpriseShareRoughlyConfigured) {
+  const Population pop = make_population(5'000, 4);
+  std::size_t enterprise = 0, us = 0;
+  for (const PrefixProfile& p : pop.prefixes()) {
+    if (p.country != "US") continue;
+    ++us;
+    if (p.access == net::AccessType::kEnterprise) ++enterprise;
+  }
+  ASSERT_GT(us, 0u);
+  EXPECT_NEAR(enterprise / static_cast<double>(us), 0.12, 0.02);
+}
+
+TEST(PopulationTest, SampleIpBelongsToPrefix) {
+  const Population pop = make_population(100, 5);
+  sim::Rng rng(6);
+  for (int i = 0; i < 1'000; ++i) {
+    const ClientProfile c = pop.sample(rng);
+    ASSERT_NE(c.prefix, nullptr);
+    EXPECT_EQ(net::prefix24_of(c.ip), c.prefix->prefix);
+    const std::uint32_t host = c.ip & 0xFFu;
+    EXPECT_GE(host, 1u);
+    EXPECT_LE(host, 254u);
+  }
+}
+
+TEST(PopulationTest, BrowserMixMatchesPaper) {
+  // §3: 43% Chrome, 37% Firefox, 13% IE, 6% Safari, ~2% other.
+  const Population pop = make_population(200, 7);
+  sim::Rng rng(8);
+  std::map<client::Browser, int> counts;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) ++counts[pop.sample(rng).ua.browser];
+  EXPECT_NEAR(counts[client::Browser::kChrome] / static_cast<double>(n), 0.43, 0.02);
+  EXPECT_NEAR(counts[client::Browser::kFirefox] / static_cast<double>(n), 0.37, 0.02);
+  double other = 0.0;
+  for (const client::Browser b :
+       {client::Browser::kOpera, client::Browser::kYandex,
+        client::Browser::kVivaldi, client::Browser::kSeaMonkey}) {
+    other += counts[b];
+  }
+  EXPECT_NEAR(other / n, 0.02, 0.01);
+}
+
+TEST(PopulationTest, OsMixMatchesPaper) {
+  // §3: 88.5% Windows, 9.4% OS X.  (Safari platform correction shifts a
+  // little mass from Windows to Mac.)
+  const Population pop = make_population(200, 9);
+  sim::Rng rng(10);
+  int windows = 0, mac = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const client::Os os = pop.sample(rng).ua.os;
+    if (os == client::Os::kWindows) ++windows;
+    if (os == client::Os::kMacOs) ++mac;
+  }
+  EXPECT_NEAR(windows / static_cast<double>(n), 0.885, 0.04);
+  EXPECT_NEAR(mac / static_cast<double>(n), 0.094, 0.04);
+}
+
+TEST(PopulationTest, PlatformCoherence) {
+  // IE/Edge never appear off Windows.
+  const Population pop = make_population(200, 11);
+  sim::Rng rng(12);
+  for (int i = 0; i < 20'000; ++i) {
+    const client::UserAgent ua = pop.sample(rng).ua;
+    if (ua.browser == client::Browser::kInternetExplorer ||
+        ua.browser == client::Browser::kEdge) {
+      EXPECT_EQ(ua.os, client::Os::kWindows);
+    }
+  }
+}
+
+TEST(PopulationTest, SafariOnWindowsExistsButRare) {
+  // The pathological Table 5 / Fig. 22 case must exist in the population.
+  const Population pop = make_population(200, 13);
+  sim::Rng rng(14);
+  int safari_win = 0, safari = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const client::UserAgent ua = pop.sample(rng).ua;
+    if (ua.browser == client::Browser::kSafari) {
+      ++safari;
+      if (ua.os == client::Os::kWindows) ++safari_win;
+    }
+  }
+  EXPECT_GT(safari_win, 0);
+  EXPECT_LT(safari_win, safari);  // most Safari is on Mac
+}
+
+TEST(PopulationTest, ProxyShareMatchesConfig) {
+  PopulationConfig config;
+  config.prefix_count = 200;
+  config.proxy_fraction = 0.10;
+  sim::Rng seed_rng(15);
+  const Population pop(config, seed_rng);
+  sim::Rng rng(16);
+  int proxied = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (pop.sample(rng).behind_proxy) ++proxied;
+  }
+  EXPECT_NEAR(proxied / static_cast<double>(n), 0.10, 0.01);
+}
+
+TEST(PopulationTest, CpuLoadBounded) {
+  const Population pop = make_population(100, 17);
+  sim::Rng rng(18);
+  for (int i = 0; i < 10'000; ++i) {
+    const double load = pop.sample(rng).cpu_load;
+    EXPECT_GE(load, 0.0);
+    EXPECT_LE(load, 0.98);
+  }
+}
+
+}  // namespace
+}  // namespace vstream::workload

@@ -1,0 +1,106 @@
+#include "workload/session_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace vstream::workload {
+namespace {
+
+struct Fixture {
+  sim::Rng rng{1};
+  CatalogConfig catalog_config{.video_count = 1'000};
+  PopulationConfig population_config{.prefix_count = 200};
+  VideoCatalog catalog{catalog_config, rng};
+  Population population{population_config, rng};
+};
+
+TEST(SessionGeneratorTest, IdsAreSequentialAndUnique) {
+  Fixture f;
+  SessionGenerator gen({}, f.catalog, f.population);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const SessionSpec spec = gen.next(f.rng);
+    EXPECT_GT(spec.session_id, prev);
+    prev = spec.session_id;
+  }
+}
+
+TEST(SessionGeneratorTest, ArrivalsMonotone) {
+  Fixture f;
+  SessionGenerator gen({}, f.catalog, f.population);
+  double prev = -1.0;
+  for (int i = 0; i < 200; ++i) {
+    const SessionSpec spec = gen.next(f.rng);
+    EXPECT_GT(spec.start_time_ms, prev);
+    prev = spec.start_time_ms;
+  }
+}
+
+TEST(SessionGeneratorTest, MeanInterarrivalRoughlyConfigured) {
+  Fixture f;
+  SessionGeneratorConfig config;
+  config.mean_interarrival_ms = 25.0;
+  SessionGenerator gen(config, f.catalog, f.population);
+  double last = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) last = gen.next(f.rng).start_time_ms;
+  EXPECT_NEAR(last / n, 25.0, 1.0);
+}
+
+TEST(SessionGeneratorTest, ChunkCountWithinVideoBounds) {
+  Fixture f;
+  SessionGenerator gen({}, f.catalog, f.population);
+  for (int i = 0; i < 2'000; ++i) {
+    const SessionSpec spec = gen.next(f.rng);
+    const VideoMeta& meta = f.catalog.video(spec.video_id);
+    EXPECT_GE(spec.chunk_count, 1u);
+    EXPECT_LE(spec.chunk_count, meta.chunk_count);
+    EXPECT_EQ(spec.video_rank, f.catalog.rank_of(spec.video_id));
+    EXPECT_DOUBLE_EQ(spec.video_duration_s, meta.duration_s);
+  }
+}
+
+TEST(SessionGeneratorTest, AbandonmentProducesPartialSessions) {
+  Fixture f;
+  SessionGeneratorConfig config;
+  config.abandon_probability = 1.0;  // everyone abandons
+  SessionGenerator gen(config, f.catalog, f.population);
+  int partial = 0, total = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    const SessionSpec spec = gen.next(f.rng);
+    const VideoMeta& meta = f.catalog.video(spec.video_id);
+    if (meta.chunk_count >= 4) {  // short videos can't show partiality
+      ++total;
+      if (spec.chunk_count < meta.chunk_count) ++partial;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(partial, total / 2);
+}
+
+TEST(SessionGeneratorTest, NoAbandonmentWatchesFully) {
+  Fixture f;
+  SessionGeneratorConfig config;
+  config.abandon_probability = 0.0;
+  SessionGenerator gen(config, f.catalog, f.population);
+  for (int i = 0; i < 500; ++i) {
+    const SessionSpec spec = gen.next(f.rng);
+    EXPECT_EQ(spec.chunk_count, f.catalog.video(spec.video_id).chunk_count);
+  }
+}
+
+TEST(ScenarioTest, PresetsAreConsistent) {
+  const Scenario paper = paper_scenario();
+  EXPECT_GT(paper.session_count, 0u);
+  EXPECT_GT(paper.catalog.video_count, 0u);
+  EXPECT_GT(paper.fleet.pop_count, 0u);
+  EXPECT_DOUBLE_EQ(paper.tcp_sample_interval_ms, 500.0);  // §2.1
+
+  const Scenario test = test_scenario();
+  EXPECT_LT(test.session_count, paper.session_count);
+  EXPECT_LT(test.catalog.video_count, paper.catalog.video_count);
+}
+
+}  // namespace
+}  // namespace vstream::workload

@@ -1,0 +1,130 @@
+// vstream_analyze — run the paper's offline analyses over a telemetry
+// directory previously written by `vstream_sim --out DIR` (or any system
+// emitting the same CSV schema).
+//
+//   vstream_analyze DIR [--tail-threshold MS] [--epochs N]
+//
+// Performs the §3 preprocessing (proxy filter + join), then prints:
+//   * the QoE summary,
+//   * the CDN latency breakdown (Fig. 5 headline numbers),
+//   * the org CV table (Table 4),
+//   * the persistent tail-prefix study (Fig. 9), and
+//   * the Eq. 4 download-stack screen counts (§4.3-1).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/aggregate.h"
+#include "analysis/detectors.h"
+#include "analysis/qoe.h"
+#include "core/report.h"
+#include "telemetry/export.h"
+#include "telemetry/join.h"
+#include "telemetry/proxy_filter.h"
+
+using namespace vstream;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s DIR [--tail-threshold MS] [--epochs N]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  double tail_threshold_ms = 100.0;
+  std::size_t epochs = 4;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tail-threshold" && i + 1 < argc) {
+      tail_threshold_ms = std::atof(argv[++i]);
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      epochs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const telemetry::Dataset data = telemetry::import_dataset(dir);
+  core::print_header("Dataset");
+  core::print_metric("player_sessions", static_cast<double>(data.player_sessions.size()));
+  core::print_metric("player_chunks", static_cast<double>(data.player_chunks.size()));
+  core::print_metric("tcp_snapshots", static_cast<double>(data.tcp_snapshots.size()));
+
+  const auto proxies = telemetry::detect_proxies(data);
+  const auto joined = telemetry::JoinedDataset::build(data, &proxies);
+  core::print_metric("proxy_sessions_filtered",
+                     static_cast<double>(proxies.proxy_sessions.size()));
+  core::print_metric("sessions_after_join",
+                     static_cast<double>(joined.sessions().size()));
+
+  core::print_header("QoE");
+  const analysis::QoeAggregate qoe = analysis::aggregate_qoe(joined);
+  core::print_metric("startup_median_ms", qoe.startup_ms.median);
+  core::print_metric("rebuffer_rate_mean_pct", qoe.rebuffer_rate_pct.mean);
+  core::print_metric("avg_bitrate_median_kbps", qoe.avg_bitrate_kbps.median);
+  core::print_metric("share_with_rebuffering", qoe.share_with_rebuffering);
+
+  core::print_header("CDN latency (Fig. 5 headlines)");
+  std::vector<double> hit, miss;
+  for (const auto& c : data.cdn_chunks) {
+    (c.cache_hit() ? hit : miss).push_back(c.server_total_ms());
+  }
+  core::print_metric("hit_median_ms", analysis::summarize(hit).median);
+  if (!miss.empty()) {
+    core::print_metric("miss_median_ms", analysis::summarize(miss).median);
+    core::print_metric("miss_share", static_cast<double>(miss.size()) /
+                                         static_cast<double>(hit.size() +
+                                                             miss.size()));
+  }
+
+  core::print_header("Table 4: orgs by share of CV(SRTT) > 1 sessions");
+  core::Table table({"org", "access", "CV>1", "sessions", "share"});
+  for (const analysis::OrgCvRow& row : analysis::org_cv_table(joined, 50)) {
+    table.add_row({row.org, net::to_string(row.access),
+                   std::to_string(row.high_cv_sessions),
+                   std::to_string(row.total_sessions),
+                   core::fmt(row.percent(), 1) + "%"});
+  }
+  table.print();
+
+  core::print_header("Fig. 9: persistent tail-latency prefixes");
+  const analysis::TailPrefixStudy study = analysis::persistent_tail_prefixes(
+      joined, tail_threshold_ms, epochs, 0.10);
+  core::print_metric("prefixes", static_cast<double>(study.total_prefix_count));
+  core::print_metric("ever_in_tail", static_cast<double>(study.tail_prefix_count));
+  core::print_metric("persistent", static_cast<double>(study.persistent_tail.size()));
+  core::print_metric("non_us_share", study.non_us_share);
+
+  core::print_header("Fig. 8: per-session latency CDFs");
+  std::vector<double> srtt_min, sigma_srtt;
+  for (const telemetry::JoinedSession& s : joined.sessions()) {
+    const analysis::SessionNetMetrics m = analysis::session_net_metrics(s);
+    if (!m.valid) continue;
+    srtt_min.push_back(m.srtt_min_ms);
+    sigma_srtt.push_back(m.srtt_stddev_ms);
+  }
+  core::print_cdf("analyze_srtt_min", analysis::make_cdf(srtt_min, 25));
+  core::print_cdf("analyze_sigma_srtt", analysis::make_cdf(sigma_srtt, 25));
+
+  core::print_header("Eq. 4 download-stack screen (§4.3-1)");
+  std::size_t flagged = 0, sessions_with_flag = 0, chunks = 0;
+  for (const telemetry::JoinedSession& s : joined.sessions()) {
+    chunks += s.chunks.size();
+    const analysis::DsOutlierResult r = analysis::detect_ds_outliers(s);
+    flagged += r.flagged_count;
+    if (r.flagged_count > 0) ++sessions_with_flag;
+  }
+  core::print_metric("flagged_chunk_share",
+                     chunks == 0 ? 0.0
+                                 : static_cast<double>(flagged) /
+                                       static_cast<double>(chunks));
+  core::print_metric("flagged_session_share",
+                     joined.sessions().empty()
+                         ? 0.0
+                         : static_cast<double>(sessions_with_flag) /
+                               static_cast<double>(joined.sessions().size()));
+  return 0;
+}

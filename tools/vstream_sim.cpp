@@ -1,0 +1,166 @@
+// vstream_sim — run a simulated measurement campaign from the command line
+// and optionally export the raw telemetry as CSV for offline analysis
+// (see vstream_analyze).
+//
+//   vstream_sim [--sessions N] [--seed S] [--abr fixed|rate|buffer|hybrid]
+//               [--routing cache|partitioned] [--cache lru|lfu|gdsize]
+//               [--prefetch N] [--pacing] [--universal-head]
+//               [--abr-outlier-filter] [--out DIR]
+//
+// Prints a QoE and CDN summary either way.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/qoe.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "telemetry/export.h"
+#include "telemetry/join.h"
+#include "telemetry/proxy_filter.h"
+
+using namespace vstream;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--sessions N] [--seed S] [--abr fixed|rate|buffer|hybrid]\n"
+      "          [--routing cache|partitioned] [--cache lru|lfu|gdsize]\n"
+      "          [--prefetch N] [--pacing] [--universal-head]\n"
+      "          [--abr-outlier-filter] [--out DIR]\n",
+      argv0);
+  std::exit(2);
+}
+
+client::AbrKind parse_abr(const std::string& s, const char* argv0) {
+  if (s == "fixed") return client::AbrKind::kFixed;
+  if (s == "rate") return client::AbrKind::kRateBased;
+  if (s == "buffer") return client::AbrKind::kBufferBased;
+  if (s == "hybrid") return client::AbrKind::kHybrid;
+  usage(argv0);
+}
+
+cdn::RoutingPolicy parse_routing(const std::string& s, const char* argv0) {
+  if (s == "cache") return cdn::RoutingPolicy::kCacheFocused;
+  if (s == "partitioned") return cdn::RoutingPolicy::kPopularityPartitioned;
+  usage(argv0);
+}
+
+cdn::PolicyKind parse_cache(const std::string& s, const char* argv0) {
+  if (s == "lru") return cdn::PolicyKind::kLru;
+  if (s == "lfu") return cdn::PolicyKind::kPerfectLfu;
+  if (s == "gdsize") return cdn::PolicyKind::kGdSize;
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::Scenario scenario = workload::paper_scenario();
+  scenario.session_count = 2'000;
+  bool universal_head = false;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      scenario.session_count = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (arg == "--seed") {
+      scenario.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--abr") {
+      scenario.abr = parse_abr(next(), argv[0]);
+    } else if (arg == "--routing") {
+      scenario.routing = parse_routing(next(), argv[0]);
+    } else if (arg == "--cache") {
+      scenario.fleet.server.policy = parse_cache(next(), argv[0]);
+    } else if (arg == "--prefetch") {
+      scenario.fleet.server.prefetch_on_miss =
+          static_cast<std::uint32_t>(std::atoi(next().c_str()));
+    } else if (arg == "--pacing") {
+      scenario.tcp.pacing = true;
+    } else if (arg == "--universal-head") {
+      universal_head = true;
+    } else if (arg == "--abr-outlier-filter") {
+      scenario.abr_filters_throughput_outliers = true;
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  core::print_header("vstream_sim");
+  core::print_metric("sessions", static_cast<double>(scenario.session_count));
+  core::print_metric("seed", static_cast<double>(scenario.seed));
+  core::print_metric("abr", client::to_string(scenario.abr));
+  core::print_metric("routing", cdn::to_string(scenario.routing));
+  core::print_metric("cache_policy", cdn::to_string(scenario.fleet.server.policy));
+
+  core::Pipeline pipeline(scenario);
+  pipeline.warm_caches(0.92, universal_head);
+  pipeline.run();
+
+  const auto proxies = telemetry::detect_proxies(pipeline.dataset());
+  const auto joined =
+      telemetry::JoinedDataset::build(pipeline.dataset(), &proxies);
+
+  core::print_header("QoE summary (proxy-filtered sessions)");
+  const analysis::QoeAggregate qoe = analysis::aggregate_qoe(joined);
+  core::Table table({"metric", "median", "mean", "p95"});
+  table.add_row({"startup ms", core::fmt(qoe.startup_ms.median, 0),
+                 core::fmt(qoe.startup_ms.mean, 0),
+                 core::fmt(qoe.startup_ms.p95, 0)});
+  table.add_row({"rebuffer %", core::fmt(qoe.rebuffer_rate_pct.median, 2),
+                 core::fmt(qoe.rebuffer_rate_pct.mean, 2),
+                 core::fmt(qoe.rebuffer_rate_pct.p95, 2)});
+  table.add_row({"avg bitrate kbps", core::fmt(qoe.avg_bitrate_kbps.median, 0),
+                 core::fmt(qoe.avg_bitrate_kbps.mean, 0),
+                 core::fmt(qoe.avg_bitrate_kbps.p95, 0)});
+  table.add_row({"dropped %", core::fmt(qoe.dropped_frame_pct.median, 2),
+                 core::fmt(qoe.dropped_frame_pct.mean, 2),
+                 core::fmt(qoe.dropped_frame_pct.p95, 2)});
+  table.print();
+  core::print_metric("sessions_joined", static_cast<double>(qoe.sessions));
+  core::print_metric("sessions_dropped_as_proxy",
+                     static_cast<double>(joined.dropped_as_proxy()));
+  core::print_metric("share_with_rebuffering", qoe.share_with_rebuffering);
+
+  core::print_header("CDN summary");
+  std::uint64_t ram = 0, disk = 0, miss = 0, total = 0, backend = 0;
+  auto& fleet = pipeline.fleet();
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    for (std::uint32_t idx = 0; idx < fleet.servers_per_pop(); ++idx) {
+      const cdn::AtsServer& s = fleet.server({pop, idx});
+      ram += s.ram_hits();
+      disk += s.disk_hits();
+      miss += s.misses();
+      total += s.requests_served();
+      backend += s.backend_requests();
+    }
+  }
+  const double n = static_cast<double>(total);
+  core::print_metric("ram_hit_share", static_cast<double>(ram) / n);
+  core::print_metric("disk_hit_share", static_cast<double>(disk) / n);
+  core::print_metric("miss_share", static_cast<double>(miss) / n);
+  core::print_metric("backend_requests", static_cast<double>(backend));
+
+  if (!out_dir.empty()) {
+    telemetry::export_dataset(pipeline.dataset(), out_dir);
+    std::printf("\nexported raw telemetry to %s "
+                "(player_sessions/cdn_sessions/player_chunks/cdn_chunks/"
+                "tcp_snapshots .csv)\n",
+                out_dir.c_str());
+  }
+  return 0;
+}
