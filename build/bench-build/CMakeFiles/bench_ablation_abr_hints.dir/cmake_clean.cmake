@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_abr_hints"
+  "../bench/bench_ablation_abr_hints.pdb"
+  "CMakeFiles/bench_ablation_abr_hints.dir/bench_ablation_abr_hints.cpp.o"
+  "CMakeFiles/bench_ablation_abr_hints.dir/bench_ablation_abr_hints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abr_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

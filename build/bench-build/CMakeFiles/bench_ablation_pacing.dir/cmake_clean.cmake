@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pacing"
+  "../bench/bench_ablation_pacing.pdb"
+  "CMakeFiles/bench_ablation_pacing.dir/bench_ablation_pacing.cpp.o"
+  "CMakeFiles/bench_ablation_pacing.dir/bench_ablation_pacing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ds_detector"
+  "../bench/bench_ds_detector.pdb"
+  "CMakeFiles/bench_ds_detector.dir/bench_ds_detector.cpp.o"
+  "CMakeFiles/bench_ds_detector.dir/bench_ds_detector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ds_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

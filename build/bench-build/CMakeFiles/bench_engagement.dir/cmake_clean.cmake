@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_engagement"
+  "../bench/bench_engagement.pdb"
+  "CMakeFiles/bench_engagement.dir/bench_engagement.cpp.o"
+  "CMakeFiles/bench_engagement.dir/bench_engagement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engagement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

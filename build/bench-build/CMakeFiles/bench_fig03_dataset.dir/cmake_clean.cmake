@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_dataset"
+  "../bench/bench_fig03_dataset.pdb"
+  "CMakeFiles/bench_fig03_dataset.dir/bench_fig03_dataset.cpp.o"
+  "CMakeFiles/bench_fig03_dataset.dir/bench_fig03_dataset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

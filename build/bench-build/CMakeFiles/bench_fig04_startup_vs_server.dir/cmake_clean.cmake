@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_startup_vs_server"
+  "../bench/bench_fig04_startup_vs_server.pdb"
+  "CMakeFiles/bench_fig04_startup_vs_server.dir/bench_fig04_startup_vs_server.cpp.o"
+  "CMakeFiles/bench_fig04_startup_vs_server.dir/bench_fig04_startup_vs_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_startup_vs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_cdn_breakdown"
+  "../bench/bench_fig05_cdn_breakdown.pdb"
+  "CMakeFiles/bench_fig05_cdn_breakdown.dir/bench_fig05_cdn_breakdown.cpp.o"
+  "CMakeFiles/bench_fig05_cdn_breakdown.dir/bench_fig05_cdn_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cdn_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

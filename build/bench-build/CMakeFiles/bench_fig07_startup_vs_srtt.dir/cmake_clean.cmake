@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_startup_vs_srtt"
+  "../bench/bench_fig07_startup_vs_srtt.pdb"
+  "CMakeFiles/bench_fig07_startup_vs_srtt.dir/bench_fig07_startup_vs_srtt.cpp.o"
+  "CMakeFiles/bench_fig07_startup_vs_srtt.dir/bench_fig07_startup_vs_srtt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_startup_vs_srtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_startup_vs_srtt.
+# This may be replaced when dependencies are built.

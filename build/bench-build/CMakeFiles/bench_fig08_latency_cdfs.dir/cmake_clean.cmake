@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_latency_cdfs"
+  "../bench/bench_fig08_latency_cdfs.pdb"
+  "CMakeFiles/bench_fig08_latency_cdfs.dir/bench_fig08_latency_cdfs.cpp.o"
+  "CMakeFiles/bench_fig08_latency_cdfs.dir/bench_fig08_latency_cdfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_latency_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_tail_prefix_distance"
+  "../bench/bench_fig09_tail_prefix_distance.pdb"
+  "CMakeFiles/bench_fig09_tail_prefix_distance.dir/bench_fig09_tail_prefix_distance.cpp.o"
+  "CMakeFiles/bench_fig09_tail_prefix_distance.dir/bench_fig09_tail_prefix_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_tail_prefix_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_path_cv"
+  "../bench/bench_fig10_path_cv.pdb"
+  "CMakeFiles/bench_fig10_path_cv.dir/bench_fig10_path_cv.cpp.o"
+  "CMakeFiles/bench_fig10_path_cv.dir/bench_fig10_path_cv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_path_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_rebuf_vs_retx"
+  "../bench/bench_fig12_rebuf_vs_retx.pdb"
+  "CMakeFiles/bench_fig12_rebuf_vs_retx.dir/bench_fig12_rebuf_vs_retx.cpp.o"
+  "CMakeFiles/bench_fig12_rebuf_vs_retx.dir/bench_fig12_rebuf_vs_retx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rebuf_vs_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_rebuf_vs_retx.
+# This may be replaced when dependencies are built.

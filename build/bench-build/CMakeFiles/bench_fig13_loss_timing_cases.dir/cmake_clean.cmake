@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_loss_timing_cases"
+  "../bench/bench_fig13_loss_timing_cases.pdb"
+  "CMakeFiles/bench_fig13_loss_timing_cases.dir/bench_fig13_loss_timing_cases.cpp.o"
+  "CMakeFiles/bench_fig13_loss_timing_cases.dir/bench_fig13_loss_timing_cases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_loss_timing_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_retx_by_chunkid"
+  "../bench/bench_fig15_retx_by_chunkid.pdb"
+  "CMakeFiles/bench_fig15_retx_by_chunkid.dir/bench_fig15_retx_by_chunkid.cpp.o"
+  "CMakeFiles/bench_fig15_retx_by_chunkid.dir/bench_fig15_retx_by_chunkid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_retx_by_chunkid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_perfscore"
+  "../bench/bench_fig16_perfscore.pdb"
+  "CMakeFiles/bench_fig16_perfscore.dir/bench_fig16_perfscore.cpp.o"
+  "CMakeFiles/bench_fig16_perfscore.dir/bench_fig16_perfscore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_perfscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_ds_case_study"
+  "../bench/bench_fig17_ds_case_study.pdb"
+  "CMakeFiles/bench_fig17_ds_case_study.dir/bench_fig17_ds_case_study.cpp.o"
+  "CMakeFiles/bench_fig17_ds_case_study.dir/bench_fig17_ds_case_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_ds_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

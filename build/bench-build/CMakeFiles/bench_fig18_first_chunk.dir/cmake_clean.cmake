@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_first_chunk"
+  "../bench/bench_fig18_first_chunk.pdb"
+  "CMakeFiles/bench_fig18_first_chunk.dir/bench_fig18_first_chunk.cpp.o"
+  "CMakeFiles/bench_fig18_first_chunk.dir/bench_fig18_first_chunk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_first_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_dropped_vs_rate"
+  "../bench/bench_fig19_dropped_vs_rate.pdb"
+  "CMakeFiles/bench_fig19_dropped_vs_rate.dir/bench_fig19_dropped_vs_rate.cpp.o"
+  "CMakeFiles/bench_fig19_dropped_vs_rate.dir/bench_fig19_dropped_vs_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_dropped_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

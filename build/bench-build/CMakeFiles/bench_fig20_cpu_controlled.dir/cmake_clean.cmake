@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_cpu_controlled"
+  "../bench/bench_fig20_cpu_controlled.pdb"
+  "CMakeFiles/bench_fig20_cpu_controlled.dir/bench_fig20_cpu_controlled.cpp.o"
+  "CMakeFiles/bench_fig20_cpu_controlled.dir/bench_fig20_cpu_controlled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_cpu_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_browser_share"
+  "../bench/bench_fig21_browser_share.pdb"
+  "CMakeFiles/bench_fig21_browser_share.dir/bench_fig21_browser_share.cpp.o"
+  "CMakeFiles/bench_fig21_browser_share.dir/bench_fig21_browser_share.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_browser_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

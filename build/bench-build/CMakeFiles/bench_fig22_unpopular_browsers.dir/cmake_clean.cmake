@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_unpopular_browsers"
+  "../bench/bench_fig22_unpopular_browsers.pdb"
+  "CMakeFiles/bench_fig22_unpopular_browsers.dir/bench_fig22_unpopular_browsers.cpp.o"
+  "CMakeFiles/bench_fig22_unpopular_browsers.dir/bench_fig22_unpopular_browsers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_unpopular_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_persistence_cdn"
+  "../bench/bench_persistence_cdn.pdb"
+  "CMakeFiles/bench_persistence_cdn.dir/bench_persistence_cdn.cpp.o"
+  "CMakeFiles/bench_persistence_cdn.dir/bench_persistence_cdn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_persistence_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

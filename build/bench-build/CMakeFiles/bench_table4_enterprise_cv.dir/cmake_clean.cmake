@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_enterprise_cv"
+  "../bench/bench_table4_enterprise_cv.pdb"
+  "CMakeFiles/bench_table4_enterprise_cv.dir/bench_table4_enterprise_cv.cpp.o"
+  "CMakeFiles/bench_table4_enterprise_cv.dir/bench_table4_enterprise_cv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_enterprise_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

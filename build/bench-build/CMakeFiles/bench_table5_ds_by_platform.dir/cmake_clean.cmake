@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_ds_by_platform"
+  "../bench/bench_table5_ds_by_platform.pdb"
+  "CMakeFiles/bench_table5_ds_by_platform.dir/bench_table5_ds_by_platform.cpp.o"
+  "CMakeFiles/bench_table5_ds_by_platform.dir/bench_table5_ds_by_platform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ds_by_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vstream_bench_common.dir/bench_common.cc.o.d"
+  "libvstream_bench_common.a"
+  "libvstream_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_cache_study.dir/cdn_cache_study.cpp.o"
+  "CMakeFiles/cdn_cache_study.dir/cdn_cache_study.cpp.o.d"
+  "cdn_cache_study"
+  "cdn_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

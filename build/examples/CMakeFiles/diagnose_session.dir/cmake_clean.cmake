@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_session.dir/diagnose_session.cpp.o"
+  "CMakeFiles/diagnose_session.dir/diagnose_session.cpp.o.d"
+  "diagnose_session"
+  "diagnose_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_planning.dir/pop_planning.cpp.o"
+  "CMakeFiles/pop_planning.dir/pop_planning.cpp.o.d"
+  "pop_planning"
+  "pop_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate.cc" "src/analysis/CMakeFiles/vstream_analysis.dir/aggregate.cc.o" "gcc" "src/analysis/CMakeFiles/vstream_analysis.dir/aggregate.cc.o.d"
+  "/root/repo/src/analysis/detectors.cc" "src/analysis/CMakeFiles/vstream_analysis.dir/detectors.cc.o" "gcc" "src/analysis/CMakeFiles/vstream_analysis.dir/detectors.cc.o.d"
+  "/root/repo/src/analysis/qoe.cc" "src/analysis/CMakeFiles/vstream_analysis.dir/qoe.cc.o" "gcc" "src/analysis/CMakeFiles/vstream_analysis.dir/qoe.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/vstream_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/vstream_analysis.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/vstream_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/vstream_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vstream_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_analysis.dir/aggregate.cc.o"
+  "CMakeFiles/vstream_analysis.dir/aggregate.cc.o.d"
+  "CMakeFiles/vstream_analysis.dir/detectors.cc.o"
+  "CMakeFiles/vstream_analysis.dir/detectors.cc.o.d"
+  "CMakeFiles/vstream_analysis.dir/qoe.cc.o"
+  "CMakeFiles/vstream_analysis.dir/qoe.cc.o.d"
+  "CMakeFiles/vstream_analysis.dir/stats.cc.o"
+  "CMakeFiles/vstream_analysis.dir/stats.cc.o.d"
+  "libvstream_analysis.a"
+  "libvstream_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvstream_analysis.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/ats_server.cc" "src/cdn/CMakeFiles/vstream_cdn.dir/ats_server.cc.o" "gcc" "src/cdn/CMakeFiles/vstream_cdn.dir/ats_server.cc.o.d"
+  "/root/repo/src/cdn/backend.cc" "src/cdn/CMakeFiles/vstream_cdn.dir/backend.cc.o" "gcc" "src/cdn/CMakeFiles/vstream_cdn.dir/backend.cc.o.d"
+  "/root/repo/src/cdn/cache.cc" "src/cdn/CMakeFiles/vstream_cdn.dir/cache.cc.o" "gcc" "src/cdn/CMakeFiles/vstream_cdn.dir/cache.cc.o.d"
+  "/root/repo/src/cdn/cache_policy.cc" "src/cdn/CMakeFiles/vstream_cdn.dir/cache_policy.cc.o" "gcc" "src/cdn/CMakeFiles/vstream_cdn.dir/cache_policy.cc.o.d"
+  "/root/repo/src/cdn/chunk.cc" "src/cdn/CMakeFiles/vstream_cdn.dir/chunk.cc.o" "gcc" "src/cdn/CMakeFiles/vstream_cdn.dir/chunk.cc.o.d"
+  "/root/repo/src/cdn/fleet.cc" "src/cdn/CMakeFiles/vstream_cdn.dir/fleet.cc.o" "gcc" "src/cdn/CMakeFiles/vstream_cdn.dir/fleet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vstream_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

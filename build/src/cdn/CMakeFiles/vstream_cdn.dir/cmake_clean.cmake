@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_cdn.dir/ats_server.cc.o"
+  "CMakeFiles/vstream_cdn.dir/ats_server.cc.o.d"
+  "CMakeFiles/vstream_cdn.dir/backend.cc.o"
+  "CMakeFiles/vstream_cdn.dir/backend.cc.o.d"
+  "CMakeFiles/vstream_cdn.dir/cache.cc.o"
+  "CMakeFiles/vstream_cdn.dir/cache.cc.o.d"
+  "CMakeFiles/vstream_cdn.dir/cache_policy.cc.o"
+  "CMakeFiles/vstream_cdn.dir/cache_policy.cc.o.d"
+  "CMakeFiles/vstream_cdn.dir/chunk.cc.o"
+  "CMakeFiles/vstream_cdn.dir/chunk.cc.o.d"
+  "CMakeFiles/vstream_cdn.dir/fleet.cc.o"
+  "CMakeFiles/vstream_cdn.dir/fleet.cc.o.d"
+  "libvstream_cdn.a"
+  "libvstream_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/abr.cc" "src/client/CMakeFiles/vstream_client.dir/abr.cc.o" "gcc" "src/client/CMakeFiles/vstream_client.dir/abr.cc.o.d"
+  "/root/repo/src/client/download_stack.cc" "src/client/CMakeFiles/vstream_client.dir/download_stack.cc.o" "gcc" "src/client/CMakeFiles/vstream_client.dir/download_stack.cc.o.d"
+  "/root/repo/src/client/playback_buffer.cc" "src/client/CMakeFiles/vstream_client.dir/playback_buffer.cc.o" "gcc" "src/client/CMakeFiles/vstream_client.dir/playback_buffer.cc.o.d"
+  "/root/repo/src/client/rendering.cc" "src/client/CMakeFiles/vstream_client.dir/rendering.cc.o" "gcc" "src/client/CMakeFiles/vstream_client.dir/rendering.cc.o.d"
+  "/root/repo/src/client/user_agent.cc" "src/client/CMakeFiles/vstream_client.dir/user_agent.cc.o" "gcc" "src/client/CMakeFiles/vstream_client.dir/user_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vstream_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_client.dir/abr.cc.o"
+  "CMakeFiles/vstream_client.dir/abr.cc.o.d"
+  "CMakeFiles/vstream_client.dir/download_stack.cc.o"
+  "CMakeFiles/vstream_client.dir/download_stack.cc.o.d"
+  "CMakeFiles/vstream_client.dir/playback_buffer.cc.o"
+  "CMakeFiles/vstream_client.dir/playback_buffer.cc.o.d"
+  "CMakeFiles/vstream_client.dir/rendering.cc.o"
+  "CMakeFiles/vstream_client.dir/rendering.cc.o.d"
+  "CMakeFiles/vstream_client.dir/user_agent.cc.o"
+  "CMakeFiles/vstream_client.dir/user_agent.cc.o.d"
+  "libvstream_client.a"
+  "libvstream_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/vstream_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/vstream_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/vstream_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/vstream_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/vstream_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vstream_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vstream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/vstream_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vstream_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_core.dir/pipeline.cc.o"
+  "CMakeFiles/vstream_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/vstream_core.dir/report.cc.o"
+  "CMakeFiles/vstream_core.dir/report.cc.o.d"
+  "libvstream_core.a"
+  "libvstream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

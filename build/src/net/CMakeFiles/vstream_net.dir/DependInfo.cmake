@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/geo.cc" "src/net/CMakeFiles/vstream_net.dir/geo.cc.o" "gcc" "src/net/CMakeFiles/vstream_net.dir/geo.cc.o.d"
+  "/root/repo/src/net/packet_sim.cc" "src/net/CMakeFiles/vstream_net.dir/packet_sim.cc.o" "gcc" "src/net/CMakeFiles/vstream_net.dir/packet_sim.cc.o.d"
+  "/root/repo/src/net/path_model.cc" "src/net/CMakeFiles/vstream_net.dir/path_model.cc.o" "gcc" "src/net/CMakeFiles/vstream_net.dir/path_model.cc.o.d"
+  "/root/repo/src/net/prefix.cc" "src/net/CMakeFiles/vstream_net.dir/prefix.cc.o" "gcc" "src/net/CMakeFiles/vstream_net.dir/prefix.cc.o.d"
+  "/root/repo/src/net/tcp_model.cc" "src/net/CMakeFiles/vstream_net.dir/tcp_model.cc.o" "gcc" "src/net/CMakeFiles/vstream_net.dir/tcp_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_net.dir/geo.cc.o"
+  "CMakeFiles/vstream_net.dir/geo.cc.o.d"
+  "CMakeFiles/vstream_net.dir/packet_sim.cc.o"
+  "CMakeFiles/vstream_net.dir/packet_sim.cc.o.d"
+  "CMakeFiles/vstream_net.dir/path_model.cc.o"
+  "CMakeFiles/vstream_net.dir/path_model.cc.o.d"
+  "CMakeFiles/vstream_net.dir/prefix.cc.o"
+  "CMakeFiles/vstream_net.dir/prefix.cc.o.d"
+  "CMakeFiles/vstream_net.dir/tcp_model.cc.o"
+  "CMakeFiles/vstream_net.dir/tcp_model.cc.o.d"
+  "libvstream_net.a"
+  "libvstream_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vstream_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vstream_sim.dir/rng.cc.o"
+  "CMakeFiles/vstream_sim.dir/rng.cc.o.d"
+  "CMakeFiles/vstream_sim.dir/zipf.cc.o"
+  "CMakeFiles/vstream_sim.dir/zipf.cc.o.d"
+  "libvstream_sim.a"
+  "libvstream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

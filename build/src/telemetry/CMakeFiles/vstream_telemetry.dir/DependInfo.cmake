@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/collector.cc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/collector.cc.o" "gcc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/collector.cc.o.d"
+  "/root/repo/src/telemetry/export.cc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/export.cc.o" "gcc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/export.cc.o.d"
+  "/root/repo/src/telemetry/join.cc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/join.cc.o" "gcc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/join.cc.o.d"
+  "/root/repo/src/telemetry/proxy_filter.cc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/proxy_filter.cc.o" "gcc" "src/telemetry/CMakeFiles/vstream_telemetry.dir/proxy_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/vstream_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vstream_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

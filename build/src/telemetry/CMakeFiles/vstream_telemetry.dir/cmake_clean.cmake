@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_telemetry.dir/collector.cc.o"
+  "CMakeFiles/vstream_telemetry.dir/collector.cc.o.d"
+  "CMakeFiles/vstream_telemetry.dir/export.cc.o"
+  "CMakeFiles/vstream_telemetry.dir/export.cc.o.d"
+  "CMakeFiles/vstream_telemetry.dir/join.cc.o"
+  "CMakeFiles/vstream_telemetry.dir/join.cc.o.d"
+  "CMakeFiles/vstream_telemetry.dir/proxy_filter.cc.o"
+  "CMakeFiles/vstream_telemetry.dir/proxy_filter.cc.o.d"
+  "libvstream_telemetry.a"
+  "libvstream_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

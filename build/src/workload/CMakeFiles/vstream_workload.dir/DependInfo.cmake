@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/vstream_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/vstream_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/population.cc" "src/workload/CMakeFiles/vstream_workload.dir/population.cc.o" "gcc" "src/workload/CMakeFiles/vstream_workload.dir/population.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/vstream_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/vstream_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/session_generator.cc" "src/workload/CMakeFiles/vstream_workload.dir/session_generator.cc.o" "gcc" "src/workload/CMakeFiles/vstream_workload.dir/session_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/vstream_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vstream_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

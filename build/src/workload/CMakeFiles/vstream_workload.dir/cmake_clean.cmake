@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream_workload.dir/catalog.cc.o"
+  "CMakeFiles/vstream_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/vstream_workload.dir/population.cc.o"
+  "CMakeFiles/vstream_workload.dir/population.cc.o.d"
+  "CMakeFiles/vstream_workload.dir/scenario.cc.o"
+  "CMakeFiles/vstream_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/vstream_workload.dir/session_generator.cc.o"
+  "CMakeFiles/vstream_workload.dir/session_generator.cc.o.d"
+  "libvstream_workload.a"
+  "libvstream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

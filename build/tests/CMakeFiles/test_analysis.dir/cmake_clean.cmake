@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/aggregate_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/aggregate_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/detectors_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/detectors_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/qoe_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/qoe_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/stats_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/stats_test.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

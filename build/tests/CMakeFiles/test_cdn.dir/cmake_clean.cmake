@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdn.dir/cdn/ats_server_test.cc.o"
+  "CMakeFiles/test_cdn.dir/cdn/ats_server_test.cc.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/cache_model_test.cc.o"
+  "CMakeFiles/test_cdn.dir/cdn/cache_model_test.cc.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/cache_policy_test.cc.o"
+  "CMakeFiles/test_cdn.dir/cdn/cache_policy_test.cc.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/cache_test.cc.o"
+  "CMakeFiles/test_cdn.dir/cdn/cache_test.cc.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/fleet_test.cc.o"
+  "CMakeFiles/test_cdn.dir/cdn/fleet_test.cc.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/prefetch_test.cc.o"
+  "CMakeFiles/test_cdn.dir/cdn/prefetch_test.cc.o.d"
+  "test_cdn"
+  "test_cdn.pdb"
+  "test_cdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/cubic_test.cc.o"
+  "CMakeFiles/test_net.dir/net/cubic_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/geo_test.cc.o"
+  "CMakeFiles/test_net.dir/net/geo_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/packet_sim_test.cc.o"
+  "CMakeFiles/test_net.dir/net/packet_sim_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/path_model_test.cc.o"
+  "CMakeFiles/test_net.dir/net/path_model_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/prefix_test.cc.o"
+  "CMakeFiles/test_net.dir/net/prefix_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/tcp_model_test.cc.o"
+  "CMakeFiles/test_net.dir/net/tcp_model_test.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

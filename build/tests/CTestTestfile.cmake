@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_cdn[1]_include.cmake")
+include("/root/repo/build/tests/test_client[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+add_test(tool_sim_smoke "/root/repo/build/tools/vstream-sim" "--sessions" "20" "--seed" "7")
+set_tests_properties(tool_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;65;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_roundtrip_smoke "sh" "-c" "/root/repo/build/tools/vstream-sim --sessions 20 --out /root/repo/build/tool_smoke_data    && /root/repo/build/tools/vstream-analyze /root/repo/build/tool_smoke_data")
+set_tests_properties(tool_roundtrip_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_suite "/root/repo/build/tests/test_integration")
+set_tests_properties(integration_suite PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;83;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream-analyze.dir/vstream_analyze.cpp.o"
+  "CMakeFiles/vstream-analyze.dir/vstream_analyze.cpp.o.d"
+  "vstream-analyze"
+  "vstream-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstream-sim.dir/vstream_sim.cpp.o"
+  "CMakeFiles/vstream-sim.dir/vstream_sim.cpp.o.d"
+  "vstream-sim"
+  "vstream-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstream-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
