@@ -60,4 +60,33 @@ struct DsOutlierResult {
 DsOutlierResult detect_ds_outliers(const telemetry::JoinedSession& session,
                                    const DsOutlierConfig& config = {});
 
+/// What failure recovery cost the viewers, computed from observables only
+/// (the player-side retry/timeout/failover annotations plus the CDN-side
+/// stale-serve marks) — the fault-matrix bench's summary row.
+struct RecoveryImpact {
+  std::size_t sessions = 0;
+  std::size_t completed_sessions = 0;
+  std::size_t failover_sessions = 0;   ///< >= 1 chunk switched server
+  std::size_t affected_sessions = 0;   ///< >= 1 retry, timeout or failover
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t stale_chunks = 0;      ///< served from cache during outage
+  /// Mean recovery time over affected chunks only (0 when none).
+  sim::Ms mean_recovery_ms = 0.0;
+  /// Mean first-byte delay of chunks on a failed-over connection vs clean
+  /// chunks — the §4.1 cold-connection/extra-RTT penalty, made measurable.
+  sim::Ms mean_dfb_failover_ms = 0.0;
+  sim::Ms mean_dfb_clean_ms = 0.0;
+  /// Stall time over wall time, across all sessions (%).
+  double rebuffer_rate_percent = 0.0;
+
+  double completion_rate() const {
+    return sessions == 0 ? 1.0
+                         : static_cast<double>(completed_sessions) /
+                               static_cast<double>(sessions);
+  }
+};
+
+RecoveryImpact recovery_impact(const telemetry::JoinedDataset& joined);
+
 }  // namespace vstream::analysis

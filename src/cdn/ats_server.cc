@@ -88,21 +88,44 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
         ++collapsed_misses_;
         result.dread_ms += pending_fetch_ms;
       }
+      if (backend_down_) {
+        result.stale = true;
+        ++stale_serves_;
+      }
       break;
     case CacheLevel::kDisk: {
       ++disk_hits_;
       // First open attempt does not return immediately (object not in RAM):
       // ATS's asynchronous read retries after the open-read-retry timer,
-      // then pays the disk read plus a cold-content seek penalty.
+      // then pays the disk read plus a cold-content seek penalty (both
+      // stretched while the disk is degraded).
       result.retry_timer_fired = true;
       const sim::Ms disk_read =
-          rng.lognormal_median(config_.disk_read_median_ms, config_.disk_read_sigma) +
-          seek_penalty_ms(key.video_id, now);
+          (rng.lognormal_median(config_.disk_read_median_ms,
+                                config_.disk_read_sigma) +
+           seek_penalty_ms(key.video_id, now)) *
+          disk_slowdown_;
       result.dread_ms = config_.open_retry_ms + disk_read + pending_fetch_ms;
       if (pending_fetch_ms > 0.0) ++collapsed_misses_;
+      if (backend_down_) {
+        result.stale = true;
+        ++stale_serves_;
+      }
       break;
     }
     case CacheLevel::kMiss: {
+      if (backend_down_) {
+        // Graceful degradation: with the origin unreachable a miss cannot
+        // be filled.  Fail fast with a locally generated error — no cache
+        // admission, no in-flight fetch — and let the client retry or fail
+        // over to a server that still holds the object.
+        ++misses_;
+        ++backend_errors_;
+        result.failed = true;
+        result.dread_ms = rng.lognormal_median(
+            config_.error_response_median_ms, config_.error_response_sigma);
+        break;
+      }
       ++misses_;
       result.retry_timer_fired = true;
       // Collapsed forwarding: if another request already has this object
@@ -119,7 +142,7 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
         // and delivery are pipelined (§2.1) so D_read is dominated by the
         // backend's first byte.
         ++backend_fetches_;
-        result.dbe_ms = backend_.fetch_first_byte_ms(rng);
+        result.dbe_ms = backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
         inflight_fetches_[key] = now + result.dbe_ms;
         if (inflight_fetches_.size() > 4'096) {
           // Lazy purge of completed fetches.
@@ -145,7 +168,8 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
           // The speculative fetch is in flight too: a request arriving
           // before it completes waits for it (read-while-writer), it just
           // skips the backend round trip of its own.
-          inflight_fetches_[next] = now + backend_.fetch_first_byte_ms(rng);
+          inflight_fetches_[next] =
+              now + backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
         }
       }
       break;

@@ -54,6 +54,11 @@ struct AtsConfig {
   sim::Ms seek_max_ms = 22.0;
   sim::Ms seek_cold_after_ms = sim::seconds(30.0);
 
+  /// Latency of a locally generated error response (5xx on a miss during a
+  /// backend outage): header parse + small formatting time, no cache read.
+  sim::Ms error_response_median_ms = 0.4;
+  double error_response_sigma = 0.5;
+
   /// Paper take-away §4.1-2: "the persistence of cache misses could be
   /// addressed by pre-fetching the subsequent chunks of a video session
   /// after the first miss."  On a miss, the server asynchronously fetches
@@ -71,6 +76,13 @@ struct ServeResult {
   sim::Ms dbe_ms = 0.0;    ///< backend latency (misses only)
   CacheLevel level = CacheLevel::kMiss;
   bool retry_timer_fired = false;
+  /// Error response instead of bytes (cache miss while the backend is
+  /// unreachable).  The latency fields cover the error path; clients retry
+  /// or fail over.
+  bool failed = false;
+  /// Served from cache while the backend was unreachable (graceful
+  /// degradation: cached objects keep flowing through an origin outage).
+  bool stale = false;
 
   bool cache_hit() const { return level != CacheLevel::kMiss; }
   /// D_CDN of Eq. 1: everything the CDN adds before the first byte, with
@@ -120,6 +132,22 @@ class AtsServer {
     return backend_fetches_ + prefetched_chunks_;
   }
 
+  // ---- degraded-operation modes (driven by faults::FaultInjector) ----
+
+  /// Backend outage: misses return errors (ServeResult::failed) instead of
+  /// fetching; cache hits keep serving and are marked stale.
+  void set_backend_down(bool down) { backend_down_ = down; }
+  bool backend_down() const { return backend_down_; }
+  /// Multiply backend first-byte latency (origin brownout).  1.0 = healthy.
+  void set_backend_slowdown(double factor) { backend_slowdown_ = factor; }
+  /// Multiply disk read + seek latency (failing/rebuilding disk).
+  void set_disk_degradation(double factor) { disk_slowdown_ = factor; }
+
+  /// Cache hits served while the backend was down.
+  std::uint64_t stale_serves() const { return stale_serves_; }
+  /// Misses turned into error responses by a backend outage.
+  std::uint64_t backend_errors() const { return backend_errors_; }
+
   const TwoLevelCache& cache() const { return cache_; }
   const AtsConfig& config() const { return config_; }
 
@@ -139,6 +167,12 @@ class AtsServer {
   std::uint64_t prefetched_chunks_ = 0;
   std::uint64_t collapsed_misses_ = 0;
   std::uint64_t backend_fetches_ = 0;
+  std::uint64_t stale_serves_ = 0;
+  std::uint64_t backend_errors_ = 0;
+
+  bool backend_down_ = false;
+  double backend_slowdown_ = 1.0;
+  double disk_slowdown_ = 1.0;
 
   /// In-flight backend fetches (key -> completion time): concurrent misses
   /// for the same object wait for the ongoing fetch instead of issuing

@@ -46,6 +46,7 @@ Fleet::Fleet(FleetConfig config, std::size_t catalog_size)
         std::make_unique<AtsServer>(config_.server, config_.backend));
   }
   down_.assign(servers_.size(), false);
+  pop_down_.assign(config_.pop_count, false);
 }
 
 void Fleet::set_server_down(ServerRef ref, bool down) {
@@ -53,9 +54,44 @@ void Fleet::set_server_down(ServerRef ref, bool down) {
            ref.server) = down;
 }
 
+void Fleet::set_pop_down(std::uint32_t pop, bool down) {
+  pop_down_.at(pop) = down;
+}
+
 bool Fleet::is_down(ServerRef ref) const {
-  return down_.at(static_cast<std::size_t>(ref.pop) * config_.servers_per_pop +
+  return pop_down_.at(ref.pop) ||
+         down_.at(static_cast<std::size_t>(ref.pop) * config_.servers_per_pop +
                   ref.server);
+}
+
+bool Fleet::pop_live(std::uint32_t pop) const {
+  if (pop_down_.at(pop)) return false;
+  for (std::uint32_t s = 0; s < config_.servers_per_pop; ++s) {
+    if (!is_down({pop, s})) return true;
+  }
+  return false;
+}
+
+bool Fleet::all_down() const {
+  for (std::uint32_t pop = 0; pop < config_.pop_count; ++pop) {
+    if (pop_live(pop)) return false;
+  }
+  return true;
+}
+
+std::uint32_t Fleet::nearest_live_pop(const net::GeoPoint& client,
+                                      std::uint32_t exclude_pop) const {
+  std::uint32_t best = config_.pop_count;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < pop_cities_.size(); ++i) {
+    if (i == exclude_pop || !pop_live(i)) continue;
+    const double km = net::haversine_km(client, pop_cities_[i].location);
+    if (km < best_km) {
+      best_km = km;
+      best = i;
+    }
+  }
+  return best;
 }
 
 std::uint32_t Fleet::nearest_pop(const net::GeoPoint& client) const {
@@ -84,14 +120,46 @@ ServerRef Fleet::route(const net::GeoPoint& client, std::uint32_t video_id,
   const std::uint64_t token =
       spread ? mix64(video_id ^ mix64(session_token)) : mix64(video_id);
   ref.server = static_cast<std::uint32_t>(token % config_.servers_per_pop);
+  // Entirely-dead PoP: cross-PoP failover to the nearest live PoP.  The
+  // rescued sessions pay the extra propagation RTT; the video's
+  // cache-focused server index is PoP-independent, so the replacement PoP
+  // serves it with a warm cache.
+  if (!pop_live(ref.pop)) {
+    const std::uint32_t live = nearest_live_pop(client, config_.pop_count);
+    if (live < config_.pop_count) ref.pop = live;
+    // Whole fleet down: keep the nominal assignment; is_down(ref) stays
+    // true and callers model the error (timeouts + abandonment).
+  }
   // Fail over within the PoP: probe the next indexes until a live server
-  // is found (if the whole PoP is down, keep the original assignment —
-  // the caller gets whatever error semantics it models).
+  // is found.
   for (std::uint32_t probe = 0;
        probe < config_.servers_per_pop && is_down(ref); ++probe) {
     ref.server = (ref.server + 1) % config_.servers_per_pop;
   }
   return ref;
+}
+
+ServerRef Fleet::failover(ServerRef from, const net::GeoPoint& client,
+                          std::uint32_t video_id) const {
+  // Same-PoP first: rotate to the next live server (cold cache for this
+  // video, but no distance penalty).
+  for (std::uint32_t probe = 1; probe < config_.servers_per_pop; ++probe) {
+    const ServerRef candidate{
+        from.pop, (from.server + probe) % config_.servers_per_pop};
+    if (!is_down(candidate)) return candidate;
+  }
+  // Cross-PoP: the video's cache-focused server in the nearest live other
+  // PoP (warm cache, extra RTT).
+  const std::uint32_t live = nearest_live_pop(client, from.pop);
+  if (live < config_.pop_count) {
+    ServerRef candidate{live, server_index_for_video(video_id)};
+    for (std::uint32_t probe = 0;
+         probe < config_.servers_per_pop && is_down(candidate); ++probe) {
+      candidate.server = (candidate.server + 1) % config_.servers_per_pop;
+    }
+    return candidate;
+  }
+  return from;  // nothing live anywhere; the caller keeps timing out
 }
 
 std::uint32_t Fleet::server_index_for_video(std::uint32_t video_id) const {

@@ -53,9 +53,24 @@ class Fleet {
   /// Choose the serving server for a session.  `video_rank` is the video's
   /// popularity rank (1 = hottest); `session_token` spreads partitioned
   /// requests across servers.
+  ///
+  /// Failure semantics: a down server fails over to the next live server of
+  /// the PoP; an entirely-dead PoP fails over to the nearest live PoP
+  /// (paying the extra propagation RTT).  When the whole fleet is down the
+  /// nominal assignment is returned with is_down(ref) still true — callers
+  /// own the error model (core::Pipeline times requests out, retries with
+  /// backoff, and eventually abandons the session).
   ServerRef route(const net::GeoPoint& client, std::uint32_t video_id,
                   std::size_t video_rank, std::uint64_t session_token,
                   RoutingPolicy policy) const;
+
+  /// Client-driven mid-session failover: the next live server a client
+  /// should retry after `from` failed (down, timing out, or erroring).
+  /// Prefers the PoP's other servers (cold cache for this video), then the
+  /// video's cache-focused server in the nearest live other PoP (warm cache
+  /// but extra RTT).  Returns `from` unchanged when nothing live exists.
+  ServerRef failover(ServerRef from, const net::GeoPoint& client,
+                     std::uint32_t video_id) const;
 
   AtsServer& server(ServerRef ref);
   const AtsServer& server(ServerRef ref) const;
@@ -69,7 +84,16 @@ class Fleet {
   /// failover also shows the cache-focused mapping's cold-cache cost
   /// ("directing client requests to different servers", §1).
   void set_server_down(ServerRef ref, bool down = true);
+  /// Mark a whole PoP dark (power/uplink blackout), independent of the
+  /// per-server flags: recovery restores exactly the servers that were not
+  /// individually crashed.
+  void set_pop_down(std::uint32_t pop, bool down = true);
   bool is_down(ServerRef ref) const;
+  bool is_pop_down(std::uint32_t pop) const { return pop_down_.at(pop); }
+  /// True if at least one server of the PoP can serve.
+  bool pop_live(std::uint32_t pop) const;
+  /// True when no server anywhere can serve.
+  bool all_down() const;
 
   const net::City& pop_city(std::uint32_t pop) const;
   std::uint32_t pop_count() const { return config_.pop_count; }
@@ -77,6 +101,11 @@ class Fleet {
   const FleetConfig& config() const { return config_; }
 
  private:
+  /// Nearest PoP with at least one live server, excluding `exclude_pop`
+  /// (pass pop_count() to exclude nothing); pop_count() when none is live.
+  std::uint32_t nearest_live_pop(const net::GeoPoint& client,
+                                 std::uint32_t exclude_pop) const;
+
   FleetConfig config_;
   std::size_t popular_head_ranks_;
   std::vector<net::City> pop_cities_;
@@ -84,6 +113,7 @@ class Fleet {
   // addresses stable (it is move-averse because of its internal maps).
   std::vector<std::unique_ptr<AtsServer>> servers_;
   std::vector<bool> down_;
+  std::vector<bool> pop_down_;
 };
 
 }  // namespace vstream::cdn

@@ -188,32 +188,27 @@ class Pipeline::SessionRuntime {
     if (overrides != nullptr) overrides_ = *overrides;
 
     const workload::ClientProfile& client = spec_.client;
-    const double bottleneck_kbps =
-        overrides_ && overrides_->bottleneck_kbps
-            ? *overrides_->bottleneck_kbps
-            : client.prefix->bandwidth_kbps;
-    net::PathConfig path = net::make_path_config(
-        client.prefix->access, distance_km_, bottleneck_kbps);
-    // Chronically lossy last miles reach percent-level loss, capped so the
-    // transport model stays in a sane regime.
-    path.random_loss =
-        std::min(0.02, path.random_loss * client.prefix->loss_multiplier);
-    // Peak-hour congestion epoch: persistent extra latency this session.
+    bottleneck_kbps_ = overrides_ && overrides_->bottleneck_kbps
+                           ? *overrides_->bottleneck_kbps
+                           : client.prefix->bandwidth_kbps;
+    // Peak-hour congestion epoch: persistent extra latency this session
+    // (survives a failover — the congestion sits on the access path).
     if (client.prefix->congestion_prone &&
         rng_.bernoulli(owner_.scenario_.congestion_epoch_probability)) {
-      path.base_rtt_ms +=
+      congestion_offset_ms_ =
           rng_.lognormal_median(owner_.scenario_.congestion_offset_median_ms,
                                 owner_.scenario_.congestion_offset_sigma);
     }
-    net::TcpConfig tcp = owner_.scenario_.tcp;
+    tcp_config_ = owner_.scenario_.tcp;
     if (owner_.scenario_.rwnd_median_segments > 0.0) {
       // Per-session receive-buffer autotuning outcome (flow-control cap).
-      tcp.receiver_window_segments = static_cast<std::uint32_t>(std::clamp(
-          rng_.lognormal_median(owner_.scenario_.rwnd_median_segments,
-                                owner_.scenario_.rwnd_sigma),
-          64.0, 4096.0));
+      tcp_config_.receiver_window_segments =
+          static_cast<std::uint32_t>(std::clamp(
+              rng_.lognormal_median(owner_.scenario_.rwnd_median_segments,
+                                    owner_.scenario_.rwnd_sigma),
+              64.0, 4096.0));
     }
-    conn_ = std::make_unique<net::TcpConnection>(tcp, path, rng_.fork());
+    rebuild_connection();
 
     const client::AbrKind abr_kind =
         overrides_ && overrides_->abr ? *overrides_->abr : owner_.scenario_.abr;
@@ -245,6 +240,12 @@ class Pipeline::SessionRuntime {
                                                        : spec_.client.cpu_load;
   }
 
+  /// (Re)open the TCP connection to the currently assigned server ref_.
+  /// Called at construction and again after a mid-session failover: the new
+  /// path carries the new PoP's distance, and the fresh connection restarts
+  /// from a cold congestion window — the §4.1 failover penalty.
+  void rebuild_connection();
+
   Pipeline& owner_;
   workload::SessionSpec spec_;
   std::optional<SessionOverrides> overrides_;
@@ -257,12 +258,35 @@ class Pipeline::SessionRuntime {
   std::unique_ptr<net::TcpConnection> conn_;
   std::unique_ptr<client::AbrAlgorithm> abr_;
 
+  // Path ingredients kept so a failover can rebuild the connection with
+  // the same client-side draws (only the server end changes).
+  double bottleneck_kbps_ = 0.0;
+  sim::Ms congestion_offset_ms_ = 0.0;
+  net::TcpConfig tcp_config_;
+  double current_loss_ = 0.0;
+
   std::uint32_t next_chunk_ = 0;
   double session_clock_ms_ = 0.0;
   double smoothed_tp_kbps_ = 0.0;
   double last_tp_kbps_ = 0.0;
   std::uint32_t last_bitrate_ = 0;
+  bool completed_ = true;
 };
+
+void Pipeline::SessionRuntime::rebuild_connection() {
+  const workload::ClientProfile& client = spec_.client;
+  distance_km_ = net::haversine_km(client.prefix->location,
+                                   owner_.fleet_->pop_city(ref_.pop).location);
+  net::PathConfig path = net::make_path_config(client.prefix->access,
+                                               distance_km_, bottleneck_kbps_);
+  // Chronically lossy last miles reach percent-level loss, capped so the
+  // transport model stays in a sane regime.
+  path.random_loss =
+      std::min(0.02, path.random_loss * client.prefix->loss_multiplier);
+  path.base_rtt_ms += congestion_offset_ms_;
+  current_loss_ = path.random_loss;
+  conn_ = std::make_unique<net::TcpConnection>(tcp_config_, path, rng_.fork());
+}
 
 sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
   const std::uint32_t c = next_chunk_++;
@@ -270,7 +294,6 @@ sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
   const workload::VideoMeta& meta = owner_.catalog_->video(spec_.video_id);
   const workload::ClientProfile& client = spec_.client;
   const auto ladder = client::default_bitrate_ladder();
-  cdn::AtsServer& server = owner_.fleet_->server(ref_);
 
   sim::Ms manifest_ms = 0.0;
   if (c == 0) {
@@ -307,18 +330,97 @@ sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
   const std::uint64_t bytes =
       cdn::chunk_bytes_vbr(bitrate, this_tau, spec_.video_id, c);
 
-  // ---- server ----
-  const cdn::ServeResult serve = server.serve(
-      cdn::ChunkKey{spec_.video_id, c, bitrate}, bytes, fleet_now, rng_);
+  // ---- server: issue the request through the recovery machinery ----
+  // A failed attempt (dead server, backend error, first byte past the
+  // request timeout) costs its share of wall time, then capped exponential
+  // backoff; after failover_after_attempts consecutive failures on one
+  // server (immediately when it is down) the player fails over to the next
+  // live server — cross-PoP when the whole PoP is dark — over a fresh TCP
+  // connection.
+  const workload::RecoveryPolicy& policy = owner_.scenario_.recovery;
+  const cdn::ChunkKey key{spec_.video_id, c, bitrate};
+  cdn::ServeResult serve;
+  sim::Ms recovery_ms = 0.0;
+  std::uint32_t retries = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t attempts_on_server = 0;
+  bool failed_over = false;
+  bool delivered = false;
+  for (std::uint32_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    const bool server_dead = owner_.fleet_->is_down(ref_);
+    if (server_dead) {
+      // Dead servers do not answer; the player waits out the full timeout.
+      recovery_ms += policy.request_timeout_ms;
+      ++timeouts;
+      ++owner_.ground_truth_.request_timeouts;
+    } else {
+      serve = owner_.fleet_->server(ref_).serve(key, bytes,
+                                                fleet_now + recovery_ms, rng_);
+      if (serve.failed) {
+        // Fast local error (cache miss while the backend is unreachable).
+        recovery_ms += serve.total_ms();
+      } else if (serve.total_ms() > policy.request_timeout_ms) {
+        // Alive but too slow (degraded disk, melted backend): the player
+        // abandons the attempt at the timeout.
+        recovery_ms += policy.request_timeout_ms;
+        ++timeouts;
+        ++owner_.ground_truth_.request_timeouts;
+      } else {
+        delivered = true;
+        break;
+      }
+    }
+    ++attempts_on_server;
+    if (attempt == policy.max_retries) break;  // out of attempts
+    const sim::Ms backoff = std::min(
+        policy.backoff_cap_ms,
+        policy.backoff_base_ms *
+            std::pow(policy.backoff_factor, static_cast<double>(attempt)));
+    recovery_ms += backoff * rng_.uniform(0.5, 1.0);  // jittered
+    ++retries;
+    ++owner_.ground_truth_.chunk_retries;
+    if (server_dead || attempts_on_server >= policy.failover_after_attempts) {
+      const cdn::ServerRef next = owner_.fleet_->failover(
+          ref_, client.prefix->location, spec_.video_id);
+      if (next.pop != ref_.pop || next.server != ref_.server) {
+        ref_ = next;
+        failed_over = true;
+        attempts_on_server = 0;
+        ++owner_.ground_truth_.failover_events;
+        rebuild_connection();
+      }
+    }
+  }
+
+  if (!delivered) {
+    // Recovery exhausted (e.g. the whole fleet is dark): the player surfaces
+    // a fatal error and the session ends early, but always *terminates*.
+    spec_.chunk_count = c;  // chunks 0..c-1 were delivered
+    completed_ = false;
+    ++owner_.ground_truth_.failed_sessions;
+    buffer_.advance(recovery_ms);  // the viewer stared at a spinner
+    session_clock_ms_ += recovery_ms;
+    return manifest_ms + recovery_ms;
+  }
 
   // ---- network transfer ----
-  // The connection sits idle while the server works on the request; the
-  // bottleneck queue drains meanwhile (and a backend hiccup longer than the
-  // RTO triggers window validation).
-  conn_->idle(serve.total_ms());
+  // The connection sits idle while the player backs off and the server
+  // works on the request; the bottleneck queue drains meanwhile (and a gap
+  // longer than the RTO triggers window validation).
+  conn_->idle(recovery_ms + serve.total_ms());
   if (overrides_ && c < overrides_->per_chunk_loss.size() &&
       overrides_->per_chunk_loss[c]) {
-    conn_->mutable_path().set_random_loss(*overrides_->per_chunk_loss[c]);
+    current_loss_ = *overrides_->per_chunk_loss[c];
+  }
+  {
+    // Injected loss bursts ride on top of the path's base loss while
+    // active; the path reverts on its own once the burst epoch ends.
+    double loss = current_loss_;
+    if (owner_.injector_ != nullptr) {
+      loss = std::min(0.25,
+                      loss + owner_.injector_->extra_client_loss(fleet_now));
+    }
+    conn_->mutable_path().set_random_loss(loss);
   }
   std::vector<net::RoundSample> rounds;
   const net::TransferResult transfer = conn_->transfer(bytes, &rounds);
@@ -336,12 +438,13 @@ sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
     // The stack held the whole chunk: the player's first byte arrives only
     // after the full network transfer plus the hold; the bytes then land
     // essentially at once (§4.3-1, Fig. 17).
-    dfb_ms = serve.total_ms() + ds.ds_ms + transfer.duration_ms + ds.hold_ms;
+    dfb_ms = recovery_ms + serve.total_ms() + ds.ds_ms + transfer.duration_ms +
+             ds.hold_ms;
     dlb_ms = rng_.uniform(1.0, 8.0);
     owner_.ground_truth_.ds_anomalies[spec_.session_id].push_back(c);
     ++owner_.ground_truth_.total_ds_anomalies;
   } else {
-    dfb_ms = serve.total_ms() + ds.ds_ms + transfer.first_byte_ms;
+    dfb_ms = recovery_ms + serve.total_ms() + ds.ds_ms + transfer.first_byte_ms;
     dlb_ms = transfer.duration_ms - transfer.first_byte_ms;
   }
   ++owner_.ground_truth_.total_chunks;
@@ -376,6 +479,10 @@ sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
   player_rec.avg_fps = rendered.avg_fps;
   player_rec.dropped_frames = rendered.dropped_frames;
   player_rec.total_frames = rendered.total_frames;
+  player_rec.retries = retries;
+  player_rec.timeouts = timeouts;
+  player_rec.failed_over = failed_over;
+  player_rec.recovery_ms = recovery_ms;
   owner_.collector_.record(player_rec);
 
   // ---- telemetry: CDN side ----
@@ -388,13 +495,16 @@ sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
   cdn_rec.dbe_ms = serve.dbe_ms;
   cdn_rec.cache_level = serve.level;
   cdn_rec.chunk_bytes = bytes;
+  cdn_rec.pop = ref_.pop;
+  cdn_rec.server = ref_.server;
+  cdn_rec.served_stale = serve.stale;
   owner_.collector_.record(cdn_rec);
 
   // tcp_info sampling: the transfer starts once the server begins writing
-  // (after its internal latency).
-  owner_.collector_.sample_transfer(spec_.session_id, c,
-                                    session_clock_ms_ + serve.total_ms(),
-                                    rounds);
+  // (after recovery and its internal latency).
+  owner_.collector_.sample_transfer(
+      spec_.session_id, c, session_clock_ms_ + recovery_ms + serve.total_ms(),
+      rounds);
 
   // ---- client-observed throughput feeds the ABR (§4.3-1's trap:
   // stack-buffered chunks inflate this estimate) ----
@@ -446,6 +556,7 @@ void Pipeline::SessionRuntime::finish() {
   player_session.startup_ms =
       buffer_.started() ? buffer_.startup_ms() : session_clock_ms_;
   player_session.chunks_requested = spec_.chunk_count;
+  player_session.completed = completed_;
 
   telemetry::CdnSessionRecord cdn_session;
   cdn_session.session_id = spec_.session_id;
@@ -497,6 +608,13 @@ void Pipeline::run() {
     });
   }
   queue_.run();
+}
+
+void Pipeline::inject_faults(faults::FaultSchedule schedule) {
+  ground_truth_.injected_faults = schedule.events();
+  injector_ = std::make_unique<faults::FaultInjector>(*fleet_, queue_,
+                                                      std::move(schedule));
+  injector_->arm();
 }
 
 void Pipeline::step_event(SessionRuntime* runtime) {

@@ -24,6 +24,7 @@
 
 #include "cdn/fleet.h"
 #include "client/download_stack.h"
+#include "faults/fault_injector.h"
 #include "sim/event_queue.h"
 #include "telemetry/collector.h"
 #include "workload/scenario.h"
@@ -41,6 +42,15 @@ struct GroundTruth {
   /// Sessions cut short because a stall drove the viewer away (only with
   /// scenario.stall_abandonment_probability > 0).
   std::uint64_t stall_abandonments = 0;
+
+  // -- failure injection (what really happened, for scoring detectors) --
+
+  /// The injected fault epochs, verbatim (empty without inject_faults()).
+  std::vector<faults::FaultEvent> injected_faults;
+  std::uint64_t request_timeouts = 0;   ///< attempts abandoned at timeout
+  std::uint64_t chunk_retries = 0;      ///< re-issued chunk requests
+  std::uint64_t failover_events = 0;    ///< mid-session server switches
+  std::uint64_t failed_sessions = 0;    ///< abandoned: recovery exhausted
 };
 
 /// Per-session knobs for scripted experiments (case studies, ablations).
@@ -80,6 +90,14 @@ class Pipeline {
   /// Run one extra session with scripted overrides; returns its session id.
   std::uint64_t run_session(const SessionOverrides& overrides);
 
+  /// Attach a fault schedule before run(): epochs are replayed onto the
+  /// fleet through the event queue, so components fail and recover *during*
+  /// the run while sessions retry, back off, and fail over around them.
+  /// The schedule is also recorded in ground_truth().injected_faults.
+  /// Scripted run_session() calls bypass the event queue, so fleet-side
+  /// epochs do not advance during them (loss bursts still apply by time).
+  void inject_faults(faults::FaultSchedule schedule);
+
   /// Mark /24 prefixes as having known persistent network problems; ABRs
   /// of later sessions from these prefixes receive the a-priori hint
   /// (§4.2-1 take-away).  Typically fed from a previous measurement
@@ -93,6 +111,8 @@ class Pipeline {
   const workload::Population& population() const { return *population_; }
   cdn::Fleet& fleet() { return *fleet_; }
   const cdn::Fleet& fleet() const { return *fleet_; }
+  /// Null until inject_faults() is called.
+  const faults::FaultInjector* injector() const { return injector_.get(); }
   const telemetry::Dataset& dataset() const { return collector_.data(); }
   /// Move the collected dataset out (invalidates dataset()).
   telemetry::Dataset take_dataset() { return collector_.take(); }
@@ -113,6 +133,7 @@ class Pipeline {
   std::unique_ptr<cdn::Fleet> fleet_;
   sim::EventQueue queue_;
   telemetry::Collector collector_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   GroundTruth ground_truth_;
   std::unordered_set<net::Prefix24> bad_prefixes_;
   double extra_session_clock_ms_ = 0.0;

@@ -1,0 +1,65 @@
+#include "faults/fault_injector.h"
+
+namespace vstream::faults {
+
+FaultInjector::FaultInjector(cdn::Fleet& fleet, sim::EventQueue& queue,
+                             FaultSchedule schedule)
+    : fleet_(fleet), queue_(queue), schedule_(std::move(schedule)) {}
+
+void FaultInjector::arm() {
+  for (const FaultEvent& event : schedule_.events()) {
+    queue_.schedule_at(event.at_ms, [this, &event] { apply(event, true); });
+    queue_.schedule_at(event.end_ms(), [this, &event] { apply(event, false); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event, bool start) {
+  if (start) ++applied_;
+  const auto adjust = [start](int& depth) {
+    depth += start ? 1 : -1;
+    return depth > 0;
+  };
+  const std::uint32_t server_idx =
+      event.pop * fleet_.servers_per_pop() + event.server;
+
+  switch (event.kind) {
+    case FaultKind::kServerCrash:
+      fleet_.set_server_down({event.pop, event.server},
+                             adjust(crash_depth_[server_idx]));
+      break;
+    case FaultKind::kPopBlackout:
+      fleet_.set_pop_down(event.pop, adjust(blackout_depth_[event.pop]));
+      break;
+    case FaultKind::kBackendOutage: {
+      const bool down = adjust(backend_outage_depth_);
+      for (std::uint32_t p = 0; p < fleet_.pop_count(); ++p) {
+        for (std::uint32_t s = 0; s < fleet_.servers_per_pop(); ++s) {
+          fleet_.server({p, s}).set_backend_down(down);
+        }
+      }
+      break;
+    }
+    case FaultKind::kBackendSlowdown: {
+      // Overlapping slowdowns: the epoch's own magnitude applies while any
+      // epoch is active; the last revert restores 1.0.
+      const double factor =
+          adjust(backend_slowdown_depth_) ? event.magnitude : 1.0;
+      for (std::uint32_t p = 0; p < fleet_.pop_count(); ++p) {
+        for (std::uint32_t s = 0; s < fleet_.servers_per_pop(); ++s) {
+          fleet_.server({p, s}).set_backend_slowdown(factor);
+        }
+      }
+      break;
+    }
+    case FaultKind::kDiskDegradation: {
+      const double factor =
+          adjust(disk_depth_[server_idx]) ? event.magnitude : 1.0;
+      fleet_.server({event.pop, event.server}).set_disk_degradation(factor);
+      break;
+    }
+    case FaultKind::kLossBurst:
+      break;  // query-based: sessions read extra_client_loss() per chunk
+  }
+}
+
+}  // namespace vstream::faults

@@ -1,0 +1,137 @@
+#include "faults/fault_schedule.h"
+
+#include <algorithm>
+
+namespace vstream::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kServerCrash: return "server-crash";
+    case FaultKind::kPopBlackout: return "pop-blackout";
+    case FaultKind::kBackendOutage: return "backend-outage";
+    case FaultKind::kBackendSlowdown: return "backend-slowdown";
+    case FaultKind::kDiskDegradation: return "disk-degradation";
+    case FaultKind::kLossBurst: return "loss-burst";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+}
+
+/// Poisson arrivals on [0, horizon) at `per_hour`, one event per arrival.
+template <typename Emit>
+void draw_arrivals(double per_hour, sim::Ms horizon_ms, sim::Rng& rng,
+                   Emit&& emit) {
+  if (per_hour <= 0.0) return;
+  const double mean_gap_ms = 3'600'000.0 / per_hour;
+  sim::Ms t = rng.exponential(mean_gap_ms);
+  while (t < horizon_ms) {
+    emit(t);
+    t += rng.exponential(mean_gap_ms);
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::scripted(std::vector<FaultEvent> events) {
+  FaultSchedule schedule;
+  schedule.events_ = std::move(events);
+  sort_events(schedule.events_);
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::stochastic(const StochasticFaultConfig& config,
+                                        std::uint32_t pop_count,
+                                        std::uint32_t servers_per_pop,
+                                        sim::Rng& rng) {
+  FaultSchedule schedule;
+  auto& events = schedule.events_;
+
+  // Fixed visiting order (kind, then target) keeps the draw sequence — and
+  // therefore the schedule — a pure function of the rng state.
+  for (std::uint32_t pop = 0; pop < pop_count; ++pop) {
+    for (std::uint32_t server = 0; server < servers_per_pop; ++server) {
+      draw_arrivals(config.server_crashes_per_hour, config.horizon_ms, rng,
+                    [&](sim::Ms at) {
+                      events.push_back(
+                          {FaultKind::kServerCrash, at,
+                           rng.lognormal_median(config.crash_duration_median_ms,
+                                                config.crash_duration_sigma),
+                           pop, server, 1.0});
+                    });
+    }
+  }
+  for (std::uint32_t pop = 0; pop < pop_count; ++pop) {
+    draw_arrivals(config.pop_blackouts_per_hour, config.horizon_ms, rng,
+                  [&](sim::Ms at) {
+                    events.push_back(
+                        {FaultKind::kPopBlackout, at,
+                         rng.lognormal_median(config.blackout_duration_median_ms,
+                                              config.blackout_duration_sigma),
+                         pop, 0, 1.0});
+                  });
+  }
+  draw_arrivals(config.backend_outages_per_hour, config.horizon_ms, rng,
+                [&](sim::Ms at) {
+                  events.push_back(
+                      {FaultKind::kBackendOutage, at,
+                       rng.lognormal_median(config.outage_duration_median_ms,
+                                            config.outage_duration_sigma),
+                       0, 0, 1.0});
+                });
+  draw_arrivals(config.backend_slowdowns_per_hour, config.horizon_ms, rng,
+                [&](sim::Ms at) {
+                  events.push_back(
+                      {FaultKind::kBackendSlowdown, at,
+                       rng.lognormal_median(config.slowdown_duration_median_ms,
+                                            config.slowdown_duration_sigma),
+                       0, 0, config.slowdown_multiplier});
+                });
+  for (std::uint32_t pop = 0; pop < pop_count; ++pop) {
+    for (std::uint32_t server = 0; server < servers_per_pop; ++server) {
+      draw_arrivals(config.disk_degradations_per_hour, config.horizon_ms, rng,
+                    [&](sim::Ms at) {
+                      events.push_back(
+                          {FaultKind::kDiskDegradation, at,
+                           rng.lognormal_median(config.disk_duration_median_ms,
+                                                config.disk_duration_sigma),
+                           pop, server, config.disk_multiplier});
+                    });
+    }
+  }
+  draw_arrivals(config.loss_bursts_per_hour, config.horizon_ms, rng,
+                [&](sim::Ms at) {
+                  events.push_back(
+                      {FaultKind::kLossBurst, at,
+                       rng.lognormal_median(config.burst_duration_median_ms,
+                                            config.burst_duration_sigma),
+                       0, 0, config.burst_extra_loss});
+                });
+
+  sort_events(events);
+  return schedule;
+}
+
+double FaultSchedule::extra_client_loss(sim::Ms now) const {
+  double extra = 0.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kLossBurst && e.active_at(now)) {
+      extra += e.magnitude;
+    }
+  }
+  return extra;
+}
+
+bool FaultSchedule::any_active(sim::Ms now) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [now](const FaultEvent& e) { return e.active_at(now); });
+}
+
+}  // namespace vstream::faults

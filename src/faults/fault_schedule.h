@@ -1,0 +1,111 @@
+// Fault schedules: the *what and when* of injected failures.
+//
+// The paper can only observe the service's failure modes ("directing client
+// requests to different servers" after an incident hits a cold cache, §1 /
+// §4.1); it could never control them.  A FaultSchedule is a deterministic
+// list of failure epochs — scripted by a test/bench, or drawn stochastically
+// from per-component rates under a fixed seed — that the FaultInjector
+// replays onto a running fleet through the simulation event queue.  Two runs
+// with the same scenario seed and the same schedule produce bit-identical
+// datasets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace vstream::faults {
+
+enum class FaultKind : std::uint8_t {
+  kServerCrash,      ///< one server down (target: pop, server)
+  kPopBlackout,      ///< a whole PoP dark (target: pop)
+  kBackendOutage,    ///< origin unreachable fleet-wide (misses fail)
+  kBackendSlowdown,  ///< origin D_BE multiplied by `magnitude` fleet-wide
+  kDiskDegradation,  ///< one server's disk reads multiplied by `magnitude`
+  kLossBurst,        ///< extra random loss `magnitude` on all client paths
+};
+
+const char* to_string(FaultKind kind);
+
+/// One failure epoch: [at_ms, at_ms + duration_ms).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kServerCrash;
+  sim::Ms at_ms = 0.0;
+  sim::Ms duration_ms = 0.0;
+  std::uint32_t pop = 0;     ///< target PoP (server/PoP-scoped kinds)
+  std::uint32_t server = 0;  ///< target server within the PoP
+  /// Slowdown multiplier (kBackendSlowdown, kDiskDegradation) or extra
+  /// per-segment loss probability (kLossBurst); unused otherwise.
+  double magnitude = 1.0;
+
+  sim::Ms end_ms() const { return at_ms + duration_ms; }
+  bool active_at(sim::Ms now) const { return now >= at_ms && now < end_ms(); }
+};
+
+/// Per-hour rates for the stochastic generator.  A rate of 0 disables that
+/// fault class.  Durations and magnitudes are log-normal draws.
+struct StochasticFaultConfig {
+  sim::Ms horizon_ms = sim::seconds(600.0);  ///< schedule covers [0, horizon)
+
+  double server_crashes_per_hour = 0.0;  ///< per server
+  sim::Ms crash_duration_median_ms = sim::seconds(60.0);
+  double crash_duration_sigma = 0.5;
+
+  double pop_blackouts_per_hour = 0.0;  ///< per PoP
+  sim::Ms blackout_duration_median_ms = sim::seconds(30.0);
+  double blackout_duration_sigma = 0.5;
+
+  double backend_outages_per_hour = 0.0;  ///< fleet-wide
+  sim::Ms outage_duration_median_ms = sim::seconds(20.0);
+  double outage_duration_sigma = 0.5;
+
+  double backend_slowdowns_per_hour = 0.0;  ///< fleet-wide
+  sim::Ms slowdown_duration_median_ms = sim::seconds(45.0);
+  double slowdown_duration_sigma = 0.5;
+  double slowdown_multiplier = 6.0;
+
+  double disk_degradations_per_hour = 0.0;  ///< per server
+  sim::Ms disk_duration_median_ms = sim::seconds(60.0);
+  double disk_duration_sigma = 0.5;
+  double disk_multiplier = 5.0;
+
+  double loss_bursts_per_hour = 0.0;  ///< affecting all client paths
+  sim::Ms burst_duration_median_ms = sim::seconds(10.0);
+  double burst_duration_sigma = 0.5;
+  double burst_extra_loss = 0.05;
+};
+
+/// An immutable, time-sorted list of fault epochs.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Build from an explicit event list (sorted by start time internally).
+  static FaultSchedule scripted(std::vector<FaultEvent> events);
+
+  /// Draw a schedule from per-component Poisson processes: for each fault
+  /// class and target, exponential inter-arrival gaps at the configured
+  /// rate until the horizon.  Targets are visited in a fixed order, so the
+  /// result is a pure function of (config, fleet shape, rng state).
+  static FaultSchedule stochastic(const StochasticFaultConfig& config,
+                                  std::uint32_t pop_count,
+                                  std::uint32_t servers_per_pop,
+                                  sim::Rng& rng);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Sum of the extra client-path loss of all kLossBurst epochs covering
+  /// `now` (the injector applies this on top of each session's base loss).
+  double extra_client_loss(sim::Ms now) const;
+
+  /// True if any fault epoch covers `now`.
+  bool any_active(sim::Ms now) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace vstream::faults

@@ -68,7 +68,7 @@ net::AccessType parse_access(const std::string& token) {
 namespace {
 constexpr const char* kPlayerSessionHeader =
     "session_id,client_ip,user_agent,video_duration_s,start_time_ms,"
-    "startup_ms,chunks_requested";
+    "startup_ms,chunks_requested,completed";
 }
 
 void write_player_sessions_csv(std::ostream& out,
@@ -77,7 +77,8 @@ void write_player_sessions_csv(std::ostream& out,
   for (const PlayerSessionRecord& r : records) {
     out << r.session_id << ',' << net::format_ip(r.client_ip) << ','
         << r.user_agent << ',' << r.video_duration_s << ',' << r.start_time_ms
-        << ',' << r.startup_ms << ',' << r.chunks_requested << '\n';
+        << ',' << r.startup_ms << ',' << r.chunks_requested << ','
+        << (r.completed ? 1 : 0) << '\n';
   }
 }
 
@@ -88,7 +89,7 @@ std::vector<PlayerSessionRecord> read_player_sessions_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto f = split_csv_line(line);
-    expect_fields(f, 7, "player_sessions");
+    expect_fields(f, 8, "player_sessions");
     PlayerSessionRecord r;
     r.session_id = std::stoull(f[0]);
     r.client_ip = net::parse_ip(f[1]);
@@ -97,6 +98,7 @@ std::vector<PlayerSessionRecord> read_player_sessions_csv(std::istream& in) {
     r.start_time_ms = std::stod(f[4]);
     r.startup_ms = std::stod(f[5]);
     r.chunks_requested = static_cast<std::uint32_t>(std::stoul(f[6]));
+    r.completed = f[7] == "1";
     records.push_back(std::move(r));
   }
   return records;
@@ -150,7 +152,8 @@ std::vector<CdnSessionRecord> read_cdn_sessions_csv(std::istream& in) {
 namespace {
 constexpr const char* kPlayerChunkHeader =
     "session_id,chunk_id,request_sent_ms,dfb_ms,dlb_ms,bitrate_kbps,"
-    "rebuffer_ms,rebuffer_count,visible,avg_fps,dropped_frames,total_frames";
+    "rebuffer_ms,rebuffer_count,visible,avg_fps,dropped_frames,total_frames,"
+    "retries,timeouts,failed_over,recovery_ms";
 }
 
 void write_player_chunks_csv(std::ostream& out,
@@ -161,7 +164,8 @@ void write_player_chunks_csv(std::ostream& out,
         << r.dfb_ms << ',' << r.dlb_ms << ',' << r.bitrate_kbps << ','
         << r.rebuffer_ms << ',' << r.rebuffer_count << ','
         << (r.visible ? 1 : 0) << ',' << r.avg_fps << ',' << r.dropped_frames
-        << ',' << r.total_frames << '\n';
+        << ',' << r.total_frames << ',' << r.retries << ',' << r.timeouts
+        << ',' << (r.failed_over ? 1 : 0) << ',' << r.recovery_ms << '\n';
   }
 }
 
@@ -172,7 +176,7 @@ std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto f = split_csv_line(line);
-    expect_fields(f, 12, "player_chunks");
+    expect_fields(f, 16, "player_chunks");
     PlayerChunkRecord r;
     r.session_id = std::stoull(f[0]);
     r.chunk_id = static_cast<std::uint32_t>(std::stoul(f[1]));
@@ -186,6 +190,10 @@ std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in) {
     r.avg_fps = std::stod(f[9]);
     r.dropped_frames = static_cast<std::uint32_t>(std::stoul(f[10]));
     r.total_frames = static_cast<std::uint32_t>(std::stoul(f[11]));
+    r.retries = static_cast<std::uint32_t>(std::stoul(f[12]));
+    r.timeouts = static_cast<std::uint32_t>(std::stoul(f[13]));
+    r.failed_over = f[14] == "1";
+    r.recovery_ms = std::stod(f[15]);
     records.push_back(r);
   }
   return records;
@@ -196,7 +204,7 @@ std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in) {
 namespace {
 constexpr const char* kCdnChunkHeader =
     "session_id,chunk_id,dwait_ms,dopen_ms,dread_ms,dbe_ms,cache_level,"
-    "chunk_bytes";
+    "chunk_bytes,pop,server,served_stale";
 }
 
 void write_cdn_chunks_csv(std::ostream& out,
@@ -205,7 +213,8 @@ void write_cdn_chunks_csv(std::ostream& out,
   for (const CdnChunkRecord& r : records) {
     out << r.session_id << ',' << r.chunk_id << ',' << r.dwait_ms << ','
         << r.dopen_ms << ',' << r.dread_ms << ',' << r.dbe_ms << ','
-        << cache_level_token(r.cache_level) << ',' << r.chunk_bytes << '\n';
+        << cache_level_token(r.cache_level) << ',' << r.chunk_bytes << ','
+        << r.pop << ',' << r.server << ',' << (r.served_stale ? 1 : 0) << '\n';
   }
 }
 
@@ -216,7 +225,7 @@ std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto f = split_csv_line(line);
-    expect_fields(f, 8, "cdn_chunks");
+    expect_fields(f, 11, "cdn_chunks");
     CdnChunkRecord r;
     r.session_id = std::stoull(f[0]);
     r.chunk_id = static_cast<std::uint32_t>(std::stoul(f[1]));
@@ -226,6 +235,9 @@ std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in) {
     r.dbe_ms = std::stod(f[5]);
     r.cache_level = parse_cache_level(f[6]);
     r.chunk_bytes = std::stoull(f[7]);
+    r.pop = static_cast<std::uint32_t>(std::stoul(f[8]));
+    r.server = static_cast<std::uint32_t>(std::stoul(f[9]));
+    r.served_stale = f[10] == "1";
     records.push_back(r);
   }
   return records;

@@ -37,6 +37,14 @@ struct PlayerChunkRecord {
   std::uint32_t dropped_frames = 0; ///< dropfr
   std::uint32_t total_frames = 0;
 
+  // Failure recovery (player-side request machinery).  dfb_ms includes
+  // recovery_ms: the player measures first-byte delay from the *first*
+  // request it sent for the chunk.
+  std::uint32_t retries = 0;     ///< re-issued requests for this chunk
+  std::uint32_t timeouts = 0;    ///< attempts abandoned at the request timeout
+  bool failed_over = false;      ///< the chunk switched serving server
+  sim::Ms recovery_ms = 0.0;     ///< time burned in timeouts + backoff
+
   /// Client-observed download rate in seconds-of-video per second:
   /// tau / (D_FB + D_LB)  (§4.4-1).
   double download_rate(double chunk_duration_s) const {
@@ -55,6 +63,12 @@ struct CdnChunkRecord {
   sim::Ms dbe_ms = 0.0;  ///< 0 unless cache miss
   cdn::CacheLevel cache_level = cdn::CacheLevel::kMiss;
   std::uint64_t chunk_bytes = 0;
+  /// Serving server of the successful attempt.  Differs from the session
+  /// record's assignment after a mid-session failover.
+  std::uint32_t pop = 0;
+  std::uint32_t server = 0;
+  /// Served from cache while the origin was unreachable (degraded mode).
+  bool served_stale = false;
 
   bool cache_hit() const { return cache_level != cdn::CacheLevel::kMiss; }
   /// Total server-side latency (Fig. 5 "total").
@@ -80,6 +94,9 @@ struct PlayerSessionRecord {
   sim::Ms start_time_ms = 0.0;    ///< session arrival on the fleet clock
   sim::Ms startup_ms = 0.0;       ///< time to first frame
   std::uint32_t chunks_requested = 0;
+  /// False when the player gave up on an unrecoverable chunk (every retry
+  /// and failover exhausted) and ended the session early.
+  bool completed = true;
 };
 
 /// Table 3, CDN row.

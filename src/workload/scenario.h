@@ -6,6 +6,7 @@
 
 #include "cdn/fleet.h"
 #include "client/abr.h"
+#include "sim/time.h"
 #include "client/playback_buffer.h"
 #include "net/tcp_model.h"
 #include "workload/catalog.h"
@@ -13,6 +14,25 @@
 #include "workload/session_generator.h"
 
 namespace vstream::workload {
+
+/// Player-side failure recovery policy: per-chunk request timeouts with
+/// capped exponential backoff, and failover to another server when a
+/// request keeps dying.  Drives the recovery loop in core::Pipeline.
+struct RecoveryPolicy {
+  /// Client abandons a request whose first byte has not arrived by then.
+  sim::Ms request_timeout_ms = 4'000.0;
+  /// Re-issues after a timeout/error before the player gives up on the
+  /// chunk (and the viewer on the session).  Total attempts = retries + 1.
+  std::uint32_t max_retries = 4;
+  /// Backoff before attempt k: base * factor^(k-1), capped, with uniform
+  /// jitter in [0.5, 1.0] of that value.
+  sim::Ms backoff_base_ms = 250.0;
+  sim::Ms backoff_cap_ms = 4'000.0;
+  double backoff_factor = 2.0;
+  /// Fail over to another server after this many consecutive failed
+  /// attempts on the current one (a down server fails over immediately).
+  std::uint32_t failover_after_attempts = 1;
+};
 
 struct Scenario {
   std::uint64_t seed = 20160516;  ///< the paper's arXiv date, why not
@@ -26,6 +46,7 @@ struct Scenario {
   net::TcpConfig tcp;
   client::PlaybackBufferConfig buffer;
   client::AbrKind abr = client::AbrKind::kHybrid;
+  RecoveryPolicy recovery;
 
   /// tcp_info sampling cadence (500 ms in production, §2.1).
   double tcp_sample_interval_ms = 500.0;

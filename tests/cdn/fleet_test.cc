@@ -137,7 +137,7 @@ TEST(FleetTest, FailoverSkipsMultipleDownServers) {
   EXPECT_FALSE(fleet.is_down(rerouted));
 }
 
-TEST(FleetTest, WholePopDownKeepsAssignment) {
+TEST(FleetTest, WholePopDownFailsOverToNearestLivePop) {
   Fleet fleet(small_fleet(), 1'000);
   const net::GeoPoint client{40.7, -74.0};
   const ServerRef original =
@@ -147,7 +147,82 @@ TEST(FleetTest, WholePopDownKeepsAssignment) {
   }
   const ServerRef rerouted =
       fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
-  EXPECT_EQ(rerouted, original);  // degenerate case: nothing better exists
+  EXPECT_NE(rerouted.pop, original.pop);
+  EXPECT_FALSE(fleet.is_down(rerouted));
+  // Cross-PoP rescue lands on the video's cache-focused server there: the
+  // warm cache, paying only the extra propagation RTT (§4.1).
+  EXPECT_EQ(rerouted.server, fleet.server_index_for_video(42));
+
+  // Recovery routes back to the original warm assignment.
+  for (std::uint32_t s = 0; s < fleet.servers_per_pop(); ++s) {
+    fleet.set_server_down({original.pop, s}, false);
+  }
+  EXPECT_EQ(fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused),
+            original);
+}
+
+TEST(FleetTest, PopBlackoutIsIndependentOfServerFlags) {
+  Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef original =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  fleet.set_pop_down(original.pop);
+  EXPECT_TRUE(fleet.is_pop_down(original.pop));
+  EXPECT_FALSE(fleet.pop_live(original.pop));
+  EXPECT_TRUE(fleet.is_down(original));
+  const ServerRef rerouted =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  EXPECT_NE(rerouted.pop, original.pop);
+
+  // Lifting the blackout restores every server that was not itself crashed.
+  fleet.set_pop_down(original.pop, false);
+  EXPECT_FALSE(fleet.is_down(original));
+  EXPECT_EQ(fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused),
+            original);
+}
+
+TEST(FleetTest, WholeFleetDownKeepsAssignment) {
+  Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef original =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    fleet.set_pop_down(pop);
+  }
+  EXPECT_TRUE(fleet.all_down());
+  // Degenerate case: nothing better exists, the nominal assignment comes
+  // back with is_down() still true — the caller owns the error model.
+  const ServerRef rerouted =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+  EXPECT_EQ(rerouted, original);
+  EXPECT_TRUE(fleet.is_down(rerouted));
+}
+
+TEST(FleetTest, FailoverPrefersSamePopThenWarmCrossPop) {
+  Fleet fleet(small_fleet(), 1'000);
+  const net::GeoPoint client{40.7, -74.0};
+  const ServerRef original =
+      fleet.route(client, 42, 500, 1, RoutingPolicy::kCacheFocused);
+
+  // Same PoP first: the neighbour server (cold for this video).
+  const ServerRef next = fleet.failover(original, client, 42);
+  EXPECT_EQ(next.pop, original.pop);
+  EXPECT_NE(next.server, original.server);
+  EXPECT_FALSE(fleet.is_down(next));
+
+  // With the PoP dark, the rescue is the warm server of the nearest live
+  // other PoP.
+  fleet.set_pop_down(original.pop);
+  const ServerRef cross = fleet.failover(original, client, 42);
+  EXPECT_NE(cross.pop, original.pop);
+  EXPECT_EQ(cross.server, fleet.server_index_for_video(42));
+  EXPECT_FALSE(fleet.is_down(cross));
+
+  // Whole fleet dead: failover has nowhere to go and reports `from`.
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    fleet.set_pop_down(pop);
+  }
+  EXPECT_EQ(fleet.failover(original, client, 42), original);
 }
 
 TEST(FleetTest, RoutingPolicyNames) {

@@ -1,0 +1,124 @@
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "cdn/fleet.h"
+#include "sim/event_queue.h"
+
+namespace vstream::faults {
+namespace {
+
+cdn::Fleet make_fleet() {
+  cdn::FleetConfig config;
+  config.pop_count = 2;
+  config.servers_per_pop = 2;
+  config.server.ram_bytes = 1ull << 20;
+  config.server.disk_bytes = 8ull << 20;
+  return cdn::Fleet(config, 100);
+}
+
+TEST(FaultInjectorTest, CrashAppliesAndRevertsThroughQueue) {
+  cdn::Fleet fleet = make_fleet();
+  sim::EventQueue queue;
+  FaultInjector injector(
+      fleet, queue,
+      FaultSchedule::scripted(
+          {{FaultKind::kServerCrash, 1'000.0, 2'000.0, 0, 1, 1.0}}));
+  injector.arm();
+  EXPECT_EQ(queue.pending(), 2u);  // one apply + one revert
+
+  queue.run(500.0);
+  EXPECT_FALSE(fleet.is_down({0, 1}));
+  queue.run(1'500.0);
+  EXPECT_TRUE(fleet.is_down({0, 1}));
+  EXPECT_FALSE(fleet.is_down({0, 0}));  // only the target crashed
+  EXPECT_EQ(injector.applied_count(), 1u);
+  queue.run(3'500.0);
+  EXPECT_FALSE(fleet.is_down({0, 1}));
+}
+
+TEST(FaultInjectorTest, OverlappingCrashesAreReferenceCounted) {
+  cdn::Fleet fleet = make_fleet();
+  sim::EventQueue queue;
+  FaultInjector injector(
+      fleet, queue,
+      FaultSchedule::scripted({
+          {FaultKind::kServerCrash, 1'000.0, 2'000.0, 0, 0, 1.0},
+          {FaultKind::kServerCrash, 2'000.0, 3'000.0, 0, 0, 1.0},
+      }));
+  injector.arm();
+
+  queue.run(2'500.0);
+  EXPECT_TRUE(fleet.is_down({0, 0}));
+  // First epoch ends at 3000, but the second still covers the server.
+  queue.run(3'500.0);
+  EXPECT_TRUE(fleet.is_down({0, 0}));
+  // The last covering epoch ends at 5000: only then does it recover.
+  queue.run(5'500.0);
+  EXPECT_FALSE(fleet.is_down({0, 0}));
+}
+
+TEST(FaultInjectorTest, BlackoutDarkensWholePop) {
+  cdn::Fleet fleet = make_fleet();
+  sim::EventQueue queue;
+  FaultInjector injector(
+      fleet, queue,
+      FaultSchedule::scripted(
+          {{FaultKind::kPopBlackout, 100.0, 200.0, 1, 0, 1.0}}));
+  injector.arm();
+
+  queue.run(150.0);
+  EXPECT_TRUE(fleet.is_pop_down(1));
+  EXPECT_FALSE(fleet.pop_live(1));
+  EXPECT_TRUE(fleet.pop_live(0));
+  queue.run(400.0);
+  EXPECT_TRUE(fleet.pop_live(1));
+}
+
+TEST(FaultInjectorTest, BackendOutageFlipsEveryServer) {
+  cdn::Fleet fleet = make_fleet();
+  sim::EventQueue queue;
+  FaultInjector injector(
+      fleet, queue,
+      FaultSchedule::scripted(
+          {{FaultKind::kBackendOutage, 100.0, 200.0, 0, 0, 1.0}}));
+  injector.arm();
+
+  queue.run(150.0);
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    for (std::uint32_t s = 0; s < fleet.servers_per_pop(); ++s) {
+      EXPECT_TRUE(fleet.server({pop, s}).backend_down());
+      // Servers stay routable: hits keep serving (stale), only misses fail.
+      EXPECT_FALSE(fleet.is_down({pop, s}));
+    }
+  }
+  queue.run(400.0);
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    for (std::uint32_t s = 0; s < fleet.servers_per_pop(); ++s) {
+      EXPECT_FALSE(fleet.server({pop, s}).backend_down());
+    }
+  }
+}
+
+TEST(FaultInjectorTest, LossBurstIsQueryBased) {
+  cdn::Fleet fleet = make_fleet();
+  sim::EventQueue queue;
+  FaultInjector injector(
+      fleet, queue,
+      FaultSchedule::scripted(
+          {{FaultKind::kLossBurst, 100.0, 200.0, 0, 0, 0.04}}));
+  injector.arm();
+  queue.run();
+
+  // No fleet-side switch flips...
+  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+    EXPECT_TRUE(fleet.pop_live(pop));
+  }
+  // ...sessions query the active extra loss by timestamp instead.
+  EXPECT_DOUBLE_EQ(injector.extra_client_loss(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(injector.extra_client_loss(150.0), 0.04);
+  EXPECT_DOUBLE_EQ(injector.extra_client_loss(350.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vstream::faults

@@ -1,0 +1,124 @@
+#include "faults/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace vstream::faults {
+namespace {
+
+TEST(FaultScheduleTest, ScriptedSortsByStartTime) {
+  const FaultSchedule schedule = FaultSchedule::scripted({
+      {FaultKind::kServerCrash, 5'000.0, 1'000.0, 0, 0, 1.0},
+      {FaultKind::kPopBlackout, 1'000.0, 1'000.0, 1, 0, 1.0},
+      {FaultKind::kLossBurst, 3'000.0, 1'000.0, 0, 0, 0.05},
+  });
+  ASSERT_EQ(schedule.events().size(), 3u);
+  EXPECT_EQ(schedule.events()[0].kind, FaultKind::kPopBlackout);
+  EXPECT_EQ(schedule.events()[1].kind, FaultKind::kLossBurst);
+  EXPECT_EQ(schedule.events()[2].kind, FaultKind::kServerCrash);
+}
+
+TEST(FaultScheduleTest, EpochsAreHalfOpen) {
+  const FaultEvent event{FaultKind::kServerCrash, 100.0, 50.0, 0, 0, 1.0};
+  EXPECT_FALSE(event.active_at(99.9));
+  EXPECT_TRUE(event.active_at(100.0));
+  EXPECT_TRUE(event.active_at(149.9));
+  EXPECT_FALSE(event.active_at(150.0));
+  EXPECT_DOUBLE_EQ(event.end_ms(), 150.0);
+}
+
+TEST(FaultScheduleTest, ExtraClientLossSumsOverlappingBursts) {
+  const FaultSchedule schedule = FaultSchedule::scripted({
+      {FaultKind::kLossBurst, 0.0, 100.0, 0, 0, 0.02},
+      {FaultKind::kLossBurst, 50.0, 100.0, 0, 0, 0.03},
+      // A crash epoch must not contribute to client loss.
+      {FaultKind::kServerCrash, 0.0, 1'000.0, 0, 0, 1.0},
+  });
+  EXPECT_DOUBLE_EQ(schedule.extra_client_loss(25.0), 0.02);
+  EXPECT_DOUBLE_EQ(schedule.extra_client_loss(75.0), 0.05);
+  EXPECT_DOUBLE_EQ(schedule.extra_client_loss(125.0), 0.03);
+  EXPECT_DOUBLE_EQ(schedule.extra_client_loss(200.0), 0.0);
+}
+
+TEST(FaultScheduleTest, AnyActiveCoversAllKinds) {
+  const FaultSchedule schedule = FaultSchedule::scripted({
+      {FaultKind::kBackendOutage, 1'000.0, 500.0, 0, 0, 1.0},
+  });
+  EXPECT_FALSE(schedule.any_active(500.0));
+  EXPECT_TRUE(schedule.any_active(1'200.0));
+  EXPECT_FALSE(schedule.any_active(2'000.0));
+}
+
+TEST(FaultScheduleTest, ZeroRatesYieldEmptySchedule) {
+  sim::Rng rng(7);
+  const FaultSchedule schedule =
+      FaultSchedule::stochastic(StochasticFaultConfig{}, 2, 2, rng);
+  EXPECT_TRUE(schedule.empty());
+}
+
+StochasticFaultConfig busy_config() {
+  StochasticFaultConfig config;
+  config.horizon_ms = sim::seconds(600.0);
+  config.server_crashes_per_hour = 20.0;
+  config.pop_blackouts_per_hour = 10.0;
+  config.backend_outages_per_hour = 10.0;
+  config.backend_slowdowns_per_hour = 10.0;
+  config.disk_degradations_per_hour = 20.0;
+  config.loss_bursts_per_hour = 30.0;
+  return config;
+}
+
+TEST(FaultScheduleTest, StochasticRespectsHorizonAndTargets) {
+  sim::Rng rng(42);
+  const FaultSchedule schedule =
+      FaultSchedule::stochastic(busy_config(), 2, 3, rng);
+  ASSERT_FALSE(schedule.empty());
+  sim::Ms previous = 0.0;
+  for (const FaultEvent& event : schedule.events()) {
+    EXPECT_GE(event.at_ms, previous);  // sorted
+    previous = event.at_ms;
+    EXPECT_LT(event.at_ms, sim::seconds(600.0));
+    EXPECT_GT(event.duration_ms, 0.0);
+    EXPECT_LT(event.pop, 2u);
+    EXPECT_LT(event.server, 3u);
+  }
+}
+
+TEST(FaultScheduleTest, StochasticIsDeterministicUnderSeed) {
+  sim::Rng rng_a(123);
+  sim::Rng rng_b(123);
+  const FaultSchedule a = FaultSchedule::stochastic(busy_config(), 2, 3, rng_a);
+  const FaultSchedule b = FaultSchedule::stochastic(busy_config(), 2, 3, rng_b);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const FaultEvent& ea = a.events()[i];
+    const FaultEvent& eb = b.events()[i];
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.at_ms, eb.at_ms);  // bit-for-bit, not just approximate
+    EXPECT_EQ(ea.duration_ms, eb.duration_ms);
+    EXPECT_EQ(ea.pop, eb.pop);
+    EXPECT_EQ(ea.server, eb.server);
+    EXPECT_EQ(ea.magnitude, eb.magnitude);
+  }
+
+  sim::Rng rng_c(124);
+  const FaultSchedule c = FaultSchedule::stochastic(busy_config(), 2, 3, rng_c);
+  bool identical = a.events().size() == c.events().size();
+  if (identical) {
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+      identical = identical && a.events()[i].at_ms == c.events()[i].at_ms;
+    }
+  }
+  EXPECT_FALSE(identical) << "different seeds must differ";
+}
+
+TEST(FaultScheduleTest, KindNames) {
+  EXPECT_STREQ(to_string(FaultKind::kServerCrash), "server-crash");
+  EXPECT_STREQ(to_string(FaultKind::kPopBlackout), "pop-blackout");
+  EXPECT_STREQ(to_string(FaultKind::kBackendOutage), "backend-outage");
+  EXPECT_STREQ(to_string(FaultKind::kBackendSlowdown), "backend-slowdown");
+  EXPECT_STREQ(to_string(FaultKind::kDiskDegradation), "disk-degradation");
+  EXPECT_STREQ(to_string(FaultKind::kLossBurst), "loss-burst");
+}
+
+}  // namespace
+}  // namespace vstream::faults

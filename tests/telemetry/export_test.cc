@@ -23,6 +23,7 @@ Dataset sample_dataset() {
   ps.start_time_ms = 1'000.25;
   ps.startup_ms = 812.5;
   ps.chunks_requested = 7;
+  ps.completed = false;
   d.player_sessions.push_back(ps);
 
   CdnSessionRecord cs;
@@ -51,6 +52,10 @@ Dataset sample_dataset() {
   pc.avg_fps = 27.5;
   pc.dropped_frames = 15;
   pc.total_frames = 180;
+  pc.retries = 2;
+  pc.timeouts = 1;
+  pc.failed_over = true;
+  pc.recovery_ms = 4'250.5;
   d.player_chunks.push_back(pc);
 
   CdnChunkRecord cc;
@@ -62,6 +67,9 @@ Dataset sample_dataset() {
   cc.dbe_ms = 64.5;
   cc.cache_level = cdn::CacheLevel::kMiss;
   cc.chunk_bytes = 1'875'000;
+  cc.pop = 1;
+  cc.server = 3;
+  cc.served_stale = true;
   d.cdn_chunks.push_back(cc);
 
   TcpSnapshotRecord ts;
@@ -94,6 +102,7 @@ TEST(ExportTest, PlayerSessionRoundTrip) {
   EXPECT_DOUBLE_EQ(r.video_duration_s, 123.5);
   EXPECT_DOUBLE_EQ(r.startup_ms, 812.5);
   EXPECT_EQ(r.chunks_requested, 7u);
+  EXPECT_FALSE(r.completed);
 }
 
 TEST(ExportTest, CdnSessionRoundTrip) {
@@ -119,6 +128,10 @@ TEST(ExportTest, PlayerChunkRoundTrip) {
   EXPECT_DOUBLE_EQ(r.dfb_ms, 240.125);
   EXPECT_FALSE(r.visible);
   EXPECT_EQ(r.dropped_frames, 15u);
+  EXPECT_EQ(r.retries, 2u);
+  EXPECT_EQ(r.timeouts, 1u);
+  EXPECT_TRUE(r.failed_over);
+  EXPECT_DOUBLE_EQ(r.recovery_ms, 4'250.5);
 }
 
 TEST(ExportTest, CdnChunkRoundTrip) {
@@ -130,6 +143,9 @@ TEST(ExportTest, CdnChunkRoundTrip) {
   EXPECT_EQ(loaded[0].cache_level, cdn::CacheLevel::kMiss);
   EXPECT_EQ(loaded[0].chunk_bytes, 1'875'000u);
   EXPECT_DOUBLE_EQ(loaded[0].dbe_ms, 64.5);
+  EXPECT_EQ(loaded[0].pop, 1u);
+  EXPECT_EQ(loaded[0].server, 3u);
+  EXPECT_TRUE(loaded[0].served_stale);
 }
 
 TEST(ExportTest, TcpSnapshotRoundTrip) {
@@ -158,7 +174,7 @@ TEST(ExportTest, RejectsShortRow) {
 TEST(ExportTest, RejectsUnknownEnums) {
   std::stringstream buffer;
   write_cdn_chunks_csv(buffer, {});
-  std::stringstream in(buffer.str() + "1,2,0.1,0.2,0.3,0,warp-hit,100\n");
+  std::stringstream in(buffer.str() + "1,2,0.1,0.2,0.3,0,warp-hit,100,0,0,0\n");
   EXPECT_THROW(read_cdn_chunks_csv(in), std::runtime_error);
 }
 

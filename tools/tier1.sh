@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then the sim/cdn/core/faults
+# suites again under AddressSanitizer (VSTREAM_SANITIZE=address).
+#
+# Usage: tools/tier1.sh [build-dir] [asan-build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+asan_dir="${2:-$repo_root/build-asan}"
+
+echo "==> tier-1: configure + build ($build_dir)"
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+
+echo "==> tier-1: ctest"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "==> tier-1: ASan build ($asan_dir)"
+cmake -B "$asan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=address
+cmake --build "$asan_dir" -j --target test_sim test_cdn test_core test_faults
+
+echo "==> tier-1: ASan suites (sim, cdn, core, faults)"
+for suite in test_sim test_cdn test_core test_faults; do
+  echo "--> $suite"
+  "$asan_dir/tests/$suite"
+done
+
+echo "==> tier-1: OK"
