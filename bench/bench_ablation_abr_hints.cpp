@@ -10,6 +10,7 @@
 //      ABR's EWMA avoids over-shooting.
 #include "analysis/qoe.h"
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

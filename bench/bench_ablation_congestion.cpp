@@ -4,6 +4,7 @@
 // path's capacity between losses, which shows up in session QoE.
 #include "analysis/qoe.h"
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

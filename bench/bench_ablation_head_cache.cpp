@@ -2,6 +2,7 @@
 // video ... to reduce the startup delay."  Compare startup-time tails with
 // and without universally pinned video heads.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

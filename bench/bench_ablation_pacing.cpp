@@ -3,6 +3,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

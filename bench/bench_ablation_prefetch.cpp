@@ -3,6 +3,7 @@
 // the first miss."  Compare prefetch depths on the same workload: session
 // miss persistence collapses, at the cost of extra backend requests.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

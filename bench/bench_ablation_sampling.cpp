@@ -4,6 +4,7 @@
 // the analyses lose: per-session SRTT-variability estimates flatten and
 // snapshot volume (the overhead proxy) shrinks.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

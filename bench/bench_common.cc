@@ -1,16 +1,34 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <utility>
 
 namespace vstream::bench {
 
-std::size_t bench_session_count(std::size_t fallback) {
-  const char* env = std::getenv("VSTREAM_BENCH_SESSIONS");
-  if (env != nullptr) {
-    const long parsed = std::atol(env);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+namespace {
+
+/// Strict env parse; misconfiguration kills the bench with a message
+/// instead of silently benchmarking the wrong workload.
+std::size_t checked_env(const char* name, std::size_t fallback) {
+  try {
+    return engine::positive_env(name, fallback);
+  } catch (const std::runtime_error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
   }
-  return fallback;
+}
+
+}  // namespace
+
+std::size_t bench_session_count(std::size_t fallback) {
+  return checked_env("VSTREAM_BENCH_SESSIONS", fallback);
+}
+
+std::uint64_t bench_seed(std::uint64_t fallback) {
+  return checked_env("VSTREAM_BENCH_SEED",
+                     static_cast<std::size_t>(fallback));
 }
 
 BenchRun run_paper_workload(std::size_t sessions, std::uint64_t seed) {
@@ -18,12 +36,10 @@ BenchRun run_paper_workload(std::size_t sessions, std::uint64_t seed) {
   run.scenario = workload::paper_scenario();
   run.scenario.session_count = sessions;
   run.scenario.seed = seed;
-  run.pipeline = std::make_unique<core::Pipeline>(run.scenario);
-  run.pipeline->warm_caches();
-  run.pipeline->run();
-  run.proxies = telemetry::detect_proxies(run.pipeline->dataset());
-  run.joined =
-      telemetry::JoinedDataset::build(run.pipeline->dataset(), &run.proxies);
+  engine::AnalyzedRun analyzed = engine::run_and_analyze(run.scenario);
+  run.result = std::move(analyzed.run);
+  run.proxies = std::move(analyzed.proxies);
+  run.joined = std::move(analyzed.joined);
   return run;
 }
 

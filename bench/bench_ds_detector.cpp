@@ -10,7 +10,7 @@ using namespace vstream;
 int main() {
   const bench::BenchRun run = bench::run_paper_workload();
 
-  const auto& truth = run.pipeline->ground_truth().ds_anomalies;
+  const auto& truth = run.ground_truth().ds_anomalies;
   std::size_t flagged_chunks = 0, sessions_with_flag = 0;
   std::size_t true_positives = 0, false_positives = 0;
   std::size_t total_chunks = 0;

@@ -5,6 +5,7 @@
 // viewers reproduce that relationship: sessions that stall watch less of
 // their video.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

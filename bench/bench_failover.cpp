@@ -3,6 +3,7 @@
 // correction has a price — the failover target's cache was warmed for a
 // different video set, so the rescued sessions land on cold content.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

@@ -5,6 +5,7 @@
 // here the incidents are controlled, so availability and QoE cost can be
 // charted against failure intensity.
 #include "bench_common.h"
+#include "core/pipeline.h"
 #include "faults/fault_schedule.h"
 
 using namespace vstream;

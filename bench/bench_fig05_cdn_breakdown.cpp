@@ -8,7 +8,7 @@ int main() {
   const bench::BenchRun run = bench::run_paper_workload();
 
   std::vector<double> wait, open, read, total_hit, total_miss;
-  for (const auto& c : run.pipeline->dataset().cdn_chunks) {
+  for (const auto& c : run.dataset().cdn_chunks) {
     wait.push_back(c.dwait_ms);
     open.push_back(c.dopen_ms);
     read.push_back(c.dread_ms);

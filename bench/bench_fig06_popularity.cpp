@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

@@ -10,7 +10,7 @@ int main() {
   const bench::BenchRun run = bench::run_paper_workload();
 
   std::unordered_map<std::uint64_t, double> startup;
-  for (const auto& s : run.pipeline->dataset().player_sessions) {
+  for (const auto& s : run.dataset().player_sessions) {
     startup[s.session_id] = s.startup_ms;
   }
 

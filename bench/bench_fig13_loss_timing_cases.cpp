@@ -6,6 +6,7 @@
 // The paper's point: case #1 re-buffers despite 30x less loss, because the
 // playback buffer was empty when the loss hit.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

@@ -7,7 +7,7 @@ using namespace vstream;
 
 int main() {
   const bench::BenchRun run = bench::run_paper_workload();
-  const double tau = run.pipeline->catalog().chunk_duration_s();
+  const double tau = run.catalog().chunk_duration_s();
 
   std::vector<double> share_good, share_bad, dfb_good, dfb_bad, dlb_good,
       dlb_bad;

@@ -3,6 +3,7 @@
 // (b) the connection's Eq. 3 throughput vs the player-observed
 // instantaneous throughput.  The detector (Eq. 4) must point at the chunk.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

@@ -7,11 +7,11 @@ using namespace vstream;
 
 int main() {
   const bench::BenchRun run = bench::run_paper_workload();
-  const double tau = run.pipeline->catalog().chunk_duration_s();
+  const double tau = run.catalog().chunk_duration_s();
 
   std::vector<double> rate, dropped_pct;
   std::size_t confirm = 0, hidden_by_buffer = 0, cpu_limited = 0, total = 0;
-  for (const auto& c : run.pipeline->dataset().player_chunks) {
+  for (const auto& c : run.dataset().player_chunks) {
     if (!c.visible || c.total_frames == 0) continue;
     const double r = c.download_rate(tau);
     const double d = 100.0 * c.dropped_frames / c.total_frames;

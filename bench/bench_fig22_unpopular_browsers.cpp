@@ -9,7 +9,7 @@ using namespace vstream;
 
 int main() {
   const bench::BenchRun run = bench::run_paper_workload();
-  const double tau = run.pipeline->catalog().chunk_duration_s();
+  const double tau = run.catalog().chunk_duration_s();
 
   std::map<std::string, std::pair<double, double>> tallies;  // dropped, frames
   double rest_dropped = 0.0, rest_frames = 0.0;

@@ -44,16 +44,17 @@ int main() {
 
   // --- load vs performance paradox (§4.1-3) ---
   core::print_header("§4.1-3: load vs performance across servers");
-  auto& fleet = run.pipeline->fleet();
+  const std::uint32_t servers_per_pop = run.scenario.fleet.servers_per_pop;
   std::vector<double> load, latency_proxy;
-  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
-    for (std::uint32_t idx = 0; idx < fleet.servers_per_pop(); ++idx) {
-      const cdn::AtsServer& server = fleet.server({pop, idx});
-      if (server.requests_served() < 100) continue;
-      const double requests = static_cast<double>(server.requests_served());
+  for (std::uint32_t pop = 0; pop < run.scenario.fleet.pop_count; ++pop) {
+    for (std::uint32_t idx = 0; idx < servers_per_pop; ++idx) {
+      const cdn::ServerStats& server =
+          run.server_stats()[pop * servers_per_pop + idx];
+      if (server.requests_served < 100) continue;
+      const double requests = static_cast<double>(server.requests_served);
       const double miss = server.miss_ratio();
       const double retry_share =
-          static_cast<double>(server.disk_hits() + server.misses()) / requests;
+          static_cast<double>(server.disk_hits + server.misses) / requests;
       std::printf(
           "series paradox: pop=%u server=%u requests=%.0f miss_pct=%.2f "
           "retry_share=%.3f\n",

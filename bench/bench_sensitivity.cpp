@@ -3,6 +3,7 @@
 // one point in time; a reproduction should show which conclusions survive
 // when the assumed knobs move.
 #include "bench_common.h"
+#include "core/pipeline.h"
 
 using namespace vstream;
 

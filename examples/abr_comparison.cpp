@@ -5,8 +5,8 @@
 
 #include <cstdio>
 
-#include "core/pipeline.h"
 #include "core/report.h"
+#include "engine/engine.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
 
@@ -26,12 +26,8 @@ QoeSummary evaluate(client::AbrKind abr) {
   scenario.session_count = 400;
   scenario.abr = abr;
 
-  core::Pipeline pipeline(scenario);
-  pipeline.warm_caches();
-  pipeline.run();
-  const auto proxies = telemetry::detect_proxies(pipeline.dataset());
-  const auto joined =
-      telemetry::JoinedDataset::build(pipeline.dataset(), &proxies);
+  const engine::AnalyzedRun analyzed = engine::run_and_analyze(scenario);
+  const telemetry::JoinedDataset& joined = analyzed.joined;
 
   QoeSummary summary;
   double startup_sum = 0.0, rebuf_sum = 0.0, bitrate_sum = 0.0;

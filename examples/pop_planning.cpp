@@ -12,8 +12,8 @@
 
 #include "analysis/aggregate.h"
 #include "analysis/qoe.h"
-#include "core/pipeline.h"
 #include "core/report.h"
+#include "engine/engine.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
 
@@ -32,12 +32,8 @@ PlanResult evaluate(std::uint32_t pop_count, std::size_t sessions) {
   workload::Scenario scenario = workload::paper_scenario();
   scenario.session_count = sessions;
   scenario.fleet.pop_count = pop_count;
-  core::Pipeline pipeline(scenario);
-  pipeline.warm_caches();
-  pipeline.run();
-  const auto proxies = telemetry::detect_proxies(pipeline.dataset());
-  const auto joined =
-      telemetry::JoinedDataset::build(pipeline.dataset(), &proxies);
+  const engine::AnalyzedRun analyzed = engine::run_and_analyze(scenario);
+  const telemetry::JoinedDataset& joined = analyzed.joined;
 
   PlanResult result;
   std::vector<double> distance, srtt_min;

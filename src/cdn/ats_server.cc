@@ -23,14 +23,33 @@ double AtsServer::miss_ratio() const {
              : static_cast<double>(misses_) / static_cast<double>(requests_served_);
 }
 
-sim::Ms AtsServer::seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const {
-  const auto it = last_video_access_.find(video_id);
-  if (it == last_video_access_.end()) return config_.seek_max_ms;
+ServerStats& ServerStats::operator+=(const ServerStats& other) {
+  requests_served += other.requests_served;
+  ram_hits += other.ram_hits;
+  disk_hits += other.disk_hits;
+  misses += other.misses;
+  prefetched_chunks += other.prefetched_chunks;
+  collapsed_misses += other.collapsed_misses;
+  backend_fetches += other.backend_fetches;
+  stale_serves += other.stale_serves;
+  backend_errors += other.backend_errors;
+  return *this;
+}
+
+sim::Ms AtsServer::seek_penalty_from_ms(
+    const std::unordered_map<std::uint32_t, sim::Ms>& last_access,
+    std::uint32_t video_id, sim::Ms now) const {
+  const auto it = last_access.find(video_id);
+  if (it == last_access.end()) return config_.seek_max_ms;
   const sim::Ms gap = std::max(0.0, now - it->second);
   // Cold content has fallen out of the OS page cache and sits farther from
   // the disk head's working region; the penalty saturates at seek_max_ms.
   const double coldness = std::min(1.0, gap / config_.seek_cold_after_ms);
   return config_.seek_max_ms * coldness;
+}
+
+sim::Ms AtsServer::seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const {
+  return seek_penalty_from_ms(last_video_access_, video_id, now);
 }
 
 ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
@@ -182,6 +201,114 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
 
   last_video_access_[key.video_id] = now;
   ++requests_served_;
+  return result;
+}
+
+ServeResult AtsServer::serve_isolated(const ChunkKey& key,
+                                      std::uint64_t size_bytes, sim::Ms now,
+                                      sim::Rng& rng, const TwoLevelCache& warm,
+                                      SessionServerState& session,
+                                      ServerStats& stats) const {
+  (void)size_bytes;  // admissions go to the boundless per-session overlay
+  ServeResult result;
+
+  // No accept-queue coupling: the thread pool is shared across sessions, so
+  // the isolated path models D_wait as pure scheduling noise — the regime
+  // the paper observes anyway ("latency is NOT correlated with load").
+  result.dwait_ms =
+      rng.lognormal_median(config_.wait_median_ms, config_.wait_sigma);
+  result.dopen_ms =
+      rng.lognormal_median(config_.open_median_ms, config_.open_sigma);
+
+  // Cache lookup: the session's own promotions/admissions shadow the
+  // immutable warm archive.
+  CacheLevel level = session.ram_overlay.contains(key)
+                         ? CacheLevel::kRam
+                         : warm.peek(key);
+  result.level = level;
+
+  // Read-while-writer against the session's own in-flight fetches.
+  sim::Ms pending_fetch_ms = 0.0;
+  {
+    const auto inflight = session.inflight_fetches.find(key);
+    if (inflight != session.inflight_fetches.end() && inflight->second > now) {
+      pending_fetch_ms = inflight->second - now;
+    }
+  }
+
+  switch (level) {
+    case CacheLevel::kRam:
+      ++stats.ram_hits;
+      result.dread_ms = rng.lognormal_median(config_.ram_read_median_ms,
+                                             config_.ram_read_sigma);
+      if (pending_fetch_ms > 0.0) {
+        ++stats.collapsed_misses;
+        result.dread_ms += pending_fetch_ms;
+      }
+      if (backend_down_) {
+        result.stale = true;
+        ++stats.stale_serves;
+      }
+      break;
+    case CacheLevel::kDisk: {
+      ++stats.disk_hits;
+      result.retry_timer_fired = true;
+      const sim::Ms disk_read =
+          (rng.lognormal_median(config_.disk_read_median_ms,
+                                config_.disk_read_sigma) +
+           seek_penalty_from_ms(session.last_video_access, key.video_id, now)) *
+          disk_slowdown_;
+      result.dread_ms = config_.open_retry_ms + disk_read + pending_fetch_ms;
+      if (pending_fetch_ms > 0.0) ++stats.collapsed_misses;
+      if (backend_down_) {
+        result.stale = true;
+        ++stats.stale_serves;
+      }
+      session.ram_overlay.insert(key);  // promoted: "fresh in memory"
+      break;
+    }
+    case CacheLevel::kMiss: {
+      if (backend_down_) {
+        ++stats.misses;
+        ++stats.backend_errors;
+        result.failed = true;
+        result.dread_ms = rng.lognormal_median(
+            config_.error_response_median_ms, config_.error_response_sigma);
+        break;
+      }
+      ++stats.misses;
+      result.retry_timer_fired = true;
+      const auto inflight = session.inflight_fetches.find(key);
+      if (inflight != session.inflight_fetches.end() &&
+          inflight->second > now) {
+        ++stats.collapsed_misses;
+        result.dbe_ms = inflight->second - now;
+      } else {
+        ++stats.backend_fetches;
+        result.dbe_ms = backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+        session.inflight_fetches[key] = now + result.dbe_ms;
+      }
+      result.dread_ms = config_.open_retry_ms + result.dbe_ms;
+      session.ram_overlay.insert(key);
+
+      for (std::uint32_t ahead = 1; ahead <= config_.prefetch_on_miss;
+           ++ahead) {
+        const ChunkKey next{key.video_id, key.chunk_index + ahead,
+                            key.bitrate_kbps};
+        if (!session.ram_overlay.contains(next) &&
+            warm.peek(next) == CacheLevel::kMiss) {
+          session.ram_overlay.insert(next);
+          ++stats.prefetched_chunks;
+          session.inflight_fetches[next] =
+              now + backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+        }
+      }
+      break;
+    }
+  }
+
+  session.last_video_access[key.video_id] = now;
+  ++stats.requests_served;
   return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cdn/backend.h"
@@ -93,6 +94,50 @@ struct ServeResult {
   sim::Ms total_ms() const { return dwait_ms + dopen_ms + dread_ms; }
 };
 
+/// Serve counters decoupled from the server object, so the sharded engine
+/// can account them per shard and sum across shards after the run.  Field
+/// meanings match the AtsServer accessors of the same names.
+struct ServerStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t ram_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t prefetched_chunks = 0;
+  std::uint64_t collapsed_misses = 0;
+  std::uint64_t backend_fetches = 0;
+  std::uint64_t stale_serves = 0;
+  std::uint64_t backend_errors = 0;
+
+  double miss_ratio() const {
+    return requests_served == 0
+               ? 0.0
+               : static_cast<double>(misses) /
+                     static_cast<double>(requests_served);
+  }
+  std::uint64_t backend_requests() const {
+    return backend_fetches + prefetched_chunks;
+  }
+  ServerStats& operator+=(const ServerStats& other);
+};
+
+/// One session's private view of a server's mutable serving state, used by
+/// serve_isolated().  The sharded engine requires serve outcomes to be a
+/// pure function of (immutable warm cache, the session's own request
+/// history, the session's RNG substream) — otherwise outcomes would depend
+/// on how sessions interleave, which changes with the shard count.  Every
+/// cross-session coupling of serve() therefore lives here, scoped to one
+/// session: its own admissions/promotions, its own seek recency, its own
+/// in-flight backend fetches.
+struct SessionServerState {
+  /// Chunks this session promoted into or admitted to RAM on this server.
+  std::unordered_set<ChunkKey, ChunkKeyHash> ram_overlay;
+  /// When this session last touched each video here (seek recency).
+  std::unordered_map<std::uint32_t, sim::Ms> last_video_access;
+  /// This session's own in-flight backend fetches (read-while-writer and
+  /// prefetch pipelining).
+  std::unordered_map<ChunkKey, sim::Ms, ChunkKeyHash> inflight_fetches;
+};
+
 class AtsServer {
  public:
   AtsServer(AtsConfig config, BackendConfig backend);
@@ -100,6 +145,21 @@ class AtsServer {
   /// Serve one chunk request arriving at `now` (simulated clock).
   ServeResult serve(const ChunkKey& key, std::uint64_t size_bytes, sim::Ms now,
                     sim::Rng& rng);
+
+  /// Session-isolated twin of serve(): branch-for-branch the same latency
+  /// model, but all mutable state is external — cache content comes from
+  /// the immutable `warm` archive plus the session's own overlay, counters
+  /// go to `stats`, and there is no cross-session thread-pool queueing (the
+  /// paper finds production servers well-provisioned, §4.1: D_wait is
+  /// scheduling noise).  Degradation flags (backend down/slow, disk
+  /// degraded) are still read from this server, which the fault injector
+  /// drives per shard.  const: concurrent calls on the same server object
+  /// with distinct rng/session/stats are race-free.
+  ServeResult serve_isolated(const ChunkKey& key, std::uint64_t size_bytes,
+                             sim::Ms now, sim::Rng& rng,
+                             const TwoLevelCache& warm,
+                             SessionServerState& session,
+                             ServerStats& stats) const;
 
   /// Pre-load an object into the cache hierarchy without serving a request
   /// (steady-state warm-up; does not touch the hit/miss counters).
@@ -154,6 +214,12 @@ class AtsServer {
  private:
   /// Cold-content seek penalty from the video's access recency.
   sim::Ms seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const;
+
+  /// Same penalty computed from an externally supplied recency map
+  /// (serve_isolated's per-session view).
+  sim::Ms seek_penalty_from_ms(
+      const std::unordered_map<std::uint32_t, sim::Ms>& last_access,
+      std::uint32_t video_id, sim::Ms now) const;
 
   AtsConfig config_;
   TwoLevelCache cache_;

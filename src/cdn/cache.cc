@@ -69,6 +69,12 @@ CacheLevel TwoLevelCache::lookup(const ChunkKey& key,
   return CacheLevel::kMiss;
 }
 
+CacheLevel TwoLevelCache::peek(const ChunkKey& key) const {
+  if (ram_.contains(key)) return CacheLevel::kRam;
+  if (disk_.contains(key)) return CacheLevel::kDisk;
+  return CacheLevel::kMiss;
+}
+
 void TwoLevelCache::admit(const ChunkKey& key, std::uint64_t size_bytes) {
   disk_.insert(key, size_bytes);
   ram_.insert(key, size_bytes);

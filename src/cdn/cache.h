@@ -62,6 +62,11 @@ class TwoLevelCache {
   /// Look up and update recency state; promotes disk hits to RAM.
   CacheLevel lookup(const ChunkKey& key, std::uint64_t size_bytes);
 
+  /// Read-only probe: where the object would be found, without touching
+  /// recency state or promoting between levels.  Safe to call concurrently
+  /// (the sharded engine probes one shared warm archive from all workers).
+  CacheLevel peek(const ChunkKey& key) const;
+
   /// Admit a freshly fetched object (backend miss path).
   void admit(const ChunkKey& key, std::uint64_t size_bytes);
 

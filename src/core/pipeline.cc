@@ -1,47 +1,11 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "client/abr.h"
-#include "client/playback_buffer.h"
-#include "client/rendering.h"
-#include "net/geo.h"
-#include "net/tcp_model.h"
+#include "engine/engine.h"
+#include "engine/warmup.h"
 
 namespace vstream::core {
-
-namespace {
-
-std::uint64_t mix64(std::uint64_t h) {
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  return h;
-}
-
-/// Stable proxy egress IP for an organization (198.18.0.0/15 is reserved
-/// for benchmarking — a tidy home for synthetic middleboxes).
-net::IpV4 org_proxy_ip(const std::string& org) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
-  for (const char c : org) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  h = mix64(h);
-  return net::make_ip(198, 18, static_cast<std::uint8_t>(h >> 8),
-                      static_cast<std::uint8_t>(h));
-}
-
-/// A couple of mega-proxy egress points (cloud security products) that
-/// funnel many organizations; they trip the paper's volume rule (§3-ii).
-net::IpV4 mega_proxy_ip(std::uint64_t token) {
-  return net::make_ip(198, 19, 0, token % 2 == 0 ? 10 : 20);
-}
-
-}  // namespace
 
 Pipeline::Pipeline(workload::Scenario scenario)
     : scenario_(scenario),
@@ -52,557 +16,35 @@ Pipeline::Pipeline(workload::Scenario scenario)
   generator_ = std::make_unique<workload::SessionGenerator>(
       scenario_.sessions, *catalog_, *population_);
   fleet_ = std::make_unique<cdn::Fleet>(scenario_.fleet, catalog_->size());
+
+  // Coupled mode: one live fleet shared by all sessions, no warm archive
+  // (caches are warmed in place), no per-server stats sink.
+  ctx_.scenario = &scenario_;
+  ctx_.catalog = catalog_.get();
+  ctx_.fleet = fleet_.get();
+  ctx_.collector = &collector_;
+  ctx_.ground_truth = &ground_truth_;
+  ctx_.bad_prefixes = &bad_prefixes_;
 }
 
 void Pipeline::warm_caches(double disk_fill, bool universal_head) {
-  // Emulate the steady state of a long-running edge server under a
-  // partial-viewing workload, in two tiers:
-  //
-  //   1. every assigned video keeps its first few chunks cached at all
-  //      rungs — every viewer fetches the head of a video, so LRU retains
-  //      it (and it is exactly what the paper recommends pre-caching), and
-  //   2. the popular head of the catalog is cached in full, hot videos
-  //      freshest (so they also occupy RAM).
-  //
-  // Sessions on tail videos therefore hit the cached prefix and miss
-  // beyond it — reproducing §4.1-2's persistence shape (sessions with one
-  // miss average ~60% misses, while the overall rate stays ~2%).
-  constexpr std::uint32_t kPrefixChunks = 3;
-  const auto ladder = client::default_bitrate_ladder();
-  const double tau = catalog_->chunk_duration_s();
-
-  for (std::uint32_t pop = 0; pop < fleet_->pop_count(); ++pop) {
-    for (std::uint32_t sidx = 0; sidx < fleet_->servers_per_pop(); ++sidx) {
-      cdn::AtsServer& server = fleet_->server({pop, sidx});
-      const std::uint64_t budget = static_cast<std::uint64_t>(
-          disk_fill * static_cast<double>(server.config().disk_bytes));
-
-      const std::uint64_t chunk_size_all_rungs = [&] {
-        std::uint64_t sum = 0;
-        for (const std::uint32_t rung : ladder) sum += cdn::chunk_bytes(rung, tau);
-        return sum;
-      }();
-
-      // Membership pass (hot -> cold): the popular head keeps full bodies
-      // (~55% of the budget); the mid tail keeps a graded share of its
-      // chunks (LRU retains what recent viewers fetched — heads always,
-      // bodies in proportion to viewership); the deepest ~10% keeps
-      // nothing, so its sessions miss from chunk 0.
-      std::vector<std::uint32_t> assigned;
-      for (std::uint32_t video = 0; video < catalog_->size(); ++video) {
-        if (fleet_->server_index_for_video(video) != sidx) continue;
-        assigned.push_back(video);
-      }
-      std::uint64_t bytes = 0;
-      const std::uint64_t full_budget =
-          static_cast<std::uint64_t>(0.55 * static_cast<double>(budget));
-      std::size_t full_tier_count = 0;
-      for (const std::uint32_t video : assigned) {
-        const std::uint64_t body =
-            catalog_->video(video).chunk_count * chunk_size_all_rungs;
-        if (bytes + body > full_budget) break;
-        bytes += body;
-        ++full_tier_count;
-      }
-
-      const auto warm_chunks_for = [&](std::size_t i) -> std::uint32_t {
-        const workload::VideoMeta& meta = catalog_->video(assigned[i]);
-        if (i < full_tier_count) return meta.chunk_count;
-        const double frac =
-            static_cast<double>(i - full_tier_count) /
-            std::max<double>(1.0, static_cast<double>(assigned.size() -
-                                                      full_tier_count));
-        const std::uint32_t head =
-            universal_head ? std::min(kPrefixChunks, meta.chunk_count) : 0;
-        if (frac >= 0.75) return head;  // never-watched deep tail
-        // Graded retention: most of the body near the head of the band,
-        // shrinking toward the prefix-only regime.
-        const double w = 1.0 - frac * frac * frac;
-        return std::max(std::min(kPrefixChunks, meta.chunk_count),
-                        static_cast<std::uint32_t>(w * meta.chunk_count));
-      };
-
-      // Admission pass (cold -> hot): the hottest videos end up most
-      // recent in both LRU levels, i.e. in RAM.
-      for (std::size_t i = assigned.size(); i-- > 0;) {
-        const std::uint32_t video = assigned[i];
-        const std::uint32_t warm_chunks = warm_chunks_for(i);
-        for (std::uint32_t c = 0; c < warm_chunks; ++c) {
-          for (const std::uint32_t rung : ladder) {
-            server.warm(cdn::ChunkKey{video, c, rung},
-                        cdn::chunk_bytes_vbr(rung, tau, video, c));
-          }
-        }
-      }
-
-      if (universal_head) {
-        // §4.3-3 take-away: the heads of ALL videos are pinned — admit
-        // them last so they are the freshest objects and survive any
-        // eviction the warm set itself caused.
-        for (std::size_t i = assigned.size(); i-- > 0;) {
-          const std::uint32_t video = assigned[i];
-          const workload::VideoMeta& meta = catalog_->video(video);
-          const std::uint32_t head = std::min(kPrefixChunks, meta.chunk_count);
-          for (std::uint32_t c = 0; c < head; ++c) {
-            for (const std::uint32_t rung : ladder) {
-              server.warm(cdn::ChunkKey{video, c, rung},
-                          cdn::chunk_bytes_vbr(rung, tau, video, c));
-            }
-          }
-        }
-      }
-    }
-  }
+  engine::warm_fleet(*fleet_, *catalog_, disk_fill, universal_head);
 }
-
-// ============================ SessionRuntime ==============================
-//
-// One streaming session as a state machine: step() executes exactly one
-// chunk (ABR decision -> server -> TCP transfer -> download stack ->
-// playout -> rendering -> telemetry) and reports how much wall time passed,
-// so the pipeline can interleave many sessions through the event queue in
-// true timestamp order.  All stochastic draws come from a per-session
-// generator forked at construction, keeping runs deterministic regardless
-// of interleaving.
-class Pipeline::SessionRuntime {
- public:
-  SessionRuntime(Pipeline& owner, workload::SessionSpec spec,
-                 const SessionOverrides* overrides)
-      : owner_(owner),
-        spec_(std::move(spec)),
-        rng_(owner.rng_.fork()),
-        ref_(owner.fleet_->route(spec_.client.prefix->location, spec_.video_id,
-                                 spec_.video_rank, spec_.session_id,
-                                 owner.scenario_.routing)),
-        distance_km_(net::haversine_km(
-            spec_.client.prefix->location,
-            owner.fleet_->pop_city(ref_.pop).location)),
-        stack_(overrides != nullptr && overrides->ds_profile
-                   ? client::DownloadStack(*overrides->ds_profile)
-                   : client::DownloadStack(spec_.client.ua)),
-        rendering_(client::RenderConfig{resolve_gpu(overrides),
-                                        resolve_cpu_load(overrides),
-                                        spec_.client.visible},
-                   spec_.client.ua),
-        buffer_(owner.scenario_.buffer) {
-    if (overrides != nullptr) overrides_ = *overrides;
-
-    const workload::ClientProfile& client = spec_.client;
-    bottleneck_kbps_ = overrides_ && overrides_->bottleneck_kbps
-                           ? *overrides_->bottleneck_kbps
-                           : client.prefix->bandwidth_kbps;
-    // Peak-hour congestion epoch: persistent extra latency this session
-    // (survives a failover — the congestion sits on the access path).
-    if (client.prefix->congestion_prone &&
-        rng_.bernoulli(owner_.scenario_.congestion_epoch_probability)) {
-      congestion_offset_ms_ =
-          rng_.lognormal_median(owner_.scenario_.congestion_offset_median_ms,
-                                owner_.scenario_.congestion_offset_sigma);
-    }
-    tcp_config_ = owner_.scenario_.tcp;
-    if (owner_.scenario_.rwnd_median_segments > 0.0) {
-      // Per-session receive-buffer autotuning outcome (flow-control cap).
-      tcp_config_.receiver_window_segments =
-          static_cast<std::uint32_t>(std::clamp(
-              rng_.lognormal_median(owner_.scenario_.rwnd_median_segments,
-                                    owner_.scenario_.rwnd_sigma),
-              64.0, 4096.0));
-    }
-    rebuild_connection();
-
-    const client::AbrKind abr_kind =
-        overrides_ && overrides_->abr ? *overrides_->abr : owner_.scenario_.abr;
-    const std::uint32_t fixed_rate =
-        overrides_ && overrides_->fixed_bitrate_kbps
-            ? *overrides_->fixed_bitrate_kbps
-            : 0;
-    abr_ = client::make_abr(abr_kind, fixed_rate);
-  }
-
-  bool has_more() const { return next_chunk_ < spec_.chunk_count; }
-
-  /// Execute chunk next_chunk_ with its request firing at `fleet_now`;
-  /// returns the wall time until this session's next request.
-  sim::Ms step(sim::Ms fleet_now);
-
-  /// Emit the per-session records (call once, after the last step).
-  void finish();
-
-  std::uint64_t session_id() const { return spec_.session_id; }
-
- private:
-  bool resolve_gpu(const SessionOverrides* overrides) const {
-    return overrides != nullptr && overrides->gpu ? *overrides->gpu
-                                                  : spec_.client.gpu;
-  }
-  double resolve_cpu_load(const SessionOverrides* overrides) const {
-    return overrides != nullptr && overrides->cpu_load ? *overrides->cpu_load
-                                                       : spec_.client.cpu_load;
-  }
-
-  /// (Re)open the TCP connection to the currently assigned server ref_.
-  /// Called at construction and again after a mid-session failover: the new
-  /// path carries the new PoP's distance, and the fresh connection restarts
-  /// from a cold congestion window — the §4.1 failover penalty.
-  void rebuild_connection();
-
-  Pipeline& owner_;
-  workload::SessionSpec spec_;
-  std::optional<SessionOverrides> overrides_;
-  sim::Rng rng_;
-  cdn::ServerRef ref_;
-  double distance_km_;
-  client::DownloadStack stack_;
-  client::RenderingPath rendering_;
-  client::PlaybackBuffer buffer_;
-  std::unique_ptr<net::TcpConnection> conn_;
-  std::unique_ptr<client::AbrAlgorithm> abr_;
-
-  // Path ingredients kept so a failover can rebuild the connection with
-  // the same client-side draws (only the server end changes).
-  double bottleneck_kbps_ = 0.0;
-  sim::Ms congestion_offset_ms_ = 0.0;
-  net::TcpConfig tcp_config_;
-  double current_loss_ = 0.0;
-
-  std::uint32_t next_chunk_ = 0;
-  double session_clock_ms_ = 0.0;
-  double smoothed_tp_kbps_ = 0.0;
-  double last_tp_kbps_ = 0.0;
-  std::uint32_t last_bitrate_ = 0;
-  bool completed_ = true;
-};
-
-void Pipeline::SessionRuntime::rebuild_connection() {
-  const workload::ClientProfile& client = spec_.client;
-  distance_km_ = net::haversine_km(client.prefix->location,
-                                   owner_.fleet_->pop_city(ref_.pop).location);
-  net::PathConfig path = net::make_path_config(client.prefix->access,
-                                               distance_km_, bottleneck_kbps_);
-  // Chronically lossy last miles reach percent-level loss, capped so the
-  // transport model stays in a sane regime.
-  path.random_loss =
-      std::min(0.02, path.random_loss * client.prefix->loss_multiplier);
-  path.base_rtt_ms += congestion_offset_ms_;
-  current_loss_ = path.random_loss;
-  conn_ = std::make_unique<net::TcpConnection>(tcp_config_, path, rng_.fork());
-}
-
-sim::Ms Pipeline::SessionRuntime::step(sim::Ms fleet_now) {
-  const std::uint32_t c = next_chunk_++;
-  const double tau = owner_.catalog_->chunk_duration_s();
-  const workload::VideoMeta& meta = owner_.catalog_->video(spec_.video_id);
-  const workload::ClientProfile& client = spec_.client;
-  const auto ladder = client::default_bitrate_ladder();
-
-  sim::Ms manifest_ms = 0.0;
-  if (c == 0) {
-    // The session starts with the manifest request over the same TCP
-    // connection (§2 model).  Manifests are small and served from memory;
-    // the cost is one round trip plus a tiny service time, and it also
-    // warms the connection's first congestion-window round.
-    const net::TransferResult manifest = conn_->transfer(2'048);
-    manifest_ms =
-        manifest.duration_ms + rng_.lognormal_median(1.0, 0.5) /*service*/;
-    buffer_.advance(manifest_ms);  // wall clock; nothing playable yet
-    session_clock_ms_ += manifest_ms;
-  }
-
-  // ---- ABR decision ----
-  client::AbrContext ctx;
-  ctx.chunk_index = c;
-  ctx.buffer_s = buffer_.level_s();
-  ctx.max_buffer_s = owner_.scenario_.buffer.max_buffer_s;
-  ctx.last_throughput_kbps = last_tp_kbps_;
-  ctx.smoothed_throughput_kbps = smoothed_tp_kbps_;
-  ctx.last_bitrate_kbps = last_bitrate_;
-  ctx.known_bad_prefix =
-      owner_.bad_prefixes_.contains(client.prefix->prefix);
-  const std::uint32_t bitrate = abr_->choose(ctx, ladder);
-  last_bitrate_ = bitrate;
-
-  // Last chunk may carry less than tau seconds (§3).
-  double this_tau = tau;
-  if (c == meta.chunk_count - 1) {
-    const double leftover = meta.duration_s - tau * (meta.chunk_count - 1);
-    this_tau = std::clamp(leftover, 1.0, tau);
-  }
-  const std::uint64_t bytes =
-      cdn::chunk_bytes_vbr(bitrate, this_tau, spec_.video_id, c);
-
-  // ---- server: issue the request through the recovery machinery ----
-  // A failed attempt (dead server, backend error, first byte past the
-  // request timeout) costs its share of wall time, then capped exponential
-  // backoff; after failover_after_attempts consecutive failures on one
-  // server (immediately when it is down) the player fails over to the next
-  // live server — cross-PoP when the whole PoP is dark — over a fresh TCP
-  // connection.
-  const workload::RecoveryPolicy& policy = owner_.scenario_.recovery;
-  const cdn::ChunkKey key{spec_.video_id, c, bitrate};
-  cdn::ServeResult serve;
-  sim::Ms recovery_ms = 0.0;
-  std::uint32_t retries = 0;
-  std::uint32_t timeouts = 0;
-  std::uint32_t attempts_on_server = 0;
-  bool failed_over = false;
-  bool delivered = false;
-  for (std::uint32_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
-    const bool server_dead = owner_.fleet_->is_down(ref_);
-    if (server_dead) {
-      // Dead servers do not answer; the player waits out the full timeout.
-      recovery_ms += policy.request_timeout_ms;
-      ++timeouts;
-      ++owner_.ground_truth_.request_timeouts;
-    } else {
-      serve = owner_.fleet_->server(ref_).serve(key, bytes,
-                                                fleet_now + recovery_ms, rng_);
-      if (serve.failed) {
-        // Fast local error (cache miss while the backend is unreachable).
-        recovery_ms += serve.total_ms();
-      } else if (serve.total_ms() > policy.request_timeout_ms) {
-        // Alive but too slow (degraded disk, melted backend): the player
-        // abandons the attempt at the timeout.
-        recovery_ms += policy.request_timeout_ms;
-        ++timeouts;
-        ++owner_.ground_truth_.request_timeouts;
-      } else {
-        delivered = true;
-        break;
-      }
-    }
-    ++attempts_on_server;
-    if (attempt == policy.max_retries) break;  // out of attempts
-    const sim::Ms backoff = std::min(
-        policy.backoff_cap_ms,
-        policy.backoff_base_ms *
-            std::pow(policy.backoff_factor, static_cast<double>(attempt)));
-    recovery_ms += backoff * rng_.uniform(0.5, 1.0);  // jittered
-    ++retries;
-    ++owner_.ground_truth_.chunk_retries;
-    if (server_dead || attempts_on_server >= policy.failover_after_attempts) {
-      const cdn::ServerRef next = owner_.fleet_->failover(
-          ref_, client.prefix->location, spec_.video_id);
-      if (next.pop != ref_.pop || next.server != ref_.server) {
-        ref_ = next;
-        failed_over = true;
-        attempts_on_server = 0;
-        ++owner_.ground_truth_.failover_events;
-        rebuild_connection();
-      }
-    }
-  }
-
-  if (!delivered) {
-    // Recovery exhausted (e.g. the whole fleet is dark): the player surfaces
-    // a fatal error and the session ends early, but always *terminates*.
-    spec_.chunk_count = c;  // chunks 0..c-1 were delivered
-    completed_ = false;
-    ++owner_.ground_truth_.failed_sessions;
-    buffer_.advance(recovery_ms);  // the viewer stared at a spinner
-    session_clock_ms_ += recovery_ms;
-    return manifest_ms + recovery_ms;
-  }
-
-  // ---- network transfer ----
-  // The connection sits idle while the player backs off and the server
-  // works on the request; the bottleneck queue drains meanwhile (and a gap
-  // longer than the RTO triggers window validation).
-  conn_->idle(recovery_ms + serve.total_ms());
-  if (overrides_ && c < overrides_->per_chunk_loss.size() &&
-      overrides_->per_chunk_loss[c]) {
-    current_loss_ = *overrides_->per_chunk_loss[c];
-  }
-  {
-    // Injected loss bursts ride on top of the path's base loss while
-    // active; the path reverts on its own once the burst epoch ends.
-    double loss = current_loss_;
-    if (owner_.injector_ != nullptr) {
-      loss = std::min(0.25,
-                      loss + owner_.injector_->extra_client_loss(fleet_now));
-    }
-    conn_->mutable_path().set_random_loss(loss);
-  }
-  std::vector<net::RoundSample> rounds;
-  const net::TransferResult transfer = conn_->transfer(bytes, &rounds);
-
-  // ---- download stack ----
-  client::DownloadStackSample ds = stack_.sample(c, rng_);
-  if (overrides_ && overrides_->disable_ds_anomalies &&
-      *overrides_->disable_ds_anomalies) {
-    ds.buffered_anomaly = false;
-  }
-
-  double dfb_ms = 0.0;
-  double dlb_ms = 0.0;
-  if (ds.buffered_anomaly) {
-    // The stack held the whole chunk: the player's first byte arrives only
-    // after the full network transfer plus the hold; the bytes then land
-    // essentially at once (§4.3-1, Fig. 17).
-    dfb_ms = recovery_ms + serve.total_ms() + ds.ds_ms + transfer.duration_ms +
-             ds.hold_ms;
-    dlb_ms = rng_.uniform(1.0, 8.0);
-    owner_.ground_truth_.ds_anomalies[spec_.session_id].push_back(c);
-    ++owner_.ground_truth_.total_ds_anomalies;
-  } else {
-    dfb_ms = recovery_ms + serve.total_ms() + ds.ds_ms + transfer.first_byte_ms;
-    dlb_ms = transfer.duration_ms - transfer.first_byte_ms;
-  }
-  ++owner_.ground_truth_.total_chunks;
-
-  // ---- playout ----
-  const client::DrainResult drain = buffer_.advance(dfb_ms + dlb_ms);
-  buffer_.add_chunk(this_tau);
-
-  // QoE-sensitive engagement: stalls drive viewers away ([25]).
-  if (drain.stall_events > 0 &&
-      rng_.bernoulli(owner_.scenario_.stall_abandonment_probability)) {
-    spec_.chunk_count = c + 1;  // this chunk is the viewer's last
-    ++owner_.ground_truth_.stall_abandonments;
-  }
-
-  // ---- rendering ----
-  const double download_rate = sim::seconds(this_tau) / (dfb_ms + dlb_ms);
-  const client::RenderResult rendered = rendering_.render_chunk(
-      this_tau, bitrate, download_rate, buffer_.level_s(), rng_);
-
-  // ---- telemetry: player side ----
-  telemetry::PlayerChunkRecord player_rec;
-  player_rec.session_id = spec_.session_id;
-  player_rec.chunk_id = c;
-  player_rec.request_sent_ms = session_clock_ms_;
-  player_rec.dfb_ms = dfb_ms;
-  player_rec.dlb_ms = dlb_ms;
-  player_rec.bitrate_kbps = bitrate;
-  player_rec.rebuffer_ms = drain.stalled_ms;
-  player_rec.rebuffer_count = drain.stall_events;
-  player_rec.visible = client.visible;
-  player_rec.avg_fps = rendered.avg_fps;
-  player_rec.dropped_frames = rendered.dropped_frames;
-  player_rec.total_frames = rendered.total_frames;
-  player_rec.retries = retries;
-  player_rec.timeouts = timeouts;
-  player_rec.failed_over = failed_over;
-  player_rec.recovery_ms = recovery_ms;
-  owner_.collector_.record(player_rec);
-
-  // ---- telemetry: CDN side ----
-  telemetry::CdnChunkRecord cdn_rec;
-  cdn_rec.session_id = spec_.session_id;
-  cdn_rec.chunk_id = c;
-  cdn_rec.dwait_ms = serve.dwait_ms;
-  cdn_rec.dopen_ms = serve.dopen_ms;
-  cdn_rec.dread_ms = serve.dread_ms;
-  cdn_rec.dbe_ms = serve.dbe_ms;
-  cdn_rec.cache_level = serve.level;
-  cdn_rec.chunk_bytes = bytes;
-  cdn_rec.pop = ref_.pop;
-  cdn_rec.server = ref_.server;
-  cdn_rec.served_stale = serve.stale;
-  owner_.collector_.record(cdn_rec);
-
-  // tcp_info sampling: the transfer starts once the server begins writing
-  // (after recovery and its internal latency).
-  owner_.collector_.sample_transfer(
-      spec_.session_id, c, session_clock_ms_ + recovery_ms + serve.total_ms(),
-      rounds);
-
-  // ---- client-observed throughput feeds the ABR (§4.3-1's trap:
-  // stack-buffered chunks inflate this estimate) ----
-  last_tp_kbps_ =
-      dlb_ms > 0.0 ? static_cast<double>(bytes) * 8.0 / dlb_ms : 0.0;
-  // Outlier screen (§4.3-1 recommendation 2): against the running EWMA once
-  // one exists, else against an absolute sanity cap (a 2015 client
-  // reporting >50 Mbps instantaneous delivery is stack buffering, not
-  // network speed).
-  const bool outlier =
-      owner_.scenario_.abr_filters_throughput_outliers &&
-      (smoothed_tp_kbps_ > 0.0 ? last_tp_kbps_ > 4.0 * smoothed_tp_kbps_
-                               : last_tp_kbps_ > 50'000.0);
-  if (!outlier) {
-    smoothed_tp_kbps_ = smoothed_tp_kbps_ == 0.0
-                            ? last_tp_kbps_
-                            : 0.7 * smoothed_tp_kbps_ + 0.3 * last_tp_kbps_;
-  }
-
-  sim::Ms wall_ms = manifest_ms + dfb_ms + dlb_ms;
-  session_clock_ms_ += dfb_ms + dlb_ms;
-
-  // ---- inter-chunk pacing: respect the buffer ceiling ----
-  if (has_more()) {
-    const double headroom = buffer_.headroom_s();
-    if (headroom < tau) {
-      const double wait_ms = sim::seconds(tau - headroom);
-      buffer_.advance(wait_ms);  // buffer is deep; this never stalls
-      conn_->idle(wait_ms);
-      session_clock_ms_ += wait_ms;
-      wall_ms += wait_ms;
-    }
-  }
-  return wall_ms;
-}
-
-void Pipeline::SessionRuntime::finish() {
-  const workload::ClientProfile& client = spec_.client;
-  const workload::VideoMeta& meta = owner_.catalog_->video(spec_.video_id);
-
-  telemetry::PlayerSessionRecord player_session;
-  player_session.session_id = spec_.session_id;
-  player_session.client_ip = client.ip;
-  player_session.user_agent = client::user_agent_string(client.ua);
-  player_session.video_duration_s = meta.duration_s;
-  player_session.start_time_ms = spec_.start_time_ms;
-  // Very short videos can end below the startup threshold; the player then
-  // starts as soon as the stream completes.
-  player_session.startup_ms =
-      buffer_.started() ? buffer_.startup_ms() : session_clock_ms_;
-  player_session.chunks_requested = spec_.chunk_count;
-  player_session.completed = completed_;
-
-  telemetry::CdnSessionRecord cdn_session;
-  cdn_session.session_id = spec_.session_id;
-  cdn_session.observed_ip = client.ip;
-  cdn_session.observed_user_agent = player_session.user_agent;
-  cdn_session.pop = ref_.pop;
-  cdn_session.server = ref_.server;
-  cdn_session.org = client.prefix->org;
-  cdn_session.access = client.prefix->access;
-  cdn_session.city = client.prefix->city;
-  cdn_session.country = client.prefix->country;
-  cdn_session.client_distance_km = distance_km_;
-
-  if (client.behind_proxy) {
-    owner_.ground_truth_.proxied[spec_.session_id] = true;
-    if (rng_.bernoulli(0.5)) {
-      // Explicit org proxy: the CDN sees the proxy's egress IP while the
-      // beacon reports the browser's own address -> IP-mismatch rule.
-      cdn_session.observed_ip = org_proxy_ip(client.prefix->org);
-    } else {
-      // Transparent mega-proxy/NAT: both sides see the same shared egress
-      // IP, so only the volume rule can catch it.
-      const net::IpV4 shared = mega_proxy_ip(spec_.session_id);
-      cdn_session.observed_ip = shared;
-      player_session.client_ip = shared;
-    }
-  }
-
-  owner_.collector_.record(player_session);
-  owner_.collector_.record(cdn_session);
-}
-
-// ============================ Pipeline driver ==============================
 
 void Pipeline::run() {
   // Materialize the whole arrival schedule first, then let the event queue
   // interleave the sessions: every chunk request hits its server in true
-  // timestamp order, as in production.
-  std::vector<std::unique_ptr<SessionRuntime>> sessions;
+  // timestamp order, as in production.  Master-RNG consumption per session
+  // (generator draw, then substream fork) matches engine::admit_sessions.
+  std::vector<std::unique_ptr<engine::SessionRuntime>> sessions;
   sessions.reserve(scenario_.session_count);
   for (std::size_t i = 0; i < scenario_.session_count; ++i) {
     const workload::SessionSpec spec = generator_->next(rng_);
     extra_session_clock_ms_ =
         std::max(extra_session_clock_ms_, spec.start_time_ms);
-    sessions.push_back(std::make_unique<SessionRuntime>(*this, spec, nullptr));
-    SessionRuntime* runtime = sessions.back().get();
+    sessions.push_back(std::make_unique<engine::SessionRuntime>(
+        ctx_, spec, rng_.fork(), nullptr));
+    engine::SessionRuntime* runtime = sessions.back().get();
     queue_.schedule_at(spec.start_time_ms, [this, runtime] {
       step_event(runtime);
     });
@@ -615,9 +57,10 @@ void Pipeline::inject_faults(faults::FaultSchedule schedule) {
   injector_ = std::make_unique<faults::FaultInjector>(*fleet_, queue_,
                                                       std::move(schedule));
   injector_->arm();
+  ctx_.injector = injector_.get();
 }
 
-void Pipeline::step_event(SessionRuntime* runtime) {
+void Pipeline::step_event(engine::SessionRuntime* runtime) {
   const sim::Ms wall_ms = runtime->step(queue_.now());
   if (runtime->has_more()) {
     queue_.schedule_in(wall_ms, [this, runtime] { step_event(runtime); });
@@ -636,7 +79,7 @@ std::uint64_t Pipeline::run_session(const SessionOverrides& overrides) {
   }
   // Scripted sessions run synchronously (no interleaving with other
   // traffic; the case studies want isolation).
-  SessionRuntime runtime(*this, spec, &overrides);
+  engine::SessionRuntime runtime(ctx_, spec, rng_.fork(), &overrides);
   sim::Ms now = std::max(spec.start_time_ms, extra_session_clock_ms_);
   while (runtime.has_more()) now += runtime.step(now);
   runtime.finish();
@@ -644,10 +87,7 @@ std::uint64_t Pipeline::run_session(const SessionOverrides& overrides) {
 }
 
 telemetry::Dataset run_scenario(const workload::Scenario& scenario) {
-  Pipeline pipeline(scenario);
-  pipeline.warm_caches();
-  pipeline.run();
-  return pipeline.take_dataset();
+  return engine::run_simulation(scenario).dataset;
 }
 
 }  // namespace vstream::core

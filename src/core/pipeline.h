@@ -10,6 +10,13 @@
 // tcp_info sampled every 500 ms, and the join happens offline
 // (telemetry::JoinedDataset), exactly mirroring §2 of the paper.
 //
+// Since the engine refactor, Pipeline is a thin facade over the layered
+// engine: sessions run as engine::SessionRuntime state machines against
+// this pipeline's RunContext in *coupled* mode — one live fleet whose
+// caches, queues and recency evolve across sessions.  For sharded parallel
+// execution with the session-isolated serve semantics, use
+// engine::run_simulation() (src/engine/engine.h) instead.
+//
 // The pipeline also keeps *ground truth* (which chunks were DS-buffered,
 // which sessions sat behind proxies) so tests can score the paper's
 // detectors — something the paper itself could not do.
@@ -17,13 +24,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cdn/fleet.h"
-#include "client/download_stack.h"
+#include "engine/ground_truth.h"
+#include "engine/overrides.h"
+#include "engine/run_context.h"
+#include "engine/session_runtime.h"
 #include "faults/fault_injector.h"
 #include "sim/event_queue.h"
 #include "telemetry/collector.h"
@@ -31,47 +39,19 @@
 
 namespace vstream::core {
 
-/// Simulator ground truth for validation (never fed to analyses).
-struct GroundTruth {
-  /// session -> chunk ids whose bytes were held by the download stack.
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> ds_anomalies;
-  /// sessions that really sat behind a proxy.
-  std::unordered_map<std::uint64_t, bool> proxied;
-  std::uint64_t total_chunks = 0;
-  std::uint64_t total_ds_anomalies = 0;
-  /// Sessions cut short because a stall drove the viewer away (only with
-  /// scenario.stall_abandonment_probability > 0).
-  std::uint64_t stall_abandonments = 0;
-
-  // -- failure injection (what really happened, for scoring detectors) --
-
-  /// The injected fault epochs, verbatim (empty without inject_faults()).
-  std::vector<faults::FaultEvent> injected_faults;
-  std::uint64_t request_timeouts = 0;   ///< attempts abandoned at timeout
-  std::uint64_t chunk_retries = 0;      ///< re-issued chunk requests
-  std::uint64_t failover_events = 0;    ///< mid-session server switches
-  std::uint64_t failed_sessions = 0;    ///< abandoned: recovery exhausted
-};
+/// Simulator ground truth for validation (shared with the engine layer).
+using GroundTruth = engine::GroundTruth;
 
 /// Per-session knobs for scripted experiments (case studies, ablations).
-struct SessionOverrides {
-  std::optional<client::DownloadStackProfile> ds_profile;
-  /// Per-chunk random-loss override (index = chunk id; missing entries keep
-  /// the path default).  Drives the Fig. 13 loss-timing case study.
-  std::vector<std::optional<double>> per_chunk_loss;
-  std::optional<client::AbrKind> abr;
-  std::optional<std::uint32_t> fixed_bitrate_kbps;
-  /// Exact number of chunks to stream (clamped to the video's length).
-  std::optional<std::uint32_t> chunk_count;
-  std::optional<bool> gpu;
-  std::optional<double> cpu_load;
-  std::optional<double> bottleneck_kbps;
-  std::optional<bool> disable_ds_anomalies;
-};
+using SessionOverrides = engine::SessionOverrides;
 
 class Pipeline {
  public:
   explicit Pipeline(workload::Scenario scenario);
+
+  // RunContext binds sessions to this object's members by address.
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
 
   /// Pre-populate server caches in popularity order, emulating servers
   /// that have been running for weeks (the paper measures steady state:
@@ -119,11 +99,7 @@ class Pipeline {
   const GroundTruth& ground_truth() const { return ground_truth_; }
 
  private:
-  /// Per-session state machine; steps one chunk at a time so run() can
-  /// interleave sessions through the event queue (defined in pipeline.cc).
-  class SessionRuntime;
-
-  void step_event(SessionRuntime* runtime);
+  void step_event(engine::SessionRuntime* runtime);
 
   workload::Scenario scenario_;
   sim::Rng rng_;
@@ -136,11 +112,14 @@ class Pipeline {
   std::unique_ptr<faults::FaultInjector> injector_;
   GroundTruth ground_truth_;
   std::unordered_set<net::Prefix24> bad_prefixes_;
+  engine::RunContext ctx_;
   double extra_session_clock_ms_ = 0.0;
 };
 
 /// Convenience: build, warm, run, and return the raw dataset for a
-/// scenario (the common bench preamble).
+/// scenario (the common bench preamble).  Since the engine refactor this
+/// delegates to engine::run_simulation(), i.e. it runs the sharded
+/// session-isolated semantics.
 telemetry::Dataset run_scenario(const workload::Scenario& scenario);
 
 }  // namespace vstream::core

@@ -1,0 +1,19 @@
+#include "engine/admission.h"
+
+namespace vstream::engine {
+
+std::vector<AdmittedSession> admit_sessions(
+    const workload::Scenario& scenario, workload::SessionGenerator& generator,
+    sim::Rng& master_rng) {
+  std::vector<AdmittedSession> admitted;
+  admitted.reserve(scenario.session_count);
+  for (std::size_t i = 0; i < scenario.session_count; ++i) {
+    AdmittedSession session;
+    session.spec = generator.next(master_rng);
+    session.rng_seed = master_rng.fork_seed();
+    admitted.push_back(std::move(session));
+  }
+  return admitted;
+}
+
+}  // namespace vstream::engine

@@ -1,0 +1,33 @@
+// Session admission: materialize the whole arrival schedule up front.
+//
+// Admission is the only stage that touches the master RNG, and it is
+// always single-threaded: specs and per-session RNG substream seeds are
+// drawn in one fixed order (generator draw, then fork-seed draw, per
+// session), so the admitted list — and therefore everything downstream —
+// is a pure function of (scenario, seed), independent of how many shards
+// later execute it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workload/scenario.h"
+#include "workload/session_generator.h"
+
+namespace vstream::engine {
+
+struct AdmittedSession {
+  workload::SessionSpec spec;
+  /// Seed of the session's private Rng substream (Rng(rng_seed) on any
+  /// shard reproduces exactly the substream rng.fork() would have built).
+  std::uint64_t rng_seed = 0;
+};
+
+/// Draw scenario.session_count sessions from `generator`.  Returned in
+/// generation order: session ids ascending, start times nondecreasing.
+std::vector<AdmittedSession> admit_sessions(const workload::Scenario& scenario,
+                                            workload::SessionGenerator& generator,
+                                            sim::Rng& master_rng);
+
+}  // namespace vstream::engine

@@ -1,0 +1,87 @@
+#include "engine/engine.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "engine/admission.h"
+#include "engine/sharded_runner.h"
+#include "engine/warmup.h"
+#include "workload/population.h"
+#include "workload/session_generator.h"
+
+namespace vstream::engine {
+
+std::size_t positive_env(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || parsed == 0 ||
+      raw[0] == '-') {
+    throw std::runtime_error(std::string(name) + " must be a positive " +
+                             "integer, got \"" + raw + "\"");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t resolve_shard_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  return positive_env("VSTREAM_SHARDS", hw);
+}
+
+RunResult run_simulation(const workload::Scenario& scenario,
+                         RunOptions options) {
+  RunResult result;
+  result.scenario = scenario;
+  result.shard_count = resolve_shard_count(options.shards);
+
+  // World construction mirrors core::Pipeline exactly (same master-RNG
+  // consumption order), so the engine and the facade agree on the world.
+  sim::Rng rng(scenario.seed);
+  auto catalog =
+      std::make_shared<workload::VideoCatalog>(scenario.catalog, rng);
+  workload::Population population(scenario.population, rng);
+  workload::SessionGenerator generator(scenario.sessions, *catalog,
+                                       population);
+  const cdn::Fleet prototype(scenario.fleet, catalog->size());
+
+  const WarmArchive warm =
+      options.warm_caches
+          ? build_warm_archive(prototype, *catalog, options.disk_fill,
+                               options.universal_head)
+          : WarmArchive(scenario.fleet);
+
+  const std::vector<AdmittedSession> admitted =
+      admit_sessions(scenario, generator, rng);
+
+  ShardResult merged = run_sharded(
+      scenario, *catalog, warm,
+      options.faults.empty() ? nullptr : &options.faults,
+      options.bad_prefixes.empty() ? nullptr : &options.bad_prefixes,
+      admitted, result.shard_count);
+
+  result.catalog = std::move(catalog);
+  result.dataset = std::move(merged.dataset);
+  result.ground_truth = std::move(merged.ground_truth);
+  result.ground_truth.injected_faults = options.faults.events();
+  result.server_stats = std::move(merged.server_stats);
+  return result;
+}
+
+AnalyzedRun run_and_analyze(const workload::Scenario& scenario,
+                            RunOptions options) {
+  AnalyzedRun analyzed;
+  analyzed.run = run_simulation(scenario, std::move(options));
+  analyzed.proxies = telemetry::detect_proxies(analyzed.run.dataset);
+  analyzed.joined = telemetry::JoinedDataset::build(analyzed.run.dataset,
+                                                    &analyzed.proxies);
+  return analyzed;
+}
+
+}  // namespace vstream::engine

@@ -1,0 +1,94 @@
+// The layered simulation engine: one entry point for every full run.
+//
+// Layering (each layer only sees the one below):
+//
+//   run_simulation()          build world, admit, shard, merge
+//     ShardedRunner           deterministic partition + canonical merge
+//       Shard                 one worker's replica stack (fleet, queue, ...)
+//         SessionRuntime      one session's chunk-by-chunk state machine
+//
+// Determinism guarantee: for a fixed (scenario, RunOptions) the returned
+// dataset, ground truth and server stats are bit-identical for ANY shard
+// count.  Admission is single-threaded (one master-RNG draw order), every
+// session runs on its own RNG substream against session-isolated server
+// state plus a shared immutable warm archive, fault epochs are pure
+// functions of simulated time and are replayed identically inside every
+// shard, and the merge re-orders all record streams into canonical
+// session-id order.  Shards change wall-clock time only.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/ground_truth.h"
+#include "engine/shard.h"
+#include "faults/fault_schedule.h"
+#include "telemetry/collector.h"
+#include "telemetry/join.h"
+#include "telemetry/proxy_filter.h"
+#include "workload/scenario.h"
+
+namespace vstream::engine {
+
+struct RunOptions {
+  /// Worker count; 0 resolves via resolve_shard_count() (VSTREAM_SHARDS
+  /// environment variable, else hardware concurrency).
+  std::size_t shards = 0;
+  /// Pre-populate caches to steady state (see build_warm_archive).
+  bool warm_caches = true;
+  double disk_fill = 0.92;
+  bool universal_head = false;
+  /// Fault epochs to replay during the run (empty: no injection).  Recorded
+  /// in ground_truth.injected_faults.
+  faults::FaultSchedule faults;
+  /// Prefixes with known persistent problems (§4.2-1 a-priori ABR hints).
+  std::unordered_set<net::Prefix24> bad_prefixes;
+};
+
+/// A completed run: merged telemetry plus the world it was measured in.
+struct RunResult {
+  workload::Scenario scenario;
+  /// Kept alive for downstream consumers (chunk duration, video metadata).
+  std::shared_ptr<const workload::VideoCatalog> catalog;
+  telemetry::Dataset dataset;
+  GroundTruth ground_truth;
+  /// Per-server serve counters, indexed pop * servers_per_pop + server.
+  std::vector<cdn::ServerStats> server_stats;
+  std::size_t shard_count = 0;
+};
+
+/// A run plus the paper's §3 preprocessing (proxy filter + two-sided join).
+/// `joined` and `proxies` point into `run.dataset`; the struct is movable
+/// (element pointers survive vector moves) but must be kept alive while
+/// the join is in use.
+struct AnalyzedRun {
+  RunResult run;
+  telemetry::ProxyFilterResult proxies;
+  telemetry::JoinedDataset joined;
+};
+
+/// Resolve the effective shard count: `requested` if nonzero, else the
+/// VSTREAM_SHARDS environment variable (must parse as a positive integer;
+/// anything else throws std::runtime_error), else std::thread::
+/// hardware_concurrency() (minimum 1).
+std::size_t resolve_shard_count(std::size_t requested = 0);
+
+/// Strictly parse environment variable `name` as a positive integer.
+/// Unset: returns `fallback`.  Set but empty, non-numeric, zero, negative,
+/// or trailing garbage: throws std::runtime_error naming the variable —
+/// never a silent fallback.
+std::size_t positive_env(const char* name, std::size_t fallback);
+
+/// Build the world for `scenario`, admit all sessions, execute them across
+/// the resolved shard count, and return the canonically merged result.
+RunResult run_simulation(const workload::Scenario& scenario,
+                         RunOptions options = {});
+
+/// run_simulation() plus proxy detection and the player/CDN join — the
+/// shared preamble of every figure bench and analysis tool.
+AnalyzedRun run_and_analyze(const workload::Scenario& scenario,
+                            RunOptions options = {});
+
+}  // namespace vstream::engine

@@ -1,0 +1,23 @@
+#include "engine/ground_truth.h"
+
+#include <utility>
+
+namespace vstream::engine {
+
+void GroundTruth::merge(GroundTruth&& other) {
+  for (auto& [session, chunks] : other.ds_anomalies) {
+    ds_anomalies[session] = std::move(chunks);
+  }
+  for (const auto& [session, flag] : other.proxied) {
+    proxied[session] = flag;
+  }
+  total_chunks += other.total_chunks;
+  total_ds_anomalies += other.total_ds_anomalies;
+  stall_abandonments += other.stall_abandonments;
+  request_timeouts += other.request_timeouts;
+  chunk_retries += other.chunk_retries;
+  failover_events += other.failover_events;
+  failed_sessions += other.failed_sessions;
+}
+
+}  // namespace vstream::engine

@@ -1,0 +1,46 @@
+// RunContext: the narrow interface a SessionRuntime sees.
+//
+// One context per execution domain — the legacy coupled core::Pipeline has
+// one, each shard of the sharded engine has its own — binding the services
+// a session touches while it streams.  Raw pointers, non-owning: the
+// owner (Pipeline or Shard) outlives every session it runs.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "cdn/ats_server.h"
+#include "cdn/fleet.h"
+#include "engine/ground_truth.h"
+#include "engine/warmup.h"
+#include "faults/fault_injector.h"
+#include "net/prefix.h"
+#include "telemetry/collector.h"
+#include "workload/catalog.h"
+#include "workload/scenario.h"
+
+namespace vstream::engine {
+
+struct RunContext {
+  const workload::Scenario* scenario = nullptr;
+  const workload::VideoCatalog* catalog = nullptr;
+  cdn::Fleet* fleet = nullptr;
+  telemetry::Collector* collector = nullptr;
+  GroundTruth* ground_truth = nullptr;
+  /// Null until faults are armed.
+  const faults::FaultInjector* injector = nullptr;
+  /// Null or empty when no prefixes are flagged (§4.2-1 a-priori hints).
+  const std::unordered_set<net::Prefix24>* bad_prefixes = nullptr;
+
+  // -- sharded (session-isolated) mode; both null in coupled mode --
+
+  /// Shared immutable warm cache content.  Non-null switches serving to
+  /// AtsServer::serve_isolated: outcomes become a pure function of (warm
+  /// state, the session's own history, the session's RNG substream), which
+  /// is what makes sharded output invariant to the shard count.
+  const WarmArchive* warm_archive = nullptr;
+  /// Per-server serve counters, indexed pop * servers_per_pop + server.
+  std::vector<cdn::ServerStats>* server_stats = nullptr;
+};
+
+}  // namespace vstream::engine

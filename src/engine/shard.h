@@ -1,0 +1,62 @@
+// Shard: one worker's complete replica delivery stack.
+//
+// Each shard owns a full copy of everything mutable a session touches —
+// its own cdn::Fleet (cache-empty; content comes from the shared
+// WarmArchive), its own sim::EventQueue, telemetry::Collector, GroundTruth,
+// per-server ServerStats, and a replica faults::FaultInjector armed from
+// the same FaultSchedule.  Shared inputs (scenario, catalog, warm archive,
+// bad prefixes, admitted specs) are read-only while workers run, so the
+// whole construction is free of data races by design.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cdn/fleet.h"
+#include "engine/admission.h"
+#include "engine/ground_truth.h"
+#include "engine/run_context.h"
+#include "engine/session_runtime.h"
+#include "engine/warmup.h"
+#include "faults/fault_injector.h"
+#include "sim/event_queue.h"
+#include "telemetry/collector.h"
+
+namespace vstream::engine {
+
+/// What one shard hands back for the canonical merge.
+struct ShardResult {
+  telemetry::Dataset dataset;
+  GroundTruth ground_truth;
+  std::vector<cdn::ServerStats> server_stats;  // pop * servers_per_pop + server
+};
+
+class Shard {
+ public:
+  /// All references must outlive the shard; none are modified.  `faults`
+  /// may be null (no injection).
+  Shard(const workload::Scenario& scenario,
+        const workload::VideoCatalog& catalog, const WarmArchive& warm,
+        const faults::FaultSchedule* faults,
+        const std::unordered_set<net::Prefix24>* bad_prefixes);
+
+  /// Run this shard's session partition through the event queue and return
+  /// the shard-local telemetry and accounting.  Call once.
+  ShardResult run(std::span<const AdmittedSession> sessions);
+
+ private:
+  void step_event(SessionRuntime* runtime);
+
+  const workload::Scenario& scenario_;
+  cdn::Fleet fleet_;
+  sim::EventQueue queue_;
+  telemetry::Collector collector_;
+  GroundTruth ground_truth_;
+  std::vector<cdn::ServerStats> server_stats_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  RunContext ctx_;
+};
+
+}  // namespace vstream::engine

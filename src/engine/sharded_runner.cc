@@ -1,0 +1,113 @@
+#include "engine/sharded_runner.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace vstream::engine {
+
+namespace {
+
+/// Stable-sort a record stream by session id.  Stability preserves each
+/// session's internal record order (chunks ascend, snapshots ascend in
+/// time), and since every session lives wholly inside one shard, the
+/// sorted stream depends only on per-session content — not on the shard
+/// count or the interleaving.
+template <typename Record>
+void canonicalize(std::vector<Record>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.session_id < b.session_id;
+                   });
+}
+
+template <typename Record>
+void append(std::vector<Record>& into, std::vector<Record>&& from) {
+  into.insert(into.end(), std::make_move_iterator(from.begin()),
+              std::make_move_iterator(from.end()));
+}
+
+}  // namespace
+
+std::vector<std::vector<AdmittedSession>> partition_sessions(
+    const std::vector<AdmittedSession>& admitted, std::size_t shard_count) {
+  std::vector<std::vector<AdmittedSession>> parts(std::max<std::size_t>(
+      1, shard_count));
+  for (const AdmittedSession& session : admitted) {
+    parts[session.spec.session_id % parts.size()].push_back(session);
+  }
+  return parts;
+}
+
+ShardResult merge_shard_results(std::vector<ShardResult> parts) {
+  ShardResult merged;
+  std::size_t sessions = 0, chunks = 0, snapshots = 0;
+  for (const ShardResult& part : parts) {
+    sessions += part.dataset.player_sessions.size();
+    chunks += part.dataset.player_chunks.size();
+    snapshots += part.dataset.tcp_snapshots.size();
+  }
+  merged.dataset.player_sessions.reserve(sessions);
+  merged.dataset.cdn_sessions.reserve(sessions);
+  merged.dataset.player_chunks.reserve(chunks);
+  merged.dataset.cdn_chunks.reserve(chunks);
+  merged.dataset.tcp_snapshots.reserve(snapshots);
+
+  for (ShardResult& part : parts) {
+    append(merged.dataset.player_sessions,
+           std::move(part.dataset.player_sessions));
+    append(merged.dataset.cdn_sessions, std::move(part.dataset.cdn_sessions));
+    append(merged.dataset.player_chunks,
+           std::move(part.dataset.player_chunks));
+    append(merged.dataset.cdn_chunks, std::move(part.dataset.cdn_chunks));
+    append(merged.dataset.tcp_snapshots,
+           std::move(part.dataset.tcp_snapshots));
+    merged.ground_truth.merge(std::move(part.ground_truth));
+    if (merged.server_stats.empty()) {
+      merged.server_stats.resize(part.server_stats.size());
+    }
+    for (std::size_t i = 0; i < part.server_stats.size(); ++i) {
+      merged.server_stats[i] += part.server_stats[i];
+    }
+  }
+
+  canonicalize(merged.dataset.player_sessions);
+  canonicalize(merged.dataset.cdn_sessions);
+  canonicalize(merged.dataset.player_chunks);
+  canonicalize(merged.dataset.cdn_chunks);
+  canonicalize(merged.dataset.tcp_snapshots);
+  return merged;
+}
+
+ShardResult run_sharded(const workload::Scenario& scenario,
+                        const workload::VideoCatalog& catalog,
+                        const WarmArchive& warm,
+                        const faults::FaultSchedule* faults,
+                        const std::unordered_set<net::Prefix24>* bad_prefixes,
+                        const std::vector<AdmittedSession>& admitted,
+                        std::size_t shard_count) {
+  const std::vector<std::vector<AdmittedSession>> parts =
+      partition_sessions(admitted, shard_count);
+  std::vector<ShardResult> results(parts.size());
+
+  if (parts.size() == 1) {
+    Shard shard(scenario, catalog, warm, faults, bad_prefixes);
+    results[0] = shard.run(parts[0]);
+  } else {
+    // One worker thread per shard.  Everything shared is read-only while
+    // the threads run; each thread writes only its own results slot.
+    std::vector<std::thread> workers;
+    workers.reserve(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      workers.emplace_back([&, i] {
+        Shard shard(scenario, catalog, warm, faults, bad_prefixes);
+        results[i] = shard.run(parts[i]);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  return merge_shard_results(std::move(results));
+}
+
+}  // namespace vstream::engine

@@ -1,0 +1,43 @@
+// ShardedRunner: deterministic parallel execution of a session set.
+//
+// Sessions are partitioned by session id across N shards, each shard runs
+// its partition on a private replica stack (see Shard), and the per-shard
+// outputs are merged in canonical session-id order.  Because session
+// outcomes are session-isolated (serve_isolated) and fault epochs are
+// pure functions of simulated time, the merged output is bit-identical
+// for ANY shard count — shards only change wall-clock time, never results.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/admission.h"
+#include "engine/shard.h"
+
+namespace vstream::engine {
+
+/// Deterministic partition: session id modulo shard_count.  Within each
+/// shard, generation order (ascending ids / nondecreasing start times) is
+/// preserved.
+std::vector<std::vector<AdmittedSession>> partition_sessions(
+    const std::vector<AdmittedSession>& admitted, std::size_t shard_count);
+
+/// Merge shard outputs into one dataset/accounting, re-ordering every
+/// record stream into ascending session id (stable within a session, i.e.
+/// chunk/time order).  The result is a pure function of the per-session
+/// records and therefore independent of the shard count.
+ShardResult merge_shard_results(std::vector<ShardResult> parts);
+
+/// Run `admitted` across `shard_count` workers (1 runs inline on the
+/// calling thread).  All reference parameters are read-only for the
+/// duration; `faults` and `bad_prefixes` may be null.
+ShardResult run_sharded(const workload::Scenario& scenario,
+                        const workload::VideoCatalog& catalog,
+                        const WarmArchive& warm,
+                        const faults::FaultSchedule* faults,
+                        const std::unordered_set<net::Prefix24>* bad_prefixes,
+                        const std::vector<AdmittedSession>& admitted,
+                        std::size_t shard_count);
+
+}  // namespace vstream::engine

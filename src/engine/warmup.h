@@ -1,0 +1,58 @@
+// Cache warm-up: the steady state of edge servers that have been running
+// for weeks, reproduced deterministically.
+//
+// Two consumers share one membership computation:
+//
+//   * warm_fleet() pre-loads a live fleet's caches in place (the legacy
+//     coupled mode behind core::Pipeline::warm_caches), and
+//   * build_warm_archive() materializes the same content once as an
+//     immutable archive the sharded engine's workers read concurrently.
+//
+// Warm content is identical for every PoP — membership depends only on the
+// within-PoP server index a video maps to — so the archive keeps one cache
+// per server index instead of one per server, and per-shard fleet replicas
+// carry no cache content at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/cache.h"
+#include "cdn/fleet.h"
+#include "workload/catalog.h"
+
+namespace vstream::engine {
+
+/// Immutable warmed cache content shared read-only across shards.
+class WarmArchive {
+ public:
+  /// Empty archive (all probes miss) shaped for `servers_per_pop` indices.
+  WarmArchive(const cdn::FleetConfig& config);
+
+  const cdn::TwoLevelCache& for_server(std::uint32_t server_index) const {
+    return caches_[server_index];
+  }
+  cdn::TwoLevelCache& mutable_for_server(std::uint32_t server_index) {
+    return caches_[server_index];
+  }
+  std::uint32_t server_count() const {
+    return static_cast<std::uint32_t>(caches_.size());
+  }
+
+ private:
+  std::vector<cdn::TwoLevelCache> caches_;  // indexed by within-PoP index
+};
+
+/// Pre-populate a live fleet's caches in popularity order (see
+/// core::Pipeline::warm_caches for the tiering rationale).
+void warm_fleet(cdn::Fleet& fleet, const workload::VideoCatalog& catalog,
+                double disk_fill, bool universal_head);
+
+/// Build the shared read-only archive with exactly the content warm_fleet
+/// would load into each server.  `prototype` supplies the fleet geometry,
+/// server configuration and the video->server mapping; it is not modified.
+WarmArchive build_warm_archive(const cdn::Fleet& prototype,
+                               const workload::VideoCatalog& catalog,
+                               double disk_fill, bool universal_head);
+
+}  // namespace vstream::engine

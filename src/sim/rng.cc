@@ -33,7 +33,7 @@ std::size_t Rng::discrete(std::span<const double> weights) {
 }
 
 Rng Rng::fork() {
-  return Rng(engine_());
+  return Rng(fork_seed());
 }
 
 }  // namespace vstream::sim

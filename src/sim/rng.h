@@ -69,6 +69,12 @@ class Rng {
   /// Derive an independent child generator (for parallel components).
   Rng fork();
 
+  /// Draw the seed a fork() child would be built from (consumes exactly the
+  /// same master state as fork()).  Lets callers defer child construction —
+  /// e.g. ship the seed to a worker thread — while keeping the master
+  /// sequence identical to an immediate fork().
+  std::uint64_t fork_seed() { return engine_(); }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

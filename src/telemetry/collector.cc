@@ -8,20 +8,20 @@ void Collector::sample_transfer(std::uint64_t session_id,
                                 const std::vector<net::RoundSample>& rounds) {
   if (rounds.empty()) return;
   // The sampling clock is per-session (each connection has its own timer).
-  if (sampled_session_ != session_id) {
-    sampled_session_ = session_id;
-    next_sample_at_ms_ = transfer_start_ms + tcp_sample_interval_ms_;
-  }
+  sim::Ms& next_at =
+      next_sample_at_ms_
+          .try_emplace(session_id, transfer_start_ms + tcp_sample_interval_ms_)
+          .first->second;
 
   sim::Ms last_sampled_at = -1.0;
   for (const net::RoundSample& round : rounds) {
     const sim::Ms at = transfer_start_ms + round.at_ms;
-    if (at >= next_sample_at_ms_) {
+    if (at >= next_at) {
       data_.tcp_snapshots.push_back(
           TcpSnapshotRecord{session_id, chunk_id, at, round.info});
       last_sampled_at = at;
-      while (next_sample_at_ms_ <= at) {
-        next_sample_at_ms_ += tcp_sample_interval_ms_;
+      while (next_at <= at) {
+        next_at += tcp_sample_interval_ms_;
       }
     }
   }

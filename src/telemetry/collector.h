@@ -2,6 +2,7 @@
 // CDN-side logs) plus the periodic tcp_info sampler.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "net/tcp_model.h"
@@ -43,8 +44,10 @@ class Collector {
 
  private:
   sim::Ms tcp_sample_interval_ms_;
-  sim::Ms next_sample_at_ms_ = 0.0;
-  std::uint64_t sampled_session_ = 0;
+  /// Per-session sampling clocks (each connection has its own timer), so
+  /// the cadence is independent of how sessions interleave — a requirement
+  /// for the sharded engine's shard-count-invariant output.
+  std::unordered_map<std::uint64_t, sim::Ms> next_sample_at_ms_;
   Dataset data_;
 };
 

@@ -1,0 +1,165 @@
+// The engine's headline guarantee: for a fixed (scenario, options), the
+// merged output is bit-identical for ANY shard count — with and without
+// injected faults — and repeated runs reproduce it byte for byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "telemetry/export.h"
+#include "workload/scenario.h"
+
+namespace vstream {
+namespace {
+
+/// Serialize every record stream exactly as export_dataset would write the
+/// files; byte-equality of this string is byte-equality of the exports.
+std::string export_string(const telemetry::Dataset& data) {
+  std::ostringstream out;
+  telemetry::write_player_sessions_csv(out, data.player_sessions);
+  telemetry::write_cdn_sessions_csv(out, data.cdn_sessions);
+  telemetry::write_player_chunks_csv(out, data.player_chunks);
+  telemetry::write_cdn_chunks_csv(out, data.cdn_chunks);
+  telemetry::write_tcp_snapshots_csv(out, data.tcp_snapshots);
+  return out.str();
+}
+
+workload::Scenario small_scenario() {
+  workload::Scenario s = workload::test_scenario();
+  s.session_count = 120;
+  return s;
+}
+
+void expect_equal_ground_truth(const engine::GroundTruth& a,
+                               const engine::GroundTruth& b) {
+  EXPECT_EQ(a.total_chunks, b.total_chunks);
+  EXPECT_EQ(a.total_ds_anomalies, b.total_ds_anomalies);
+  EXPECT_EQ(a.stall_abandonments, b.stall_abandonments);
+  EXPECT_EQ(a.request_timeouts, b.request_timeouts);
+  EXPECT_EQ(a.chunk_retries, b.chunk_retries);
+  EXPECT_EQ(a.failover_events, b.failover_events);
+  EXPECT_EQ(a.failed_sessions, b.failed_sessions);
+  EXPECT_EQ(a.ds_anomalies, b.ds_anomalies);
+  EXPECT_EQ(a.proxied, b.proxied);
+  EXPECT_EQ(a.injected_faults.size(), b.injected_faults.size());
+}
+
+void expect_equal_server_stats(const std::vector<cdn::ServerStats>& a,
+                               const std::vector<cdn::ServerStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].requests_served, b[i].requests_served) << "server " << i;
+    EXPECT_EQ(a[i].ram_hits, b[i].ram_hits) << "server " << i;
+    EXPECT_EQ(a[i].disk_hits, b[i].disk_hits) << "server " << i;
+    EXPECT_EQ(a[i].misses, b[i].misses) << "server " << i;
+    EXPECT_EQ(a[i].backend_fetches, b[i].backend_fetches) << "server " << i;
+    EXPECT_EQ(a[i].stale_serves, b[i].stale_serves) << "server " << i;
+  }
+}
+
+/// A schedule exercising every recovery path: a server crash (failover), a
+/// backend outage (miss errors), a loss burst (client-path loss), and a
+/// disk degradation (slow reads / timeouts).
+faults::FaultSchedule eventful_schedule() {
+  return faults::FaultSchedule::scripted({
+      {faults::FaultKind::kServerCrash, 5'000.0, 60'000.0, 0, 1, 1.0},
+      {faults::FaultKind::kBackendOutage, 20'000.0, 30'000.0, 0, 0, 1.0},
+      {faults::FaultKind::kLossBurst, 40'000.0, 25'000.0, 0, 0, 0.05},
+      {faults::FaultKind::kDiskDegradation, 70'000.0, 40'000.0, 1, 0, 8.0},
+  });
+}
+
+TEST(EngineDeterminismTest, SameSeedTwiceIsByteIdentical) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions options;
+  options.shards = 2;
+  engine::RunResult first = engine::run_simulation(scenario, options);
+  engine::RunResult second = engine::run_simulation(scenario, options);
+  EXPECT_FALSE(first.dataset.player_chunks.empty());
+  EXPECT_EQ(export_string(first.dataset), export_string(second.dataset));
+  expect_equal_ground_truth(first.ground_truth, second.ground_truth);
+  expect_equal_server_stats(first.server_stats, second.server_stats);
+}
+
+TEST(EngineDeterminismTest, DifferentSeedsDiffer) {
+  workload::Scenario scenario = small_scenario();
+  const engine::RunResult first = engine::run_simulation(scenario);
+  scenario.seed += 1;
+  const engine::RunResult second = engine::run_simulation(scenario);
+  EXPECT_NE(export_string(first.dataset), export_string(second.dataset));
+}
+
+TEST(EngineDeterminismTest, ShardCountInvariantFaultFree) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+  ASSERT_FALSE(reference.dataset.player_chunks.empty());
+
+  for (const std::size_t shards : {2, 4, 8}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+    EXPECT_EQ(run.shard_count, shards);
+    EXPECT_EQ(export_string(run.dataset), reference_csv)
+        << "shards=" << shards;
+    expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+  }
+}
+
+TEST(EngineDeterminismTest, ShardCountInvariantUnderFaults) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.faults = eventful_schedule();
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  // The schedule must actually bite, or the test proves nothing.
+  EXPECT_GT(reference.ground_truth.chunk_retries +
+                reference.ground_truth.request_timeouts +
+                reference.ground_truth.failover_events,
+            0u);
+  EXPECT_EQ(reference.ground_truth.injected_faults.size(), 4u);
+
+  for (const std::size_t shards : {2, 4, 8}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    options.faults = eventful_schedule();
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+    EXPECT_EQ(export_string(run.dataset), reference_csv)
+        << "shards=" << shards;
+    expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+  }
+}
+
+TEST(EngineDeterminismTest, ShardCountLargerThanSessionsStillMatches) {
+  workload::Scenario scenario = small_scenario();
+  scenario.session_count = 5;
+  engine::RunOptions one;
+  one.shards = 1;
+  engine::RunOptions many;
+  many.shards = 8;  // most shards run empty
+  EXPECT_EQ(export_string(engine::run_simulation(scenario, one).dataset),
+            export_string(engine::run_simulation(scenario, many).dataset));
+}
+
+TEST(EngineDeterminismTest, RunAndAnalyzeJoinsMergedDataset) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions options;
+  options.shards = 4;
+  const engine::AnalyzedRun analyzed =
+      engine::run_and_analyze(scenario, options);
+  EXPECT_FALSE(analyzed.joined.sessions().empty());
+  // Every joined session's records must point into the run's own dataset
+  // (the join is built after the merge, not per shard).
+  EXPECT_LE(analyzed.joined.sessions().size(),
+            analyzed.run.dataset.player_sessions.size());
+}
+
+}  // namespace
+}  // namespace vstream

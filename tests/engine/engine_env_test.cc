@@ -1,0 +1,94 @@
+// Environment-knob validation: misconfigured VSTREAM_* variables must fail
+// loudly (a silent fallback would quietly benchmark the wrong workload).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "engine/engine.h"
+
+namespace vstream {
+namespace {
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name); }
+  ~EnvGuard() { unsetenv(name_); }
+  void set(const char* value) { setenv(name_, value, /*overwrite=*/1); }
+
+ private:
+  const char* name_;
+};
+
+TEST(PositiveEnvTest, UnsetReturnsFallback) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  EXPECT_EQ(engine::positive_env("VSTREAM_TEST_KNOB", 42u), 42u);
+}
+
+TEST(PositiveEnvTest, ValidValueParses) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  guard.set("17");
+  EXPECT_EQ(engine::positive_env("VSTREAM_TEST_KNOB", 42u), 17u);
+}
+
+TEST(PositiveEnvTest, RejectsZero) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  guard.set("0");
+  EXPECT_THROW(engine::positive_env("VSTREAM_TEST_KNOB", 42u),
+               std::runtime_error);
+}
+
+TEST(PositiveEnvTest, RejectsNegative) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  guard.set("-3");
+  EXPECT_THROW(engine::positive_env("VSTREAM_TEST_KNOB", 42u),
+               std::runtime_error);
+}
+
+TEST(PositiveEnvTest, RejectsNonNumeric) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  guard.set("many");
+  EXPECT_THROW(engine::positive_env("VSTREAM_TEST_KNOB", 42u),
+               std::runtime_error);
+}
+
+TEST(PositiveEnvTest, RejectsTrailingGarbage) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  guard.set("12abc");
+  EXPECT_THROW(engine::positive_env("VSTREAM_TEST_KNOB", 42u),
+               std::runtime_error);
+}
+
+TEST(PositiveEnvTest, RejectsEmpty) {
+  EnvGuard guard("VSTREAM_TEST_KNOB");
+  guard.set("");
+  EXPECT_THROW(engine::positive_env("VSTREAM_TEST_KNOB", 42u),
+               std::runtime_error);
+}
+
+TEST(ResolveShardCountTest, ExplicitRequestWins) {
+  EnvGuard guard("VSTREAM_SHARDS");
+  guard.set("16");
+  EXPECT_EQ(engine::resolve_shard_count(3), 3u);
+}
+
+TEST(ResolveShardCountTest, EnvVariableUsedWhenUnspecified) {
+  EnvGuard guard("VSTREAM_SHARDS");
+  guard.set("6");
+  EXPECT_EQ(engine::resolve_shard_count(0), 6u);
+}
+
+TEST(ResolveShardCountTest, DefaultsToHardwareConcurrency) {
+  EnvGuard guard("VSTREAM_SHARDS");
+  EXPECT_GE(engine::resolve_shard_count(0), 1u);
+}
+
+TEST(ResolveShardCountTest, InvalidEnvThrows) {
+  EnvGuard guard("VSTREAM_SHARDS");
+  guard.set("0");
+  EXPECT_THROW(engine::resolve_shard_count(0), std::runtime_error);
+  guard.set("fast");
+  EXPECT_THROW(engine::resolve_shard_count(0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vstream

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + ctest, then the sim/cdn/core/faults
-# suites again under AddressSanitizer (VSTREAM_SANITIZE=address).
+# suites again under AddressSanitizer (VSTREAM_SANITIZE=address), the
+# engine/core suites under UBSan (VSTREAM_SANITIZE=undefined), and the
+# sharded engine suite under TSan (VSTREAM_SANITIZE=thread) at >= 4
+# worker threads.
 #
-# Usage: tools/tier1.sh [build-dir] [asan-build-dir]
+# Usage: tools/tier1.sh [build-dir] [asan-build-dir] [ubsan-build-dir] \
+#                       [tsan-build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 asan_dir="${2:-$repo_root/build-asan}"
+ubsan_dir="${3:-$repo_root/build-ubsan}"
+tsan_dir="${4:-$repo_root/build-tsan}"
 
 echo "==> tier-1: configure + build ($build_dir)"
 cmake -B "$build_dir" -S "$repo_root"
@@ -25,5 +31,22 @@ for suite in test_sim test_cdn test_core test_faults; do
   echo "--> $suite"
   "$asan_dir/tests/$suite"
 done
+
+echo "==> tier-1: UBSan build ($ubsan_dir)"
+cmake -B "$ubsan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=undefined
+cmake --build "$ubsan_dir" -j --target test_engine test_core
+
+echo "==> tier-1: UBSan suites (engine, core)"
+for suite in test_engine test_core; do
+  echo "--> $suite"
+  UBSAN_OPTIONS=halt_on_error=1 "$ubsan_dir/tests/$suite"
+done
+
+echo "==> tier-1: TSan build ($tsan_dir)"
+cmake -B "$tsan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=thread
+cmake --build "$tsan_dir" -j --target test_engine
+
+echo "==> tier-1: TSan sharded engine suite (VSTREAM_SHARDS=4)"
+VSTREAM_SHARDS=4 TSAN_OPTIONS=halt_on_error=1 "$tsan_dir/tests/test_engine"
 
 echo "==> tier-1: OK"

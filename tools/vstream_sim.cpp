@@ -2,21 +2,25 @@
 // and optionally export the raw telemetry as CSV for offline analysis
 // (see vstream_analyze).
 //
-//   vstream_sim [--sessions N] [--seed S] [--abr fixed|rate|buffer|hybrid]
+//   vstream_sim [--sessions N] [--seed S] [--shards N]
+//               [--abr fixed|rate|buffer|hybrid]
 //               [--routing cache|partitioned] [--cache lru|lfu|gdsize]
 //               [--prefetch N] [--pacing] [--universal-head]
 //               [--abr-outlier-filter] [--out DIR]
 //
-// Prints a QoE and CDN summary either way.
+// Runs on the layered sharded engine (deterministic for any --shards /
+// VSTREAM_SHARDS value) and prints a QoE and CDN summary either way.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "analysis/qoe.h"
-#include "core/pipeline.h"
 #include "core/report.h"
+#include "engine/engine.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
@@ -28,7 +32,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--sessions N] [--seed S] [--abr fixed|rate|buffer|hybrid]\n"
+      "usage: %s [--sessions N] [--seed S] [--shards N]\n"
+      "          [--abr fixed|rate|buffer|hybrid]\n"
       "          [--routing cache|partitioned] [--cache lru|lfu|gdsize]\n"
       "          [--prefetch N] [--pacing] [--universal-head]\n"
       "          [--abr-outlier-filter] [--out DIR]\n",
@@ -62,7 +67,7 @@ cdn::PolicyKind parse_cache(const std::string& s, const char* argv0) {
 int main(int argc, char** argv) {
   workload::Scenario scenario = workload::paper_scenario();
   scenario.session_count = 2'000;
-  bool universal_head = false;
+  engine::RunOptions options;
   std::string out_dir;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
       scenario.session_count = static_cast<std::size_t>(std::atol(next().c_str()));
     } else if (arg == "--seed") {
       scenario.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--shards") {
+      options.shards = static_cast<std::size_t>(std::atol(next().c_str()));
     } else if (arg == "--abr") {
       scenario.abr = parse_abr(next(), argv[0]);
     } else if (arg == "--routing") {
@@ -87,7 +94,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--pacing") {
       scenario.tcp.pacing = true;
     } else if (arg == "--universal-head") {
-      universal_head = true;
+      options.universal_head = true;
     } else if (arg == "--abr-outlier-filter") {
       scenario.abr_filters_throughput_outliers = true;
     } else if (arg == "--out") {
@@ -107,13 +114,15 @@ int main(int argc, char** argv) {
   core::print_metric("routing", cdn::to_string(scenario.routing));
   core::print_metric("cache_policy", cdn::to_string(scenario.fleet.server.policy));
 
-  core::Pipeline pipeline(scenario);
-  pipeline.warm_caches(0.92, universal_head);
-  pipeline.run();
-
-  const auto proxies = telemetry::detect_proxies(pipeline.dataset());
-  const auto joined =
-      telemetry::JoinedDataset::build(pipeline.dataset(), &proxies);
+  engine::AnalyzedRun analyzed;
+  try {
+    analyzed = engine::run_and_analyze(scenario, std::move(options));
+  } catch (const std::runtime_error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  const telemetry::JoinedDataset& joined = analyzed.joined;
+  core::print_metric("shards", static_cast<double>(analyzed.run.shard_count));
 
   core::print_header("QoE summary (proxy-filtered sessions)");
   const analysis::QoeAggregate qoe = analysis::aggregate_qoe(joined);
@@ -138,16 +147,12 @@ int main(int argc, char** argv) {
 
   core::print_header("CDN summary");
   std::uint64_t ram = 0, disk = 0, miss = 0, total = 0, backend = 0;
-  auto& fleet = pipeline.fleet();
-  for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
-    for (std::uint32_t idx = 0; idx < fleet.servers_per_pop(); ++idx) {
-      const cdn::AtsServer& s = fleet.server({pop, idx});
-      ram += s.ram_hits();
-      disk += s.disk_hits();
-      miss += s.misses();
-      total += s.requests_served();
-      backend += s.backend_requests();
-    }
+  for (const cdn::ServerStats& s : analyzed.run.server_stats) {
+    ram += s.ram_hits;
+    disk += s.disk_hits;
+    miss += s.misses;
+    total += s.requests_served;
+    backend += s.backend_requests();
   }
   const double n = static_cast<double>(total);
   core::print_metric("ram_hit_share", static_cast<double>(ram) / n);
@@ -156,7 +161,7 @@ int main(int argc, char** argv) {
   core::print_metric("backend_requests", static_cast<double>(backend));
 
   if (!out_dir.empty()) {
-    telemetry::export_dataset(pipeline.dataset(), out_dir);
+    telemetry::export_dataset(analyzed.run.dataset, out_dir);
     std::printf("\nexported raw telemetry to %s "
                 "(player_sessions/cdn_sessions/player_chunks/cdn_chunks/"
                 "tcp_snapshots .csv)\n",
