@@ -113,6 +113,13 @@ RecoveryImpact recovery_impact(const telemetry::JoinedDataset& joined) {
       if (chunk.cdn != nullptr && chunk.cdn->served_stale) {
         ++impact.stale_chunks;
       }
+      if (chunk.cdn != nullptr) {
+        if (chunk.cdn->shed) ++impact.shed_chunks;
+        if (chunk.cdn->hedged) ++impact.hedged_chunks;
+        if (chunk.cdn->hedge_won) ++impact.hedge_wins;
+        if (chunk.cdn->served_swr) ++impact.swr_chunks;
+        if (chunk.cdn->budget_denied) ++impact.budget_denied_chunks;
+      }
       if (chunk.player->retries > 0 || chunk.player->timeouts > 0 ||
           chunk.player->failed_over) {
         session_affected = true;

@@ -71,6 +71,13 @@ struct RecoveryImpact {
   std::uint64_t retries = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t stale_chunks = 0;      ///< served from cache during outage
+
+  // Overload protection (cdn/overload.h), from the CDN-side chunk marks.
+  std::uint64_t shed_chunks = 0;          ///< >= 1 attempt load-shed
+  std::uint64_t hedged_chunks = 0;        ///< delivered with a hedge issued
+  std::uint64_t hedge_wins = 0;           ///< ... where the hedge won
+  std::uint64_t swr_chunks = 0;           ///< stale-while-revalidate serves
+  std::uint64_t budget_denied_chunks = 0; ///< a retry hit a dry retry budget
   /// Mean recovery time over affected chunks only (0 when none).
   sim::Ms mean_recovery_ms = 0.0;
   /// Mean first-byte delay of chunks on a failed-over connection vs clean

@@ -33,6 +33,12 @@ ServerStats& ServerStats::operator+=(const ServerStats& other) {
   backend_fetches += other.backend_fetches;
   stale_serves += other.stale_serves;
   backend_errors += other.backend_errors;
+  shed_requests += other.shed_requests;
+  hedged_fetches += other.hedged_fetches;
+  hedge_wins += other.hedge_wins;
+  breaker_open_transitions += other.breaker_open_transitions;
+  retry_budget_exhausted += other.retry_budget_exhausted;
+  swr_serves += other.swr_serves;
   return *this;
 }
 
@@ -53,7 +59,9 @@ sim::Ms AtsServer::seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const {
 }
 
 ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
-                             sim::Ms now, sim::Rng& rng) {
+                             sim::Ms now, sim::Rng& rng,
+                             const ServeOptions& opts) {
+  const OverloadConfig& ocfg = config_.overload;
   ServeResult result;
 
   // ---- load tracking (exponentially decayed arrival rate) ----
@@ -65,6 +73,12 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
     rate_estimate_ = 0.0;
   }
   last_arrival_ms_ = now;
+
+  // Every arriving request earns a sliver of retry budget (token bucket);
+  // retries and hedges spend whole tokens, so fleet-internal retry traffic
+  // is capped near retry_budget_ratio of the served load.
+  budget_.earn(ocfg);
+  result.breaker = breaker_.state(ocfg, now);
 
   // ---- D_wait: accept-queue time until a service thread picks the
   // request up.  Well-provisioned in production (§4.1: latency is NOT
@@ -80,6 +94,28 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
 
   // ---- D_open: header read + first open attempt ----
   result.dopen_ms = rng.lognormal_median(config_.open_median_ms, config_.open_sigma);
+
+  // ---- priority load shedding (past the headers: priority is known) ----
+  // Effective load combines the fault-driven overload factor (flash crowd)
+  // with the observed accept-queue delay, mapped so a request waiting
+  // shed_queue_delay_ms sees load == shed_watermark.
+  double load_factor = overload_factor_;
+  if (ocfg.shed_queue_delay_ms > 0.0) {
+    load_factor = std::max(
+        load_factor,
+        ocfg.shed_watermark * queue_wait / ocfg.shed_queue_delay_ms);
+  }
+  const double shed_p = shed_probability(ocfg, load_factor, opts.priority);
+  if (shed_p > 0.0 && rng.bernoulli(shed_p)) {
+    // Cheap local 503 before any cache work; the thread is released
+    // immediately and the client retries elsewhere or later.
+    ++shed_requests_;
+    result.shed = true;
+    result.failed = true;
+    result.dread_ms = rng.lognormal_median(config_.error_response_median_ms,
+                                           config_.error_response_sigma);
+    return result;
+  }
 
   // ---- cache lookup and D_read ----
   const CacheLevel level = cache_.lookup(key, size_bytes);
@@ -110,6 +146,12 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
       if (backend_down_) {
         result.stale = true;
         ++stale_serves_;
+      } else if (result.breaker == BreakerState::kOpen) {
+        // Open breaker: serve the cached copy without consulting the
+        // origin (stale-while-revalidate); revalidation waits until the
+        // breaker closes.
+        result.swr = true;
+        ++swr_serves_;
       }
       break;
     case CacheLevel::kDisk: {
@@ -129,6 +171,9 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
       if (backend_down_) {
         result.stale = true;
         ++stale_serves_;
+      } else if (result.breaker == BreakerState::kOpen) {
+        result.swr = true;
+        ++swr_serves_;
       }
       break;
     }
@@ -137,16 +182,26 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
         // Graceful degradation: with the origin unreachable a miss cannot
         // be filled.  Fail fast with a locally generated error — no cache
         // admission, no in-flight fetch — and let the client retry or fail
-        // over to a server that still holds the object.
+        // over to a server that still holds the object.  The breaker sees
+        // the failure, so a sustained outage trips it and later misses
+        // skip straight to the fast-fail below.
         ++misses_;
         ++backend_errors_;
         result.failed = true;
         result.dread_ms = rng.lognormal_median(
             config_.error_response_median_ms, config_.error_response_sigma);
+        breaker_.record(ocfg, now, /*success=*/false);
         break;
       }
       ++misses_;
-      result.retry_timer_fired = true;
+      if (result.breaker == BreakerState::kOpen) {
+        // Breaker open and nothing cached: fast-fail instead of queueing
+        // on a melted origin.  The client retries or fails over.
+        result.failed = true;
+        result.dread_ms = rng.lognormal_median(
+            config_.error_response_median_ms, config_.error_response_sigma);
+        break;
+      }
       // Collapsed forwarding: if another request already has this object
       // in flight from the backend, wait for that fetch instead of issuing
       // a duplicate — the backend-protection behaviour the paper ties to
@@ -154,14 +209,50 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
       // the backend service", §4.1-2).
       const auto inflight = inflight_fetches_.find(key);
       if (inflight != inflight_fetches_.end() && inflight->second > now) {
+        result.retry_timer_fired = true;
         ++collapsed_misses_;
         result.dbe_ms = inflight->second - now;
       } else {
+        if (opts.retry && !budget_.spend(ocfg)) {
+          // A re-issued request needs a fresh backend fetch but the retry
+          // budget is dry: stop the retry storm here with a local error
+          // rather than amplify the outage.
+          ++retry_budget_exhausted_;
+          result.budget_denied = true;
+          result.failed = true;
+          result.dread_ms = rng.lognormal_median(
+              config_.error_response_median_ms, config_.error_response_sigma);
+          break;
+        }
         // Retry timer fires while the backend request is issued; backend
         // and delivery are pipelined (§2.1) so D_read is dominated by the
         // backend's first byte.
+        result.retry_timer_fired = true;
         ++backend_fetches_;
         result.dbe_ms = backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+        // Hedged fetch: once the primary is past the backend's healthy p95
+        // first byte, race one hedge against a second origin replica and
+        // take whichever responds first.  Budget-bounded, and only while
+        // the breaker is fully closed (half-open probes stay single).
+        if (ocfg.hedge_enabled && result.breaker == BreakerState::kClosed) {
+          const sim::Ms hedge_after = ocfg.hedge_after_ms > 0.0
+                                          ? ocfg.hedge_after_ms
+                                          : backend_.p95_first_byte_ms();
+          if (result.dbe_ms > hedge_after && budget_.spend(ocfg)) {
+            ++hedged_fetches_;
+            result.hedged = true;
+            const sim::Ms hedge_total =
+                hedge_after +
+                backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+            if (hedge_total < result.dbe_ms) {
+              result.dbe_ms = hedge_total;
+              result.hedge_won = true;
+              ++hedge_wins_;
+            }
+          }
+        }
+        breaker_.record(ocfg, now,
+                        result.dbe_ms <= ocfg.breaker_latency_threshold_ms);
         inflight_fetches_[key] = now + result.dbe_ms;
         if (inflight_fetches_.size() > 4'096) {
           // Lazy purge of completed fetches.
@@ -176,19 +267,29 @@ ServeResult AtsServer::serve(const ChunkKey& key, std::uint64_t size_bytes,
       // §4.1-2 take-away: after the first miss, fetch the session's next
       // chunks in the background so its later requests hit.  The transfer
       // is asynchronous (off the serving path); the cost is backend load,
-      // tracked in backend_requests().
-      for (std::uint32_t ahead = 1; ahead <= config_.prefetch_on_miss;
-           ++ahead) {
-        const ChunkKey next{key.video_id, key.chunk_index + ahead,
-                            key.bitrate_kbps};
-        if (cache_.lookup(next, size_bytes) == CacheLevel::kMiss) {
-          cache_.admit(next, size_bytes);
-          ++prefetched_chunks_;
-          // The speculative fetch is in flight too: a request arriving
-          // before it completes waits for it (read-while-writer), it just
-          // skips the backend round trip of its own.
-          inflight_fetches_[next] =
-              now + backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+      // tracked in backend_requests().  Prefetches are the lowest-priority
+      // class: an overloaded server sheds them first, and a non-closed
+      // breaker suppresses them entirely.
+      if (result.breaker == BreakerState::kClosed) {
+        const double prefetch_shed_p =
+            shed_probability(ocfg, load_factor, RequestPriority::kPrefetch);
+        for (std::uint32_t ahead = 1; ahead <= config_.prefetch_on_miss;
+             ++ahead) {
+          const ChunkKey next{key.video_id, key.chunk_index + ahead,
+                              key.bitrate_kbps};
+          if (cache_.lookup(next, size_bytes) == CacheLevel::kMiss) {
+            if (prefetch_shed_p > 0.0 && rng.bernoulli(prefetch_shed_p)) {
+              ++shed_requests_;  // suppressed speculative fetch
+              continue;
+            }
+            cache_.admit(next, size_bytes);
+            ++prefetched_chunks_;
+            // The speculative fetch is in flight too: a request arriving
+            // before it completes waits for it (read-while-writer), it just
+            // skips the backend round trip of its own.
+            inflight_fetches_[next] =
+                now + backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+          }
         }
       }
       break;
@@ -208,9 +309,15 @@ ServeResult AtsServer::serve_isolated(const ChunkKey& key,
                                       std::uint64_t size_bytes, sim::Ms now,
                                       sim::Rng& rng, const TwoLevelCache& warm,
                                       SessionServerState& session,
-                                      ServerStats& stats) const {
+                                      ServerStats& stats,
+                                      const ServeOptions& opts) const {
   (void)size_bytes;  // admissions go to the boundless per-session overlay
+  const OverloadConfig& ocfg = config_.overload;
   ServeResult result;
+
+  session.retry_budget.earn(ocfg);
+  const std::uint64_t trips_before = session.breaker.open_transitions();
+  result.breaker = session.breaker.state(ocfg, now);
 
   // No accept-queue coupling: the thread pool is shared across sessions, so
   // the isolated path models D_wait as pure scheduling noise — the regime
@@ -219,6 +326,21 @@ ServeResult AtsServer::serve_isolated(const ChunkKey& key,
       rng.lognormal_median(config_.wait_median_ms, config_.wait_sigma);
   result.dopen_ms =
       rng.lognormal_median(config_.open_median_ms, config_.open_sigma);
+
+  // Priority load shedding.  Without the cross-session thread pool there is
+  // no queue-delay signal, so load comes purely from the fault-driven
+  // overload factor — a deterministic function of simulated time, which is
+  // what keeps sharded output partition-invariant.
+  const double load_factor = overload_factor_;
+  const double shed_p = shed_probability(ocfg, load_factor, opts.priority);
+  if (shed_p > 0.0 && rng.bernoulli(shed_p)) {
+    ++stats.shed_requests;
+    result.shed = true;
+    result.failed = true;
+    result.dread_ms = rng.lognormal_median(config_.error_response_median_ms,
+                                           config_.error_response_sigma);
+    return result;
+  }
 
   // Cache lookup: the session's own promotions/admissions shadow the
   // immutable warm archive.
@@ -248,6 +370,9 @@ ServeResult AtsServer::serve_isolated(const ChunkKey& key,
       if (backend_down_) {
         result.stale = true;
         ++stats.stale_serves;
+      } else if (result.breaker == BreakerState::kOpen) {
+        result.swr = true;
+        ++stats.swr_serves;
       }
       break;
     case CacheLevel::kDisk: {
@@ -263,6 +388,9 @@ ServeResult AtsServer::serve_isolated(const ChunkKey& key,
       if (backend_down_) {
         result.stale = true;
         ++stats.stale_serves;
+      } else if (result.breaker == BreakerState::kOpen) {
+        result.swr = true;
+        ++stats.swr_serves;
       }
       session.ram_overlay.insert(key);  // promoted: "fresh in memory"
       break;
@@ -274,39 +402,84 @@ ServeResult AtsServer::serve_isolated(const ChunkKey& key,
         result.failed = true;
         result.dread_ms = rng.lognormal_median(
             config_.error_response_median_ms, config_.error_response_sigma);
+        session.breaker.record(ocfg, now, /*success=*/false);
         break;
       }
       ++stats.misses;
-      result.retry_timer_fired = true;
+      if (result.breaker == BreakerState::kOpen) {
+        result.failed = true;
+        result.dread_ms = rng.lognormal_median(
+            config_.error_response_median_ms, config_.error_response_sigma);
+        break;
+      }
       const auto inflight = session.inflight_fetches.find(key);
       if (inflight != session.inflight_fetches.end() &&
           inflight->second > now) {
+        result.retry_timer_fired = true;
         ++stats.collapsed_misses;
         result.dbe_ms = inflight->second - now;
       } else {
+        if (opts.retry && !session.retry_budget.spend(ocfg)) {
+          ++stats.retry_budget_exhausted;
+          result.budget_denied = true;
+          result.failed = true;
+          result.dread_ms = rng.lognormal_median(
+              config_.error_response_median_ms, config_.error_response_sigma);
+          break;
+        }
+        result.retry_timer_fired = true;
         ++stats.backend_fetches;
         result.dbe_ms = backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+        if (ocfg.hedge_enabled && result.breaker == BreakerState::kClosed) {
+          const sim::Ms hedge_after = ocfg.hedge_after_ms > 0.0
+                                          ? ocfg.hedge_after_ms
+                                          : backend_.p95_first_byte_ms();
+          if (result.dbe_ms > hedge_after && session.retry_budget.spend(ocfg)) {
+            ++stats.hedged_fetches;
+            result.hedged = true;
+            const sim::Ms hedge_total =
+                hedge_after +
+                backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+            if (hedge_total < result.dbe_ms) {
+              result.dbe_ms = hedge_total;
+              result.hedge_won = true;
+              ++stats.hedge_wins;
+            }
+          }
+        }
+        session.breaker.record(
+            ocfg, now, result.dbe_ms <= ocfg.breaker_latency_threshold_ms);
         session.inflight_fetches[key] = now + result.dbe_ms;
       }
       result.dread_ms = config_.open_retry_ms + result.dbe_ms;
       session.ram_overlay.insert(key);
 
-      for (std::uint32_t ahead = 1; ahead <= config_.prefetch_on_miss;
-           ++ahead) {
-        const ChunkKey next{key.video_id, key.chunk_index + ahead,
-                            key.bitrate_kbps};
-        if (!session.ram_overlay.contains(next) &&
-            warm.peek(next) == CacheLevel::kMiss) {
-          session.ram_overlay.insert(next);
-          ++stats.prefetched_chunks;
-          session.inflight_fetches[next] =
-              now + backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+      if (result.breaker == BreakerState::kClosed) {
+        const double prefetch_shed_p =
+            shed_probability(ocfg, load_factor, RequestPriority::kPrefetch);
+        for (std::uint32_t ahead = 1; ahead <= config_.prefetch_on_miss;
+             ++ahead) {
+          const ChunkKey next{key.video_id, key.chunk_index + ahead,
+                              key.bitrate_kbps};
+          if (!session.ram_overlay.contains(next) &&
+              warm.peek(next) == CacheLevel::kMiss) {
+            if (prefetch_shed_p > 0.0 && rng.bernoulli(prefetch_shed_p)) {
+              ++stats.shed_requests;
+              continue;
+            }
+            session.ram_overlay.insert(next);
+            ++stats.prefetched_chunks;
+            session.inflight_fetches[next] =
+                now + backend_.fetch_first_byte_ms(rng) * backend_slowdown_;
+          }
         }
       }
       break;
     }
   }
 
+  stats.breaker_open_transitions +=
+      session.breaker.open_transitions() - trips_before;
   session.last_video_access[key.video_id] = now;
   ++stats.requests_served;
   return result;

@@ -24,6 +24,7 @@
 #include "cdn/backend.h"
 #include "cdn/cache.h"
 #include "cdn/chunk.h"
+#include "cdn/overload.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
@@ -67,6 +68,20 @@ struct AtsConfig {
   /// backend and admits them; the session's later requests then hit.
   /// 0 disables prefetching (the paper's production behaviour).
   std::uint32_t prefetch_on_miss = 0;
+
+  /// Overload protection: circuit breaker, retry budget, hedged fetches,
+  /// priority load shedding (see cdn/overload.h).
+  OverloadConfig overload;
+};
+
+/// Per-request context for the overload-protection layer.  Defaulted so
+/// pre-overload call sites keep their meaning (a fresh, steady-priority
+/// request).
+struct ServeOptions {
+  RequestPriority priority = RequestPriority::kSteady;
+  /// Re-issued request (player retry after a timeout/error); backend
+  /// re-fetches for retries draw on the server's retry budget.
+  bool retry = false;
 };
 
 struct ServeResult {
@@ -84,6 +99,24 @@ struct ServeResult {
   /// Served from cache while the backend was unreachable (graceful
   /// degradation: cached objects keep flowing through an origin outage).
   bool stale = false;
+
+  // ---- overload protection (see cdn/overload.h) ----
+
+  /// Rejected by priority load shedding (failed is also set; the response
+  /// is a cheap local 503).
+  bool shed = false;
+  /// Cached object served stale-while-revalidate under an open breaker
+  /// (no origin consult; revalidation deferred until the breaker closes).
+  bool swr = false;
+  /// A hedge fetch to a second backend replica was issued for this miss.
+  bool hedged = false;
+  /// The hedge's first byte beat the primary's (D_BE is the hedge's).
+  bool hedge_won = false;
+  /// A retry needed a backend fetch but the retry budget was dry
+  /// (failed is also set; the retry storm stops here).
+  bool budget_denied = false;
+  /// Breaker state observed while serving this request.
+  BreakerState breaker = BreakerState::kClosed;
 
   bool cache_hit() const { return level != CacheLevel::kMiss; }
   /// D_CDN of Eq. 1: everything the CDN adds before the first byte, with
@@ -108,14 +141,25 @@ struct ServerStats {
   std::uint64_t stale_serves = 0;
   std::uint64_t backend_errors = 0;
 
+  // ---- overload protection ----
+  std::uint64_t shed_requests = 0;         ///< requests + suppressed prefetches
+  std::uint64_t hedged_fetches = 0;        ///< hedges issued (extra backend load)
+  std::uint64_t hedge_wins = 0;            ///< hedge beat the primary
+  std::uint64_t breaker_open_transitions = 0;  ///< closed/half-open -> open
+  std::uint64_t retry_budget_exhausted = 0;    ///< retries denied a re-fetch
+  std::uint64_t swr_serves = 0;            ///< stale-while-revalidate serves
+
   double miss_ratio() const {
     return requests_served == 0
                ? 0.0
                : static_cast<double>(misses) /
                      static_cast<double>(requests_served);
   }
+  /// Actual backend load: regular fetches + prefetches + hedges.  Hedges
+  /// hit a real origin replica, so they count; budget-denied retries never
+  /// reach the backend, so they are structurally excluded.
   std::uint64_t backend_requests() const {
-    return backend_fetches + prefetched_chunks;
+    return backend_fetches + prefetched_chunks + hedged_fetches;
   }
   ServerStats& operator+=(const ServerStats& other);
 };
@@ -136,6 +180,12 @@ struct SessionServerState {
   /// This session's own in-flight backend fetches (read-while-writer and
   /// prefetch pipelining).
   std::unordered_map<ChunkKey, sim::Ms, ChunkKeyHash> inflight_fetches;
+  /// This session's view of the server's circuit breaker, fed only by its
+  /// own observed backend outcomes — a pure function of the session's
+  /// history, which is what keeps sharded output partition-invariant.
+  CircuitBreaker breaker;
+  /// This session's slice of the server's retry budget (same rationale).
+  RetryBudget retry_budget;
 };
 
 class AtsServer {
@@ -144,7 +194,7 @@ class AtsServer {
 
   /// Serve one chunk request arriving at `now` (simulated clock).
   ServeResult serve(const ChunkKey& key, std::uint64_t size_bytes, sim::Ms now,
-                    sim::Rng& rng);
+                    sim::Rng& rng, const ServeOptions& opts = {});
 
   /// Session-isolated twin of serve(): branch-for-branch the same latency
   /// model, but all mutable state is external — cache content comes from
@@ -158,8 +208,8 @@ class AtsServer {
   ServeResult serve_isolated(const ChunkKey& key, std::uint64_t size_bytes,
                              sim::Ms now, sim::Rng& rng,
                              const TwoLevelCache& warm,
-                             SessionServerState& session,
-                             ServerStats& stats) const;
+                             SessionServerState& session, ServerStats& stats,
+                             const ServeOptions& opts = {}) const;
 
   /// Pre-load an object into the cache hierarchy without serving a request
   /// (steady-state warm-up; does not touch the hit/miss counters).
@@ -187,9 +237,12 @@ class AtsServer {
   /// same object (collapsed forwarding — the backend-protection role the
   /// paper ascribes to the retry timer, §4.1-2 take-away 2).
   std::uint64_t collapsed_misses() const { return collapsed_misses_; }
-  /// Actual backend fetches issued: misses - collapsed + prefetches.
+  /// Actual backend fetches issued: misses - collapsed + prefetches +
+  /// hedges.  Hedges reach a real origin replica, so they count toward
+  /// backend load; budget-denied retries never leave the server and are
+  /// structurally excluded.
   std::uint64_t backend_requests() const {
-    return backend_fetches_ + prefetched_chunks_;
+    return backend_fetches_ + prefetched_chunks_ + hedged_fetches_;
   }
 
   // ---- degraded-operation modes (driven by faults::FaultInjector) ----
@@ -202,11 +255,37 @@ class AtsServer {
   void set_backend_slowdown(double factor) { backend_slowdown_ = factor; }
   /// Multiply disk read + seek latency (failing/rebuilding disk).
   void set_disk_degradation(double factor) { disk_slowdown_ = factor; }
+  /// Overload epoch (flash crowd): offered load as a multiple of nominal
+  /// capacity.  1.0 = normal; above the shed watermark the server sheds
+  /// low-priority work (driven by faults::FaultKind::kOverload).
+  void set_overload(double factor) { overload_factor_ = factor; }
+  double overload() const { return overload_factor_; }
 
   /// Cache hits served while the backend was down.
   std::uint64_t stale_serves() const { return stale_serves_; }
   /// Misses turned into error responses by a backend outage.
   std::uint64_t backend_errors() const { return backend_errors_; }
+
+  // ---- overload protection (coupled-mode counters; the sharded engine
+  // accounts the same events into ServerStats) ----
+  std::uint64_t shed_requests() const { return shed_requests_; }
+  std::uint64_t hedged_fetches() const { return hedged_fetches_; }
+  std::uint64_t hedge_wins() const { return hedge_wins_; }
+  std::uint64_t breaker_open_transitions() const {
+    return breaker_.open_transitions();
+  }
+  std::uint64_t retry_budget_exhausted() const {
+    return retry_budget_exhausted_;
+  }
+  std::uint64_t swr_serves() const { return swr_serves_; }
+  /// Coupled-mode breaker state at `now` (advances open -> half-open).
+  BreakerState breaker_state(sim::Ms now) {
+    return breaker_.state(config_.overload, now);
+  }
+  /// Const peek of the same (no state advance; Fleet health scoring).
+  BreakerState peek_breaker_state(sim::Ms now) const {
+    return breaker_.peek_state(config_.overload, now);
+  }
 
   const TwoLevelCache& cache() const { return cache_; }
   const AtsConfig& config() const { return config_; }
@@ -239,6 +318,16 @@ class AtsServer {
   bool backend_down_ = false;
   double backend_slowdown_ = 1.0;
   double disk_slowdown_ = 1.0;
+  double overload_factor_ = 1.0;
+
+  // ---- overload protection (coupled mode) ----
+  CircuitBreaker breaker_;
+  RetryBudget budget_;
+  std::uint64_t shed_requests_ = 0;
+  std::uint64_t hedged_fetches_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t retry_budget_exhausted_ = 0;
+  std::uint64_t swr_serves_ = 0;
 
   /// In-flight backend fetches (key -> completion time): concurrent misses
   /// for the same object wait for the ongoing fetch instead of issuing

@@ -1,5 +1,7 @@
 #include "cdn/backend.h"
 
+#include <cmath>
+
 namespace vstream::cdn {
 
 sim::Ms Backend::fetch_first_byte_ms(sim::Rng& rng) const {
@@ -9,6 +11,12 @@ sim::Ms Backend::fetch_first_byte_ms(sim::Rng& rng) const {
     service *= config_.hiccup_multiplier;
   }
   return config_.rtt_ms + service;
+}
+
+sim::Ms Backend::p95_first_byte_ms() const {
+  // Log-normal quantile: median * exp(z_0.95 * sigma), z_0.95 = 1.6449.
+  return config_.rtt_ms +
+         config_.service_median_ms * std::exp(1.6449 * config_.service_sigma);
 }
 
 }  // namespace vstream::cdn

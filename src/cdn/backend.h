@@ -28,6 +28,11 @@ class Backend {
   /// D_BE: delay until the backend's first byte reaches the CDN server.
   sim::Ms fetch_first_byte_ms(sim::Rng& rng) const;
 
+  /// Analytic p95 of fetch_first_byte_ms under healthy conditions (hiccups
+  /// excluded — they are exactly the tail hedging is meant to cut).  Used
+  /// as the default hedge trigger (OverloadConfig::hedge_after_ms == 0).
+  sim::Ms p95_first_byte_ms() const;
+
   const BackendConfig& config() const { return config_; }
 
  private:

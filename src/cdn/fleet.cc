@@ -1,5 +1,6 @@
 #include "cdn/fleet.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -107,9 +108,30 @@ std::uint32_t Fleet::nearest_pop(const net::GeoPoint& client) const {
   return best;
 }
 
+void Fleet::add_overload_window(ServerRef ref, sim::Ms start, sim::Ms end,
+                                double factor) {
+  overload_windows_.push_back({ref, start, end, factor});
+}
+
+double Fleet::health_score(ServerRef ref, sim::Ms now) const {
+  double factor = 1.0;
+  for (const OverloadWindow& window : overload_windows_) {
+    if (window.ref == ref && now >= window.start && now < window.end) {
+      factor = std::max(factor, window.factor);
+    }
+  }
+  const double watermark = config_.server.overload.shed_watermark;
+  double score =
+      (watermark <= 0.0 || factor <= watermark) ? 1.0 : watermark / factor;
+  if (server(ref).peek_breaker_state(now) == BreakerState::kOpen) {
+    score *= 0.5;  // open breaker: misses fast-fail there
+  }
+  return score;
+}
+
 ServerRef Fleet::route(const net::GeoPoint& client, std::uint32_t video_id,
                        std::size_t video_rank, std::uint64_t session_token,
-                       RoutingPolicy policy) const {
+                       RoutingPolicy policy, sim::Ms now) const {
   ServerRef ref;
   ref.pop = nearest_pop(client);
   const bool spread =
@@ -136,17 +158,49 @@ ServerRef Fleet::route(const net::GeoPoint& client, std::uint32_t video_id,
        probe < config_.servers_per_pop && is_down(ref); ++probe) {
     ref.server = (ref.server + 1) % config_.servers_per_pop;
   }
+  // Health-aware steering: leave the nominal (hot-cache) assignment only
+  // when it is unhealthy, and then take the healthiest live alternative of
+  // the PoP (earliest probe wins ties).  Deterministic: health depends only
+  // on the registered overload windows / breaker state at `now`.
+  if (!is_down(ref) && health_score(ref, now) < 1.0) {
+    ServerRef best = ref;
+    double best_score = health_score(ref, now);
+    for (std::uint32_t probe = 1; probe < config_.servers_per_pop; ++probe) {
+      const ServerRef candidate{
+          ref.pop, (ref.server + probe) % config_.servers_per_pop};
+      if (is_down(candidate)) continue;
+      const double score = health_score(candidate, now);
+      if (score > best_score) {
+        best_score = score;
+        best = candidate;
+      }
+    }
+    ref = best;
+  }
   return ref;
 }
 
 ServerRef Fleet::failover(ServerRef from, const net::GeoPoint& client,
-                          std::uint32_t video_id) const {
+                          std::uint32_t video_id, sim::Ms now) const {
   // Same-PoP first: rotate to the next live server (cold cache for this
-  // video, but no distance penalty).
-  for (std::uint32_t probe = 1; probe < config_.servers_per_pop; ++probe) {
-    const ServerRef candidate{
-        from.pop, (from.server + probe) % config_.servers_per_pop};
-    if (!is_down(candidate)) return candidate;
+  // video, but no distance penalty).  Among live candidates the healthiest
+  // wins; earliest probe breaks ties, so with uniform health this is the
+  // original next-live-server rotation.
+  {
+    ServerRef best = from;
+    double best_score = -1.0;
+    for (std::uint32_t probe = 1; probe < config_.servers_per_pop; ++probe) {
+      const ServerRef candidate{
+          from.pop, (from.server + probe) % config_.servers_per_pop};
+      if (is_down(candidate)) continue;
+      const double score = health_score(candidate, now);
+      if (score > best_score) {
+        best_score = score;
+        best = candidate;
+      }
+      if (best_score >= 1.0) break;  // can't beat healthy; keep earliest
+    }
+    if (best_score >= 0.0) return best;
   }
   // Cross-PoP: the video's cache-focused server in the nearest live other
   // PoP (warm cache, extra RTT).

@@ -60,17 +60,25 @@ class Fleet {
   /// nominal assignment is returned with is_down(ref) still true — callers
   /// own the error model (core::Pipeline times requests out, retries with
   /// backoff, and eventually abandons the session).
+  ///
+  /// `now` enables health-aware steering: a nominal assignment whose
+  /// health_score(ref, now) is below 1.0 (inside an overload window, or
+  /// with an open circuit breaker) is swapped for the healthiest live
+  /// server of the PoP.  With no overload windows and closed breakers
+  /// every score is 1.0 and routing is unchanged.
   ServerRef route(const net::GeoPoint& client, std::uint32_t video_id,
                   std::size_t video_rank, std::uint64_t session_token,
-                  RoutingPolicy policy) const;
+                  RoutingPolicy policy, sim::Ms now = 0.0) const;
 
   /// Client-driven mid-session failover: the next live server a client
   /// should retry after `from` failed (down, timing out, or erroring).
   /// Prefers the PoP's other servers (cold cache for this video), then the
   /// video's cache-focused server in the nearest live other PoP (warm cache
   /// but extra RTT).  Returns `from` unchanged when nothing live exists.
+  /// Among live same-PoP candidates the healthiest (health_score at `now`)
+  /// wins, earliest probe breaking ties.
   ServerRef failover(ServerRef from, const net::GeoPoint& client,
-                     std::uint32_t video_id) const;
+                     std::uint32_t video_id, sim::Ms now = 0.0) const;
 
   AtsServer& server(ServerRef ref);
   const AtsServer& server(ServerRef ref) const;
@@ -90,6 +98,22 @@ class Fleet {
   void set_pop_down(std::uint32_t pop, bool down = true);
   bool is_down(ServerRef ref) const;
   bool is_pop_down(std::uint32_t pop) const { return pop_down_.at(pop); }
+
+  /// Drive a server's overload factor (faults::FaultKind::kOverload).
+  void set_overload(ServerRef ref, double factor) {
+    server(ref).set_overload(factor);
+  }
+  /// Register a deterministic overload window: between `start` and `end`
+  /// the server's offered load is `factor` times nominal capacity.  The
+  /// fault injector registers these from the schedule at construction, so
+  /// health-aware routing is a pure function of (schedule, now) and
+  /// identical on every shard — it never reads live serving state.
+  void add_overload_window(ServerRef ref, sim::Ms start, sim::Ms end,
+                           double factor);
+  /// Routing health of a server at `now`: 1.0 when healthy; watermark /
+  /// factor inside an overload window past the shed watermark; halved
+  /// again while the server's (coupled-mode) circuit breaker is open.
+  double health_score(ServerRef ref, sim::Ms now) const;
   /// True if at least one server of the PoP can serve.
   bool pop_live(std::uint32_t pop) const;
   /// True when no server anywhere can serve.
@@ -106,9 +130,17 @@ class Fleet {
   std::uint32_t nearest_live_pop(const net::GeoPoint& client,
                                  std::uint32_t exclude_pop) const;
 
+  struct OverloadWindow {
+    ServerRef ref;
+    sim::Ms start = 0.0;
+    sim::Ms end = 0.0;
+    double factor = 1.0;
+  };
+
   FleetConfig config_;
   std::size_t popular_head_ranks_;
   std::vector<net::City> pop_cities_;
+  std::vector<OverloadWindow> overload_windows_;
   // servers_[pop * servers_per_pop + server]; unique_ptr keeps AtsServer
   // addresses stable (it is move-averse because of its internal maps).
   std::vector<std::unique_ptr<AtsServer>> servers_;

@@ -28,6 +28,35 @@ std::size_t positive_env(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(parsed);
 }
 
+double positive_env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE || !(parsed > 0.0)) {
+    throw std::runtime_error(std::string(name) + " must be a positive " +
+                             "number, got \"" + raw + "\"");
+  }
+  return parsed;
+}
+
+cdn::OverloadConfig resolve_overload_env(cdn::OverloadConfig base) {
+  base.breaker_latency_threshold_ms = positive_env_double(
+      "VSTREAM_BREAKER_THRESHOLD", base.breaker_latency_threshold_ms);
+  // Percent in the environment (10 = 10% of requests may be retries),
+  // ratio internally.
+  base.retry_budget_ratio =
+      positive_env_double("VSTREAM_RETRY_BUDGET",
+                          base.retry_budget_ratio * 100.0) /
+      100.0;
+  // Percent of nominal capacity (125 = shed past 1.25x).
+  base.shed_watermark = positive_env_double("VSTREAM_SHED_WATERMARK",
+                                            base.shed_watermark * 100.0) /
+                        100.0;
+  return base;
+}
+
 std::size_t resolve_shard_count(std::size_t requested) {
   if (requested != 0) return requested;
   const std::size_t hw =
@@ -40,28 +69,33 @@ RunResult run_simulation(const workload::Scenario& scenario,
   RunResult result;
   result.scenario = scenario;
   result.shard_count = resolve_shard_count(options.shards);
+  // Overload-protection knobs apply before the world is built, so every
+  // server (and the warm archive prototype) sees the same config.
+  result.scenario.fleet.server.overload =
+      resolve_overload_env(result.scenario.fleet.server.overload);
 
   // World construction mirrors core::Pipeline exactly (same master-RNG
   // consumption order), so the engine and the facade agree on the world.
-  sim::Rng rng(scenario.seed);
-  auto catalog =
-      std::make_shared<workload::VideoCatalog>(scenario.catalog, rng);
-  workload::Population population(scenario.population, rng);
-  workload::SessionGenerator generator(scenario.sessions, *catalog,
-                                       population);
-  const cdn::Fleet prototype(scenario.fleet, catalog->size());
+  // Built from result.scenario so the resolved overload knobs reach every
+  // server replica.
+  const workload::Scenario& world = result.scenario;
+  sim::Rng rng(world.seed);
+  auto catalog = std::make_shared<workload::VideoCatalog>(world.catalog, rng);
+  workload::Population population(world.population, rng);
+  workload::SessionGenerator generator(world.sessions, *catalog, population);
+  const cdn::Fleet prototype(world.fleet, catalog->size());
 
   const WarmArchive warm =
       options.warm_caches
           ? build_warm_archive(prototype, *catalog, options.disk_fill,
                                options.universal_head)
-          : WarmArchive(scenario.fleet);
+          : WarmArchive(world.fleet);
 
   const std::vector<AdmittedSession> admitted =
-      admit_sessions(scenario, generator, rng);
+      admit_sessions(world, generator, rng);
 
   ShardResult merged = run_sharded(
-      scenario, *catalog, warm,
+      world, *catalog, warm,
       options.faults.empty() ? nullptr : &options.faults,
       options.bad_prefixes.empty() ? nullptr : &options.bad_prefixes,
       admitted, result.shard_count);

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cdn/overload.h"
 #include "engine/ground_truth.h"
 #include "engine/shard.h"
 #include "faults/fault_schedule.h"
@@ -80,6 +81,17 @@ std::size_t resolve_shard_count(std::size_t requested = 0);
 /// or trailing garbage: throws std::runtime_error naming the variable —
 /// never a silent fallback.
 std::size_t positive_env(const char* name, std::size_t fallback);
+
+/// Same contract for a strictly positive real number (the overload knobs).
+double positive_env_double(const char* name, double fallback);
+
+/// Apply the overload-protection environment knobs on top of `base`:
+///   VSTREAM_BREAKER_THRESHOLD  breaker latency threshold, milliseconds
+///   VSTREAM_RETRY_BUDGET       retry budget earn rate, percent of requests
+///   VSTREAM_SHED_WATERMARK     shed watermark, percent of nominal capacity
+/// Each must parse as a strictly positive number or the run refuses to
+/// start (std::runtime_error naming the variable).
+cdn::OverloadConfig resolve_overload_env(cdn::OverloadConfig base);
 
 /// Build the world for `scenario`, admit all sessions, execute them across
 /// the resolved shard count, and return the canonically merged result.

@@ -59,7 +59,7 @@ SessionRuntime::SessionRuntime(RunContext& ctx, workload::SessionSpec spec,
       rng_(std::move(rng)),
       ref_(ctx.fleet->route(spec_.client.prefix->location, spec_.video_id,
                             spec_.video_rank, spec_.session_id,
-                            ctx.scenario->routing)),
+                            ctx.scenario->routing, spec_.start_time_ms)),
       distance_km_(net::haversine_km(spec_.client.prefix->location,
                                      ctx.fleet->pop_city(ref_.pop).location)),
       stack_(overrides != nullptr && overrides->ds_profile
@@ -118,17 +118,18 @@ void SessionRuntime::rebuild_connection() {
 }
 
 cdn::ServeResult SessionRuntime::serve_chunk(const cdn::ChunkKey& key,
-                                             std::uint64_t bytes, sim::Ms now) {
+                                             std::uint64_t bytes, sim::Ms now,
+                                             const cdn::ServeOptions& opts) {
   cdn::AtsServer& server = ctx_.fleet->server(ref_);
   if (ctx_.warm_archive == nullptr) {
-    return server.serve(key, bytes, now, rng_);
+    return server.serve(key, bytes, now, rng_, opts);
   }
   const std::uint32_t linear =
       ref_.pop * ctx_.fleet->servers_per_pop() + ref_.server;
   return server.serve_isolated(key, bytes, now, rng_,
                                ctx_.warm_archive->for_server(ref_.server),
                                server_states_[linear],
-                               (*ctx_.server_stats)[linear]);
+                               (*ctx_.server_stats)[linear], opts);
 }
 
 sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
@@ -182,6 +183,14 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
   // connection.
   const workload::RecoveryPolicy& policy = ctx_.scenario->recovery;
   const cdn::ChunkKey key{spec_.video_id, c, bitrate};
+  // Request priority for the server's load shedder: first chunks anchor
+  // startup delay and are never shed; a thin client buffer (< 2 chunks)
+  // marks a near-stall request; everything else is steady mid-session work.
+  cdn::ServeOptions serve_opts;
+  serve_opts.priority = c == 0 ? cdn::RequestPriority::kFirstChunk
+                        : buffer_.level_s() < 2.0 * tau
+                            ? cdn::RequestPriority::kLowBuffer
+                            : cdn::RequestPriority::kSteady;
   cdn::ServeResult serve;
   sim::Ms recovery_ms = 0.0;
   std::uint32_t retries = 0;
@@ -189,6 +198,8 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
   std::uint32_t attempts_on_server = 0;
   bool failed_over = false;
   bool delivered = false;
+  bool any_shed = false;
+  bool any_budget_denied = false;
   for (std::uint32_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
     const bool server_dead = ctx_.fleet->is_down(ref_);
     if (server_dead) {
@@ -197,7 +208,10 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
       ++timeouts;
       ++ctx_.ground_truth->request_timeouts;
     } else {
-      serve = serve_chunk(key, bytes, fleet_now + recovery_ms);
+      serve_opts.retry = attempt > 0;
+      serve = serve_chunk(key, bytes, fleet_now + recovery_ms, serve_opts);
+      any_shed |= serve.shed;
+      any_budget_denied |= serve.budget_denied;
       if (serve.failed) {
         // Fast local error (cache miss while the backend is unreachable).
         recovery_ms += serve.total_ms();
@@ -222,8 +236,9 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
     ++retries;
     ++ctx_.ground_truth->chunk_retries;
     if (server_dead || attempts_on_server >= policy.failover_after_attempts) {
-      const cdn::ServerRef next =
-          ctx_.fleet->failover(ref_, client.prefix->location, spec_.video_id);
+      const cdn::ServerRef next = ctx_.fleet->failover(
+          ref_, client.prefix->location, spec_.video_id,
+          fleet_now + recovery_ms);
       if (next.pop != ref_.pop || next.server != ref_.server) {
         ref_ = next;
         failed_over = true;
@@ -339,6 +354,15 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
   cdn_rec.pop = ref_.pop;
   cdn_rec.server = ref_.server;
   cdn_rec.served_stale = serve.stale;
+  // Overload-protection telemetry: shed/budget denials are sticky across
+  // the chunk's failed attempts (the delivered serve itself succeeded);
+  // hedge/SWR/breaker describe the delivering serve.
+  cdn_rec.shed = any_shed;
+  cdn_rec.budget_denied = any_budget_denied;
+  cdn_rec.hedged = serve.hedged;
+  cdn_rec.hedge_won = serve.hedge_won;
+  cdn_rec.served_swr = serve.swr;
+  cdn_rec.breaker = serve.breaker;
   ctx_.collector->record(cdn_rec);
 
   // tcp_info sampling: the transfer starts once the server begins writing

@@ -62,7 +62,7 @@ class SessionRuntime {
   /// Serve one chunk on the currently assigned server: the live coupled
   /// path, or the session-isolated path when ctx_.warm_archive is set.
   cdn::ServeResult serve_chunk(const cdn::ChunkKey& key, std::uint64_t bytes,
-                               sim::Ms now);
+                               sim::Ms now, const cdn::ServeOptions& opts);
 
   RunContext& ctx_;
   workload::SessionSpec spec_;

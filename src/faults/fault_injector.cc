@@ -4,7 +4,14 @@ namespace vstream::faults {
 
 FaultInjector::FaultInjector(cdn::Fleet& fleet, sim::EventQueue& queue,
                              FaultSchedule schedule)
-    : fleet_(fleet), queue_(queue), schedule_(std::move(schedule)) {}
+    : fleet_(fleet), queue_(queue), schedule_(std::move(schedule)) {
+  for (const FaultEvent& event : schedule_.events()) {
+    if (event.kind == FaultKind::kOverload) {
+      fleet_.add_overload_window({event.pop, event.server}, event.at_ms,
+                                 event.end_ms(), event.magnitude);
+    }
+  }
+}
 
 void FaultInjector::arm() {
   for (const FaultEvent& event : schedule_.events()) {
@@ -59,6 +66,12 @@ void FaultInjector::apply(const FaultEvent& event, bool start) {
     }
     case FaultKind::kLossBurst:
       break;  // query-based: sessions read extra_client_loss() per chunk
+    case FaultKind::kOverload: {
+      const double factor =
+          adjust(overload_depth_[server_idx]) ? event.magnitude : 1.0;
+      fleet_.set_overload({event.pop, event.server}, factor);
+      break;
+    }
   }
 }
 

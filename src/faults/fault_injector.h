@@ -22,6 +22,10 @@ namespace vstream::faults {
 class FaultInjector {
  public:
   /// Both `fleet` and `queue` must outlive the injector.
+  /// Registers the schedule's kOverload epochs as Fleet overload windows at
+  /// construction, so health-aware routing is a pure function of
+  /// (schedule, now) — available before any epoch is applied, and identical
+  /// on every shard.
   FaultInjector(cdn::Fleet& fleet, sim::EventQueue& queue,
                 FaultSchedule schedule);
 
@@ -50,6 +54,7 @@ class FaultInjector {
   std::unordered_map<std::uint32_t, int> crash_depth_;
   std::unordered_map<std::uint32_t, int> blackout_depth_;
   std::unordered_map<std::uint32_t, int> disk_depth_;
+  std::unordered_map<std::uint32_t, int> overload_depth_;
   int backend_outage_depth_ = 0;
   int backend_slowdown_depth_ = 0;
   std::uint64_t applied_ = 0;

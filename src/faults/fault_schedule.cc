@@ -12,6 +12,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kBackendSlowdown: return "backend-slowdown";
     case FaultKind::kDiskDegradation: return "disk-degradation";
     case FaultKind::kLossBurst: return "loss-burst";
+    case FaultKind::kOverload: return "overload";
   }
   return "unknown";
 }
@@ -114,6 +115,18 @@ FaultSchedule FaultSchedule::stochastic(const StochasticFaultConfig& config,
                                             config.burst_duration_sigma),
                        0, 0, config.burst_extra_loss});
                 });
+  for (std::uint32_t pop = 0; pop < pop_count; ++pop) {
+    for (std::uint32_t server = 0; server < servers_per_pop; ++server) {
+      draw_arrivals(
+          config.overloads_per_hour, config.horizon_ms, rng, [&](sim::Ms at) {
+            events.push_back(
+                {FaultKind::kOverload, at,
+                 rng.lognormal_median(config.overload_duration_median_ms,
+                                      config.overload_duration_sigma),
+                 pop, server, config.overload_multiplier});
+          });
+    }
+  }
 
   sort_events(events);
   return schedule;

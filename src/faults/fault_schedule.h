@@ -25,6 +25,9 @@ enum class FaultKind : std::uint8_t {
   kBackendSlowdown,  ///< origin D_BE multiplied by `magnitude` fleet-wide
   kDiskDegradation,  ///< one server's disk reads multiplied by `magnitude`
   kLossBurst,        ///< extra random loss `magnitude` on all client paths
+  kOverload,         ///< flash crowd on one server: offered load at
+                     ///< `magnitude` times nominal capacity (sheds past the
+                     ///< watermark; see cdn/overload.h)
 };
 
 const char* to_string(FaultKind kind);
@@ -75,6 +78,11 @@ struct StochasticFaultConfig {
   sim::Ms burst_duration_median_ms = sim::seconds(10.0);
   double burst_duration_sigma = 0.5;
   double burst_extra_loss = 0.05;
+
+  double overloads_per_hour = 0.0;  ///< per server (flash crowds)
+  sim::Ms overload_duration_median_ms = sim::seconds(40.0);
+  double overload_duration_sigma = 0.5;
+  double overload_multiplier = 2.0;  ///< offered load vs nominal capacity
 };
 
 /// An immutable, time-sorted list of fault epochs.

@@ -54,6 +54,13 @@ const char* access_token(net::AccessType access) {
   return net::to_string(access);
 }
 
+cdn::BreakerState parse_breaker_state(const std::string& token) {
+  if (token == "closed") return cdn::BreakerState::kClosed;
+  if (token == "open") return cdn::BreakerState::kOpen;
+  if (token == "half-open") return cdn::BreakerState::kHalfOpen;
+  throw std::runtime_error("csv: unknown breaker state '" + token + "'");
+}
+
 net::AccessType parse_access(const std::string& token) {
   if (token == "residential") return net::AccessType::kResidential;
   if (token == "enterprise") return net::AccessType::kEnterprise;
@@ -204,7 +211,8 @@ std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in) {
 namespace {
 constexpr const char* kCdnChunkHeader =
     "session_id,chunk_id,dwait_ms,dopen_ms,dread_ms,dbe_ms,cache_level,"
-    "chunk_bytes,pop,server,served_stale";
+    "chunk_bytes,pop,server,served_stale,shed,hedged,hedge_won,breaker,"
+    "budget_denied,served_swr";
 }
 
 void write_cdn_chunks_csv(std::ostream& out,
@@ -214,7 +222,10 @@ void write_cdn_chunks_csv(std::ostream& out,
     out << r.session_id << ',' << r.chunk_id << ',' << r.dwait_ms << ','
         << r.dopen_ms << ',' << r.dread_ms << ',' << r.dbe_ms << ','
         << cache_level_token(r.cache_level) << ',' << r.chunk_bytes << ','
-        << r.pop << ',' << r.server << ',' << (r.served_stale ? 1 : 0) << '\n';
+        << r.pop << ',' << r.server << ',' << (r.served_stale ? 1 : 0) << ','
+        << (r.shed ? 1 : 0) << ',' << (r.hedged ? 1 : 0) << ','
+        << (r.hedge_won ? 1 : 0) << ',' << cdn::to_string(r.breaker) << ','
+        << (r.budget_denied ? 1 : 0) << ',' << (r.served_swr ? 1 : 0) << '\n';
   }
 }
 
@@ -225,7 +236,7 @@ std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto f = split_csv_line(line);
-    expect_fields(f, 11, "cdn_chunks");
+    expect_fields(f, 17, "cdn_chunks");
     CdnChunkRecord r;
     r.session_id = std::stoull(f[0]);
     r.chunk_id = static_cast<std::uint32_t>(std::stoul(f[1]));
@@ -238,6 +249,12 @@ std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in) {
     r.pop = static_cast<std::uint32_t>(std::stoul(f[8]));
     r.server = static_cast<std::uint32_t>(std::stoul(f[9]));
     r.served_stale = f[10] == "1";
+    r.shed = f[11] == "1";
+    r.hedged = f[12] == "1";
+    r.hedge_won = f[13] == "1";
+    r.breaker = parse_breaker_state(f[14]);
+    r.budget_denied = f[15] == "1";
+    r.served_swr = f[16] == "1";
     records.push_back(r);
   }
   return records;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cdn/cache.h"
+#include "cdn/overload.h"
 #include "client/user_agent.h"
 #include "net/path_model.h"
 #include "net/prefix.h"
@@ -69,6 +70,17 @@ struct CdnChunkRecord {
   std::uint32_t server = 0;
   /// Served from cache while the origin was unreachable (degraded mode).
   bool served_stale = false;
+
+  // Overload protection (see cdn/overload.h).  shed/budget_denied are
+  // sticky over the chunk's failed attempts; the rest describe the
+  // delivering serve.
+  bool shed = false;           ///< an attempt was load-shed (local 503)
+  bool hedged = false;         ///< a hedge fetch raced a second replica
+  bool hedge_won = false;      ///< the hedge's first byte won
+  bool budget_denied = false;  ///< a retry was denied a backend re-fetch
+  bool served_swr = false;     ///< stale-while-revalidate (open breaker)
+  /// Serving server's breaker state observed by the delivering serve.
+  cdn::BreakerState breaker = cdn::BreakerState::kClosed;
 
   bool cache_hit() const { return cache_level != cdn::CacheLevel::kMiss; }
   /// Total server-side latency (Fig. 5 "total").

@@ -55,6 +55,14 @@ void expect_equal_server_stats(const std::vector<cdn::ServerStats>& a,
     EXPECT_EQ(a[i].misses, b[i].misses) << "server " << i;
     EXPECT_EQ(a[i].backend_fetches, b[i].backend_fetches) << "server " << i;
     EXPECT_EQ(a[i].stale_serves, b[i].stale_serves) << "server " << i;
+    EXPECT_EQ(a[i].shed_requests, b[i].shed_requests) << "server " << i;
+    EXPECT_EQ(a[i].hedged_fetches, b[i].hedged_fetches) << "server " << i;
+    EXPECT_EQ(a[i].hedge_wins, b[i].hedge_wins) << "server " << i;
+    EXPECT_EQ(a[i].breaker_open_transitions, b[i].breaker_open_transitions)
+        << "server " << i;
+    EXPECT_EQ(a[i].retry_budget_exhausted, b[i].retry_budget_exhausted)
+        << "server " << i;
+    EXPECT_EQ(a[i].swr_serves, b[i].swr_serves) << "server " << i;
   }
 }
 
@@ -129,6 +137,50 @@ TEST(EngineDeterminismTest, ShardCountInvariantUnderFaults) {
     engine::RunOptions options;
     options.shards = shards;
     options.faults = eventful_schedule();
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+    EXPECT_EQ(export_string(run.dataset), reference_csv)
+        << "shards=" << shards;
+    expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+  }
+}
+
+/// Overload-protection scenario: a flash crowd on every server of PoP 0
+/// (shedding active) plus a severe origin brownout (breakers trip, hedges
+/// race the slow primary) — the new state machines all engage.
+faults::FaultSchedule overload_schedule() {
+  return faults::FaultSchedule::scripted({
+      {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 0, 3.0},
+      {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 1, 3.0},
+      {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 2, 2.0},
+      {faults::FaultKind::kBackendSlowdown, 10'000.0, 60'000.0, 0, 0, 8.0},
+      {faults::FaultKind::kBackendOutage, 80'000.0, 15'000.0, 0, 0, 1.0},
+  });
+}
+
+TEST(EngineDeterminismTest, ShardCountInvariantUnderOverloadProtection) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.faults = overload_schedule();
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  // The protection layer must actually engage, or the test proves nothing:
+  // the flash crowd sheds low-priority work and the brownout trips
+  // per-session breakers.
+  std::uint64_t shed = 0, trips = 0;
+  for (const cdn::ServerStats& s : reference.server_stats) {
+    shed += s.shed_requests;
+    trips += s.breaker_open_transitions;
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(trips, 0u);
+
+  for (const std::size_t shards : {2, 4, 8}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    options.faults = overload_schedule();
     const engine::RunResult run = engine::run_simulation(scenario, options);
     EXPECT_EQ(export_string(run.dataset), reference_csv)
         << "shards=" << shards;

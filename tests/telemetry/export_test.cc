@@ -74,6 +74,12 @@ Dataset sample_dataset() {
   cc.pop = 1;
   cc.server = 3;
   cc.served_stale = true;
+  cc.shed = true;
+  cc.hedged = true;
+  cc.hedge_won = true;
+  cc.breaker = cdn::BreakerState::kHalfOpen;
+  cc.budget_denied = true;
+  cc.served_swr = true;
   d.cdn_chunks.push_back(cc);
 
   TcpSnapshotRecord ts;
@@ -150,6 +156,48 @@ TEST(ExportTest, CdnChunkRoundTrip) {
   EXPECT_EQ(loaded[0].pop, 1u);
   EXPECT_EQ(loaded[0].server, 3u);
   EXPECT_TRUE(loaded[0].served_stale);
+  EXPECT_TRUE(loaded[0].shed);
+  EXPECT_TRUE(loaded[0].hedged);
+  EXPECT_TRUE(loaded[0].hedge_won);
+  EXPECT_EQ(loaded[0].breaker, cdn::BreakerState::kHalfOpen);
+  EXPECT_TRUE(loaded[0].budget_denied);
+  EXPECT_TRUE(loaded[0].served_swr);
+}
+
+// The six overload-protection columns (shed/hedged/hedge_won/breaker/
+// budget_denied/served_swr) are flags and an enum: they must survive the
+// export -> import -> re-export cycle exactly, byte for byte.
+TEST(ExportTest, OverloadColumnsAreAFixedPoint) {
+  std::stringstream first;
+  const Dataset d = sample_dataset();
+  write_cdn_chunks_csv(first, d.cdn_chunks);
+  const std::string first_csv = first.str();
+  const auto once = read_cdn_chunks_csv(first);
+
+  std::stringstream second;
+  write_cdn_chunks_csv(second, once);
+  EXPECT_EQ(second.str(), first_csv);
+
+  ASSERT_EQ(once.size(), 1u);
+  EXPECT_TRUE(once[0].shed);
+  EXPECT_TRUE(once[0].hedged);
+  EXPECT_TRUE(once[0].hedge_won);
+  EXPECT_EQ(once[0].breaker, cdn::BreakerState::kHalfOpen);
+  EXPECT_TRUE(once[0].budget_denied);
+  EXPECT_TRUE(once[0].served_swr);
+
+  // Every breaker state names itself uniquely in the CSV.
+  Dataset states = sample_dataset();
+  states.cdn_chunks[0].breaker = cdn::BreakerState::kClosed;
+  CdnChunkRecord open_chunk = states.cdn_chunks[0];
+  open_chunk.breaker = cdn::BreakerState::kOpen;
+  states.cdn_chunks.push_back(open_chunk);
+  std::stringstream buffer;
+  write_cdn_chunks_csv(buffer, states.cdn_chunks);
+  const auto loaded = read_cdn_chunks_csv(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].breaker, cdn::BreakerState::kClosed);
+  EXPECT_EQ(loaded[1].breaker, cdn::BreakerState::kOpen);
 }
 
 TEST(ExportTest, TcpSnapshotRoundTrip) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + ctest, then the sim/cdn/core/faults
-# suites again under AddressSanitizer (VSTREAM_SANITIZE=address), the
-# engine/core suites under UBSan (VSTREAM_SANITIZE=undefined), and the
+# Tier-1 verification: full build + ctest, then the sim/cdn/core/faults/
+# engine suites again under AddressSanitizer (VSTREAM_SANITIZE=address),
+# the engine/core suites under UBSan (VSTREAM_SANITIZE=undefined), and the
 # sharded engine suite under TSan (VSTREAM_SANITIZE=thread) at >= 4
-# worker threads.
+# worker threads.  The engine ASan/TSan passes exercise the overload-
+# protection layer (breakers, shedding, hedges) via the determinism
+# suite's overload scenario.
 #
 # Usage: tools/tier1.sh [build-dir] [asan-build-dir] [ubsan-build-dir] \
 #                       [tsan-build-dir]
@@ -24,10 +26,10 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 echo "==> tier-1: ASan build ($asan_dir)"
 cmake -B "$asan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=address
-cmake --build "$asan_dir" -j --target test_sim test_cdn test_core test_faults
+cmake --build "$asan_dir" -j --target test_sim test_cdn test_core test_faults test_engine
 
-echo "==> tier-1: ASan suites (sim, cdn, core, faults)"
-for suite in test_sim test_cdn test_core test_faults; do
+echo "==> tier-1: ASan suites (sim, cdn, core, faults, engine)"
+for suite in test_sim test_cdn test_core test_faults test_engine; do
   echo "--> $suite"
   "$asan_dir/tests/$suite"
 done

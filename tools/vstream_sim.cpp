@@ -11,6 +11,7 @@
 // Runs on the layered sharded engine (deterministic for any --shards /
 // VSTREAM_SHARDS value) and prints a QoE and CDN summary either way.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,9 +37,26 @@ namespace {
       "          [--abr fixed|rate|buffer|hybrid]\n"
       "          [--routing cache|partitioned] [--cache lru|lfu|gdsize]\n"
       "          [--prefetch N] [--pacing] [--universal-head]\n"
-      "          [--abr-outlier-filter] [--out DIR]\n",
+      "          [--abr-outlier-filter] [--out DIR]\n"
+      "          [--breaker-threshold MS] [--retry-budget PCT]\n"
+      "          [--shed-watermark PCT]\n",
       argv0);
   std::exit(2);
+}
+
+/// Strict positive-number parse for the overload knobs (same contract as
+/// the VSTREAM_* environment variables: zero/negative/non-numeric exit 2).
+double positive_double_arg(const char* flag, const std::string& raw) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE ||
+      !(parsed > 0.0)) {
+    std::fprintf(stderr, "%s must be a positive number, got \"%s\"\n", flag,
+                 raw.c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 client::AbrKind parse_abr(const std::string& s, const char* argv0) {
@@ -97,6 +115,15 @@ int main(int argc, char** argv) {
       options.universal_head = true;
     } else if (arg == "--abr-outlier-filter") {
       scenario.abr_filters_throughput_outliers = true;
+    } else if (arg == "--breaker-threshold") {
+      scenario.fleet.server.overload.breaker_latency_threshold_ms =
+          positive_double_arg("--breaker-threshold", next());
+    } else if (arg == "--retry-budget") {
+      scenario.fleet.server.overload.retry_budget_ratio =
+          positive_double_arg("--retry-budget", next()) / 100.0;
+    } else if (arg == "--shed-watermark") {
+      scenario.fleet.server.overload.shed_watermark =
+          positive_double_arg("--shed-watermark", next()) / 100.0;
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -147,18 +174,25 @@ int main(int argc, char** argv) {
 
   core::print_header("CDN summary");
   std::uint64_t ram = 0, disk = 0, miss = 0, total = 0, backend = 0;
+  std::uint64_t shed = 0, hedged = 0, swr = 0;
   for (const cdn::ServerStats& s : analyzed.run.server_stats) {
     ram += s.ram_hits;
     disk += s.disk_hits;
     miss += s.misses;
     total += s.requests_served;
     backend += s.backend_requests();
+    shed += s.shed_requests;
+    hedged += s.hedged_fetches;
+    swr += s.swr_serves;
   }
   const double n = static_cast<double>(total);
   core::print_metric("ram_hit_share", static_cast<double>(ram) / n);
   core::print_metric("disk_hit_share", static_cast<double>(disk) / n);
   core::print_metric("miss_share", static_cast<double>(miss) / n);
   core::print_metric("backend_requests", static_cast<double>(backend));
+  core::print_metric("shed_requests", static_cast<double>(shed));
+  core::print_metric("hedged_fetches", static_cast<double>(hedged));
+  core::print_metric("swr_serves", static_cast<double>(swr));
 
   if (!out_dir.empty()) {
     telemetry::export_dataset(analyzed.run.dataset, out_dir);
