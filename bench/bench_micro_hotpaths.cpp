@@ -1,14 +1,28 @@
-// google-benchmark microbenchmarks of the simulator's hot paths: cache
-// operations per eviction policy, TCP chunk transfers, Zipf sampling and
-// the statistical kernels.
+// google-benchmark microbenchmarks of the simulator's hot paths: the event
+// loop, the isolated serve path, tcp_info sampling, the offline join, CSV
+// export, cache operations per eviction policy, TCP chunk transfers, Zipf
+// sampling and the statistical kernels.
+//
+// The custom main() additionally times one end-to-end paper workload and
+// writes every measured rate to BENCH_hotpaths.json (bench_json.h) so the
+// tier-1 perf smoke and cross-commit tooling get machine-readable numbers.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <sstream>
 
 #include "analysis/detectors.h"
 #include "analysis/stats.h"
+#include "bench_common.h"
+#include "bench_json.h"
+#include "cdn/ats_server.h"
 #include "cdn/cache.h"
 #include "net/packet_sim.h"
 #include "net/tcp_model.h"
+#include "sim/event_queue.h"
 #include "sim/zipf.h"
+#include "telemetry/collector.h"
+#include "telemetry/export.h"
 #include "telemetry/join.h"
 
 using namespace vstream;
@@ -141,6 +155,228 @@ void BM_SummarizeStats(benchmark::State& state) {
 }
 BENCHMARK(BM_SummarizeStats)->Arg(1'000)->Arg(100'000);
 
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::uint64_t fired = 0;
+  constexpr int kEvents = 64;
+  for (auto _ : state) {
+    queue.reset();
+    for (int i = 0; i < kEvents; ++i) {
+      queue.schedule_at(static_cast<sim::Ms>(i % 16), [&fired] { ++fired; });
+    }
+    queue.run_all();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_ServeIsolatedRamHit(benchmark::State& state) {
+  // The sharded engine's per-chunk serve: warm-archive RAM hit with a
+  // session overlay, the path nearly every steady-state chunk takes.
+  cdn::AtsServer server(cdn::AtsConfig{}, cdn::BackendConfig{});
+  cdn::TwoLevelCache warm(8ull << 30, 64ull << 30, cdn::PolicyKind::kLru);
+  constexpr std::uint32_t kVideos = 256;
+  for (std::uint32_t v = 0; v < kVideos; ++v) {
+    warm.admit(cdn::ChunkKey{v, 0, 1'500}, 1 << 20);
+  }
+  cdn::SessionServerState session;
+  cdn::ServerStats stats;
+  sim::Rng rng(9);
+  std::uint32_t v = 0;
+  sim::Ms now = 0.0;
+  for (auto _ : state) {
+    const cdn::ChunkKey key{v++ % kVideos, 0, 1'500};
+    now += 4.0;
+    benchmark::DoNotOptimize(
+        server.serve_isolated(key, 1 << 20, now, rng, warm, session, stats));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeIsolatedRamHit);
+
+void BM_CollectorSampleTransfer(benchmark::State& state) {
+  telemetry::Collector collector(500.0);
+  collector.reserve(4, 1 << 16);
+  std::vector<net::RoundSample> rounds(24);
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    rounds[i].at_ms = 40.0 * static_cast<double>(i + 1);
+    rounds[i].info.srtt_ms = 42.0;
+    rounds[i].info.cwnd_segments = 64;
+  }
+  sim::Ms at = 0.0;
+  std::uint32_t chunk = 0;
+  for (auto _ : state) {
+    collector.sample_transfer(1, chunk++, at, rounds);
+    at += 1'000.0;
+    if (collector.data().tcp_snapshots.size() > (1u << 16) - 8) {
+      state.PauseTiming();
+      (void)collector.take();
+      collector.reserve(4, 1 << 16);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CollectorSampleTransfer);
+
+/// Synthetic N-session dataset shared by the join and export benches.
+telemetry::Dataset make_bench_dataset(std::size_t sessions,
+                                      std::size_t chunks_per_session) {
+  telemetry::Dataset data;
+  sim::Rng rng(5);
+  for (std::size_t s = 1; s <= sessions; ++s) {
+    telemetry::PlayerSessionRecord ps;
+    ps.session_id = s;
+    ps.client_ip = static_cast<std::uint32_t>(0x0A000000 + s);
+    ps.user_agent = "Mozilla/5.0 (bench)";
+    ps.video_duration_s = 600.0;
+    data.player_sessions.push_back(ps);
+    telemetry::CdnSessionRecord cs;
+    cs.session_id = s;
+    cs.observed_ip = ps.client_ip;
+    cs.observed_user_agent = ps.user_agent;
+    cs.org = "bench-isp";
+    cs.city = "bench-city";
+    cs.country = "BC";
+    data.cdn_sessions.push_back(cs);
+    for (std::size_t c = 0; c < chunks_per_session; ++c) {
+      telemetry::PlayerChunkRecord pc;
+      pc.session_id = s;
+      pc.chunk_id = static_cast<std::uint32_t>(c);
+      pc.request_sent_ms = 4'000.0 * static_cast<double>(c);
+      pc.dfb_ms = rng.lognormal_median(80.0, 0.4);
+      pc.dlb_ms = rng.lognormal_median(2'500.0, 0.3);
+      pc.bitrate_kbps = 3'000;
+      pc.avg_fps = 59.94;
+      data.player_chunks.push_back(pc);
+      telemetry::CdnChunkRecord cc;
+      cc.session_id = s;
+      cc.chunk_id = pc.chunk_id;
+      cc.dread_ms = 1.5;
+      cc.cache_level = cdn::CacheLevel::kRam;
+      cc.chunk_bytes = 1'125'000;
+      data.cdn_chunks.push_back(cc);
+      telemetry::TcpSnapshotRecord snap;
+      snap.session_id = s;
+      snap.chunk_id = pc.chunk_id;
+      snap.at_ms = pc.request_sent_ms + pc.dfb_ms;
+      snap.info.srtt_ms = 50.0;
+      snap.info.cwnd_segments = 40;
+      snap.info.mss_bytes = 1'460;
+      snap.info.segments_out = 800 * (c + 1);
+      data.tcp_snapshots.push_back(snap);
+    }
+  }
+  return data;
+}
+
+void BM_JoinDataset(benchmark::State& state) {
+  const auto sessions = static_cast<std::size_t>(state.range(0));
+  const telemetry::Dataset data = make_bench_dataset(sessions, 32);
+  for (auto _ : state) {
+    const auto joined = telemetry::JoinedDataset::build(data);
+    benchmark::DoNotOptimize(joined.sessions().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sessions));
+}
+BENCHMARK(BM_JoinDataset)->Arg(64);
+
+void BM_ExportCsv(benchmark::State& state) {
+  const auto sessions = static_cast<std::size_t>(state.range(0));
+  const telemetry::Dataset data = make_bench_dataset(sessions, 32);
+  const std::size_t rows = data.player_sessions.size() +
+                           data.cdn_sessions.size() +
+                           data.player_chunks.size() + data.cdn_chunks.size() +
+                           data.tcp_snapshots.size();
+  std::ostringstream out;
+  for (auto _ : state) {
+    out.str(std::string());
+    telemetry::write_player_sessions_csv(out, data.player_sessions);
+    telemetry::write_cdn_sessions_csv(out, data.cdn_sessions);
+    telemetry::write_player_chunks_csv(out, data.player_chunks);
+    telemetry::write_cdn_chunks_csv(out, data.cdn_chunks);
+    telemetry::write_tcp_snapshots_csv(out, data.tcp_snapshots);
+    benchmark::DoNotOptimize(out.tellp());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ExportCsv)->Arg(64);
+
+/// Console reporter that also captures every run for the JSON emitter.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) captured_.push_back(run);
+  }
+
+  /// Per-benchmark rate metrics: items/s where SetItemsProcessed was
+  /// called, plain iterations/s otherwise.
+  std::vector<bench::JsonMetric> metrics() const {
+    std::vector<bench::JsonMetric> out;
+    for (const Run& run : captured_) {
+      if (run.iterations == 0 || run.real_accumulated_time <= 0.0) continue;
+      bench::JsonMetric metric;
+      metric.name = sanitized(run.benchmark_name());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        metric.value = items->second;
+        metric.unit = "items/s";
+      } else {
+        metric.value = static_cast<double>(run.iterations) /
+                       run.real_accumulated_time;
+        metric.unit = "iterations/s";
+      }
+      out.push_back(std::move(metric));
+    }
+    return out;
+  }
+
+ private:
+  static std::string sanitized(std::string name) {
+    for (char& c : name) {
+      if (c == '/' || c == ':' || c == '.') c = '_';
+    }
+    return name;
+  }
+
+  std::vector<Run> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // End-to-end throughput: the paper workload through the sharded engine
+  // (single shard unless VSTREAM_SHARDS overrides), wall-clock timed.
+  // VSTREAM_BENCH_SESSIONS overrides the session count as usual.
+  const std::size_t sessions = bench::bench_session_count(300);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    const bench::BenchRun run = bench::run_paper_workload(sessions);
+    benchmark::DoNotOptimize(run.result.dataset.player_chunks.size());
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<bench::JsonMetric> metrics = reporter.metrics();
+  metrics.push_back({"end_to_end_sessions_per_s",
+                     static_cast<double>(sessions) / elapsed_s, "sessions/s"});
+  bench::emit_json("BENCH_hotpaths.json", "hotpaths", metrics);
+  std::printf("end_to_end: %zu sessions in %.3f s (%.1f sessions/s)\n",
+              sessions, elapsed_s,
+              static_cast<double>(sessions) / elapsed_s);
+  std::printf("wrote BENCH_hotpaths.json (%zu metrics)\n",
+              metrics.size());
+
+  benchmark::Shutdown();
+  return 0;
+}

@@ -217,6 +217,12 @@ class AtsServer {
     cache_.admit(key, size_bytes);
   }
 
+  /// Pre-size the cache indexes (expected resident objects per level) —
+  /// called by the warm-up before bulk admission.
+  void reserve_cache(std::size_t ram_objects, std::size_t disk_objects) {
+    cache_.reserve(ram_objects, disk_objects);
+  }
+
   /// Exponentially decayed request arrival rate (requests/s) — the load
   /// proxy the paper estimates as "parallel HTTP requests ... per second"
   /// (§4.1-2 footnote).

@@ -11,22 +11,28 @@ CacheStore::CacheStore(std::uint64_t capacity_bytes,
   if (policy_ == nullptr) throw std::invalid_argument("CacheStore: null policy");
 }
 
-void CacheStore::touch(const ChunkKey& key) {
-  if (objects_.contains(key)) policy_->on_access(key);
+bool CacheStore::touch(const ChunkKey& key) { return policy_->on_access(key); }
+
+void CacheStore::reserve(std::size_t expected_objects) {
+  objects_.reserve(expected_objects);
+  policy_->reserve(expected_objects);
 }
 
 bool CacheStore::insert(const ChunkKey& key, std::uint64_t size_bytes) {
   if (size_bytes > capacity_bytes_) return false;
-  if (objects_.contains(key)) {
+  const auto [it, inserted] = objects_.try_emplace(key, size_bytes);
+  if (!inserted) {
     policy_->on_access(key);
     return true;
   }
+  // Evict until the new object fits.  The policy has not seen `key` yet,
+  // so victims come from the previously resident set, exactly as when the
+  // eviction loop preceded the index insertion.
   while (used_bytes_ + size_bytes > capacity_bytes_) {
     const ChunkKey victim = policy_->choose_victim();
     erase(victim);
     ++evictions_;
   }
-  objects_[key] = size_bytes;
   used_bytes_ += size_bytes;
   policy_->on_insert(key, size_bytes);
   return true;
@@ -56,13 +62,11 @@ TwoLevelCache::TwoLevelCache(std::uint64_t ram_bytes, std::uint64_t disk_bytes,
 
 CacheLevel TwoLevelCache::lookup(const ChunkKey& key,
                                  std::uint64_t size_bytes) {
-  if (ram_.contains(key)) {
-    ram_.touch(key);
+  if (ram_.touch(key)) {
     disk_.touch(key);  // keep disk recency in sync for RAM-resident objects
     return CacheLevel::kRam;
   }
-  if (disk_.contains(key)) {
-    disk_.touch(key);
+  if (disk_.touch(key)) {
     ram_.insert(key, size_bytes);  // promote: it is now "fresh in memory"
     return CacheLevel::kDisk;
   }
@@ -78,6 +82,20 @@ CacheLevel TwoLevelCache::peek(const ChunkKey& key) const {
 void TwoLevelCache::admit(const ChunkKey& key, std::uint64_t size_bytes) {
   disk_.insert(key, size_bytes);
   ram_.insert(key, size_bytes);
+}
+
+void TwoLevelCache::reserve(std::size_t ram_objects, std::size_t disk_objects) {
+  ram_.reserve(ram_objects);
+  disk_.reserve(disk_objects);
+}
+
+void TwoLevelCache::warm_bulk(
+    std::span<const std::pair<ChunkKey, std::uint64_t>> disk_items,
+    std::span<const std::pair<ChunkKey, std::uint64_t>> ram_items) {
+  disk_.reserve(disk_items.size());
+  ram_.reserve(ram_items.size());
+  for (const auto& [key, size] : disk_items) disk_.insert(key, size);
+  for (const auto& [key, size] : ram_items) ram_.insert(key, size);
 }
 
 }  // namespace vstream::cdn

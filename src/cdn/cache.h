@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 
 #include "cdn/cache_policy.h"
 #include "cdn/chunk.h"
@@ -22,8 +24,13 @@ class CacheStore {
 
   bool contains(const ChunkKey& key) const { return objects_.contains(key); }
 
-  /// Record a hit (moves the object in the policy's order).
-  void touch(const ChunkKey& key);
+  /// Record a hit (moves the object in the policy's order).  Returns
+  /// whether the object is resident — the policy tracks exactly the
+  /// resident set, so presence and the recency update cost one lookup.
+  bool touch(const ChunkKey& key);
+
+  /// Pre-size the index and policy for about this many resident objects.
+  void reserve(std::size_t expected_objects);
 
   /// Insert an object, evicting as needed.  Objects larger than the whole
   /// capacity are not admitted.  Returns false if not admitted.
@@ -69,6 +76,16 @@ class TwoLevelCache {
 
   /// Admit a freshly fetched object (backend miss path).
   void admit(const ChunkKey& key, std::uint64_t size_bytes);
+
+  /// Pre-size both levels (expected resident object counts).
+  void reserve(std::size_t ram_objects, std::size_t disk_objects);
+
+  /// Bulk warm-load: directly insert each level's final resident set
+  /// (deduplicated, oldest -> newest, pre-sized to fit capacity), skipping
+  /// the write-through admission churn.  Precondition: both levels empty.
+  void warm_bulk(
+      std::span<const std::pair<ChunkKey, std::uint64_t>> disk_items,
+      std::span<const std::pair<ChunkKey, std::uint64_t>> ram_items);
 
   const CacheStore& ram() const { return ram_; }
   const CacheStore& disk() const { return disk_; }

@@ -7,28 +7,76 @@ namespace vstream::cdn {
 
 // ---------------------------------------------------------------- LRU
 
-void LruPolicy::on_insert(const ChunkKey& key, std::uint64_t /*size_bytes*/) {
-  assert(!position_.contains(key));
-  order_.push_front(key);
-  position_[key] = order_.begin();
+std::uint32_t LruPolicy::acquire_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t index = free_head_;
+    free_head_ = nodes_[index].next;
+    return index;
+  }
+  nodes_.push_back(Node{});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
-void LruPolicy::on_access(const ChunkKey& key) {
+void LruPolicy::unlink(std::uint32_t index) {
+  Node& node = nodes_[index];
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNil) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+}
+
+void LruPolicy::link_front(std::uint32_t index) {
+  Node& node = nodes_[index];
+  node.prev = kNil;
+  node.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = index;
+  head_ = index;
+  if (tail_ == kNil) tail_ = index;
+}
+
+void LruPolicy::on_insert(const ChunkKey& key, std::uint64_t /*size_bytes*/) {
+  assert(!position_.contains(key));
+  const std::uint32_t index = acquire_node();
+  nodes_[index].key = key;
+  link_front(index);
+  position_.emplace(key, index);
+}
+
+bool LruPolicy::on_access(const ChunkKey& key) {
   const auto it = position_.find(key);
-  if (it == position_.end()) return;  // tolerate spurious notifications
-  order_.splice(order_.begin(), order_, it->second);
+  if (it == position_.end()) return false;  // tolerate spurious notifications
+  const std::uint32_t index = it->second;
+  if (index != head_) {
+    unlink(index);
+    link_front(index);
+  }
+  return true;
 }
 
 ChunkKey LruPolicy::choose_victim() {
-  if (order_.empty()) throw std::logic_error("LruPolicy: empty cache");
-  return order_.back();
+  if (tail_ == kNil) throw std::logic_error("LruPolicy: empty cache");
+  return nodes_[tail_].key;
 }
 
 void LruPolicy::on_evict(const ChunkKey& key) {
   const auto it = position_.find(key);
   if (it == position_.end()) return;
-  order_.erase(it->second);
+  const std::uint32_t index = it->second;
+  unlink(index);
+  nodes_[index].next = free_head_;  // return the slot to the free list
+  free_head_ = index;
   position_.erase(it);
+}
+
+void LruPolicy::reserve(std::size_t expected_objects) {
+  nodes_.reserve(expected_objects);
+  position_.reserve(expected_objects);
 }
 
 // ---------------------------------------------------------------- LFU
@@ -42,13 +90,14 @@ void PerfectLfuPolicy::on_insert(const ChunkKey& key,
   by_freq_[entry] = key;
 }
 
-void PerfectLfuPolicy::on_access(const ChunkKey& key) {
+bool PerfectLfuPolicy::on_access(const ChunkKey& key) {
   const auto it = resident_.find(key);
-  if (it == resident_.end()) return;
+  if (it == resident_.end()) return false;
   by_freq_.erase(it->second);
   const Entry entry{++history_[key], next_seq_++};
   it->second = entry;
   by_freq_[entry] = key;
+  return true;
 }
 
 ChunkKey PerfectLfuPolicy::choose_victim() {
@@ -74,14 +123,15 @@ void GdSizePolicy::on_insert(const ChunkKey& key, std::uint64_t size_bytes) {
   by_priority_[entry] = key;
 }
 
-void GdSizePolicy::on_access(const ChunkKey& key) {
+bool GdSizePolicy::on_access(const ChunkKey& key) {
   const auto it = resident_.find(key);
-  if (it == resident_.end()) return;
+  if (it == resident_.end()) return false;
   by_priority_.erase(it->second);
   const Entry entry{inflation_ + 1.0 / static_cast<double>(sizes_[key]),
                     next_seq_++};
   it->second = entry;
   by_priority_[entry] = key;
+  return true;
 }
 
 ChunkKey GdSizePolicy::choose_victim() {

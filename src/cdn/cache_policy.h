@@ -7,12 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cdn/chunk.h"
 
@@ -25,8 +24,11 @@ class CachePolicy {
   /// A resident object was inserted (must not already be resident).
   virtual void on_insert(const ChunkKey& key, std::uint64_t size_bytes) = 0;
 
-  /// A resident object was accessed (hit).
-  virtual void on_access(const ChunkKey& key) = 0;
+  /// A resident object was accessed.  Returns whether the policy tracks the
+  /// object (i.e. it is resident); non-resident keys are a tolerated no-op.
+  /// The return value lets the cache answer "resident?" and update recency
+  /// with a single hash lookup on the hit path.
+  virtual bool on_access(const ChunkKey& key) = 0;
 
   /// Pick the resident object to evict next.  Precondition: non-empty.
   virtual ChunkKey choose_victim() = 0;
@@ -34,22 +36,45 @@ class CachePolicy {
   /// A resident object was removed (eviction or invalidation).
   virtual void on_evict(const ChunkKey& key) = 0;
 
+  /// Capacity hint: the caller expects about this many resident objects.
+  virtual void reserve(std::size_t /*expected_objects*/) {}
+
   virtual std::string name() const = 0;
 };
 
 /// Classic LRU over resident objects (ATS default).
+///
+/// The recency list is intrusive over a slot arena (vector + free list)
+/// instead of a std::list: steady-state serving churns the order on every
+/// hit and eviction, and per-node heap allocation dominated the policy's
+/// cost in profiles.  Victim order is identical to the std::list version.
 class LruPolicy final : public CachePolicy {
  public:
   void on_insert(const ChunkKey& key, std::uint64_t size_bytes) override;
-  void on_access(const ChunkKey& key) override;
+  bool on_access(const ChunkKey& key) override;
   ChunkKey choose_victim() override;
   void on_evict(const ChunkKey& key) override;
+  void reserve(std::size_t expected_objects) override;
   std::string name() const override { return "lru"; }
 
  private:
-  std::list<ChunkKey> order_;  // front = most recent
-  std::unordered_map<ChunkKey, std::list<ChunkKey>::iterator, ChunkKeyHash>
-      position_;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    ChunkKey key;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  std::uint32_t acquire_node();
+  void unlink(std::uint32_t index);
+  void link_front(std::uint32_t index);
+
+  std::vector<Node> nodes_;   // arena; free slots chained through `next`
+  std::uint32_t head_ = kNil;  // most recent
+  std::uint32_t tail_ = kNil;  // least recent
+  std::uint32_t free_head_ = kNil;
+  std::unordered_map<ChunkKey, std::uint32_t, ChunkKeyHash> position_;
 };
 
 /// Perfect LFU: frequency counts persist across evictions (Breslau et al.),
@@ -57,7 +82,7 @@ class LruPolicy final : public CachePolicy {
 class PerfectLfuPolicy final : public CachePolicy {
  public:
   void on_insert(const ChunkKey& key, std::uint64_t size_bytes) override;
-  void on_access(const ChunkKey& key) override;
+  bool on_access(const ChunkKey& key) override;
   ChunkKey choose_victim() override;
   void on_evict(const ChunkKey& key) override;
   std::string name() const override { return "perfect-lfu"; }
@@ -81,7 +106,7 @@ class PerfectLfuPolicy final : public CachePolicy {
 class GdSizePolicy final : public CachePolicy {
  public:
   void on_insert(const ChunkKey& key, std::uint64_t size_bytes) override;
-  void on_access(const ChunkKey& key) override;
+  bool on_access(const ChunkKey& key) override;
   ChunkKey choose_victim() override;
   void on_evict(const ChunkKey& key) override;
   std::string name() const override { return "gd-size"; }

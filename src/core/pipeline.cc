@@ -25,6 +25,7 @@ Pipeline::Pipeline(workload::Scenario scenario)
   ctx_.collector = &collector_;
   ctx_.ground_truth = &ground_truth_;
   ctx_.bad_prefixes = &bad_prefixes_;
+  ctx_.round_scratch = &round_scratch_;
 }
 
 void Pipeline::warm_caches(double disk_fill, bool universal_head) {
@@ -38,10 +39,12 @@ void Pipeline::run() {
   // (generator draw, then substream fork) matches engine::admit_sessions.
   std::vector<std::unique_ptr<engine::SessionRuntime>> sessions;
   sessions.reserve(scenario_.session_count);
+  std::size_t expected_chunks = 0;
   for (std::size_t i = 0; i < scenario_.session_count; ++i) {
     const workload::SessionSpec spec = generator_->next(rng_);
     extra_session_clock_ms_ =
         std::max(extra_session_clock_ms_, spec.start_time_ms);
+    expected_chunks += spec.chunk_count;
     sessions.push_back(std::make_unique<engine::SessionRuntime>(
         ctx_, spec, rng_.fork(), nullptr));
     engine::SessionRuntime* runtime = sessions.back().get();
@@ -49,7 +52,8 @@ void Pipeline::run() {
       step_event(runtime);
     });
   }
-  queue_.run();
+  collector_.reserve(scenario_.session_count, expected_chunks);
+  queue_.run_all();
 }
 
 void Pipeline::inject_faults(faults::FaultSchedule schedule) {

@@ -112,6 +112,8 @@ class Pipeline {
   std::unique_ptr<faults::FaultInjector> injector_;
   GroundTruth ground_truth_;
   std::unordered_set<net::Prefix24> bad_prefixes_;
+  /// Shared per-round sample buffer (sessions step sequentially).
+  std::vector<net::RoundSample> round_scratch_;
   engine::RunContext ctx_;
   double extra_session_clock_ms_ = 0.0;
 };

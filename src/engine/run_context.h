@@ -15,6 +15,7 @@
 #include "engine/warmup.h"
 #include "faults/fault_injector.h"
 #include "net/prefix.h"
+#include "net/tcp_model.h"
 #include "telemetry/collector.h"
 #include "workload/catalog.h"
 #include "workload/scenario.h"
@@ -41,6 +42,13 @@ struct RunContext {
   const WarmArchive* warm_archive = nullptr;
   /// Per-server serve counters, indexed pop * servers_per_pop + server.
   std::vector<cdn::ServerStats>* server_stats = nullptr;
+
+  /// Execution-domain scratch for per-round TCP samples.  Sessions within
+  /// a domain step strictly sequentially (one event loop), so one buffer,
+  /// cleared per chunk, serves them all — its capacity is reused instead
+  /// of reallocated on every chunk transfer.  Null falls back to a local
+  /// vector (tests that build a bare RunContext).
+  std::vector<net::RoundSample>* round_scratch = nullptr;
 };
 
 }  // namespace vstream::engine

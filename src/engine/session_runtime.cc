@@ -278,7 +278,10 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
     }
     conn_->mutable_path().set_random_loss(loss);
   }
-  std::vector<net::RoundSample> rounds;
+  std::vector<net::RoundSample> local_rounds;
+  std::vector<net::RoundSample>& rounds =
+      ctx_.round_scratch != nullptr ? *ctx_.round_scratch : local_rounds;
+  rounds.clear();
   const net::TransferResult transfer = conn_->transfer(bytes, &rounds);
 
   // ---- download stack ----

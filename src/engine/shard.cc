@@ -19,6 +19,7 @@ Shard::Shard(const workload::Scenario& scenario,
   ctx_.bad_prefixes = bad_prefixes;
   ctx_.warm_archive = &warm;
   ctx_.server_stats = &server_stats_;
+  ctx_.round_scratch = &round_scratch_;
   if (faults != nullptr && !faults->empty()) {
     injector_ =
         std::make_unique<faults::FaultInjector>(fleet_, queue_, *faults);
@@ -41,6 +42,14 @@ ShardResult Shard::run(std::span<const AdmittedSession> sessions) {
   // the same relative order on every shard, for every shard count.
   if (injector_ != nullptr) injector_->arm();
 
+  // Pre-size the telemetry streams: the admitted specs bound the record
+  // counts, so steady-state recording appends without reallocating.
+  std::size_t expected_chunks = 0;
+  for (const AdmittedSession& session : sessions) {
+    expected_chunks += session.spec.chunk_count;
+  }
+  collector_.reserve(sessions.size(), expected_chunks);
+
   // Materialize the runtimes, then let the event queue interleave the
   // sessions: every chunk request fires in true timestamp order.  Routing
   // happens at construction, before any fault epoch has been applied, so
@@ -54,7 +63,7 @@ ShardResult Shard::run(std::span<const AdmittedSession> sessions) {
     queue_.schedule_at(session.spec.start_time_ms,
                        [this, runtime] { step_event(runtime); });
   }
-  queue_.run();
+  queue_.run_all();
 
   ShardResult result;
   result.dataset = collector_.take();

@@ -56,6 +56,9 @@ class Shard {
   GroundTruth ground_truth_;
   std::vector<cdn::ServerStats> server_stats_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  /// Shared per-round sample buffer for this shard's sessions (sessions
+  /// step sequentially on the shard's event loop).
+  std::vector<net::RoundSample> round_scratch_;
   RunContext ctx_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "client/abr.h"
 
@@ -122,9 +125,21 @@ WarmArchive::WarmArchive(const cdn::FleetConfig& config) {
 
 void warm_fleet(cdn::Fleet& fleet, const workload::VideoCatalog& catalog,
                 double disk_fill, bool universal_head) {
+  const cdn::AtsConfig& server_config = fleet.config().server;
+  const double ram_share =
+      static_cast<double>(server_config.ram_bytes) /
+      std::max(1.0, disk_fill * static_cast<double>(server_config.disk_bytes));
   for (std::uint32_t sidx = 0; sidx < fleet.servers_per_pop(); ++sidx) {
+    std::size_t admits = 0;
+    enumerate_warm_set(fleet, catalog, sidx, disk_fill, universal_head,
+                       [&](const cdn::ChunkKey&, std::uint64_t) { ++admits; });
+    const auto ram_objects =
+        static_cast<std::size_t>(static_cast<double>(admits) * ram_share) + 16;
     // Warm content only depends on the within-PoP index, so one traversal
     // feeds the same-index server of every PoP.
+    for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
+      fleet.server({pop, sidx}).reserve_cache(ram_objects, admits);
+    }
     enumerate_warm_set(fleet, catalog, sidx, disk_fill, universal_head,
                        [&](const cdn::ChunkKey& key, std::uint64_t size) {
                          for (std::uint32_t pop = 0; pop < fleet.pop_count();
@@ -135,16 +150,74 @@ void warm_fleet(cdn::Fleet& fleet, const workload::VideoCatalog& catalog,
   }
 }
 
+namespace {
+
+/// The final resident set of an empty LRU level fed an admission sequence:
+/// dedupe by *last* admission (re-admits only refresh recency), then take
+/// the maximal most-recent suffix whose bytes fit the capacity.  Greedy
+/// LRU eviction can only ever remove objects older than that suffix — by
+/// the time any suffix member could be threatened, everything older has
+/// already been evicted and the remaining bytes fit.  Returned oldest ->
+/// newest (admissible insertion order).  LRU-specific by construction;
+/// tests/engine/warmup_test.cc pins the equivalence against the
+/// write-through admission path.
+std::vector<std::pair<cdn::ChunkKey, std::uint64_t>> lru_resident_suffix(
+    const std::vector<std::pair<cdn::ChunkKey, std::uint64_t>>& sequence,
+    const std::vector<char>& is_last, std::uint64_t capacity_bytes) {
+  std::vector<std::pair<cdn::ChunkKey, std::uint64_t>> resident;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = sequence.size(); i-- > 0;) {
+    if (!is_last[i]) continue;
+    const std::uint64_t size = sequence[i].second;
+    if (size > capacity_bytes) continue;  // never admitted, evicts nothing
+    if (bytes + size > capacity_bytes) break;
+    bytes += size;
+    resident.push_back(sequence[i]);
+  }
+  std::reverse(resident.begin(), resident.end());
+  return resident;
+}
+
+}  // namespace
+
 WarmArchive build_warm_archive(const cdn::Fleet& prototype,
                                const workload::VideoCatalog& catalog,
-                               double disk_fill, bool universal_head) {
+                               double disk_fill, bool universal_head,
+                               WarmBuildMode mode) {
   WarmArchive archive(prototype.config());
+  const cdn::AtsConfig& server = prototype.config().server;
   for (std::uint32_t sidx = 0; sidx < prototype.servers_per_pop(); ++sidx) {
     cdn::TwoLevelCache& cache = archive.mutable_for_server(sidx);
+    if (mode == WarmBuildMode::kWriteThrough ||
+        server.policy != cdn::PolicyKind::kLru) {
+      // Non-LRU policies take the plain write-through admission path (the
+      // suffix shortcut below encodes LRU's eviction order).
+      enumerate_warm_set(prototype, catalog, sidx, disk_fill, universal_head,
+                         [&](const cdn::ChunkKey& key, std::uint64_t size) {
+                           cache.admit(key, size);
+                         });
+      continue;
+    }
+    // LRU fast path.  The archive is immutable once built — sharded serving
+    // only reads residency — so instead of replaying every admission
+    // through the write-through hierarchy (which cycles nearly the whole
+    // warm set through the small RAM level), compute each level's final
+    // resident set directly and insert exactly those objects.
+    std::vector<std::pair<cdn::ChunkKey, std::uint64_t>> sequence;
     enumerate_warm_set(prototype, catalog, sidx, disk_fill, universal_head,
                        [&](const cdn::ChunkKey& key, std::uint64_t size) {
-                         cache.admit(key, size);
+                         sequence.emplace_back(key, size);
                        });
+    // Mark each key's last admission (recency order is by last touch).
+    std::vector<char> is_last(sequence.size(), 0);
+    std::unordered_set<cdn::ChunkKey, cdn::ChunkKeyHash> seen;
+    seen.reserve(sequence.size());
+    for (std::size_t i = sequence.size(); i-- > 0;) {
+      is_last[i] = seen.insert(sequence[i].first).second ? 1 : 0;
+    }
+    cache.warm_bulk(
+        lru_resident_suffix(sequence, is_last, server.disk_bytes),
+        lru_resident_suffix(sequence, is_last, server.ram_bytes));
   }
   return archive;
 }

@@ -48,11 +48,18 @@ class WarmArchive {
 void warm_fleet(cdn::Fleet& fleet, const workload::VideoCatalog& catalog,
                 double disk_fill, bool universal_head);
 
+/// How build_warm_archive fills the archive.  kAuto picks the LRU
+/// resident-set shortcut when the policy allows it; kWriteThrough always
+/// replays every admission through the two-level hierarchy (the reference
+/// behaviour the shortcut must reproduce — kept selectable for tests).
+enum class WarmBuildMode { kAuto, kWriteThrough };
+
 /// Build the shared read-only archive with exactly the content warm_fleet
 /// would load into each server.  `prototype` supplies the fleet geometry,
 /// server configuration and the video->server mapping; it is not modified.
 WarmArchive build_warm_archive(const cdn::Fleet& prototype,
                                const workload::VideoCatalog& catalog,
-                               double disk_fill, bool universal_head);
+                               double disk_fill, bool universal_head,
+                               WarmBuildMode mode = WarmBuildMode::kAuto);
 
 }  // namespace vstream::engine

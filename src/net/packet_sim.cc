@@ -10,17 +10,26 @@ namespace vstream::net {
 
 namespace {
 
-/// Whole simulation state, driven by the event queue.
+/// Whole simulation state, driven by the event queue.  The queue and the
+/// per-packet scoreboards live in the caller's workspace so back-to-back
+/// transfers reuse their capacity.
 struct Flow {
-  explicit Flow(std::uint32_t packet_count, const PacketSimConfig& config)
+  Flow(std::uint32_t packet_count, const PacketSimConfig& config,
+       PacketSimWorkspace& workspace)
       : config(config),
+        queue(workspace.queue),
         total(packet_count),
-        retx_epoch(packet_count, 0),
-        received(packet_count, false),
-        transmitted_once(packet_count, false) {}
+        retx_epoch(workspace.retx_epoch),
+        received(workspace.received),
+        transmitted_once(workspace.transmitted_once) {
+    queue.reset();
+    retx_epoch.assign(packet_count, 0);
+    received.assign(packet_count, false);
+    transmitted_once.assign(packet_count, false);
+  }
 
   const PacketSimConfig& config;
-  sim::EventQueue queue;
+  sim::EventQueue& queue;
 
   // Sender state.
   std::uint32_t total;
@@ -37,17 +46,17 @@ struct Flow {
   // recovery each incoming ACK clocks out the next un-retransmitted hole.
   std::uint32_t recovery_epoch = 0;
   std::uint32_t next_hole_scan = 0;
-  std::vector<std::uint32_t> retx_epoch;
+  std::vector<std::uint32_t>& retx_epoch;
 
   // Receiver state.
-  std::vector<bool> received;
+  std::vector<bool>& received;
   std::uint32_t next_expected = 0;
 
   // Bottleneck link (data direction).
   sim::Ms link_free_at_ms = 0.0;
 
   // Accounting.
-  std::vector<bool> transmitted_once;
+  std::vector<bool>& transmitted_once;
   PacketSimResult result;
   bool done = false;
 
@@ -209,12 +218,19 @@ void Flow::on_rto_check(sim::Ms armed_for_progress_at) {
 
 PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
                                          const PacketSimConfig& config) {
+  PacketSimWorkspace workspace;
+  return simulate_packet_transfer(bytes, config, workspace);
+}
+
+PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
+                                         const PacketSimConfig& config,
+                                         PacketSimWorkspace& workspace) {
   PacketSimResult empty;
   if (bytes == 0) return empty;
   const auto packets = static_cast<std::uint32_t>(
       (bytes + config.mss_bytes - 1) / config.mss_bytes);
 
-  Flow flow(packets, config);
+  Flow flow(packets, config, workspace);
   flow.cwnd = static_cast<double>(std::max(1u, config.initial_window));
   flow.ssthresh = config.initial_ssthresh;
   flow.result.segments = packets;
@@ -226,7 +242,7 @@ PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
     flow.arm_rto();
     flow.send_available();
   });
-  flow.queue.run();
+  flow.queue.run_all();
   return flow.result;
 }
 

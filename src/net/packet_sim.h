@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace vstream::net {
@@ -37,9 +39,25 @@ struct PacketSimResult {
   std::uint32_t max_cwnd_seen = 0;
 };
 
+/// Reusable buffers for simulate_packet_transfer.  The validation grid
+/// runs thousands of transfers back to back; handing each one the same
+/// workspace replaces the per-transfer queue + scoreboard allocations with
+/// vector reuse (the event queue keeps its slot pool across reset()).
+struct PacketSimWorkspace {
+  sim::EventQueue queue;
+  std::vector<std::uint32_t> retx_epoch;
+  std::vector<bool> received;
+  std::vector<bool> transmitted_once;
+};
+
 /// Simulate one `bytes`-long transfer (preceded by a half-RTT request, as
 /// in the round model's accounting).  Fully deterministic.
 PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
                                          const PacketSimConfig& config);
+
+/// Same, reusing the caller's workspace across transfers.
+PacketSimResult simulate_packet_transfer(std::uint64_t bytes,
+                                         const PacketSimConfig& config,
+                                         PacketSimWorkspace& workspace);
 
 }  // namespace vstream::net

@@ -90,14 +90,6 @@ sim::Ms PathModel::sample_rtt(std::uint32_t window_segments,
   return config_.base_rtt_ms + jitter + spike + queue_ms_;
 }
 
-bool PathModel::segment_lost(sim::Rng& rng) const {
-  return rng.bernoulli(config_.random_loss);
-}
-
-bool PathModel::tail_dropped(sim::Rng& rng) const {
-  return rng.bernoulli(config_.tail_drop_prob);
-}
-
 double PathModel::pipe_segments(std::uint32_t segment_bytes) const {
   const double bits_per_segment = 8.0 * static_cast<double>(segment_bytes);
   const double bdp =

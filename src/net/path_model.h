@@ -73,11 +73,17 @@ class PathModel {
   sim::Ms sample_rtt(std::uint32_t window_segments, std::uint32_t segment_bytes,
                      sim::Rng& rng);
 
-  /// True if this segment is lost to the random-loss process.
-  bool segment_lost(sim::Rng& rng) const;
+  /// True if this segment is lost to the random-loss process.  Defined
+  /// inline: the TCP model draws this once per in-flight segment (~70 per
+  /// round), and a cross-TU call per draw showed up in profiles.
+  bool segment_lost(sim::Rng& rng) const {
+    return rng.bernoulli(config_.random_loss);
+  }
 
   /// True if an over-pipe segment is dropped at the bottleneck tail.
-  bool tail_dropped(sim::Rng& rng) const;
+  bool tail_dropped(sim::Rng& rng) const {
+    return rng.bernoulli(config_.tail_drop_prob);
+  }
 
   /// Bottleneck pipe size in segments: BDP plus buffer capacity.  Windows
   /// beyond this overflow the buffer (drop-tail).

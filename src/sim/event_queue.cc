@@ -1,35 +1,122 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
-#include <utility>
+#include <limits>
 
 namespace vstream::sim {
 
-void EventQueue::schedule_at(Ms at, Callback cb) {
-  queue_.push(Entry{std::max(at, now_), next_seq_++, std::move(cb)});
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ == kNoSlot) {
+    // Grow by one slab; existing slots never move (stable addresses are
+    // what lets callbacks run in place while the pool grows under them).
+    const auto base = static_cast<std::uint32_t>(slabs_.size() * kSlabSlots);
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    // Thread the new slab onto the free list, last slot first, so slots
+    // are handed out in ascending index order.
+    for (std::uint32_t i = kSlabSlots; i-- > 0;) {
+      slabs_.back()[i].next_free = free_head_;
+      free_head_ = base + i;
+    }
+  }
+  const std::uint32_t index = free_head_;
+  free_head_ = slot(index).next_free;
+  return index;
 }
 
-void EventQueue::schedule_in(Ms delay, Callback cb) {
-  schedule_at(now_ + std::max(delay, 0.0), std::move(cb));
+void EventQueue::destroy_slot(std::uint32_t index) {
+  Slot& s = slot(index);
+  if (s.destroy != nullptr) s.destroy(s.storage);
+  s.invoke = nullptr;
+  s.destroy = nullptr;
+  s.next_free = free_head_;
+  free_head_ = index;
 }
 
-std::size_t EventQueue::run(Ms until) {
+void EventQueue::push_node(Ms at, std::uint32_t index) {
+  // 4-ary sift-up: parent of i is (i - 1) / 4.
+  Node node{at, next_seq_++, index};
+  std::size_t i = heap_.size();
+  heap_.push_back(node);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    const Node& p = heap_[parent];
+    if (p.at < node.at || (p.at == node.at && p.seq < node.seq)) break;
+    heap_[i] = p;
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+EventQueue::Node EventQueue::pop_min() {
+  const Node top = heap_.front();
+  const Node last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return top;
+  // 4-ary sift-down of `last` from the root: children of i are 4i+1..4i+4.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      const Node& a = heap_[c];
+      const Node& b = heap_[best];
+      if (a.at < b.at || (a.at == b.at && a.seq < b.seq)) best = c;
+    }
+    const Node& child = heap_[best];
+    if (last.at < child.at || (last.at == child.at && last.seq < child.seq)) {
+      break;
+    }
+    heap_[i] = child;
+    i = best;
+  }
+  heap_[i] = last;
+  return top;
+}
+
+std::size_t EventQueue::drain(Ms until, bool bounded) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    if (until >= 0.0 && queue_.top().at > until) break;
-    // Move the callback out before popping so it may schedule new events.
-    Entry top = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    if (bounded && heap_.front().at > until) break;
+    const Node top = pop_min();
     now_ = top.at;
-    top.cb();
+    // The slot was unlinked from the heap before invoking, so a callback
+    // may clear() the queue or schedule new events without touching it;
+    // its memory stays put until the destroy below.
+    Slot& s = slot(top.slot);
+    s.invoke(s.storage);
+    destroy_slot(top.slot);
     ++executed;
   }
-  if (until >= 0.0) now_ = std::max(now_, until);
+  if (bounded && now_ < until) now_ = until;
   return executed;
 }
 
+std::size_t EventQueue::run_all() {
+  return drain(std::numeric_limits<Ms>::infinity(), false);
+}
+
+std::size_t EventQueue::run_until(Ms until) { return drain(until, true); }
+
 void EventQueue::clear() {
-  queue_ = {};
+  for (const Node& node : heap_) destroy_slot(node.slot);
+  heap_.clear();
+}
+
+void EventQueue::reset() {
+  clear();
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+std::size_t EventQueue::pool_free() const {
+  std::size_t count = 0;
+  for (std::uint32_t index = free_head_; index != kNoSlot;) {
+    ++count;
+    index = slabs_[index / kSlabSlots][index % kSlabSlots].next_free;
+  }
+  return count;
 }
 
 }  // namespace vstream::sim

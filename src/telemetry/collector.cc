@@ -2,6 +2,18 @@
 
 namespace vstream::telemetry {
 
+void Collector::reserve(std::size_t expected_sessions,
+                        std::size_t expected_chunks) {
+  data_.player_sessions.reserve(expected_sessions);
+  data_.cdn_sessions.reserve(expected_sessions);
+  data_.player_chunks.reserve(expected_chunks);
+  data_.cdn_chunks.reserve(expected_chunks);
+  // At least one snapshot per chunk; long transfers add a few more on the
+  // 500 ms cadence, which the growth policy absorbs from this base.
+  data_.tcp_snapshots.reserve(expected_chunks);
+  next_sample_at_ms_.reserve(expected_sessions);
+}
+
 void Collector::sample_transfer(std::uint64_t session_id,
                                 std::uint32_t chunk_id,
                                 sim::Ms transfer_start_ms,

@@ -39,6 +39,12 @@ class Collector {
                        sim::Ms transfer_start_ms,
                        const std::vector<net::RoundSample>& rounds);
 
+  /// Pre-size every record stream for a run of `expected_sessions` sessions
+  /// requesting `expected_chunks` chunks in total (upper bounds: abandoned
+  /// sessions request fewer).  Steady-state recording then appends into
+  /// reserved capacity instead of growing through reallocation.
+  void reserve(std::size_t expected_sessions, std::size_t expected_chunks);
+
   const Dataset& data() const { return data_; }
   Dataset&& take() { return std::move(data_); }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/fast_format.h"
+
 namespace vstream::telemetry {
 
 namespace {
@@ -80,12 +82,26 @@ constexpr const char* kPlayerSessionHeader =
 
 void write_player_sessions_csv(std::ostream& out,
                                const std::vector<PlayerSessionRecord>& records) {
-  out << kPlayerSessionHeader << '\n';
+  WriteBuffer buf(out);
+  buf.append(kPlayerSessionHeader);
+  buf.append('\n');
   for (const PlayerSessionRecord& r : records) {
-    out << r.session_id << ',' << net::format_ip(r.client_ip) << ','
-        << r.user_agent << ',' << r.video_duration_s << ',' << r.start_time_ms
-        << ',' << r.startup_ms << ',' << r.chunks_requested << ','
-        << (r.completed ? 1 : 0) << '\n';
+    buf.append_u64(r.session_id);
+    buf.append(',');
+    buf.append_ip(r.client_ip);
+    buf.append(',');
+    buf.append(r.user_agent);
+    buf.append(',');
+    buf.append_double_g6(r.video_duration_s);
+    buf.append(',');
+    buf.append_double_g6(r.start_time_ms);
+    buf.append(',');
+    buf.append_double_g6(r.startup_ms);
+    buf.append(',');
+    buf.append_u64(r.chunks_requested);
+    buf.append(',');
+    buf.append_bool01(r.completed);
+    buf.append('\n');
   }
 }
 
@@ -121,12 +137,30 @@ constexpr const char* kCdnSessionHeader =
 
 void write_cdn_sessions_csv(std::ostream& out,
                             const std::vector<CdnSessionRecord>& records) {
-  out << kCdnSessionHeader << '\n';
+  WriteBuffer buf(out);
+  buf.append(kCdnSessionHeader);
+  buf.append('\n');
   for (const CdnSessionRecord& r : records) {
-    out << r.session_id << ',' << net::format_ip(r.observed_ip) << ','
-        << r.observed_user_agent << ',' << r.pop << ',' << r.server << ','
-        << r.org << ',' << access_token(r.access) << ',' << r.city << ','
-        << r.country << ',' << r.client_distance_km << '\n';
+    buf.append_u64(r.session_id);
+    buf.append(',');
+    buf.append_ip(r.observed_ip);
+    buf.append(',');
+    buf.append(r.observed_user_agent);
+    buf.append(',');
+    buf.append_u64(r.pop);
+    buf.append(',');
+    buf.append_u64(r.server);
+    buf.append(',');
+    buf.append(r.org);
+    buf.append(',');
+    buf.append(access_token(r.access));
+    buf.append(',');
+    buf.append(r.city);
+    buf.append(',');
+    buf.append(r.country);
+    buf.append(',');
+    buf.append_double_g6(r.client_distance_km);
+    buf.append('\n');
   }
 }
 
@@ -165,14 +199,42 @@ constexpr const char* kPlayerChunkHeader =
 
 void write_player_chunks_csv(std::ostream& out,
                              const std::vector<PlayerChunkRecord>& records) {
-  out << kPlayerChunkHeader << '\n';
+  WriteBuffer buf(out);
+  buf.append(kPlayerChunkHeader);
+  buf.append('\n');
   for (const PlayerChunkRecord& r : records) {
-    out << r.session_id << ',' << r.chunk_id << ',' << r.request_sent_ms << ','
-        << r.dfb_ms << ',' << r.dlb_ms << ',' << r.bitrate_kbps << ','
-        << r.rebuffer_ms << ',' << r.rebuffer_count << ','
-        << (r.visible ? 1 : 0) << ',' << r.avg_fps << ',' << r.dropped_frames
-        << ',' << r.total_frames << ',' << r.retries << ',' << r.timeouts
-        << ',' << (r.failed_over ? 1 : 0) << ',' << r.recovery_ms << '\n';
+    buf.append_u64(r.session_id);
+    buf.append(',');
+    buf.append_u64(r.chunk_id);
+    buf.append(',');
+    buf.append_double_g6(r.request_sent_ms);
+    buf.append(',');
+    buf.append_double_g6(r.dfb_ms);
+    buf.append(',');
+    buf.append_double_g6(r.dlb_ms);
+    buf.append(',');
+    buf.append_u64(r.bitrate_kbps);
+    buf.append(',');
+    buf.append_double_g6(r.rebuffer_ms);
+    buf.append(',');
+    buf.append_u64(r.rebuffer_count);
+    buf.append(',');
+    buf.append_bool01(r.visible);
+    buf.append(',');
+    buf.append_double_g6(r.avg_fps);
+    buf.append(',');
+    buf.append_u64(r.dropped_frames);
+    buf.append(',');
+    buf.append_u64(r.total_frames);
+    buf.append(',');
+    buf.append_u64(r.retries);
+    buf.append(',');
+    buf.append_u64(r.timeouts);
+    buf.append(',');
+    buf.append_bool01(r.failed_over);
+    buf.append(',');
+    buf.append_double_g6(r.recovery_ms);
+    buf.append('\n');
   }
 }
 
@@ -217,15 +279,44 @@ constexpr const char* kCdnChunkHeader =
 
 void write_cdn_chunks_csv(std::ostream& out,
                           const std::vector<CdnChunkRecord>& records) {
-  out << kCdnChunkHeader << '\n';
+  WriteBuffer buf(out);
+  buf.append(kCdnChunkHeader);
+  buf.append('\n');
   for (const CdnChunkRecord& r : records) {
-    out << r.session_id << ',' << r.chunk_id << ',' << r.dwait_ms << ','
-        << r.dopen_ms << ',' << r.dread_ms << ',' << r.dbe_ms << ','
-        << cache_level_token(r.cache_level) << ',' << r.chunk_bytes << ','
-        << r.pop << ',' << r.server << ',' << (r.served_stale ? 1 : 0) << ','
-        << (r.shed ? 1 : 0) << ',' << (r.hedged ? 1 : 0) << ','
-        << (r.hedge_won ? 1 : 0) << ',' << cdn::to_string(r.breaker) << ','
-        << (r.budget_denied ? 1 : 0) << ',' << (r.served_swr ? 1 : 0) << '\n';
+    buf.append_u64(r.session_id);
+    buf.append(',');
+    buf.append_u64(r.chunk_id);
+    buf.append(',');
+    buf.append_double_g6(r.dwait_ms);
+    buf.append(',');
+    buf.append_double_g6(r.dopen_ms);
+    buf.append(',');
+    buf.append_double_g6(r.dread_ms);
+    buf.append(',');
+    buf.append_double_g6(r.dbe_ms);
+    buf.append(',');
+    buf.append(cache_level_token(r.cache_level));
+    buf.append(',');
+    buf.append_u64(r.chunk_bytes);
+    buf.append(',');
+    buf.append_u64(r.pop);
+    buf.append(',');
+    buf.append_u64(r.server);
+    buf.append(',');
+    buf.append_bool01(r.served_stale);
+    buf.append(',');
+    buf.append_bool01(r.shed);
+    buf.append(',');
+    buf.append_bool01(r.hedged);
+    buf.append(',');
+    buf.append_bool01(r.hedge_won);
+    buf.append(',');
+    buf.append(cdn::to_string(r.breaker));
+    buf.append(',');
+    buf.append_bool01(r.budget_denied);
+    buf.append(',');
+    buf.append_bool01(r.served_swr);
+    buf.append('\n');
   }
 }
 
@@ -271,14 +362,34 @@ constexpr const char* kTcpSnapshotHeader =
 
 void write_tcp_snapshots_csv(std::ostream& out,
                              const std::vector<TcpSnapshotRecord>& records) {
-  out << kTcpSnapshotHeader << '\n';
+  WriteBuffer buf(out);
+  buf.append(kTcpSnapshotHeader);
+  buf.append('\n');
   for (const TcpSnapshotRecord& r : records) {
-    out << r.session_id << ',' << r.chunk_id << ',' << r.at_ms << ','
-        << r.info.srtt_ms << ',' << r.info.rttvar_ms << ','
-        << r.info.cwnd_segments << ',' << r.info.ssthresh_segments << ','
-        << r.info.mss_bytes << ',' << r.info.total_retrans << ','
-        << r.info.segments_out << ',' << r.info.bytes_acked << ','
-        << (r.info.in_slow_start ? 1 : 0) << '\n';
+    buf.append_u64(r.session_id);
+    buf.append(',');
+    buf.append_u64(r.chunk_id);
+    buf.append(',');
+    buf.append_double_g6(r.at_ms);
+    buf.append(',');
+    buf.append_double_g6(r.info.srtt_ms);
+    buf.append(',');
+    buf.append_double_g6(r.info.rttvar_ms);
+    buf.append(',');
+    buf.append_u64(r.info.cwnd_segments);
+    buf.append(',');
+    buf.append_u64(r.info.ssthresh_segments);
+    buf.append(',');
+    buf.append_u64(r.info.mss_bytes);
+    buf.append(',');
+    buf.append_u64(r.info.total_retrans);
+    buf.append(',');
+    buf.append_u64(r.info.segments_out);
+    buf.append(',');
+    buf.append_u64(r.info.bytes_acked);
+    buf.append(',');
+    buf.append_bool01(r.info.in_slow_start);
+    buf.append('\n');
   }
 }
 

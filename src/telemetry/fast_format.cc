@@ -1,0 +1,130 @@
+#include "telemetry/fast_format.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace vstream::telemetry {
+
+namespace {
+
+/// Backward digit loop; returns the end of the written text.
+char* write_u64(char* p, std::uint64_t value) {
+  char tmp[20];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  while (n > 0) *p++ = tmp[--n];
+  return p;
+}
+
+constexpr double kPow10[6] = {1.0, 10.0, 100.0, 1e3, 1e4, 1e5};
+constexpr std::uint64_t kPow10U[6] = {1, 10, 100, 1000, 10000, 100000};
+
+/// Longest field we format in place: %.6g output (max ~13 chars) and
+/// 20-digit u64, with slack.
+constexpr std::size_t kMaxField = 40;
+
+}  // namespace
+
+WriteBuffer::WriteBuffer(std::ostream& out, std::size_t capacity)
+    : out_(out), buffer_(capacity < 2 * kMaxField ? 2 * kMaxField : capacity) {}
+
+WriteBuffer::~WriteBuffer() { flush(); }
+
+void WriteBuffer::flush() {
+  if (size_ > 0) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(size_));
+    size_ = 0;
+  }
+}
+
+void WriteBuffer::append(std::string_view text) {
+  if (text.size() > buffer_.size()) {  // larger than the whole buffer
+    flush();
+    out_.write(text.data(), static_cast<std::streamsize>(text.size()));
+    return;
+  }
+  char* p = cursor(text.size());
+  std::memcpy(p, text.data(), text.size());
+  size_ += text.size();
+}
+
+void WriteBuffer::append_u64(std::uint64_t value) {
+  char* const p = cursor(kMaxField);
+  size_ += static_cast<std::size_t>(write_u64(p, value) - p);
+}
+
+void WriteBuffer::append_ip(std::uint32_t ip) {
+  char* const p0 = cursor(16);
+  char* p = write_u64(p0, (ip >> 24) & 0xFF);
+  *p++ = '.';
+  p = write_u64(p, (ip >> 16) & 0xFF);
+  *p++ = '.';
+  p = write_u64(p, (ip >> 8) & 0xFF);
+  *p++ = '.';
+  p = write_u64(p, ip & 0xFF);
+  size_ += static_cast<std::size_t>(p - p0);
+}
+
+void WriteBuffer::append_double_g6(double value) {
+  char* const p0 = cursor(kMaxField);
+  char* p = p0;
+  if (std::isfinite(value)) {
+    const double av = std::abs(value);
+    if (av < 1e6) {
+      if (std::signbit(value)) *p++ = '-';
+      if (av == std::floor(av)) {
+        // At most six significant digits: %g prints a plain integer
+        // (including "-0" for negative zero, as ostream does).
+        size_ +=
+            static_cast<std::size_t>(write_u64(p, static_cast<std::uint64_t>(av)) - p0);
+        return;
+      }
+      if (av >= 1.0) {
+        // Fixed-point with 6 significant digits.  Only taken when the
+        // decimal is *exact* (rounded/scale == av), in which case those
+        // digits are the correctly rounded %.6g output by definition;
+        // anything inexact falls through to to_chars.
+        const int int_digits = av >= 1e5   ? 6
+                               : av >= 1e4 ? 5
+                               : av >= 1e3 ? 4
+                               : av >= 100 ? 3
+                               : av >= 10  ? 2
+                                           : 1;
+        const int frac = 6 - int_digits;
+        const double rounded = std::nearbyint(av * kPow10[frac]);
+        if (rounded / kPow10[frac] == av) {
+          const auto units = static_cast<std::uint64_t>(rounded);
+          const std::uint64_t den = kPow10U[frac];
+          p = write_u64(p, units / den);
+          std::uint64_t rem = units % den;
+          if (rem != 0) {
+            char digits[6];
+            for (int i = frac - 1; i >= 0; --i) {
+              digits[i] = static_cast<char>('0' + rem % 10);
+              rem /= 10;
+            }
+            int len = frac;
+            while (digits[len - 1] == '0') --len;  // %g strips trailing zeros
+            *p++ = '.';
+            std::memcpy(p, digits, static_cast<std::size_t>(len));
+            p += len;
+          }
+          size_ += static_cast<std::size_t>(p - p0);
+          return;
+        }
+      }
+    }
+  }
+  // General case (sub-1 fractions, >=1e6, inexact decimals, inf/nan):
+  // to_chars general-6 is specified to produce printf %.6g output.
+  const auto result =
+      std::to_chars(p0, p0 + kMaxField, value, std::chars_format::general, 6);
+  size_ += static_cast<std::size_t>(result.ptr - p0);
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,64 @@
+// Buffered CSV writing with integer-path number formatting.
+//
+// The stream writers in export.cc emit millions of small fields; going
+// through std::ostream's locale-aware num_put for each one dominates
+// export time.  WriteBuffer batches bytes into one flat buffer (flushed
+// with a single out.write per chunk) and formats numbers directly:
+//
+//   * append_u64 — classic backward digit loop,
+//   * append_double_g6 — byte-identical to the default `ostream << double`
+//     (printf %.6g) output: integer and short-fixed-point fast paths for
+//     the values telemetry actually produces, std::to_chars general-6 for
+//     everything else (verified byte-identical against %.6g in
+//     tests/telemetry/fast_format_test.cc),
+//   * append_ip — dotted quad, matching net::format_ip.
+//
+// Byte-identity with the previous formatter is load-bearing: the
+// determinism suite compares exported CSVs across shard counts and runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace vstream::telemetry {
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(std::ostream& out, std::size_t capacity = 1 << 16);
+  ~WriteBuffer();  // flushes
+
+  WriteBuffer(const WriteBuffer&) = delete;
+  WriteBuffer& operator=(const WriteBuffer&) = delete;
+
+  void append(char c) {
+    if (size_ + 1 > buffer_.size()) flush();
+    buffer_[size_++] = c;
+  }
+  void append(std::string_view text);
+
+  void append_u64(std::uint64_t value);
+  /// '1' or '0' — the CSV encoding of flags.
+  void append_bool01(bool value) { append(value ? '1' : '0'); }
+  /// Exactly what `out << value` writes for a double at default precision.
+  void append_double_g6(double value);
+  /// Dotted quad, identical to net::format_ip.
+  void append_ip(std::uint32_t ip);
+
+  void flush();
+
+ private:
+  /// Reserve `need` contiguous bytes and return the write cursor.
+  char* cursor(std::size_t need) {
+    if (size_ + need > buffer_.size()) flush();
+    return buffer_.data() + size_;
+  }
+
+  std::ostream& out_;
+  std::vector<char> buffer_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vstream::telemetry

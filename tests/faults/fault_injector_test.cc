@@ -27,13 +27,13 @@ TEST(FaultInjectorTest, CrashAppliesAndRevertsThroughQueue) {
   injector.arm();
   EXPECT_EQ(queue.pending(), 2u);  // one apply + one revert
 
-  queue.run(500.0);
+  queue.run_until(500.0);
   EXPECT_FALSE(fleet.is_down({0, 1}));
-  queue.run(1'500.0);
+  queue.run_until(1'500.0);
   EXPECT_TRUE(fleet.is_down({0, 1}));
   EXPECT_FALSE(fleet.is_down({0, 0}));  // only the target crashed
   EXPECT_EQ(injector.applied_count(), 1u);
-  queue.run(3'500.0);
+  queue.run_until(3'500.0);
   EXPECT_FALSE(fleet.is_down({0, 1}));
 }
 
@@ -48,13 +48,13 @@ TEST(FaultInjectorTest, OverlappingCrashesAreReferenceCounted) {
       }));
   injector.arm();
 
-  queue.run(2'500.0);
+  queue.run_until(2'500.0);
   EXPECT_TRUE(fleet.is_down({0, 0}));
   // First epoch ends at 3000, but the second still covers the server.
-  queue.run(3'500.0);
+  queue.run_until(3'500.0);
   EXPECT_TRUE(fleet.is_down({0, 0}));
   // The last covering epoch ends at 5000: only then does it recover.
-  queue.run(5'500.0);
+  queue.run_until(5'500.0);
   EXPECT_FALSE(fleet.is_down({0, 0}));
 }
 
@@ -67,11 +67,11 @@ TEST(FaultInjectorTest, BlackoutDarkensWholePop) {
           {{FaultKind::kPopBlackout, 100.0, 200.0, 1, 0, 1.0}}));
   injector.arm();
 
-  queue.run(150.0);
+  queue.run_until(150.0);
   EXPECT_TRUE(fleet.is_pop_down(1));
   EXPECT_FALSE(fleet.pop_live(1));
   EXPECT_TRUE(fleet.pop_live(0));
-  queue.run(400.0);
+  queue.run_until(400.0);
   EXPECT_TRUE(fleet.pop_live(1));
 }
 
@@ -84,7 +84,7 @@ TEST(FaultInjectorTest, BackendOutageFlipsEveryServer) {
           {{FaultKind::kBackendOutage, 100.0, 200.0, 0, 0, 1.0}}));
   injector.arm();
 
-  queue.run(150.0);
+  queue.run_until(150.0);
   for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
     for (std::uint32_t s = 0; s < fleet.servers_per_pop(); ++s) {
       EXPECT_TRUE(fleet.server({pop, s}).backend_down());
@@ -92,7 +92,7 @@ TEST(FaultInjectorTest, BackendOutageFlipsEveryServer) {
       EXPECT_FALSE(fleet.is_down({pop, s}));
     }
   }
-  queue.run(400.0);
+  queue.run_until(400.0);
   for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {
     for (std::uint32_t s = 0; s < fleet.servers_per_pop(); ++s) {
       EXPECT_FALSE(fleet.server({pop, s}).backend_down());
@@ -108,7 +108,7 @@ TEST(FaultInjectorTest, LossBurstIsQueryBased) {
       FaultSchedule::scripted(
           {{FaultKind::kLossBurst, 100.0, 200.0, 0, 0, 0.04}}));
   injector.arm();
-  queue.run();
+  queue.run_all();
 
   // No fleet-side switch flips...
   for (std::uint32_t pop = 0; pop < fleet.pop_count(); ++pop) {

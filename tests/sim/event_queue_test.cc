@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 namespace vstream::sim {
@@ -19,7 +21,7 @@ TEST(EventQueueTest, RunsInTimeOrder) {
   q.schedule_at(30.0, [&] { order.push_back(3); });
   q.schedule_at(10.0, [&] { order.push_back(1); });
   q.schedule_at(20.0, [&] { order.push_back(2); });
-  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(q.run_all(), 3u);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(q.now(), 30.0);
 }
@@ -30,8 +32,29 @@ TEST(EventQueueTest, FifoAmongEqualTimestamps) {
   for (int i = 0; i < 10; ++i) {
     q.schedule_at(5.0, [&order, i] { order.push_back(i); });
   }
-  q.run();
+  q.run_all();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestampsSurvivesPoolReuse) {
+  // Fill the pool, drain it (recycling every slot), then schedule a fresh
+  // same-timestamp batch whose slots all come from the free list in some
+  // recycled order: execution order must still be scheduling order.
+  EventQueue q;
+  int burn = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    q.schedule_at(1.0, [&burn] { ++burn; });
+  }
+  EXPECT_EQ(q.run_all(), 1'000u);
+  EXPECT_GT(q.pool_free(), 0u);
+
+  std::vector<int> order;
+  for (int i = 0; i < 1'000; ++i) {
+    q.schedule_at(2.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  ASSERT_EQ(order.size(), 1'000u);
+  for (int i = 0; i < 1'000; ++i) ASSERT_EQ(order[i], i);
 }
 
 TEST(EventQueueTest, ScheduleInIsRelative) {
@@ -40,7 +63,7 @@ TEST(EventQueueTest, ScheduleInIsRelative) {
   q.schedule_at(100.0, [&] {
     q.schedule_in(50.0, [&] { fired_at = q.now(); });
   });
-  q.run();
+  q.run_all();
   EXPECT_DOUBLE_EQ(fired_at, 150.0);
 }
 
@@ -50,15 +73,29 @@ TEST(EventQueueTest, PastSchedulingClampsToNow) {
   q.schedule_at(100.0, [&] {
     q.schedule_at(10.0, [&] { fired_at = q.now(); });  // in the past
   });
-  q.run();
+  q.run_all();
   EXPECT_DOUBLE_EQ(fired_at, 100.0);
+}
+
+TEST(EventQueueTest, PastSchedulingRunsAfterPendingEventsAtNow) {
+  // A clamped event lands at now() with a fresh sequence number, so it
+  // runs after events already pending at the current timestamp.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(50.0, [&] {
+    order.push_back(0);
+    q.schedule_at(0.0, [&] { order.push_back(2); });  // clamped to 50.0
+  });
+  q.schedule_at(50.0, [&] { order.push_back(1); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(EventQueueTest, NegativeDelayClampsToZero) {
   EventQueue q;
   bool fired = false;
   q.schedule_in(-5.0, [&] { fired = true; });
-  q.run();
+  q.run_all();
   EXPECT_TRUE(fired);
   EXPECT_DOUBLE_EQ(q.now(), 0.0);
 }
@@ -69,11 +106,11 @@ TEST(EventQueueTest, RunUntilStopsAndAdvancesClock) {
   q.schedule_at(10.0, [&] { ++fired; });
   q.schedule_at(20.0, [&] { ++fired; });
   q.schedule_at(30.0, [&] { ++fired; });
-  EXPECT_EQ(q.run(20.0), 2u);  // event exactly at `until` runs
+  EXPECT_EQ(q.run_until(20.0), 2u);  // event exactly at `until` runs
   EXPECT_EQ(fired, 2);
   EXPECT_DOUBLE_EQ(q.now(), 20.0);
   EXPECT_EQ(q.pending(), 1u);
-  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(q.run_all(), 1u);
   EXPECT_EQ(fired, 3);
 }
 
@@ -84,25 +121,96 @@ TEST(EventQueueTest, EventsCanScheduleEvents) {
     if (++depth < 100) q.schedule_in(1.0, chain);
   };
   q.schedule_in(1.0, chain);
-  EXPECT_EQ(q.run(), 100u);
+  EXPECT_EQ(q.run_all(), 100u);
   EXPECT_DOUBLE_EQ(q.now(), 100.0);
 }
 
-TEST(EventQueueTest, ClearDropsPending) {
+TEST(EventQueueTest, ClearDropsPendingAndReturnsSlotsToPool) {
   EventQueue q;
   int fired = 0;
   q.schedule_at(10.0, [&] { ++fired; });
   q.schedule_at(20.0, [&] { ++fired; });
+  const std::size_t free_before = q.pool_free();
   q.clear();
   EXPECT_EQ(q.pending(), 0u);
-  EXPECT_EQ(q.run(), 0u);
+  EXPECT_EQ(q.pool_free(), free_before + 2);
+  EXPECT_EQ(q.pool_slots(), q.pool_free());  // nothing leaked
+  EXPECT_EQ(q.run_all(), 0u);
   EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, ClearRunsNonTrivialDestructors) {
+  // Dropped events must destroy their captured state (shared_ptr refcount
+  // back to 1), not merely be forgotten.
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  q.schedule_at(10.0, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  q.clear();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueueTest, ClearFromInsideCallbackIsSafe) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] {
+    ++fired;
+    q.clear();  // drops the events below without disturbing this one
+  });
+  q.schedule_at(20.0, [&] { ++fired; });
+  q.schedule_at(30.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_all(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pool_slots(), q.pool_free());
+}
+
+TEST(EventQueueTest, SteadyStateSchedulingReusesPooledSlots) {
+  // A self-rescheduling event (the engine's per-session step pattern)
+  // must reach a fixed pool size: one slab, no growth per event.
+  EventQueue q;
+  int steps = 0;
+  std::function<void()> step = [&] {
+    if (++steps < 10'000) q.schedule_in(1.0, step);
+  };
+  q.schedule_in(1.0, step);
+  q.run_all();
+  EXPECT_EQ(steps, 10'000);
+  EXPECT_EQ(q.pool_slots(), 256u);  // a single slab covered the whole run
+}
+
+TEST(EventQueueTest, OversizedCallablesAreBoxedAndStillRun) {
+  EventQueue q;
+  std::array<double, 16> big{};  // 128 bytes of captured state > kInlineBytes
+  big[0] = 1.0;
+  big[15] = 2.0;
+  double sum = 0.0;
+  q.schedule_at(5.0, [big, &sum] { sum = big[0] + big[15]; });
+  static_assert(sizeof(std::array<double, 16>) > EventQueue::kInlineBytes);
+  EXPECT_EQ(q.run_all(), 1u);
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  EXPECT_EQ(q.pool_slots(), q.pool_free());
 }
 
 TEST(EventQueueTest, RunUntilWithEmptyQueueAdvancesClock) {
   EventQueue q;
-  q.run(500.0);
+  q.run_until(500.0);
   EXPECT_DOUBLE_EQ(q.now(), 500.0);
+}
+
+TEST(EventQueueTest, ResetRewindsClockAndSequence) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run_all();
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+  q.schedule_at(20.0, [] {});
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.pending(), 0u);
+  // The rewound queue behaves like a fresh one (absolute times restart).
+  double fired_at = -1.0;
+  q.schedule_at(5.0, [&] { fired_at = q.now(); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// The fast CSV formatter must be byte-identical to what the writers used
+// before: `ostream << double` at default precision (printf %.6g),
+// `ostream << integer`, and net::format_ip.  Byte-identity is load-bearing
+// — the determinism suite compares whole exported files.
+#include "telemetry/fast_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "net/prefix.h"
+
+namespace vstream::telemetry {
+namespace {
+
+std::string via_buffer_double(double v) {
+  std::ostringstream out;
+  {
+    WriteBuffer buf(out);
+    buf.append_double_g6(v);
+  }
+  return out.str();
+}
+
+std::string via_ostream(double v) {
+  std::ostringstream out;
+  out << v;  // default precision 6 — the reference the writers used
+  return out.str();
+}
+
+void expect_double_matches(double v) {
+  EXPECT_EQ(via_buffer_double(v), via_ostream(v)) << "value bits differ for "
+                                                  << std::hexfloat << v;
+  char ref[64];
+  std::snprintf(ref, sizeof(ref), "%.6g", v);
+  EXPECT_EQ(via_buffer_double(v), std::string(ref))
+      << "vs printf for " << std::hexfloat << v;
+}
+
+TEST(FastFormatTest, DoubleMatchesOstreamOnSpecials) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.0,
+                          0.5,
+                          123.456,
+                          -123.456,
+                          999999.0,
+                          -999999.0,
+                          1000000.0,
+                          999999.5,
+                          1e-4,
+                          9.9999e-5,
+                          1e6,
+                          1e7,
+                          1.5e300,
+                          5e-324,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          1234.5,
+                          0.1,
+                          0.125,
+                          3.0 / 7.0,
+                          100000.5,
+                          99999.96,
+                          500.0,
+                          1536.25};
+  for (const double v : cases) expect_double_matches(v);
+}
+
+TEST(FastFormatTest, DoubleMatchesOstreamOnRandomTelemetryRanges) {
+  std::mt19937_64 gen(20160516);
+  // The ranges telemetry actually emits: millisecond timestamps, rates,
+  // distances, fps — plus raw uniform magnitudes for the fallback path.
+  const double scales[] = {1.0, 10.0, 1e3, 1e5, 1e7, 1e-3};
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (const double scale : scales) {
+    for (int i = 0; i < 20000; ++i) {
+      const double v = unit(gen) * scale;
+      expect_double_matches(v);
+      expect_double_matches(-v);
+      // Quantized values (the common case for simulated clocks).
+      expect_double_matches(std::round(v * 16.0) / 16.0);
+      expect_double_matches(std::round(v * 1000.0) / 1000.0);
+    }
+  }
+}
+
+TEST(FastFormatTest, DoubleMatchesOstreamOnRandomBitPatterns) {
+  std::mt19937_64 gen(42);
+  int tested = 0;
+  while (tested < 50000) {
+    double v;
+    const std::uint64_t bits = gen();
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&v, &bits, sizeof(v));
+    if (std::isnan(v)) continue;  // NaN text is platform-defined either way
+    expect_double_matches(v);
+    ++tested;
+  }
+}
+
+TEST(FastFormatTest, U64MatchesToString) {
+  std::ostringstream out;
+  {
+    WriteBuffer buf(out);
+    std::mt19937_64 gen(7);
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t v = gen() >> (gen() % 64);
+      buf.append_u64(v);
+      buf.append('\n');
+    }
+    buf.append_u64(0);
+    buf.append('\n');
+    buf.append_u64(std::numeric_limits<std::uint64_t>::max());
+  }
+  std::istringstream in(out.str());
+  std::mt19937_64 gen(7);
+  std::string line;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, std::to_string(gen() >> (gen() % 64)));
+  }
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "0");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "18446744073709551615");
+}
+
+TEST(FastFormatTest, IpMatchesFormatIp) {
+  std::mt19937_64 gen(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto ip = static_cast<std::uint32_t>(gen());
+    std::ostringstream out;
+    {
+      WriteBuffer buf(out);
+      buf.append_ip(ip);
+    }
+    EXPECT_EQ(out.str(), net::format_ip(ip));
+  }
+  for (const std::uint32_t ip : {0u, 0xFFFFFFFFu, 0x01020304u, 0x7F000001u}) {
+    std::ostringstream out;
+    {
+      WriteBuffer buf(out);
+      buf.append_ip(ip);
+    }
+    EXPECT_EQ(out.str(), net::format_ip(ip));
+  }
+}
+
+TEST(FastFormatTest, SmallBufferFlushesKeepBytesInOrder) {
+  std::ostringstream out;
+  std::string expected;
+  {
+    WriteBuffer buf(out, /*capacity=*/1);  // clamped to the minimum; forces
+                                           // a flush on nearly every append
+    for (int i = 0; i < 500; ++i) {
+      buf.append_u64(static_cast<std::uint64_t>(i) * 977);
+      buf.append(',');
+      buf.append("field");
+      buf.append('\n');
+      expected += std::to_string(i * 977) + ",field\n";
+    }
+  }
+  EXPECT_EQ(out.str(), expected);
+}
+
+}  // namespace
+}  // namespace vstream::telemetry

@@ -51,4 +51,23 @@ cmake --build "$tsan_dir" -j --target test_engine
 echo "==> tier-1: TSan sharded engine suite (VSTREAM_SHARDS=4)"
 VSTREAM_SHARDS=4 TSAN_OPTIONS=halt_on_error=1 "$tsan_dir/tests/test_engine"
 
+echo "==> tier-1: perf smoke (hotpath suite -> BENCH_hotpaths.json)"
+cmake --build "$build_dir" -j --target bench_micro_hotpaths
+# Small workload: this checks the harness end to end (benchmarks run, the
+# JSON is written and well-formed), not absolute performance.
+(cd "$build_dir" && VSTREAM_BENCH_SESSIONS=50 \
+  ./bench/bench_micro_hotpaths --benchmark_min_time=0.01 >/dev/null)
+python3 -m json.tool "$build_dir/BENCH_hotpaths.json" >/dev/null
+metric_count=$(python3 -c "
+import json, sys
+with open('$build_dir/BENCH_hotpaths.json') as f:
+    doc = json.load(f)
+print(len(doc['metrics']))
+")
+if [ "$metric_count" -lt 5 ]; then
+  echo "tier-1: BENCH_hotpaths.json has only $metric_count metrics (< 5)" >&2
+  exit 1
+fi
+echo "    BENCH_hotpaths.json OK ($metric_count metrics)"
+
 echo "==> tier-1: OK"
