@@ -1,0 +1,144 @@
+// Mergeable streaming accumulators for the §4 aggregates.
+//
+// The batch analyses (aggregate_qoe, rollup_prefixes, recovery_impact)
+// fold a fully materialized JoinedDataset.  These accumulators consume
+// one JoinedSession at a time — fed from a StreamingJoiner as sessions
+// stream off a sink — and so run in O(sessions) memory regardless of the
+// chunk count.  Per-shard accumulators merge() into one before finalize.
+//
+// Determinism: each add() captures only per-session values; finalize()
+// sorts the captured entries by session id and folds them in that order.
+// The result is therefore a pure function of the per-session records —
+// independent of feed order, shard count, or how accumulators were
+// merged.  QoeAccumulator and PrefixRollupAccumulator fold in exactly
+// the order the batch functions iterate (ascending session id), so their
+// output is bit-identical to the batch result.  RecoveryImpactAccumulator
+// regroups the batch version's chunk-order sums per session, so its FP
+// means can differ from the batch result in the last bits (counts are
+// exact); it is deterministic in its own right, just not bit-aligned with
+// the batch fold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "analysis/detectors.h"
+#include "analysis/qoe.h"
+
+namespace vstream::analysis {
+
+/// Streaming aggregate_qoe(): bit-identical to the batch result.
+class QoeAccumulator {
+ public:
+  void add(const telemetry::JoinedSession& session);
+  void merge(QoeAccumulator&& other);
+  QoeAggregate finalize() &&;
+
+  std::size_t sessions() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t session_id = 0;
+    SessionQoe qoe;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Streaming rollup_prefixes(): bit-identical to the batch result.
+class PrefixRollupAccumulator {
+ public:
+  void add(const telemetry::JoinedSession& session);
+  void merge(PrefixRollupAccumulator&& other);
+  std::vector<PrefixRollup> finalize() &&;
+
+ private:
+  struct Entry {
+    std::uint64_t session_id = 0;
+    net::Prefix24 prefix = 0;
+    double srtt_min_ms = 0.0;
+    double srtt_mean_ms = 0.0;
+    double distance_km = 0.0;
+    std::string country;
+    std::string org;
+    net::AccessType access = net::AccessType::kResidential;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Eq. 2 performance-score roll-up over every joined chunk.
+struct PerfScoreSummary {
+  std::size_t chunks = 0;         ///< joined chunks seen
+  std::size_t scored_chunks = 0;  ///< chunks with D_FB + D_LB > 0
+  std::size_t bad_chunks = 0;     ///< perfscore < 1 (drained more than fetched)
+  double mean_score = 0.0;        ///< over scored chunks
+  double min_score = 0.0;
+
+  double bad_share() const {
+    return scored_chunks == 0 ? 0.0
+                              : static_cast<double>(bad_chunks) /
+                                    static_cast<double>(scored_chunks);
+  }
+};
+
+class PerfScoreAccumulator {
+ public:
+  /// `chunk_duration_s` is Eq. 2's tau (workload::Scenario catalog value).
+  explicit PerfScoreAccumulator(double chunk_duration_s)
+      : chunk_duration_s_(chunk_duration_s) {}
+
+  void add(const telemetry::JoinedSession& session);
+  /// Both sides must have been built with the same chunk duration.
+  void merge(PerfScoreAccumulator&& other);
+  PerfScoreSummary finalize() &&;
+
+ private:
+  struct Entry {
+    std::uint64_t session_id = 0;
+    std::size_t chunks = 0;
+    std::size_t scored = 0;
+    std::size_t bad = 0;
+    double score_sum = 0.0;  ///< in chunk order within the session
+    double score_min = 0.0;
+  };
+  double chunk_duration_s_;
+  std::vector<Entry> entries_;
+};
+
+/// Streaming recovery_impact().  Counts match the batch result exactly;
+/// the FP means (mean_recovery_ms, mean_dfb_*) agree to rounding but not
+/// necessarily to the bit (see the header comment).
+class RecoveryImpactAccumulator {
+ public:
+  void add(const telemetry::JoinedSession& session);
+  void merge(RecoveryImpactAccumulator&& other);
+  RecoveryImpact finalize() &&;
+
+ private:
+  struct Entry {
+    std::uint64_t session_id = 0;
+    bool completed = false;
+    bool failed_over = false;
+    bool affected = false;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t stale_chunks = 0;
+    std::uint64_t shed_chunks = 0;
+    std::uint64_t hedged_chunks = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t swr_chunks = 0;
+    std::uint64_t budget_denied_chunks = 0;
+    double recovery_sum = 0.0;
+    std::uint64_t recovery_chunks = 0;
+    double dfb_failover_sum = 0.0;
+    std::uint64_t failover_chunks = 0;
+    double dfb_clean_sum = 0.0;
+    std::uint64_t clean_chunks = 0;
+    double stall_ms = 0.0;
+    double wall_ms = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vstream::analysis

@@ -59,6 +59,10 @@ enum class RequestPriority : std::uint8_t {
 const char* to_string(RequestPriority priority);
 
 struct OverloadConfig {
+  // The VSTREAM_* override knobs below are resolved by
+  // engine::resolve_overload_env using the shared strict parser in
+  // sim/env_util.h (unset: keep default; set but invalid: refuse to run).
+
   // ---- circuit breaker around backend fetches ----
   bool breaker_enabled = true;
   /// A backend first byte slower than this counts as a breaker failure

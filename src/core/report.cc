@@ -1,9 +1,10 @@
 #include "core/report.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+
+#include "sim/env_util.h"
 
 namespace vstream::core {
 
@@ -23,8 +24,9 @@ std::ofstream open_series_file(const std::string& name) {
 }  // namespace
 
 std::string series_export_dir() {
-  const char* dir = std::getenv("VSTREAM_SERIES_DIR");
-  return dir != nullptr ? dir : "";
+  // Empty (set or unset) disables the feature; see sim/env_util.h for the
+  // shared VSTREAM_* parsing contract.
+  return sim::string_env("VSTREAM_SERIES_DIR");
 }
 
 void print_header(const std::string& title) {

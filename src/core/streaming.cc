@@ -1,0 +1,81 @@
+#include "core/streaming.h"
+
+#include <memory>
+#include <utility>
+
+#include "telemetry/streaming_join.h"
+
+namespace vstream::core {
+
+namespace {
+
+/// The shared two-pass fold; `open` must return a fresh canonical-order
+/// stream each call.
+template <typename OpenStream>
+StreamingAnalysis analyze_impl(const OpenStream& open,
+                               double chunk_duration_s,
+                               const telemetry::ProxyFilterConfig& proxy_config) {
+  StreamingAnalysis out;
+
+  // Pass 1: proxy detection sees only the two session-level streams, so a
+  // session-only dataset — O(sessions), no chunk records — reproduces
+  // detect_proxies on the full dataset exactly.
+  {
+    telemetry::Dataset session_level;
+    auto stream = open();
+    while (auto group = stream->next()) {
+      for (auto& r : group->player_sessions) {
+        session_level.player_sessions.push_back(std::move(r));
+      }
+      for (auto& r : group->cdn_sessions) {
+        session_level.cdn_sessions.push_back(std::move(r));
+      }
+    }
+    out.proxies = telemetry::detect_proxies(session_level, proxy_config);
+  }
+
+  // Pass 2: join + accumulate, one session resident at a time.
+  telemetry::StreamingJoiner joiner(&out.proxies);
+  analysis::QoeAccumulator qoe;
+  analysis::PrefixRollupAccumulator prefixes;
+  analysis::PerfScoreAccumulator perf(chunk_duration_s);
+  analysis::RecoveryImpactAccumulator recovery;
+  {
+    auto stream = open();
+    while (auto group = stream->next()) {
+      const auto joined = joiner.join(*group);
+      if (!joined) continue;
+      qoe.add(*joined);
+      prefixes.add(*joined);
+      perf.add(*joined);
+      recovery.add(*joined);
+    }
+  }
+  out.sessions_joined = joiner.sessions_joined();
+  out.dropped_as_proxy = joiner.dropped_as_proxy();
+  out.dropped_incomplete = joiner.dropped_incomplete();
+  out.qoe = std::move(qoe).finalize();
+  out.prefixes = std::move(prefixes).finalize();
+  out.perf = std::move(perf).finalize();
+  out.recovery = std::move(recovery).finalize();
+  return out;
+}
+
+}  // namespace
+
+StreamingAnalysis analyze_spill(const telemetry::SpillSet& spill,
+                                double chunk_duration_s,
+                                const telemetry::ProxyFilterConfig& proxy_config) {
+  return analyze_impl([&] { return spill.open(); }, chunk_duration_s,
+                      proxy_config);
+}
+
+StreamingAnalysis analyze_dataset(const telemetry::Dataset& data,
+                                  double chunk_duration_s,
+                                  const telemetry::ProxyFilterConfig& proxy_config) {
+  return analyze_impl(
+      [&] { return std::make_unique<telemetry::DatasetGroupStream>(data); },
+      chunk_duration_s, proxy_config);
+}
+
+}  // namespace vstream::core

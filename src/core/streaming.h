@@ -1,0 +1,53 @@
+// Incremental analysis over streamed telemetry.
+//
+// The classic pipeline materializes every record, joins, then analyzes.
+// analyze_stream() folds the same analyses over a SessionGroupStream in
+// two passes instead:
+//
+//   pass 1  session-level records only -> proxy detection (the §3 filter
+//           needs nothing chunk-grained), O(sessions) memory
+//   pass 2  StreamingJoiner + the mergeable accumulators of
+//           analysis/accumulators.h, one session resident at a time
+//
+// Because the stream yields sessions in canonical (ascending session-id)
+// order and the accumulators fold in that same order, the result is a
+// pure function of the per-session records: analyze_spill on a spilled
+// run and analyze_dataset on the equivalent in-memory run agree exactly,
+// shard count and all.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/accumulators.h"
+#include "telemetry/proxy_filter.h"
+#include "telemetry/record_group.h"
+#include "telemetry/spill_format.h"
+
+namespace vstream::core {
+
+struct StreamingAnalysis {
+  telemetry::ProxyFilterResult proxies;
+  std::size_t sessions_joined = 0;
+  std::size_t dropped_as_proxy = 0;
+  std::size_t dropped_incomplete = 0;
+  analysis::QoeAggregate qoe;
+  analysis::RecoveryImpact recovery;
+  analysis::PerfScoreSummary perf;  ///< Eq. 2 roll-up over joined chunks
+  std::vector<analysis::PrefixRollup> prefixes;
+};
+
+/// Analyze a spilled run (engine::RunResult::spill).  `chunk_duration_s`
+/// is Eq. 2's tau — workload::VideoCatalog::chunk_duration_s().
+StreamingAnalysis analyze_spill(const telemetry::SpillSet& spill,
+                                double chunk_duration_s,
+                                const telemetry::ProxyFilterConfig& proxy_config = {});
+
+/// Same analysis over a canonical in-memory dataset, streamed through
+/// DatasetGroupStream — the equivalence oracle for the spill path, and a
+/// bounded-peak-memory alternative to the batch join for big datasets.
+StreamingAnalysis analyze_dataset(const telemetry::Dataset& data,
+                                  double chunk_duration_s,
+                                  const telemetry::ProxyFilterConfig& proxy_config = {});
+
+}  // namespace vstream::core

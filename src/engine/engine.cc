@@ -1,44 +1,24 @@
 #include "engine/engine.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
-#include <string>
 #include <thread>
 
 #include "engine/admission.h"
 #include "engine/sharded_runner.h"
 #include "engine/warmup.h"
+#include "sim/env_util.h"
 #include "workload/population.h"
 #include "workload/session_generator.h"
 
 namespace vstream::engine {
 
 std::size_t positive_env(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || errno == ERANGE || parsed == 0 ||
-      raw[0] == '-') {
-    throw std::runtime_error(std::string(name) + " must be a positive " +
-                             "integer, got \"" + raw + "\"");
-  }
-  return static_cast<std::size_t>(parsed);
+  return sim::positive_env(name, fallback);
 }
 
 double positive_env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const double parsed = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || errno == ERANGE || !(parsed > 0.0)) {
-    throw std::runtime_error(std::string(name) + " must be a positive " +
-                             "number, got \"" + raw + "\"");
-  }
-  return parsed;
+  return sim::positive_env_double(name, fallback);
 }
 
 cdn::OverloadConfig resolve_overload_env(cdn::OverloadConfig base) {
@@ -94,12 +74,28 @@ RunResult run_simulation(const workload::Scenario& scenario,
   const std::vector<AdmittedSession> admitted =
       admit_sessions(world, generator, rng);
 
+  // Streaming telemetry: an explicit option wins, else the strict
+  // environment knob (unset: in-memory; set but empty: refuse to run).
+  const std::string spill_dir =
+      !options.telemetry_spill_dir.empty()
+          ? options.telemetry_spill_dir
+          : sim::nonempty_env("VSTREAM_TELEMETRY_SPILL");
+  std::filesystem::path spill_path;
+  if (!spill_dir.empty()) {
+    spill_path = spill_dir;
+    std::filesystem::create_directories(spill_path);
+  }
+
   ShardResult merged = run_sharded(
       world, *catalog, warm,
       options.faults.empty() ? nullptr : &options.faults,
       options.bad_prefixes.empty() ? nullptr : &options.bad_prefixes,
-      admitted, result.shard_count);
+      admitted, result.shard_count,
+      spill_dir.empty() ? nullptr : &spill_path);
 
+  for (std::filesystem::path& file : merged.spill_files) {
+    result.spill.add_file(std::move(file));
+  }
   result.catalog = std::move(catalog);
   result.dataset = std::move(merged.dataset);
   result.ground_truth = std::move(merged.ground_truth);
@@ -112,6 +108,15 @@ AnalyzedRun run_and_analyze(const workload::Scenario& scenario,
                             RunOptions options) {
   AnalyzedRun analyzed;
   analyzed.run = run_simulation(scenario, std::move(options));
+  if (analyzed.run.spilled()) {
+    // The batch join holds pointers into a materialized dataset, which a
+    // spilled run deliberately does not have.  Spilled runs analyze
+    // incrementally instead (core::analyze_spill).
+    throw std::runtime_error(
+        "run_and_analyze: telemetry was spilled to disk "
+        "(VSTREAM_TELEMETRY_SPILL / RunOptions.telemetry_spill_dir); "
+        "use core::analyze_spill on RunResult.spill instead");
+  }
   analyzed.proxies = telemetry::detect_proxies(analyzed.run.dataset);
   analyzed.joined = telemetry::JoinedDataset::build(analyzed.run.dataset,
                                                     &analyzed.proxies);

@@ -29,6 +29,7 @@
 #include "telemetry/collector.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
+#include "telemetry/spill_format.h"
 #include "workload/scenario.h"
 
 namespace vstream::engine {
@@ -46,6 +47,13 @@ struct RunOptions {
   faults::FaultSchedule faults;
   /// Prefixes with known persistent problems (§4.2-1 a-priori ABR hints).
   std::unordered_set<net::Prefix24> bad_prefixes;
+  /// Non-empty: stream telemetry to per-shard spill files in this
+  /// directory (created if missing) instead of materializing the Dataset
+  /// — RunResult.dataset comes back empty and RunResult.spill holds the
+  /// file set.  Empty: the VSTREAM_TELEMETRY_SPILL environment variable
+  /// (a non-empty directory path; set-but-empty throws) decides, else
+  /// classic in-memory telemetry.
+  std::string telemetry_spill_dir;
 };
 
 /// A completed run: merged telemetry plus the world it was measured in.
@@ -53,11 +61,18 @@ struct RunResult {
   workload::Scenario scenario;
   /// Kept alive for downstream consumers (chunk duration, video metadata).
   std::shared_ptr<const workload::VideoCatalog> catalog;
+  /// Empty when spilled() — the records live in `spill` instead.
   telemetry::Dataset dataset;
   GroundTruth ground_truth;
   /// Per-server serve counters, indexed pop * servers_per_pop + server.
   std::vector<cdn::ServerStats> server_stats;
   std::size_t shard_count = 0;
+  /// Spill mode only: the per-shard spill files, in shard order.
+  /// spill.open() streams the run's sessions in canonical order;
+  /// spill.load() materializes the canonical Dataset.
+  telemetry::SpillSet spill;
+
+  bool spilled() const { return !spill.empty(); }
 };
 
 /// A run plus the paper's §3 preprocessing (proxy filter + two-sided join).
@@ -77,12 +92,13 @@ struct AnalyzedRun {
 std::size_t resolve_shard_count(std::size_t requested = 0);
 
 /// Strictly parse environment variable `name` as a positive integer.
-/// Unset: returns `fallback`.  Set but empty, non-numeric, zero, negative,
-/// or trailing garbage: throws std::runtime_error naming the variable —
-/// never a silent fallback.
+/// Forwarder for sim::positive_env (src/sim/env_util.h), kept for source
+/// compatibility: unset returns `fallback`; set but invalid throws
+/// std::runtime_error naming the variable — never a silent fallback.
 std::size_t positive_env(const char* name, std::size_t fallback);
 
 /// Same contract for a strictly positive real number (the overload knobs).
+/// Forwarder for sim::positive_env_double.
 double positive_env_double(const char* name, double fallback);
 
 /// Apply the overload-protection environment knobs on top of `base`:

@@ -5,10 +5,11 @@ namespace vstream::engine {
 Shard::Shard(const workload::Scenario& scenario,
              const workload::VideoCatalog& catalog, const WarmArchive& warm,
              const faults::FaultSchedule* faults,
-             const std::unordered_set<net::Prefix24>* bad_prefixes)
+             const std::unordered_set<net::Prefix24>* bad_prefixes,
+             telemetry::RecordSink* sink)
     : scenario_(scenario),
       fleet_(scenario.fleet, catalog.size()),
-      collector_(scenario.tcp_sample_interval_ms),
+      collector_(scenario.tcp_sample_interval_ms, sink),
       server_stats_(static_cast<std::size_t>(fleet_.pop_count()) *
                     fleet_.servers_per_pop()) {
   ctx_.scenario = &scenario_;
@@ -33,6 +34,10 @@ void Shard::step_event(SessionRuntime* runtime) {
     queue_.schedule_in(wall_ms, [this, runtime] { step_event(runtime); });
   } else {
     runtime->finish();
+    // Sessions complete atomically on their shard: finish() emitted the
+    // last record, so a spilling sink can serialize and free the session
+    // right here, and the sampling clock is retired either way.
+    collector_.session_complete(runtime->session_id());
   }
 }
 

@@ -9,6 +9,7 @@
 // whole construction is free of data races by design.
 #pragma once
 
+#include <filesystem>
 #include <memory>
 #include <span>
 #include <unordered_set>
@@ -28,19 +29,28 @@ namespace vstream::engine {
 
 /// What one shard hands back for the canonical merge.
 struct ShardResult {
+  /// Empty when the shard ran against a record sink (spill mode): the
+  /// records went to the sink as sessions completed instead of
+  /// materializing here.
   telemetry::Dataset dataset;
   GroundTruth ground_truth;
   std::vector<cdn::ServerStats> server_stats;  // pop * servers_per_pop + server
+  /// Spill mode: the file(s) this shard's sink wrote, in shard order
+  /// after the merge.
+  std::vector<std::filesystem::path> spill_files;
 };
 
 class Shard {
  public:
   /// All references must outlive the shard; none are modified.  `faults`
-  /// may be null (no injection).
+  /// may be null (no injection).  `sink` may be null (records materialize
+  /// in the shard's dataset); when set it receives every record plus a
+  /// session_complete() per finished session, and must outlive run().
   Shard(const workload::Scenario& scenario,
         const workload::VideoCatalog& catalog, const WarmArchive& warm,
         const faults::FaultSchedule* faults,
-        const std::unordered_set<net::Prefix24>* bad_prefixes);
+        const std::unordered_set<net::Prefix24>* bad_prefixes,
+        telemetry::RecordSink* sink = nullptr);
 
   /// Run this shard's session partition through the event queue and return
   /// the shard-local telemetry and accounting.  Call once.

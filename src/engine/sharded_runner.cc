@@ -1,8 +1,11 @@
 #include "engine/sharded_runner.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "telemetry/spill_sink.h"
 
 namespace vstream::engine {
 
@@ -63,6 +66,9 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts) {
     append(merged.dataset.tcp_snapshots,
            std::move(part.dataset.tcp_snapshots));
     merged.ground_truth.merge(std::move(part.ground_truth));
+    for (std::filesystem::path& file : part.spill_files) {
+      merged.spill_files.push_back(std::move(file));
+    }
     if (merged.server_stats.empty()) {
       merged.server_stats.resize(part.server_stats.size());
     }
@@ -85,24 +91,38 @@ ShardResult run_sharded(const workload::Scenario& scenario,
                         const faults::FaultSchedule* faults,
                         const std::unordered_set<net::Prefix24>* bad_prefixes,
                         const std::vector<AdmittedSession>& admitted,
-                        std::size_t shard_count) {
+                        std::size_t shard_count,
+                        const std::filesystem::path* spill_dir) {
   const std::vector<std::vector<AdmittedSession>> parts =
       partition_sessions(admitted, shard_count);
   std::vector<ShardResult> results(parts.size());
 
+  // One shard = one spill file, so shards never contend on a writer and
+  // the file set records the shard order the canonical merge expects.
+  const auto run_one = [&](std::size_t i) {
+    if (spill_dir == nullptr) {
+      Shard shard(scenario, catalog, warm, faults, bad_prefixes);
+      results[i] = shard.run(parts[i]);
+      return;
+    }
+    const std::filesystem::path file =
+        *spill_dir / ("shard-" + std::to_string(i) + ".vspill");
+    telemetry::SpillSink sink(file);
+    Shard shard(scenario, catalog, warm, faults, bad_prefixes, &sink);
+    results[i] = shard.run(parts[i]);
+    sink.finish();
+    results[i].spill_files.push_back(file);
+  };
+
   if (parts.size() == 1) {
-    Shard shard(scenario, catalog, warm, faults, bad_prefixes);
-    results[0] = shard.run(parts[0]);
+    run_one(0);
   } else {
     // One worker thread per shard.  Everything shared is read-only while
     // the threads run; each thread writes only its own results slot.
     std::vector<std::thread> workers;
     workers.reserve(parts.size());
     for (std::size_t i = 0; i < parts.size(); ++i) {
-      workers.emplace_back([&, i] {
-        Shard shard(scenario, catalog, warm, faults, bad_prefixes);
-        results[i] = shard.run(parts[i]);
-      });
+      workers.emplace_back([&, i] { run_one(i); });
     }
     for (std::thread& worker : workers) worker.join();
   }

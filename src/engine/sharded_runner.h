@@ -32,12 +32,20 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts);
 /// Run `admitted` across `shard_count` workers (1 runs inline on the
 /// calling thread).  All reference parameters are read-only for the
 /// duration; `faults` and `bad_prefixes` may be null.
+///
+/// `spill_dir` selects the telemetry storage model: null materializes
+/// the merged Dataset in RAM (classic); otherwise each shard streams its
+/// completed sessions to <spill_dir>/shard-<i>.vspill through a
+/// telemetry::SpillSink, the merged dataset comes back empty, and the
+/// result's spill_files lists the per-shard files in shard order.  The
+/// directory must already exist.
 ShardResult run_sharded(const workload::Scenario& scenario,
                         const workload::VideoCatalog& catalog,
                         const WarmArchive& warm,
                         const faults::FaultSchedule* faults,
                         const std::unordered_set<net::Prefix24>* bad_prefixes,
                         const std::vector<AdmittedSession>& admitted,
-                        std::size_t shard_count);
+                        std::size_t shard_count,
+                        const std::filesystem::path* spill_dir = nullptr);
 
 }  // namespace vstream::engine

@@ -4,6 +4,8 @@ namespace vstream::telemetry {
 
 void Collector::reserve(std::size_t expected_sessions,
                         std::size_t expected_chunks) {
+  next_sample_at_ms_.reserve(expected_sessions);
+  if (sink_ != nullptr) return;  // the Dataset is bypassed entirely
   data_.player_sessions.reserve(expected_sessions);
   data_.cdn_sessions.reserve(expected_sessions);
   data_.player_chunks.reserve(expected_chunks);
@@ -11,7 +13,6 @@ void Collector::reserve(std::size_t expected_sessions,
   // At least one snapshot per chunk; long transfers add a few more on the
   // 500 ms cadence, which the growth policy absorbs from this base.
   data_.tcp_snapshots.reserve(expected_chunks);
-  next_sample_at_ms_.reserve(expected_sessions);
 }
 
 void Collector::sample_transfer(std::uint64_t session_id,
@@ -29,8 +30,7 @@ void Collector::sample_transfer(std::uint64_t session_id,
   for (const net::RoundSample& round : rounds) {
     const sim::Ms at = transfer_start_ms + round.at_ms;
     if (at >= next_at) {
-      data_.tcp_snapshots.push_back(
-          TcpSnapshotRecord{session_id, chunk_id, at, round.info});
+      record(TcpSnapshotRecord{session_id, chunk_id, at, round.info});
       last_sampled_at = at;
       while (next_at <= at) {
         next_at += tcp_sample_interval_ms_;
@@ -43,9 +43,20 @@ void Collector::sample_transfer(std::uint64_t session_id,
   const net::RoundSample& last = rounds.back();
   const sim::Ms end_at = transfer_start_ms + last.at_ms;
   if (last_sampled_at < end_at) {
-    data_.tcp_snapshots.push_back(
-        TcpSnapshotRecord{session_id, chunk_id, end_at, last.info});
+    record(TcpSnapshotRecord{session_id, chunk_id, end_at, last.info});
   }
+}
+
+void Collector::session_complete(std::uint64_t session_id) {
+  next_sample_at_ms_.erase(session_id);
+  if (sink_ != nullptr) sink_->session_complete(session_id);
+}
+
+Dataset Collector::take() {
+  next_sample_at_ms_.clear();
+  Dataset out = std::move(data_);
+  data_ = Dataset{};
+  return out;
 }
 
 }  // namespace vstream::telemetry

@@ -80,29 +80,31 @@ constexpr const char* kPlayerSessionHeader =
     "startup_ms,chunks_requested,completed";
 }
 
+void append_csv_row(WriteBuffer& buf, const PlayerSessionRecord& r) {
+  buf.append_u64(r.session_id);
+  buf.append(',');
+  buf.append_ip(r.client_ip);
+  buf.append(',');
+  buf.append(r.user_agent);
+  buf.append(',');
+  buf.append_double_g6(r.video_duration_s);
+  buf.append(',');
+  buf.append_double_g6(r.start_time_ms);
+  buf.append(',');
+  buf.append_double_g6(r.startup_ms);
+  buf.append(',');
+  buf.append_u64(r.chunks_requested);
+  buf.append(',');
+  buf.append_bool01(r.completed);
+  buf.append('\n');
+}
+
 void write_player_sessions_csv(std::ostream& out,
                                const std::vector<PlayerSessionRecord>& records) {
   WriteBuffer buf(out);
   buf.append(kPlayerSessionHeader);
   buf.append('\n');
-  for (const PlayerSessionRecord& r : records) {
-    buf.append_u64(r.session_id);
-    buf.append(',');
-    buf.append_ip(r.client_ip);
-    buf.append(',');
-    buf.append(r.user_agent);
-    buf.append(',');
-    buf.append_double_g6(r.video_duration_s);
-    buf.append(',');
-    buf.append_double_g6(r.start_time_ms);
-    buf.append(',');
-    buf.append_double_g6(r.startup_ms);
-    buf.append(',');
-    buf.append_u64(r.chunks_requested);
-    buf.append(',');
-    buf.append_bool01(r.completed);
-    buf.append('\n');
-  }
+  for (const PlayerSessionRecord& r : records) append_csv_row(buf, r);
 }
 
 std::vector<PlayerSessionRecord> read_player_sessions_csv(std::istream& in) {
@@ -135,33 +137,35 @@ constexpr const char* kCdnSessionHeader =
     "country,client_distance_km";
 }
 
+void append_csv_row(WriteBuffer& buf, const CdnSessionRecord& r) {
+  buf.append_u64(r.session_id);
+  buf.append(',');
+  buf.append_ip(r.observed_ip);
+  buf.append(',');
+  buf.append(r.observed_user_agent);
+  buf.append(',');
+  buf.append_u64(r.pop);
+  buf.append(',');
+  buf.append_u64(r.server);
+  buf.append(',');
+  buf.append(r.org);
+  buf.append(',');
+  buf.append(access_token(r.access));
+  buf.append(',');
+  buf.append(r.city);
+  buf.append(',');
+  buf.append(r.country);
+  buf.append(',');
+  buf.append_double_g6(r.client_distance_km);
+  buf.append('\n');
+}
+
 void write_cdn_sessions_csv(std::ostream& out,
                             const std::vector<CdnSessionRecord>& records) {
   WriteBuffer buf(out);
   buf.append(kCdnSessionHeader);
   buf.append('\n');
-  for (const CdnSessionRecord& r : records) {
-    buf.append_u64(r.session_id);
-    buf.append(',');
-    buf.append_ip(r.observed_ip);
-    buf.append(',');
-    buf.append(r.observed_user_agent);
-    buf.append(',');
-    buf.append_u64(r.pop);
-    buf.append(',');
-    buf.append_u64(r.server);
-    buf.append(',');
-    buf.append(r.org);
-    buf.append(',');
-    buf.append(access_token(r.access));
-    buf.append(',');
-    buf.append(r.city);
-    buf.append(',');
-    buf.append(r.country);
-    buf.append(',');
-    buf.append_double_g6(r.client_distance_km);
-    buf.append('\n');
-  }
+  for (const CdnSessionRecord& r : records) append_csv_row(buf, r);
 }
 
 std::vector<CdnSessionRecord> read_cdn_sessions_csv(std::istream& in) {
@@ -197,45 +201,47 @@ constexpr const char* kPlayerChunkHeader =
     "retries,timeouts,failed_over,recovery_ms";
 }
 
+void append_csv_row(WriteBuffer& buf, const PlayerChunkRecord& r) {
+  buf.append_u64(r.session_id);
+  buf.append(',');
+  buf.append_u64(r.chunk_id);
+  buf.append(',');
+  buf.append_double_g6(r.request_sent_ms);
+  buf.append(',');
+  buf.append_double_g6(r.dfb_ms);
+  buf.append(',');
+  buf.append_double_g6(r.dlb_ms);
+  buf.append(',');
+  buf.append_u64(r.bitrate_kbps);
+  buf.append(',');
+  buf.append_double_g6(r.rebuffer_ms);
+  buf.append(',');
+  buf.append_u64(r.rebuffer_count);
+  buf.append(',');
+  buf.append_bool01(r.visible);
+  buf.append(',');
+  buf.append_double_g6(r.avg_fps);
+  buf.append(',');
+  buf.append_u64(r.dropped_frames);
+  buf.append(',');
+  buf.append_u64(r.total_frames);
+  buf.append(',');
+  buf.append_u64(r.retries);
+  buf.append(',');
+  buf.append_u64(r.timeouts);
+  buf.append(',');
+  buf.append_bool01(r.failed_over);
+  buf.append(',');
+  buf.append_double_g6(r.recovery_ms);
+  buf.append('\n');
+}
+
 void write_player_chunks_csv(std::ostream& out,
                              const std::vector<PlayerChunkRecord>& records) {
   WriteBuffer buf(out);
   buf.append(kPlayerChunkHeader);
   buf.append('\n');
-  for (const PlayerChunkRecord& r : records) {
-    buf.append_u64(r.session_id);
-    buf.append(',');
-    buf.append_u64(r.chunk_id);
-    buf.append(',');
-    buf.append_double_g6(r.request_sent_ms);
-    buf.append(',');
-    buf.append_double_g6(r.dfb_ms);
-    buf.append(',');
-    buf.append_double_g6(r.dlb_ms);
-    buf.append(',');
-    buf.append_u64(r.bitrate_kbps);
-    buf.append(',');
-    buf.append_double_g6(r.rebuffer_ms);
-    buf.append(',');
-    buf.append_u64(r.rebuffer_count);
-    buf.append(',');
-    buf.append_bool01(r.visible);
-    buf.append(',');
-    buf.append_double_g6(r.avg_fps);
-    buf.append(',');
-    buf.append_u64(r.dropped_frames);
-    buf.append(',');
-    buf.append_u64(r.total_frames);
-    buf.append(',');
-    buf.append_u64(r.retries);
-    buf.append(',');
-    buf.append_u64(r.timeouts);
-    buf.append(',');
-    buf.append_bool01(r.failed_over);
-    buf.append(',');
-    buf.append_double_g6(r.recovery_ms);
-    buf.append('\n');
-  }
+  for (const PlayerChunkRecord& r : records) append_csv_row(buf, r);
 }
 
 std::vector<PlayerChunkRecord> read_player_chunks_csv(std::istream& in) {
@@ -277,47 +283,49 @@ constexpr const char* kCdnChunkHeader =
     "budget_denied,served_swr";
 }
 
+void append_csv_row(WriteBuffer& buf, const CdnChunkRecord& r) {
+  buf.append_u64(r.session_id);
+  buf.append(',');
+  buf.append_u64(r.chunk_id);
+  buf.append(',');
+  buf.append_double_g6(r.dwait_ms);
+  buf.append(',');
+  buf.append_double_g6(r.dopen_ms);
+  buf.append(',');
+  buf.append_double_g6(r.dread_ms);
+  buf.append(',');
+  buf.append_double_g6(r.dbe_ms);
+  buf.append(',');
+  buf.append(cache_level_token(r.cache_level));
+  buf.append(',');
+  buf.append_u64(r.chunk_bytes);
+  buf.append(',');
+  buf.append_u64(r.pop);
+  buf.append(',');
+  buf.append_u64(r.server);
+  buf.append(',');
+  buf.append_bool01(r.served_stale);
+  buf.append(',');
+  buf.append_bool01(r.shed);
+  buf.append(',');
+  buf.append_bool01(r.hedged);
+  buf.append(',');
+  buf.append_bool01(r.hedge_won);
+  buf.append(',');
+  buf.append(cdn::to_string(r.breaker));
+  buf.append(',');
+  buf.append_bool01(r.budget_denied);
+  buf.append(',');
+  buf.append_bool01(r.served_swr);
+  buf.append('\n');
+}
+
 void write_cdn_chunks_csv(std::ostream& out,
                           const std::vector<CdnChunkRecord>& records) {
   WriteBuffer buf(out);
   buf.append(kCdnChunkHeader);
   buf.append('\n');
-  for (const CdnChunkRecord& r : records) {
-    buf.append_u64(r.session_id);
-    buf.append(',');
-    buf.append_u64(r.chunk_id);
-    buf.append(',');
-    buf.append_double_g6(r.dwait_ms);
-    buf.append(',');
-    buf.append_double_g6(r.dopen_ms);
-    buf.append(',');
-    buf.append_double_g6(r.dread_ms);
-    buf.append(',');
-    buf.append_double_g6(r.dbe_ms);
-    buf.append(',');
-    buf.append(cache_level_token(r.cache_level));
-    buf.append(',');
-    buf.append_u64(r.chunk_bytes);
-    buf.append(',');
-    buf.append_u64(r.pop);
-    buf.append(',');
-    buf.append_u64(r.server);
-    buf.append(',');
-    buf.append_bool01(r.served_stale);
-    buf.append(',');
-    buf.append_bool01(r.shed);
-    buf.append(',');
-    buf.append_bool01(r.hedged);
-    buf.append(',');
-    buf.append_bool01(r.hedge_won);
-    buf.append(',');
-    buf.append(cdn::to_string(r.breaker));
-    buf.append(',');
-    buf.append_bool01(r.budget_denied);
-    buf.append(',');
-    buf.append_bool01(r.served_swr);
-    buf.append('\n');
-  }
+  for (const CdnChunkRecord& r : records) append_csv_row(buf, r);
 }
 
 std::vector<CdnChunkRecord> read_cdn_chunks_csv(std::istream& in) {
@@ -360,37 +368,39 @@ constexpr const char* kTcpSnapshotHeader =
     "in_slow_start";
 }
 
+void append_csv_row(WriteBuffer& buf, const TcpSnapshotRecord& r) {
+  buf.append_u64(r.session_id);
+  buf.append(',');
+  buf.append_u64(r.chunk_id);
+  buf.append(',');
+  buf.append_double_g6(r.at_ms);
+  buf.append(',');
+  buf.append_double_g6(r.info.srtt_ms);
+  buf.append(',');
+  buf.append_double_g6(r.info.rttvar_ms);
+  buf.append(',');
+  buf.append_u64(r.info.cwnd_segments);
+  buf.append(',');
+  buf.append_u64(r.info.ssthresh_segments);
+  buf.append(',');
+  buf.append_u64(r.info.mss_bytes);
+  buf.append(',');
+  buf.append_u64(r.info.total_retrans);
+  buf.append(',');
+  buf.append_u64(r.info.segments_out);
+  buf.append(',');
+  buf.append_u64(r.info.bytes_acked);
+  buf.append(',');
+  buf.append_bool01(r.info.in_slow_start);
+  buf.append('\n');
+}
+
 void write_tcp_snapshots_csv(std::ostream& out,
                              const std::vector<TcpSnapshotRecord>& records) {
   WriteBuffer buf(out);
   buf.append(kTcpSnapshotHeader);
   buf.append('\n');
-  for (const TcpSnapshotRecord& r : records) {
-    buf.append_u64(r.session_id);
-    buf.append(',');
-    buf.append_u64(r.chunk_id);
-    buf.append(',');
-    buf.append_double_g6(r.at_ms);
-    buf.append(',');
-    buf.append_double_g6(r.info.srtt_ms);
-    buf.append(',');
-    buf.append_double_g6(r.info.rttvar_ms);
-    buf.append(',');
-    buf.append_u64(r.info.cwnd_segments);
-    buf.append(',');
-    buf.append_u64(r.info.ssthresh_segments);
-    buf.append(',');
-    buf.append_u64(r.info.mss_bytes);
-    buf.append(',');
-    buf.append_u64(r.info.total_retrans);
-    buf.append(',');
-    buf.append_u64(r.info.segments_out);
-    buf.append(',');
-    buf.append_u64(r.info.bytes_acked);
-    buf.append(',');
-    buf.append_bool01(r.info.in_slow_start);
-    buf.append('\n');
-  }
+  for (const TcpSnapshotRecord& r : records) append_csv_row(buf, r);
 }
 
 std::vector<TcpSnapshotRecord> read_tcp_snapshots_csv(std::istream& in) {
@@ -457,6 +467,44 @@ void export_dataset(const Dataset& data,
   write_file(directory / "tcp_snapshots.csv", [&](std::ostream& out) {
     write_tcp_snapshots_csv(out, data.tcp_snapshots);
   });
+}
+
+void export_stream(SessionGroupStream& groups,
+                   const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  const auto open = [&](const char* name) {
+    std::ofstream out(directory / name);
+    if (!out) {
+      throw std::runtime_error("csv: cannot open " +
+                               (directory / name).string());
+    }
+    return out;
+  };
+  std::ofstream ps_out = open("player_sessions.csv");
+  std::ofstream cs_out = open("cdn_sessions.csv");
+  std::ofstream pc_out = open("player_chunks.csv");
+  std::ofstream cc_out = open("cdn_chunks.csv");
+  std::ofstream ts_out = open("tcp_snapshots.csv");
+  {
+    WriteBuffer ps(ps_out), cs(cs_out), pc(pc_out), cc(cc_out), ts(ts_out);
+    ps.append(kPlayerSessionHeader);
+    ps.append('\n');
+    cs.append(kCdnSessionHeader);
+    cs.append('\n');
+    pc.append(kPlayerChunkHeader);
+    pc.append('\n');
+    cc.append(kCdnChunkHeader);
+    cc.append('\n');
+    ts.append(kTcpSnapshotHeader);
+    ts.append('\n');
+    while (std::optional<SessionRecordGroup> group = groups.next()) {
+      for (const auto& r : group->player_sessions) append_csv_row(ps, r);
+      for (const auto& r : group->cdn_sessions) append_csv_row(cs, r);
+      for (const auto& r : group->player_chunks) append_csv_row(pc, r);
+      for (const auto& r : group->cdn_chunks) append_csv_row(cc, r);
+      for (const auto& r : group->tcp_snapshots) append_csv_row(ts, r);
+    }
+  }  // buffers flush before the streams close
 }
 
 Dataset import_dataset(const std::filesystem::path& directory) {

@@ -16,8 +16,22 @@
 #include <iosfwd>
 
 #include "telemetry/collector.h"
+#include "telemetry/record_group.h"
 
 namespace vstream::telemetry {
+
+class WriteBuffer;
+
+// ---- row appenders ----
+// One CSV row (with trailing newline), no header — the shared formatting
+// core of the batch writers below and the streaming exporter, so both
+// paths are byte-identical by construction.
+
+void append_csv_row(WriteBuffer& buf, const PlayerSessionRecord& r);
+void append_csv_row(WriteBuffer& buf, const CdnSessionRecord& r);
+void append_csv_row(WriteBuffer& buf, const PlayerChunkRecord& r);
+void append_csv_row(WriteBuffer& buf, const CdnChunkRecord& r);
+void append_csv_row(WriteBuffer& buf, const TcpSnapshotRecord& r);
 
 // ---- stream writers (stable column order, documented in the header row) --
 
@@ -49,5 +63,13 @@ void export_dataset(const Dataset& data,
 
 /// Load a dataset previously written by export_dataset().
 Dataset import_dataset(const std::filesystem::path& directory);
+
+/// Stream session groups into the same five CSV files as export_dataset()
+/// without materializing a Dataset.  When `groups` yields sessions in
+/// canonical order (ascending session id, per-session emission order —
+/// what SpillSet::open() and DatasetGroupStream produce), the files are
+/// byte-identical to export_dataset() on the equivalent merged dataset.
+void export_stream(SessionGroupStream& groups,
+                   const std::filesystem::path& directory);
 
 }  // namespace vstream::telemetry

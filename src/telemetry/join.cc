@@ -78,6 +78,35 @@ sim::Ms JoinedSession::duration_ms() const {
   return last;
 }
 
+void finalize_joined_session(JoinedSession& session) {
+  std::sort(session.chunks.begin(), session.chunks.end(),
+            [](const JoinedChunk& a, const JoinedChunk& b) {
+              return a.player->chunk_id < b.player->chunk_id;
+            });
+  std::sort(session.snapshots.begin(), session.snapshots.end(),
+            [](const TcpSnapshotRecord* a, const TcpSnapshotRecord* b) {
+              return a->at_ms < b->at_ms;
+            });
+
+  // Per-chunk counter deltas and "last snapshot of chunk" context, from
+  // the cumulative connection counters.
+  std::uint64_t prev_retrans = 0;
+  std::uint64_t prev_segments = 0;
+  for (JoinedChunk& chunk : session.chunks) {
+    const TcpSnapshotRecord* last = nullptr;
+    for (const TcpSnapshotRecord* snap : session.snapshots) {
+      if (snap->chunk_id == chunk.player->chunk_id) last = snap;
+    }
+    chunk.last_snapshot = last;
+    if (last != nullptr) {
+      chunk.retransmissions = last->info.total_retrans - prev_retrans;
+      chunk.segments = last->info.segments_out - prev_segments;
+      prev_retrans = last->info.total_retrans;
+      prev_segments = last->info.segments_out;
+    }
+  }
+}
+
 JoinedDataset JoinedDataset::build(const Dataset& data,
                                    const ProxyFilterResult* proxies) {
   JoinedDataset joined;
@@ -125,32 +154,7 @@ JoinedDataset JoinedDataset::build(const Dataset& data,
       ++joined.dropped_as_proxy_;
       continue;
     }
-    std::sort(session.chunks.begin(), session.chunks.end(),
-              [](const JoinedChunk& a, const JoinedChunk& b) {
-                return a.player->chunk_id < b.player->chunk_id;
-              });
-    std::sort(session.snapshots.begin(), session.snapshots.end(),
-              [](const TcpSnapshotRecord* a, const TcpSnapshotRecord* b) {
-                return a->at_ms < b->at_ms;
-              });
-
-    // Per-chunk counter deltas and "last snapshot of chunk" context, from
-    // the cumulative connection counters.
-    std::uint64_t prev_retrans = 0;
-    std::uint64_t prev_segments = 0;
-    for (JoinedChunk& chunk : session.chunks) {
-      const TcpSnapshotRecord* last = nullptr;
-      for (const TcpSnapshotRecord* snap : session.snapshots) {
-        if (snap->chunk_id == chunk.player->chunk_id) last = snap;
-      }
-      chunk.last_snapshot = last;
-      if (last != nullptr) {
-        chunk.retransmissions = last->info.total_retrans - prev_retrans;
-        chunk.segments = last->info.segments_out - prev_segments;
-        prev_retrans = last->info.total_retrans;
-        prev_segments = last->info.segments_out;
-      }
-    }
+    finalize_joined_session(session);
     joined.sessions_.push_back(std::move(session));
   }
 

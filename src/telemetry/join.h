@@ -64,6 +64,14 @@ struct JoinedSession {
   sim::Ms duration_ms() const;
 };
 
+/// Per-session finalize shared by the batch join below and the streaming
+/// joiner (streaming_join.h): sort chunks into chunk-id order and
+/// snapshots into time order, attach each chunk's last tcp_info snapshot,
+/// and derive the per-chunk retransmission/segment deltas from the
+/// cumulative connection counters.  `session.chunks`/`session.snapshots`
+/// must be populated (any order); pointers are left untouched.
+void finalize_joined_session(JoinedSession& session);
+
 class JoinedDataset {
  public:
   /// Join player and CDN views by (sessionID, chunkID).  Sessions flagged

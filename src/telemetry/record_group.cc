@@ -1,0 +1,75 @@
+#include "telemetry/record_group.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace vstream::telemetry {
+
+SessionGroupStream::~SessionGroupStream() = default;
+
+namespace {
+
+template <typename Record>
+void append_vec(std::vector<Record>& into, std::vector<Record>&& from) {
+  if (into.empty()) {
+    into = std::move(from);
+    return;
+  }
+  into.insert(into.end(), std::make_move_iterator(from.begin()),
+              std::make_move_iterator(from.end()));
+}
+
+/// Copy the run of records for `id` at the head of `records` into `out`,
+/// advancing `cursor` past it.
+template <typename Record>
+void collect_run(const std::vector<Record>& records, std::size_t& cursor,
+                 std::uint64_t id, std::vector<Record>& out) {
+  while (cursor < records.size() && records[cursor].session_id == id) {
+    out.push_back(records[cursor]);
+    ++cursor;
+  }
+}
+
+}  // namespace
+
+void SessionRecordGroup::append(SessionRecordGroup&& other) {
+  append_vec(player_sessions, std::move(other.player_sessions));
+  append_vec(cdn_sessions, std::move(other.cdn_sessions));
+  append_vec(player_chunks, std::move(other.player_chunks));
+  append_vec(cdn_chunks, std::move(other.cdn_chunks));
+  append_vec(tcp_snapshots, std::move(other.tcp_snapshots));
+}
+
+std::optional<SessionRecordGroup> DatasetGroupStream::next() {
+  const Dataset& d = *data_;
+  // The next session id is the smallest id at any stream head — streams
+  // are individually sorted, so this walks ids in ascending order and
+  // naturally yields groups for sessions present in only some streams
+  // (orphan records).
+  std::uint64_t id = 0;
+  bool found = false;
+  const auto consider = [&](const auto& records, std::size_t cursor) {
+    if (cursor < records.size() &&
+        (!found || records[cursor].session_id < id)) {
+      id = records[cursor].session_id;
+      found = true;
+    }
+  };
+  consider(d.player_sessions, ps_);
+  consider(d.cdn_sessions, cs_);
+  consider(d.player_chunks, pc_);
+  consider(d.cdn_chunks, cc_);
+  consider(d.tcp_snapshots, ts_);
+  if (!found) return std::nullopt;
+
+  SessionRecordGroup group;
+  group.session_id = id;
+  collect_run(d.player_sessions, ps_, id, group.player_sessions);
+  collect_run(d.cdn_sessions, cs_, id, group.cdn_sessions);
+  collect_run(d.player_chunks, pc_, id, group.player_chunks);
+  collect_run(d.cdn_chunks, cc_, id, group.cdn_chunks);
+  collect_run(d.tcp_snapshots, ts_, id, group.tcp_snapshots);
+  return group;
+}
+
+}  // namespace vstream::telemetry

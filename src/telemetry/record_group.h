@@ -1,0 +1,69 @@
+// Session record groups: one session's slice of all five record streams.
+//
+// The streaming pipeline moves telemetry around in per-session units —
+// the natural grain, because sessions complete atomically on one shard
+// and every analysis in §4 is a fold over per-session values.  A
+// SessionGroupStream yields groups in ascending session-id order, which
+// is exactly the canonical merged-dataset order, so anything computed by
+// folding a stream (CSV export, joins, aggregates) matches the
+// materialized path byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "telemetry/record_sink.h"
+
+namespace vstream::telemetry {
+
+/// Every record of one session, in emission order per stream (chunks in
+/// chunk order, snapshots in time order) — the same order the canonical
+/// Dataset holds them in.
+struct SessionRecordGroup {
+  std::uint64_t session_id = 0;
+  std::vector<PlayerSessionRecord> player_sessions;
+  std::vector<CdnSessionRecord> cdn_sessions;
+  std::vector<PlayerChunkRecord> player_chunks;
+  std::vector<CdnChunkRecord> cdn_chunks;
+  std::vector<TcpSnapshotRecord> tcp_snapshots;
+
+  bool empty() const {
+    return player_sessions.empty() && cdn_sessions.empty() &&
+           player_chunks.empty() && cdn_chunks.empty() &&
+           tcp_snapshots.empty();
+  }
+  std::size_t record_count() const {
+    return player_sessions.size() + cdn_sessions.size() +
+           player_chunks.size() + cdn_chunks.size() + tcp_snapshots.size();
+  }
+
+  /// Concatenate another group for the same session onto this one (a
+  /// session whose records were split across sinks — the caller appends in
+  /// sink order, mirroring the canonical merge's stable sort).
+  void append(SessionRecordGroup&& other);
+};
+
+/// Pull-based stream of session groups in strictly ascending session-id
+/// order (one group per id).
+class SessionGroupStream {
+ public:
+  virtual ~SessionGroupStream();
+  /// The next session's records; nullopt at end of stream.
+  virtual std::optional<SessionRecordGroup> next() = 0;
+};
+
+/// Streams a canonical (session-id-sorted) Dataset as session groups, by
+/// walking the five record vectors in lockstep.  The view copies records
+/// into each group; the Dataset must outlive the stream.
+class DatasetGroupStream final : public SessionGroupStream {
+ public:
+  explicit DatasetGroupStream(const Dataset& data) : data_(&data) {}
+  std::optional<SessionRecordGroup> next() override;
+
+ private:
+  const Dataset* data_;
+  std::size_t ps_ = 0, cs_ = 0, pc_ = 0, cc_ = 0, ts_ = 0;  // stream cursors
+};
+
+}  // namespace vstream::telemetry

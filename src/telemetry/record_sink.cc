@@ -1,0 +1,13 @@
+#include "telemetry/record_sink.h"
+
+namespace vstream::telemetry {
+
+RecordSink::~RecordSink() = default;
+
+Dataset MemorySink::take() {
+  Dataset out = std::move(data_);
+  data_ = Dataset{};
+  return out;
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,505 @@
+#include "telemetry/spill_format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace vstream::telemetry {
+
+namespace {
+
+// --------------------------------------------------------------- encoding
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out.append(bytes, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out.append(bytes, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  // Raw IEEE-754 bits: the round trip is bit-exact, so CSV re-export of a
+  // spilled dataset is byte-identical to the in-memory path.
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_bool(std::string& out, bool v) { put_u8(out, v ? 1 : 0); }
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked read cursor over one block payload.
+struct Cursor {
+  const char* p;
+  const char* end;
+  const std::filesystem::path& path;
+
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - p) < n) {
+      throw std::runtime_error("spill: truncated block payload in " +
+                               path.string());
+    }
+  }
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    p += 4;
+    return v;
+  }
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    p += 8;
+    return v;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  std::uint8_t get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p++);
+  }
+  bool get_bool() { return get_u8() != 0; }
+  std::string get_str() {
+    const std::uint32_t len = get_u32();
+    need(len);
+    std::string s(p, len);
+    p += len;
+    return s;
+  }
+};
+
+// ------------------------------------------------------ record serializers
+// Field order mirrors the struct declarations in records.h; session_id is
+// block-level and omitted.
+
+void put_record(std::string& out, const PlayerSessionRecord& r) {
+  put_u32(out, r.client_ip);
+  put_str(out, r.user_agent);
+  put_f64(out, r.video_duration_s);
+  put_f64(out, r.start_time_ms);
+  put_f64(out, r.startup_ms);
+  put_u32(out, r.chunks_requested);
+  put_bool(out, r.completed);
+}
+
+PlayerSessionRecord get_player_session(Cursor& c, std::uint64_t id) {
+  PlayerSessionRecord r;
+  r.session_id = id;
+  r.client_ip = c.get_u32();
+  r.user_agent = c.get_str();
+  r.video_duration_s = c.get_f64();
+  r.start_time_ms = c.get_f64();
+  r.startup_ms = c.get_f64();
+  r.chunks_requested = c.get_u32();
+  r.completed = c.get_bool();
+  return r;
+}
+
+void put_record(std::string& out, const CdnSessionRecord& r) {
+  put_u32(out, r.observed_ip);
+  put_str(out, r.observed_user_agent);
+  put_u32(out, r.pop);
+  put_u32(out, r.server);
+  put_str(out, r.org);
+  put_u8(out, static_cast<std::uint8_t>(r.access));
+  put_str(out, r.city);
+  put_str(out, r.country);
+  put_f64(out, r.client_distance_km);
+}
+
+CdnSessionRecord get_cdn_session(Cursor& c, std::uint64_t id) {
+  CdnSessionRecord r;
+  r.session_id = id;
+  r.observed_ip = c.get_u32();
+  r.observed_user_agent = c.get_str();
+  r.pop = c.get_u32();
+  r.server = c.get_u32();
+  r.org = c.get_str();
+  r.access = static_cast<net::AccessType>(c.get_u8());
+  r.city = c.get_str();
+  r.country = c.get_str();
+  r.client_distance_km = c.get_f64();
+  return r;
+}
+
+void put_record(std::string& out, const PlayerChunkRecord& r) {
+  put_u32(out, r.chunk_id);
+  put_f64(out, r.request_sent_ms);
+  put_f64(out, r.dfb_ms);
+  put_f64(out, r.dlb_ms);
+  put_u32(out, r.bitrate_kbps);
+  put_f64(out, r.rebuffer_ms);
+  put_u32(out, r.rebuffer_count);
+  put_bool(out, r.visible);
+  put_f64(out, r.avg_fps);
+  put_u32(out, r.dropped_frames);
+  put_u32(out, r.total_frames);
+  put_u32(out, r.retries);
+  put_u32(out, r.timeouts);
+  put_bool(out, r.failed_over);
+  put_f64(out, r.recovery_ms);
+}
+
+PlayerChunkRecord get_player_chunk(Cursor& c, std::uint64_t id) {
+  PlayerChunkRecord r;
+  r.session_id = id;
+  r.chunk_id = c.get_u32();
+  r.request_sent_ms = c.get_f64();
+  r.dfb_ms = c.get_f64();
+  r.dlb_ms = c.get_f64();
+  r.bitrate_kbps = c.get_u32();
+  r.rebuffer_ms = c.get_f64();
+  r.rebuffer_count = c.get_u32();
+  r.visible = c.get_bool();
+  r.avg_fps = c.get_f64();
+  r.dropped_frames = c.get_u32();
+  r.total_frames = c.get_u32();
+  r.retries = c.get_u32();
+  r.timeouts = c.get_u32();
+  r.failed_over = c.get_bool();
+  r.recovery_ms = c.get_f64();
+  return r;
+}
+
+void put_record(std::string& out, const CdnChunkRecord& r) {
+  put_u32(out, r.chunk_id);
+  put_f64(out, r.dwait_ms);
+  put_f64(out, r.dopen_ms);
+  put_f64(out, r.dread_ms);
+  put_f64(out, r.dbe_ms);
+  put_u8(out, static_cast<std::uint8_t>(r.cache_level));
+  put_u64(out, r.chunk_bytes);
+  put_u32(out, r.pop);
+  put_u32(out, r.server);
+  put_bool(out, r.served_stale);
+  put_bool(out, r.shed);
+  put_bool(out, r.hedged);
+  put_bool(out, r.hedge_won);
+  put_bool(out, r.budget_denied);
+  put_bool(out, r.served_swr);
+  put_u8(out, static_cast<std::uint8_t>(r.breaker));
+}
+
+CdnChunkRecord get_cdn_chunk(Cursor& c, std::uint64_t id) {
+  CdnChunkRecord r;
+  r.session_id = id;
+  r.chunk_id = c.get_u32();
+  r.dwait_ms = c.get_f64();
+  r.dopen_ms = c.get_f64();
+  r.dread_ms = c.get_f64();
+  r.dbe_ms = c.get_f64();
+  r.cache_level = static_cast<cdn::CacheLevel>(c.get_u8());
+  r.chunk_bytes = c.get_u64();
+  r.pop = c.get_u32();
+  r.server = c.get_u32();
+  r.served_stale = c.get_bool();
+  r.shed = c.get_bool();
+  r.hedged = c.get_bool();
+  r.hedge_won = c.get_bool();
+  r.budget_denied = c.get_bool();
+  r.served_swr = c.get_bool();
+  r.breaker = static_cast<cdn::BreakerState>(c.get_u8());
+  return r;
+}
+
+void put_record(std::string& out, const TcpSnapshotRecord& r) {
+  put_u32(out, r.chunk_id);
+  put_f64(out, r.at_ms);
+  put_f64(out, r.info.srtt_ms);
+  put_f64(out, r.info.rttvar_ms);
+  put_u32(out, r.info.cwnd_segments);
+  put_u32(out, r.info.ssthresh_segments);
+  put_u32(out, r.info.mss_bytes);
+  put_u64(out, r.info.total_retrans);
+  put_u64(out, r.info.segments_out);
+  put_u64(out, r.info.bytes_acked);
+  put_bool(out, r.info.in_slow_start);
+}
+
+TcpSnapshotRecord get_tcp_snapshot(Cursor& c, std::uint64_t id) {
+  TcpSnapshotRecord r;
+  r.session_id = id;
+  r.chunk_id = c.get_u32();
+  r.at_ms = c.get_f64();
+  r.info.srtt_ms = c.get_f64();
+  r.info.rttvar_ms = c.get_f64();
+  r.info.cwnd_segments = c.get_u32();
+  r.info.ssthresh_segments = c.get_u32();
+  r.info.mss_bytes = c.get_u32();
+  r.info.total_retrans = c.get_u64();
+  r.info.segments_out = c.get_u64();
+  r.info.bytes_acked = c.get_u64();
+  r.info.in_slow_start = c.get_bool();
+  return r;
+}
+
+SessionRecordGroup decode_payload(const std::string& payload,
+                                  std::uint64_t session_id,
+                                  const std::filesystem::path& path) {
+  Cursor c{payload.data(), payload.data() + payload.size(), path};
+  SessionRecordGroup group;
+  group.session_id = session_id;
+  const std::uint32_t n_ps = c.get_u32();
+  const std::uint32_t n_cs = c.get_u32();
+  const std::uint32_t n_pc = c.get_u32();
+  const std::uint32_t n_cc = c.get_u32();
+  const std::uint32_t n_ts = c.get_u32();
+  group.player_sessions.reserve(n_ps);
+  group.cdn_sessions.reserve(n_cs);
+  group.player_chunks.reserve(n_pc);
+  group.cdn_chunks.reserve(n_cc);
+  group.tcp_snapshots.reserve(n_ts);
+  for (std::uint32_t i = 0; i < n_ps; ++i) {
+    group.player_sessions.push_back(get_player_session(c, session_id));
+  }
+  for (std::uint32_t i = 0; i < n_cs; ++i) {
+    group.cdn_sessions.push_back(get_cdn_session(c, session_id));
+  }
+  for (std::uint32_t i = 0; i < n_pc; ++i) {
+    group.player_chunks.push_back(get_player_chunk(c, session_id));
+  }
+  for (std::uint32_t i = 0; i < n_cc; ++i) {
+    group.cdn_chunks.push_back(get_cdn_chunk(c, session_id));
+  }
+  for (std::uint32_t i = 0; i < n_ts; ++i) {
+    group.tcp_snapshots.push_back(get_tcp_snapshot(c, session_id));
+  }
+  if (c.p != c.end) {
+    throw std::runtime_error("spill: trailing bytes in block payload in " +
+                             path.string());
+  }
+  return group;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- SpillWriter
+
+SpillWriter::SpillWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("spill: cannot open " + path.string() +
+                             " for writing");
+  }
+  std::string header;
+  put_u32(header, kSpillMagic);
+  put_u32(header, kSpillVersion);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+SpillWriter::~SpillWriter() {
+  if (out_.is_open()) out_.close();
+}
+
+void SpillWriter::write(const SessionRecordGroup& group) {
+  scratch_.clear();
+  put_u32(scratch_, static_cast<std::uint32_t>(group.player_sessions.size()));
+  put_u32(scratch_, static_cast<std::uint32_t>(group.cdn_sessions.size()));
+  put_u32(scratch_, static_cast<std::uint32_t>(group.player_chunks.size()));
+  put_u32(scratch_, static_cast<std::uint32_t>(group.cdn_chunks.size()));
+  put_u32(scratch_, static_cast<std::uint32_t>(group.tcp_snapshots.size()));
+  for (const auto& r : group.player_sessions) put_record(scratch_, r);
+  for (const auto& r : group.cdn_sessions) put_record(scratch_, r);
+  for (const auto& r : group.player_chunks) put_record(scratch_, r);
+  for (const auto& r : group.cdn_chunks) put_record(scratch_, r);
+  for (const auto& r : group.tcp_snapshots) put_record(scratch_, r);
+
+  std::string header;
+  put_u64(header, group.session_id);
+  put_u64(header, scratch_.size());
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_.write(scratch_.data(), static_cast<std::streamsize>(scratch_.size()));
+  ++blocks_written_;
+}
+
+void SpillWriter::close() {
+  if (!out_.is_open()) return;
+  out_.close();
+  if (out_.fail()) {
+    throw std::runtime_error("spill: error writing " + path_.string());
+  }
+}
+
+// -------------------------------------------------------------- SpillReader
+
+SpillReader::SpillReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) {
+    throw std::runtime_error("spill: cannot open " + path.string());
+  }
+  char raw[8];
+  if (!in_.read(raw, 8)) {
+    throw std::runtime_error("spill: truncated header in " + path.string());
+  }
+  std::string header(raw, 8);
+  Cursor c{header.data(), header.data() + header.size(), path_};
+  if (c.get_u32() != kSpillMagic) {
+    throw std::runtime_error("spill: bad magic in " + path.string());
+  }
+  if (const std::uint32_t version = c.get_u32(); version != kSpillVersion) {
+    throw std::runtime_error("spill: unsupported version " +
+                             std::to_string(version) + " in " + path.string());
+  }
+}
+
+std::optional<SessionRecordGroup> SpillReader::next() {
+  char raw[16];
+  if (!in_.read(raw, 16)) {
+    if (in_.gcount() == 0) return std::nullopt;  // clean end of file
+    throw std::runtime_error("spill: truncated block header in " +
+                             path_.string());
+  }
+  std::string header(raw, 16);
+  Cursor c{header.data(), header.data() + header.size(), path_};
+  const std::uint64_t session_id = c.get_u64();
+  const std::uint64_t payload_size = c.get_u64();
+  scratch_.resize(payload_size);
+  if (!in_.read(scratch_.data(),
+                static_cast<std::streamsize>(payload_size))) {
+    throw std::runtime_error("spill: truncated block payload in " +
+                             path_.string());
+  }
+  return decode_payload(scratch_, session_id, path_);
+}
+
+std::vector<SpillBlockRef> SpillReader::index() {
+  in_.clear();
+  in_.seekg(8, std::ios::beg);  // past the file header
+  std::vector<SpillBlockRef> refs;
+  for (;;) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(in_.tellg());
+    char raw[16];
+    if (!in_.read(raw, 16)) {
+      if (in_.gcount() == 0) break;
+      throw std::runtime_error("spill: truncated block header in " +
+                               path_.string());
+    }
+    std::string header(raw, 16);
+    Cursor c{header.data(), header.data() + header.size(), path_};
+    SpillBlockRef ref;
+    ref.session_id = c.get_u64();
+    ref.offset = offset;
+    const std::uint64_t payload_size = c.get_u64();
+    in_.seekg(static_cast<std::streamoff>(payload_size), std::ios::cur);
+    refs.push_back(ref);
+  }
+  in_.clear();
+  return refs;
+}
+
+SessionRecordGroup SpillReader::read_at(const SpillBlockRef& ref) {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(ref.offset), std::ios::beg);
+  std::optional<SessionRecordGroup> group = next();
+  if (!group) {
+    throw std::runtime_error("spill: no block at offset " +
+                             std::to_string(ref.offset) + " in " +
+                             path_.string());
+  }
+  return *std::move(group);
+}
+
+// ----------------------------------------------------------------- SpillSet
+
+namespace {
+
+/// Merged ascending-session-id stream over a set of spill files, driven by
+/// a pre-sorted (session_id, file, offset) index.  Blocks for the same
+/// session across files are concatenated in file order — the canonical
+/// merge's tie-break.
+class SpillSetStream final : public SessionGroupStream {
+ public:
+  explicit SpillSetStream(const std::vector<std::filesystem::path>& files) {
+    readers_.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      readers_.push_back(std::make_unique<SpillReader>(files[i]));
+      for (const SpillBlockRef& ref : readers_.back()->index()) {
+        entries_.push_back(Entry{ref.session_id, i, ref.offset});
+      }
+    }
+    std::sort(entries_.begin(), entries_.end(), [](const Entry& a,
+                                                   const Entry& b) {
+      if (a.session_id != b.session_id) return a.session_id < b.session_id;
+      if (a.file != b.file) return a.file < b.file;
+      return a.offset < b.offset;
+    });
+  }
+
+  std::optional<SessionRecordGroup> next() override {
+    if (cursor_ >= entries_.size()) return std::nullopt;
+    const std::uint64_t id = entries_[cursor_].session_id;
+    SessionRecordGroup group = read_entry(entries_[cursor_++]);
+    while (cursor_ < entries_.size() &&
+           entries_[cursor_].session_id == id) {
+      group.append(read_entry(entries_[cursor_++]));
+    }
+    return group;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t session_id;
+    std::size_t file;
+    std::uint64_t offset;
+  };
+
+  SessionRecordGroup read_entry(const Entry& e) {
+    return readers_[e.file]->read_at(
+        SpillBlockRef{e.session_id, e.offset});
+  }
+
+  std::vector<std::unique_ptr<SpillReader>> readers_;
+  std::vector<Entry> entries_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionGroupStream> SpillSet::open() const {
+  return std::make_unique<SpillSetStream>(files_);
+}
+
+Dataset SpillSet::load() const {
+  Dataset data;
+  std::unique_ptr<SessionGroupStream> stream = open();
+  while (std::optional<SessionRecordGroup> group = stream->next()) {
+    for (auto& r : group->player_sessions) {
+      data.player_sessions.push_back(std::move(r));
+    }
+    for (auto& r : group->cdn_sessions) {
+      data.cdn_sessions.push_back(std::move(r));
+    }
+    for (auto& r : group->player_chunks) {
+      data.player_chunks.push_back(std::move(r));
+    }
+    for (auto& r : group->cdn_chunks) {
+      data.cdn_chunks.push_back(std::move(r));
+    }
+    for (auto& r : group->tcp_snapshots) {
+      data.tcp_snapshots.push_back(std::move(r));
+    }
+  }
+  return data;
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,122 @@
+// Binary on-disk spill format for session record groups.
+//
+// Layout (all integers little-endian, fixed width):
+//
+//   file   := magic:u32 ("VSPL", 0x4C505356) version:u32 (1) block*
+//   block  := session_id:u64 payload_size:u64 payload
+//   payload:= count:u32 x5 (player_sessions, cdn_sessions, player_chunks,
+//             cdn_chunks, tcp_snapshots) then the five record groups as
+//             contiguous column groups, each record field-by-field in the
+//             declared struct order
+//
+// Scalars: doubles are raw IEEE-754 bits (u64), so a write/read round
+// trip is bit-exact and CSV re-export stays byte-identical; bools and
+// enums are one byte; strings are u32 length + bytes.  The per-record
+// session_id is NOT stored — it is block-level and re-applied on read.
+//
+// `payload_size` makes blocks skippable without decoding, which is how
+// SpillSet builds its per-file index: one header scan, then random-access
+// reads in ascending session-id order regardless of the completion order
+// the blocks were written in.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/record_group.h"
+
+namespace vstream::telemetry {
+
+inline constexpr std::uint32_t kSpillMagic = 0x4C505356;  // "VSPL"
+inline constexpr std::uint32_t kSpillVersion = 1;
+
+/// Appends session blocks to one spill file.  Not thread-safe; in the
+/// sharded engine each shard owns one writer.
+class SpillWriter {
+ public:
+  /// Creates/truncates `path` and writes the file header.  Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit SpillWriter(const std::filesystem::path& path);
+  ~SpillWriter();  // closes (without the error check close() performs)
+
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  /// Serialize one session's records as a block.  The group's vectors are
+  /// written in their current order (emission order, for byte-identical
+  /// CSV re-export).
+  void write(const SessionRecordGroup& group);
+
+  /// Flush and close, throwing on write errors.  Idempotent.
+  void close();
+
+  std::uint64_t blocks_written() const { return blocks_written_; }
+
+ private:
+  std::ofstream out_;
+  std::filesystem::path path_;
+  std::string scratch_;  ///< reused payload buffer
+  std::uint64_t blocks_written_ = 0;
+};
+
+/// One block's location inside a spill file.
+struct SpillBlockRef {
+  std::uint64_t session_id = 0;
+  std::uint64_t offset = 0;  ///< file offset of the block header
+};
+
+/// Reads one spill file: sequentially, or random-access via an index.
+/// Throws std::runtime_error on bad magic/version or truncated data.
+class SpillReader {
+ public:
+  explicit SpillReader(const std::filesystem::path& path);
+
+  /// Next block in file order; nullopt at end of file.
+  std::optional<SessionRecordGroup> next();
+
+  /// Scan every block header (payloads skipped) and return the refs in
+  /// file order.  Leaves the sequential cursor at end of file.
+  std::vector<SpillBlockRef> index();
+
+  /// Read the block at `ref.offset` (moves the sequential cursor).
+  SessionRecordGroup read_at(const SpillBlockRef& ref);
+
+ private:
+  std::ifstream in_;
+  std::filesystem::path path_;
+  std::string scratch_;
+};
+
+class SpillGroupStream;
+
+/// A set of spill files (one per shard) that together hold one run's
+/// telemetry.  Files are kept in shard order: when a session's blocks
+/// appear in several files, the merged stream concatenates them in file
+/// order — the same tie-break the canonical in-memory merge applies.
+class SpillSet {
+ public:
+  SpillSet() = default;
+
+  void add_file(std::filesystem::path path) {
+    files_.push_back(std::move(path));
+  }
+  const std::vector<std::filesystem::path>& files() const { return files_; }
+  bool empty() const { return files_.empty(); }
+
+  /// Open a merged stream over all files in ascending session-id order.
+  std::unique_ptr<SessionGroupStream> open() const;
+
+  /// Materialize every record back into one canonical Dataset (ascending
+  /// session id, per-session emission order) — byte-equivalent to the
+  /// in-memory run's merged dataset.
+  Dataset load() const;
+
+ private:
+  std::vector<std::filesystem::path> files_;
+};
+
+}  // namespace vstream::telemetry

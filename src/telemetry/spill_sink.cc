@@ -1,0 +1,52 @@
+#include "telemetry/spill_sink.h"
+
+#include <algorithm>
+
+namespace vstream::telemetry {
+
+SpillSink::SpillSink(const std::filesystem::path& path)
+    : path_(path), writer_(path) {}
+
+SessionRecordGroup& SpillSink::group_for(std::uint64_t session_id) {
+  auto [it, inserted] = live_.try_emplace(session_id);
+  if (inserted) {
+    it->second.session_id = session_id;
+    peak_live_ = std::max(peak_live_, live_.size());
+  }
+  return it->second;
+}
+
+void SpillSink::record(PlayerSessionRecord r) {
+  group_for(r.session_id).player_sessions.push_back(std::move(r));
+}
+
+void SpillSink::record(CdnSessionRecord r) {
+  group_for(r.session_id).cdn_sessions.push_back(std::move(r));
+}
+
+void SpillSink::record(PlayerChunkRecord r) {
+  group_for(r.session_id).player_chunks.push_back(std::move(r));
+}
+
+void SpillSink::record(CdnChunkRecord r) {
+  group_for(r.session_id).cdn_chunks.push_back(std::move(r));
+}
+
+void SpillSink::record(TcpSnapshotRecord r) {
+  group_for(r.session_id).tcp_snapshots.push_back(std::move(r));
+}
+
+void SpillSink::session_complete(std::uint64_t session_id) {
+  const auto it = live_.find(session_id);
+  if (it == live_.end()) return;  // a session may legitimately emit nothing
+  writer_.write(it->second);
+  live_.erase(it);
+}
+
+void SpillSink::finish() {
+  for (const auto& [id, group] : live_) writer_.write(group);
+  live_.clear();
+  writer_.close();
+}
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,54 @@
+// SpillSink: a RecordSink that bounds record memory by spilling each
+// completed session's record group to disk.
+//
+// Records buffer in RAM only while their session is live; the collector's
+// session_complete() notification (driven by the engine as each session
+// finishes) serializes the group as one spill block and frees it.  Peak
+// record memory is therefore proportional to the number of concurrently
+// *live* sessions — independent of how many chunks the run produces —
+// which is the whole point of the streaming telemetry pipeline.
+#pragma once
+
+#include <map>
+
+#include "telemetry/record_sink.h"
+#include "telemetry/spill_format.h"
+
+namespace vstream::telemetry {
+
+class SpillSink final : public RecordSink {
+ public:
+  /// Creates/truncates the spill file.  Throws when it cannot be opened.
+  explicit SpillSink(const std::filesystem::path& path);
+
+  void record(PlayerSessionRecord r) override;
+  void record(CdnSessionRecord r) override;
+  void record(PlayerChunkRecord r) override;
+  void record(CdnChunkRecord r) override;
+  void record(TcpSnapshotRecord r) override;
+
+  /// Serialize the session's buffered group as one block and drop it.
+  void session_complete(std::uint64_t session_id) override;
+
+  /// Spill any sessions still live (abandoned sessions) in ascending
+  /// session-id order — a deterministic epilogue — then flush and close
+  /// the file, throwing on write errors.
+  void finish() override;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::size_t live_sessions() const { return live_.size(); }
+  std::size_t peak_live_sessions() const { return peak_live_; }
+
+ private:
+  SessionRecordGroup& group_for(std::uint64_t session_id);
+
+  std::filesystem::path path_;
+  SpillWriter writer_;
+  /// Ordered so finish() can flush leftovers in ascending-id order without
+  /// a sort; the live set is small (concurrent sessions), so the log-n
+  /// lookup is noise next to record construction.
+  std::map<std::uint64_t, SessionRecordGroup> live_;
+  std::size_t peak_live_ = 0;
+};
+
+}  // namespace vstream::telemetry

@@ -1,0 +1,62 @@
+#include "telemetry/streaming_join.h"
+
+#include <unordered_map>
+
+namespace vstream::telemetry {
+
+std::optional<JoinedSession> StreamingJoiner::join(
+    const SessionRecordGroup& group) {
+  JoinedSession session;
+  session.session_id = group.session_id;
+
+  // Session-level last-wins, as in the batch join's overwrite semantics
+  // (duplicate session records keep the one later in the stream).
+  for (const PlayerSessionRecord& r : group.player_sessions) {
+    session.player = &r;
+  }
+  for (const CdnSessionRecord& r : group.cdn_sessions) {
+    session.cdn = &r;
+  }
+
+  if (session.player == nullptr && session.cdn == nullptr) {
+    // Orphan chunk/snapshot records with no session-level context: the
+    // batch join never creates a session entry for these, so they are not
+    // counted as dropped either.
+    return std::nullopt;
+  }
+  if (session.player == nullptr || session.cdn == nullptr) {
+    ++dropped_incomplete_;
+    return std::nullopt;
+  }
+  if (proxies_ != nullptr && proxies_->is_proxy(group.session_id)) {
+    ++dropped_as_proxy_;
+    return std::nullopt;
+  }
+
+  // Chunk-level join: first-wins on duplicate (session, chunk) CDN
+  // records, matching the batch join's emplace() semantics.
+  std::unordered_map<std::uint32_t, const CdnChunkRecord*> cdn_by_chunk;
+  cdn_by_chunk.reserve(group.cdn_chunks.size());
+  for (const CdnChunkRecord& r : group.cdn_chunks) {
+    cdn_by_chunk.emplace(r.chunk_id, &r);
+  }
+  session.chunks.reserve(group.player_chunks.size());
+  for (const PlayerChunkRecord& r : group.player_chunks) {
+    JoinedChunk chunk;
+    chunk.player = &r;
+    const auto it = cdn_by_chunk.find(r.chunk_id);
+    if (it != cdn_by_chunk.end()) chunk.cdn = it->second;
+    session.chunks.push_back(chunk);
+  }
+
+  session.snapshots.reserve(group.tcp_snapshots.size());
+  for (const TcpSnapshotRecord& r : group.tcp_snapshots) {
+    session.snapshots.push_back(&r);
+  }
+
+  finalize_joined_session(session);
+  ++sessions_joined_;
+  return session;
+}
+
+}  // namespace vstream::telemetry

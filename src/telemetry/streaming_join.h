@@ -1,0 +1,51 @@
+// Streaming player/CDN join: one session at a time.
+//
+// JoinedDataset::build() (join.h) materializes the whole dataset before
+// joining.  The StreamingJoiner consumes SessionRecordGroups instead —
+// typically pulled off a SessionGroupStream in ascending session-id order
+// — and emits each JoinedSession as its group arrives, so the join never
+// holds more than one session's records.  Per-session semantics are
+// identical to the batch join (same last-wins/first-wins rules, same
+// finalize), so folding the stream reproduces the batch join's sessions
+// in the same order with the same drop accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "telemetry/join.h"
+#include "telemetry/record_group.h"
+#include "telemetry/proxy_filter.h"
+
+namespace vstream::telemetry {
+
+class StreamingJoiner {
+ public:
+  /// `proxies` may be null (no proxy filtering); if set it must outlive
+  /// the joiner.
+  explicit StreamingJoiner(const ProxyFilterResult* proxies = nullptr)
+      : proxies_(proxies) {}
+
+  /// Join one completed session's records.  The returned session's
+  /// pointers alias `group`, which must stay alive and unmoved while the
+  /// result is used — process it, then discard both.
+  ///
+  /// nullopt when the session is dropped, mirroring the batch join:
+  /// groups with no session-level record on either side are ignored
+  /// silently (pure orphan records never enter the batch join's session
+  /// table), groups missing one side count as dropped_incomplete, and
+  /// proxy-flagged sessions count as dropped_as_proxy.
+  std::optional<JoinedSession> join(const SessionRecordGroup& group);
+
+  std::size_t sessions_joined() const { return sessions_joined_; }
+  std::size_t dropped_as_proxy() const { return dropped_as_proxy_; }
+  std::size_t dropped_incomplete() const { return dropped_incomplete_; }
+
+ private:
+  const ProxyFilterResult* proxies_;
+  std::size_t sessions_joined_ = 0;
+  std::size_t dropped_as_proxy_ = 0;
+  std::size_t dropped_incomplete_ = 0;
+};
+
+}  // namespace vstream::telemetry

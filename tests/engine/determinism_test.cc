@@ -3,11 +3,16 @@
 // injected faults — and repeated runs reproduce it byte for byte.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include "core/streaming.h"
 #include "engine/engine.h"
 #include "telemetry/export.h"
+#include "telemetry/join.h"
+#include "telemetry/proxy_filter.h"
 #include "workload/scenario.h"
 
 namespace vstream {
@@ -198,6 +203,124 @@ TEST(EngineDeterminismTest, ShardCountLargerThanSessionsStillMatches) {
   many.shards = 8;  // most shards run empty
   EXPECT_EQ(export_string(engine::run_simulation(scenario, one).dataset),
             export_string(engine::run_simulation(scenario, many).dataset));
+}
+
+/// Fresh per-test scratch directory for spill files.
+std::filesystem::path spill_scratch(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (std::string("vstream_determinism_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(EngineDeterminismTest, SpillRunMatchesInMemoryForEveryShardCount) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+  ASSERT_FALSE(reference.dataset.player_chunks.empty());
+
+  const std::filesystem::path dir = spill_scratch("shards");
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    options.telemetry_spill_dir =
+        (dir / ("s" + std::to_string(shards))).string();
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+
+    ASSERT_TRUE(run.spilled()) << "shards=" << shards;
+    EXPECT_TRUE(run.dataset.player_chunks.empty()) << "shards=" << shards;
+    EXPECT_EQ(run.spill.files().size(), shards) << "shards=" << shards;
+
+    // Materializing the spill set reproduces the canonical in-memory
+    // dataset byte for byte — CSV export is the oracle.
+    EXPECT_EQ(export_string(run.spill.load()), reference_csv)
+        << "shards=" << shards;
+    expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminismTest, SpillAnalysisMatchesBatchAnalysis) {
+  const workload::Scenario scenario = small_scenario();
+
+  engine::RunOptions memory_options;
+  memory_options.shards = 4;
+  const engine::AnalyzedRun batch =
+      engine::run_and_analyze(scenario, memory_options);
+  const analysis::QoeAggregate batch_qoe =
+      analysis::aggregate_qoe(batch.joined);
+  const double tau = batch.run.catalog->chunk_duration_s();
+
+  const std::filesystem::path dir = spill_scratch("analysis");
+  engine::RunOptions spill_options;
+  spill_options.shards = 4;
+  spill_options.telemetry_spill_dir = dir.string();
+  const engine::RunResult spilled =
+      engine::run_simulation(scenario, spill_options);
+  ASSERT_TRUE(spilled.spilled());
+
+  const core::StreamingAnalysis streamed =
+      core::analyze_spill(spilled.spill, tau);
+
+  // Proxy detection and join accounting agree exactly.
+  EXPECT_EQ(streamed.proxies.proxy_sessions, batch.proxies.proxy_sessions);
+  EXPECT_EQ(streamed.sessions_joined, batch.joined.sessions().size());
+  EXPECT_EQ(streamed.dropped_as_proxy, batch.joined.dropped_as_proxy());
+  EXPECT_EQ(streamed.dropped_incomplete, batch.joined.dropped_incomplete());
+
+  // The QoE aggregate is bit-identical to the batch fold.
+  EXPECT_EQ(streamed.qoe.sessions, batch_qoe.sessions);
+  EXPECT_EQ(streamed.qoe.startup_ms.mean, batch_qoe.startup_ms.mean);
+  EXPECT_EQ(streamed.qoe.startup_ms.median, batch_qoe.startup_ms.median);
+  EXPECT_EQ(streamed.qoe.rebuffer_rate_pct.p95,
+            batch_qoe.rebuffer_rate_pct.p95);
+  EXPECT_EQ(streamed.qoe.avg_bitrate_kbps.mean,
+            batch_qoe.avg_bitrate_kbps.mean);
+  EXPECT_EQ(streamed.qoe.share_with_rebuffering,
+            batch_qoe.share_with_rebuffering);
+
+  // And so is the prefix roll-up.
+  const std::vector<analysis::PrefixRollup> batch_prefixes =
+      analysis::rollup_prefixes(batch.joined);
+  ASSERT_EQ(streamed.prefixes.size(), batch_prefixes.size());
+  for (std::size_t i = 0; i < batch_prefixes.size(); ++i) {
+    EXPECT_EQ(streamed.prefixes[i].prefix, batch_prefixes[i].prefix);
+    EXPECT_EQ(streamed.prefixes[i].session_count,
+              batch_prefixes[i].session_count);
+    EXPECT_EQ(streamed.prefixes[i].mean_srtt_ms,
+              batch_prefixes[i].mean_srtt_ms);
+  }
+
+  // analyze_dataset over the in-memory run agrees with analyze_spill over
+  // the spilled run on everything, including the recovery counts.
+  const core::StreamingAnalysis in_memory =
+      core::analyze_dataset(batch.run.dataset, tau);
+  EXPECT_EQ(in_memory.sessions_joined, streamed.sessions_joined);
+  EXPECT_EQ(in_memory.qoe.startup_ms.mean, streamed.qoe.startup_ms.mean);
+  EXPECT_EQ(in_memory.perf.chunks, streamed.perf.chunks);
+  EXPECT_EQ(in_memory.perf.scored_chunks, streamed.perf.scored_chunks);
+  EXPECT_EQ(in_memory.perf.mean_score, streamed.perf.mean_score);
+  EXPECT_EQ(in_memory.recovery.retries, streamed.recovery.retries);
+  EXPECT_EQ(in_memory.recovery.mean_recovery_ms,
+            streamed.recovery.mean_recovery_ms);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminismTest, RunAndAnalyzeRefusesSpilledRuns) {
+  workload::Scenario scenario = small_scenario();
+  scenario.session_count = 10;
+  const std::filesystem::path dir = spill_scratch("refuse");
+  engine::RunOptions options;
+  options.shards = 2;
+  options.telemetry_spill_dir = dir.string();
+  EXPECT_THROW(engine::run_and_analyze(scenario, options),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(EngineDeterminismTest, RunAndAnalyzeJoinsMergedDataset) {

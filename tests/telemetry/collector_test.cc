@@ -96,5 +96,46 @@ TEST(CollectorTest, TakeMovesData) {
   EXPECT_EQ(taken.player_chunks.size(), 1u);
 }
 
+TEST(CollectorTest, TakeResetsSamplingClocks) {
+  // Regression: take() used to clear only the record vectors, leaving each
+  // session's next-sample clock where the previous run advanced it.  A
+  // reused collector then resumed mid-cadence and missed boundary samples.
+  Collector reused(500.0);
+  // Advance session 7's clock past 500 (boundary sample at 600).
+  reused.sample_transfer(7, 0, 0.0, {round_at(300.0), round_at(600.0)});
+  (void)reused.take();
+
+  Collector fresh(500.0);
+  // Same post-take sequence on both: boundaries at 550 and 1'100 only
+  // fire if the clock restarted from 500.
+  const std::vector<net::RoundSample> rounds = {round_at(550.0),
+                                                round_at(1'100.0)};
+  reused.sample_transfer(7, 0, 0.0, rounds);
+  fresh.sample_transfer(7, 0, 0.0, rounds);
+
+  const auto& a = reused.data().tcp_snapshots;
+  const auto& b = fresh.data().tcp_snapshots;
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at_ms, b[i].at_ms);
+  }
+}
+
+TEST(CollectorTest, SessionCompleteRetiresSamplingClock) {
+  // After session_complete the session's clock entry is gone; a session id
+  // reuse (not expected in production, but the contract) restarts cadence.
+  Collector collector(500.0);
+  collector.sample_transfer(7, 0, 0.0, {round_at(300.0), round_at(600.0)});
+  collector.session_complete(7);
+  collector.sample_transfer(7, 0, 0.0, {round_at(550.0), round_at(700.0)});
+  // Restarted clock (500): 550 crosses the first boundary again (plus the
+  // end-of-transfer sample at 700) — a stale clock (1'000) would skip the
+  // 550 boundary and leave only the end-of-transfer sample.
+  ASSERT_EQ(collector.data().tcp_snapshots.size(), 3u);
+  EXPECT_DOUBLE_EQ(collector.data().tcp_snapshots[1].at_ms, 550.0);
+  EXPECT_DOUBLE_EQ(collector.data().tcp_snapshots[2].at_ms, 700.0);
+}
+
 }  // namespace
 }  // namespace vstream::telemetry

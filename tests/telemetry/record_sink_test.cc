@@ -1,0 +1,197 @@
+#include "telemetry/record_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/collector.h"
+#include "telemetry/record_group.h"
+
+namespace vstream::telemetry {
+namespace {
+
+net::RoundSample round_at(sim::Ms at, double srtt = 50.0) {
+  net::RoundSample r;
+  r.at_ms = at;
+  r.info.srtt_ms = srtt;
+  return r;
+}
+
+PlayerChunkRecord chunk(std::uint64_t session, std::uint32_t id) {
+  PlayerChunkRecord r;
+  r.session_id = session;
+  r.chunk_id = id;
+  return r;
+}
+
+TEST(MemorySinkTest, AppendsInEmissionOrder) {
+  MemorySink sink;
+  sink.record(chunk(2, 0));
+  sink.record(chunk(1, 0));
+  sink.record(chunk(2, 1));
+  PlayerSessionRecord ps;
+  ps.session_id = 2;
+  sink.record(ps);
+  sink.session_complete(2);
+  sink.session_complete(1);
+  sink.finish();
+  ASSERT_EQ(sink.data().player_chunks.size(), 3u);
+  EXPECT_EQ(sink.data().player_chunks[0].session_id, 2u);
+  EXPECT_EQ(sink.data().player_chunks[1].session_id, 1u);
+  EXPECT_EQ(sink.data().player_sessions.size(), 1u);
+}
+
+TEST(MemorySinkTest, TakeLeavesSinkEmptyAndReusable) {
+  MemorySink sink;
+  sink.record(chunk(1, 0));
+  const Dataset first = sink.take();
+  EXPECT_EQ(first.player_chunks.size(), 1u);
+  EXPECT_TRUE(sink.data().player_chunks.empty());
+  sink.record(chunk(2, 0));
+  const Dataset second = sink.take();
+  ASSERT_EQ(second.player_chunks.size(), 1u);
+  EXPECT_EQ(second.player_chunks[0].session_id, 2u);
+}
+
+TEST(CollectorSinkTest, RoutesEveryStreamToSink) {
+  MemorySink sink;
+  Collector collector(500.0, &sink);
+  PlayerSessionRecord ps;
+  ps.session_id = 1;
+  collector.record(ps);
+  CdnSessionRecord cs;
+  cs.session_id = 1;
+  collector.record(cs);
+  collector.record(chunk(1, 0));
+  CdnChunkRecord cc;
+  cc.session_id = 1;
+  collector.record(cc);
+  TcpSnapshotRecord snap;
+  snap.session_id = 1;
+  collector.record(snap);
+  collector.sample_transfer(1, 1, 0.0, {round_at(40.0)});
+
+  // Everything must land in the sink, nothing in the collector.
+  EXPECT_TRUE(collector.data().player_chunks.empty());
+  EXPECT_TRUE(collector.data().tcp_snapshots.empty());
+  EXPECT_EQ(sink.data().player_sessions.size(), 1u);
+  EXPECT_EQ(sink.data().cdn_sessions.size(), 1u);
+  EXPECT_EQ(sink.data().player_chunks.size(), 1u);
+  EXPECT_EQ(sink.data().cdn_chunks.size(), 1u);
+  // The explicit snapshot plus sample_transfer's per-chunk fallback sample.
+  EXPECT_EQ(sink.data().tcp_snapshots.size(), 2u);
+}
+
+TEST(CollectorSinkTest, SinkAndSinklessRunsMatch) {
+  const auto drive = [](Collector& collector) {
+    for (std::uint64_t s : {1ull, 2ull}) {
+      PlayerSessionRecord ps;
+      ps.session_id = s;
+      collector.record(ps);
+      collector.sample_transfer(s, 0, 0.0, {round_at(300.0)});
+      collector.sample_transfer(s, 1, 300.0,
+                                {round_at(150.0), round_at(300.0)});
+      collector.session_complete(s);
+    }
+  };
+  Collector direct(500.0);
+  drive(direct);
+  MemorySink sink;
+  Collector sinked(500.0, &sink);
+  drive(sinked);
+
+  const Dataset& a = direct.data();
+  const Dataset& b = sink.data();
+  ASSERT_EQ(a.tcp_snapshots.size(), b.tcp_snapshots.size());
+  for (std::size_t i = 0; i < a.tcp_snapshots.size(); ++i) {
+    EXPECT_EQ(a.tcp_snapshots[i].session_id, b.tcp_snapshots[i].session_id);
+    EXPECT_EQ(a.tcp_snapshots[i].chunk_id, b.tcp_snapshots[i].chunk_id);
+    EXPECT_DOUBLE_EQ(a.tcp_snapshots[i].at_ms, b.tcp_snapshots[i].at_ms);
+  }
+}
+
+TEST(CollectorSinkTest, SessionCompleteForwardedOncePerSession) {
+  class CountingSink final : public RecordSink {
+   public:
+    void record(PlayerSessionRecord) override {}
+    void record(CdnSessionRecord) override {}
+    void record(PlayerChunkRecord) override {}
+    void record(CdnChunkRecord) override {}
+    void record(TcpSnapshotRecord) override {}
+    void session_complete(std::uint64_t id) override {
+      completed.push_back(id);
+    }
+    void finish() override { finished = true; }
+    std::vector<std::uint64_t> completed;
+    bool finished = false;
+  };
+  CountingSink sink;
+  Collector collector(500.0, &sink);
+  collector.sample_transfer(7, 0, 0.0, {round_at(40.0)});
+  collector.session_complete(7);
+  EXPECT_EQ(sink.completed, std::vector<std::uint64_t>{7});
+  EXPECT_FALSE(sink.finished);
+}
+
+TEST(DatasetGroupStreamTest, GroupsCanonicalDatasetBySession) {
+  Dataset d;
+  for (std::uint64_t s : {3ull, 5ull, 9ull}) {
+    PlayerSessionRecord ps;
+    ps.session_id = s;
+    d.player_sessions.push_back(ps);
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      d.player_chunks.push_back(chunk(s, c));
+    }
+  }
+  DatasetGroupStream stream(d);
+  std::vector<std::uint64_t> seen;
+  while (auto group = stream.next()) {
+    seen.push_back(group->session_id);
+    EXPECT_EQ(group->player_sessions.size(), 1u);
+    EXPECT_EQ(group->player_chunks.size(), 2u);
+    EXPECT_TRUE(group->cdn_sessions.empty());
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{3, 5, 9}));
+}
+
+TEST(DatasetGroupStreamTest, SessionsPresentInOnlySomeStreams) {
+  // Session 1 has only a CDN-side chunk (an orphan); session 2 only a
+  // player session record.  Both must still surface as groups.
+  Dataset d;
+  CdnChunkRecord cc;
+  cc.session_id = 1;
+  d.cdn_chunks.push_back(cc);
+  PlayerSessionRecord ps;
+  ps.session_id = 2;
+  d.player_sessions.push_back(ps);
+
+  DatasetGroupStream stream(d);
+  auto first = stream.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->session_id, 1u);
+  EXPECT_EQ(first->cdn_chunks.size(), 1u);
+  EXPECT_TRUE(first->player_sessions.empty());
+  auto second = stream.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->session_id, 2u);
+  EXPECT_FALSE(stream.next().has_value());
+}
+
+TEST(SessionRecordGroupTest, AppendConcatenatesInSinkOrder) {
+  SessionRecordGroup a;
+  a.session_id = 4;
+  a.player_chunks.push_back(chunk(4, 0));
+  SessionRecordGroup b;
+  b.session_id = 4;
+  b.player_chunks.push_back(chunk(4, 1));
+  a.append(std::move(b));
+  ASSERT_EQ(a.player_chunks.size(), 2u);
+  EXPECT_EQ(a.player_chunks[0].chunk_id, 0u);
+  EXPECT_EQ(a.player_chunks[1].chunk_id, 1u);
+  EXPECT_EQ(a.record_count(), 2u);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace vstream::telemetry

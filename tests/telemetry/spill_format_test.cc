@@ -1,0 +1,381 @@
+#include "telemetry/spill_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace vstream::telemetry {
+namespace {
+
+class SpillFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vstream_spill_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path file(const char* name) const { return dir_ / name; }
+
+  std::filesystem::path dir_;
+};
+
+/// One session with every field of every record type set to a distinctive
+/// value, so a lossy or reordered encoding shows up as a mismatch.
+SessionRecordGroup full_group(std::uint64_t id) {
+  SessionRecordGroup g;
+  g.session_id = id;
+
+  PlayerSessionRecord ps;
+  ps.session_id = id;
+  ps.client_ip = 0x0A00FF01 + static_cast<std::uint32_t>(id);
+  ps.user_agent = "Safari/OSX " + std::to_string(id);
+  ps.video_duration_s = 1'234.5 + static_cast<double>(id);
+  ps.start_time_ms = 0.1 * static_cast<double>(id);
+  ps.startup_ms = 789.25;
+  ps.chunks_requested = 42;
+  ps.completed = (id % 2) == 0;
+  g.player_sessions.push_back(ps);
+
+  CdnSessionRecord cs;
+  cs.session_id = id;
+  cs.observed_ip = 0xC0A80001;
+  cs.observed_user_agent = "proxy-UA";
+  cs.pop = 3;
+  cs.server = 17;
+  cs.org = "ExampleNet";
+  cs.access = net::AccessType::kEnterprise;
+  cs.city = "Springfield";
+  cs.country = "US";
+  cs.client_distance_km = 1'609.344;
+  g.cdn_sessions.push_back(cs);
+
+  PlayerChunkRecord pc;
+  pc.session_id = id;
+  pc.chunk_id = 7;
+  pc.request_sent_ms = 14'000.125;
+  pc.dfb_ms = 101.0078125;  // exact binary fraction: survives any rounding
+  pc.dlb_ms = 900.5;
+  pc.bitrate_kbps = 3'000;
+  pc.rebuffer_ms = 250.75;
+  pc.rebuffer_count = 2;
+  pc.visible = false;
+  pc.avg_fps = 59.94;
+  pc.dropped_frames = 5;
+  pc.total_frames = 360;
+  pc.retries = 1;
+  pc.timeouts = 1;
+  pc.failed_over = true;
+  pc.recovery_ms = 450.0;
+  g.player_chunks.push_back(pc);
+
+  CdnChunkRecord cc;
+  cc.session_id = id;
+  cc.chunk_id = 7;
+  cc.dwait_ms = 0.3;
+  cc.dopen_ms = 0.5;
+  cc.dread_ms = 80.0;
+  cc.dbe_ms = 65.0;
+  cc.cache_level = cdn::CacheLevel::kDisk;
+  cc.chunk_bytes = 1'125'000;
+  cc.pop = 3;
+  cc.server = 18;
+  cc.served_stale = true;
+  cc.shed = true;
+  cc.hedged = true;
+  cc.hedge_won = false;
+  cc.budget_denied = true;
+  cc.served_swr = true;
+  cc.breaker = cdn::BreakerState::kHalfOpen;
+  g.cdn_chunks.push_back(cc);
+
+  TcpSnapshotRecord snap;
+  snap.session_id = id;
+  snap.chunk_id = 7;
+  snap.at_ms = 14'500.0;
+  snap.info.srtt_ms = 48.875;
+  snap.info.rttvar_ms = 12.25;
+  snap.info.cwnd_segments = 64;
+  snap.info.ssthresh_segments = 32;
+  snap.info.mss_bytes = 1'448;
+  snap.info.total_retrans = 9;
+  snap.info.segments_out = 4'096;
+  snap.info.bytes_acked = 5'931'008;
+  snap.info.in_slow_start = true;
+  g.tcp_snapshots.push_back(snap);
+  return g;
+}
+
+void expect_groups_equal(const SessionRecordGroup& a,
+                         const SessionRecordGroup& b) {
+  EXPECT_EQ(a.session_id, b.session_id);
+  ASSERT_EQ(a.player_sessions.size(), b.player_sessions.size());
+  ASSERT_EQ(a.cdn_sessions.size(), b.cdn_sessions.size());
+  ASSERT_EQ(a.player_chunks.size(), b.player_chunks.size());
+  ASSERT_EQ(a.cdn_chunks.size(), b.cdn_chunks.size());
+  ASSERT_EQ(a.tcp_snapshots.size(), b.tcp_snapshots.size());
+  for (std::size_t i = 0; i < a.player_sessions.size(); ++i) {
+    const auto& x = a.player_sessions[i];
+    const auto& y = b.player_sessions[i];
+    EXPECT_EQ(x.session_id, y.session_id);
+    EXPECT_EQ(x.client_ip, y.client_ip);
+    EXPECT_EQ(x.user_agent, y.user_agent);
+    // Bit-exact double round trips (raw IEEE-754 bits on disk).
+    EXPECT_EQ(x.video_duration_s, y.video_duration_s);
+    EXPECT_EQ(x.start_time_ms, y.start_time_ms);
+    EXPECT_EQ(x.startup_ms, y.startup_ms);
+    EXPECT_EQ(x.chunks_requested, y.chunks_requested);
+    EXPECT_EQ(x.completed, y.completed);
+  }
+  for (std::size_t i = 0; i < a.cdn_sessions.size(); ++i) {
+    const auto& x = a.cdn_sessions[i];
+    const auto& y = b.cdn_sessions[i];
+    EXPECT_EQ(x.session_id, y.session_id);
+    EXPECT_EQ(x.observed_ip, y.observed_ip);
+    EXPECT_EQ(x.observed_user_agent, y.observed_user_agent);
+    EXPECT_EQ(x.pop, y.pop);
+    EXPECT_EQ(x.server, y.server);
+    EXPECT_EQ(x.org, y.org);
+    EXPECT_EQ(x.access, y.access);
+    EXPECT_EQ(x.city, y.city);
+    EXPECT_EQ(x.country, y.country);
+    EXPECT_EQ(x.client_distance_km, y.client_distance_km);
+  }
+  for (std::size_t i = 0; i < a.player_chunks.size(); ++i) {
+    const auto& x = a.player_chunks[i];
+    const auto& y = b.player_chunks[i];
+    EXPECT_EQ(x.session_id, y.session_id);
+    EXPECT_EQ(x.chunk_id, y.chunk_id);
+    EXPECT_EQ(x.request_sent_ms, y.request_sent_ms);
+    EXPECT_EQ(x.dfb_ms, y.dfb_ms);
+    EXPECT_EQ(x.dlb_ms, y.dlb_ms);
+    EXPECT_EQ(x.bitrate_kbps, y.bitrate_kbps);
+    EXPECT_EQ(x.rebuffer_ms, y.rebuffer_ms);
+    EXPECT_EQ(x.rebuffer_count, y.rebuffer_count);
+    EXPECT_EQ(x.visible, y.visible);
+    EXPECT_EQ(x.avg_fps, y.avg_fps);
+    EXPECT_EQ(x.dropped_frames, y.dropped_frames);
+    EXPECT_EQ(x.total_frames, y.total_frames);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.timeouts, y.timeouts);
+    EXPECT_EQ(x.failed_over, y.failed_over);
+    EXPECT_EQ(x.recovery_ms, y.recovery_ms);
+  }
+  for (std::size_t i = 0; i < a.cdn_chunks.size(); ++i) {
+    const auto& x = a.cdn_chunks[i];
+    const auto& y = b.cdn_chunks[i];
+    EXPECT_EQ(x.session_id, y.session_id);
+    EXPECT_EQ(x.chunk_id, y.chunk_id);
+    EXPECT_EQ(x.dwait_ms, y.dwait_ms);
+    EXPECT_EQ(x.dopen_ms, y.dopen_ms);
+    EXPECT_EQ(x.dread_ms, y.dread_ms);
+    EXPECT_EQ(x.dbe_ms, y.dbe_ms);
+    EXPECT_EQ(x.cache_level, y.cache_level);
+    EXPECT_EQ(x.chunk_bytes, y.chunk_bytes);
+    EXPECT_EQ(x.pop, y.pop);
+    EXPECT_EQ(x.server, y.server);
+    EXPECT_EQ(x.served_stale, y.served_stale);
+    EXPECT_EQ(x.shed, y.shed);
+    EXPECT_EQ(x.hedged, y.hedged);
+    EXPECT_EQ(x.hedge_won, y.hedge_won);
+    EXPECT_EQ(x.budget_denied, y.budget_denied);
+    EXPECT_EQ(x.served_swr, y.served_swr);
+    EXPECT_EQ(x.breaker, y.breaker);
+  }
+  for (std::size_t i = 0; i < a.tcp_snapshots.size(); ++i) {
+    const auto& x = a.tcp_snapshots[i];
+    const auto& y = b.tcp_snapshots[i];
+    EXPECT_EQ(x.session_id, y.session_id);
+    EXPECT_EQ(x.chunk_id, y.chunk_id);
+    EXPECT_EQ(x.at_ms, y.at_ms);
+    EXPECT_EQ(x.info.srtt_ms, y.info.srtt_ms);
+    EXPECT_EQ(x.info.rttvar_ms, y.info.rttvar_ms);
+    EXPECT_EQ(x.info.cwnd_segments, y.info.cwnd_segments);
+    EXPECT_EQ(x.info.ssthresh_segments, y.info.ssthresh_segments);
+    EXPECT_EQ(x.info.mss_bytes, y.info.mss_bytes);
+    EXPECT_EQ(x.info.total_retrans, y.info.total_retrans);
+    EXPECT_EQ(x.info.segments_out, y.info.segments_out);
+    EXPECT_EQ(x.info.bytes_acked, y.info.bytes_acked);
+    EXPECT_EQ(x.info.in_slow_start, y.info.in_slow_start);
+  }
+}
+
+TEST_F(SpillFormatTest, RoundTripsEveryFieldBitExact) {
+  const auto path = file("roundtrip.vspill");
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(11));
+    writer.close();
+    EXPECT_EQ(writer.blocks_written(), 1u);
+  }
+  SpillReader reader(path);
+  auto read = reader.next();
+  ASSERT_TRUE(read.has_value());
+  expect_groups_equal(full_group(11), *read);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(SpillFormatTest, IndexAndRandomAccessRead) {
+  const auto path = file("index.vspill");
+  {
+    SpillWriter writer(path);
+    // Completion order is not id order — the index must not care.
+    writer.write(full_group(30));
+    writer.write(full_group(10));
+    writer.write(full_group(20));
+    writer.close();
+  }
+  SpillReader reader(path);
+  const std::vector<SpillBlockRef> index = reader.index();
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index[0].session_id, 30u);
+  EXPECT_EQ(index[1].session_id, 10u);
+  EXPECT_EQ(index[2].session_id, 20u);
+  expect_groups_equal(full_group(10), reader.read_at(index[1]));
+  expect_groups_equal(full_group(30), reader.read_at(index[0]));
+}
+
+TEST_F(SpillFormatTest, SpillSetStreamsAscendingAcrossFiles) {
+  SpillSet set;
+  {
+    SpillWriter a(file("shard-0.vspill"));
+    a.write(full_group(5));
+    a.write(full_group(1));
+    a.close();
+    SpillWriter b(file("shard-1.vspill"));
+    b.write(full_group(4));
+    b.write(full_group(2));
+    b.close();
+  }
+  set.add_file(file("shard-0.vspill"));
+  set.add_file(file("shard-1.vspill"));
+
+  const auto stream = set.open();
+  std::vector<std::uint64_t> ids;
+  while (auto group = stream->next()) ids.push_back(group->session_id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 4, 5}));
+}
+
+TEST_F(SpillFormatTest, SessionSplitAcrossFilesConcatenatesInFileOrder) {
+  // The canonical in-memory merge tie-breaks equal session ids by shard
+  // order; the spill stream must do the same when one session's blocks
+  // land in several files.
+  SessionRecordGroup first;
+  first.session_id = 9;
+  PlayerChunkRecord pc0;
+  pc0.session_id = 9;
+  pc0.chunk_id = 0;
+  first.player_chunks.push_back(pc0);
+
+  SessionRecordGroup second;
+  second.session_id = 9;
+  PlayerChunkRecord pc1;
+  pc1.session_id = 9;
+  pc1.chunk_id = 1;
+  second.player_chunks.push_back(pc1);
+
+  {
+    SpillWriter a(file("shard-0.vspill"));
+    a.write(first);
+    a.close();
+    SpillWriter b(file("shard-1.vspill"));
+    b.write(second);
+    b.close();
+  }
+  SpillSet set;
+  set.add_file(file("shard-0.vspill"));
+  set.add_file(file("shard-1.vspill"));
+
+  const auto stream = set.open();
+  auto group = stream->next();
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->session_id, 9u);
+  ASSERT_EQ(group->player_chunks.size(), 2u);
+  EXPECT_EQ(group->player_chunks[0].chunk_id, 0u);
+  EXPECT_EQ(group->player_chunks[1].chunk_id, 1u);
+  EXPECT_FALSE(stream->next().has_value());
+
+  // load() materializes the same concatenation.
+  const Dataset loaded = set.load();
+  ASSERT_EQ(loaded.player_chunks.size(), 2u);
+  EXPECT_EQ(loaded.player_chunks[0].chunk_id, 0u);
+  EXPECT_EQ(loaded.player_chunks[1].chunk_id, 1u);
+}
+
+TEST_F(SpillFormatTest, DuplicateIdsWithinOneFileMergeInFileOrder) {
+  SessionRecordGroup first;
+  first.session_id = 3;
+  PlayerChunkRecord pc0;
+  pc0.session_id = 3;
+  pc0.chunk_id = 0;
+  first.player_chunks.push_back(pc0);
+  SessionRecordGroup second;
+  second.session_id = 3;
+  PlayerChunkRecord pc1;
+  pc1.session_id = 3;
+  pc1.chunk_id = 1;
+  second.player_chunks.push_back(pc1);
+
+  {
+    SpillWriter w(file("dup.vspill"));
+    w.write(first);
+    w.write(second);
+    w.close();
+  }
+  SpillSet set;
+  set.add_file(file("dup.vspill"));
+  const auto stream = set.open();
+  auto group = stream->next();
+  ASSERT_TRUE(group.has_value());
+  ASSERT_EQ(group->player_chunks.size(), 2u);
+  EXPECT_EQ(group->player_chunks[0].chunk_id, 0u);
+  EXPECT_EQ(group->player_chunks[1].chunk_id, 1u);
+}
+
+TEST_F(SpillFormatTest, RejectsBadMagic) {
+  const auto path = file("bad.vspill");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a spill file";
+  }
+  EXPECT_THROW(SpillReader reader(path), std::runtime_error);
+}
+
+TEST_F(SpillFormatTest, RejectsMissingFile) {
+  EXPECT_THROW(SpillReader reader(file("nope.vspill")), std::runtime_error);
+}
+
+TEST_F(SpillFormatTest, RejectsTruncatedBlock) {
+  const auto path = file("trunc.vspill");
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(1));
+    writer.close();
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);
+  SpillReader reader(path);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST_F(SpillFormatTest, EmptySpillSet) {
+  const SpillSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.open()->next().has_value());
+  const Dataset loaded = set.load();
+  EXPECT_TRUE(loaded.player_sessions.empty());
+}
+
+}  // namespace
+}  // namespace vstream::telemetry

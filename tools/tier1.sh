@@ -70,4 +70,40 @@ if [ "$metric_count" -lt 5 ]; then
 fi
 echo "    BENCH_hotpaths.json OK ($metric_count metrics)"
 
+echo "==> tier-1: telemetry spill smoke (bounded memory, byte-identical CSV)"
+spill_work="$build_dir/tier1-spill-smoke"
+rm -rf "$spill_work"
+mkdir -p "$spill_work"
+"$build_dir/tools/vstream-sim" --sessions 200 --seed 11 --shards 4 \
+  --out "$spill_work/mem" >/dev/null
+"$build_dir/tools/vstream-sim" --sessions 200 --seed 11 --shards 4 \
+  --telemetry-spill "$spill_work/spill-dir" \
+  --out "$spill_work/spill" >/dev/null
+spill_files=$(ls "$spill_work/spill-dir"/*.vspill 2>/dev/null | wc -l)
+if [ "$spill_files" -lt 1 ]; then
+  echo "tier-1: spill run left no .vspill files in $spill_work/spill-dir" >&2
+  exit 1
+fi
+for f in player_sessions cdn_sessions player_chunks cdn_chunks tcp_snapshots; do
+  cmp "$spill_work/mem/$f.csv" "$spill_work/spill/$f.csv"
+done
+echo "    spill CSVs byte-identical to in-memory ($spill_files spill files)"
+
+echo "==> tier-1: telemetry bench smoke (-> BENCH_telemetry.json)"
+cmake --build "$build_dir" -j --target bench_telemetry_pipeline
+(cd "$build_dir" && VSTREAM_BENCH_SESSIONS=60 \
+  ./bench/bench_telemetry_pipeline >/dev/null)
+python3 -m json.tool "$build_dir/BENCH_telemetry.json" >/dev/null
+telemetry_metrics=$(python3 -c "
+import json
+with open('$build_dir/BENCH_telemetry.json') as f:
+    doc = json.load(f)
+print(len(doc['metrics']))
+")
+if [ "$telemetry_metrics" -lt 5 ]; then
+  echo "tier-1: BENCH_telemetry.json has only $telemetry_metrics metrics (< 5)" >&2
+  exit 1
+fi
+echo "    BENCH_telemetry.json OK ($telemetry_metrics metrics)"
+
 echo "==> tier-1: OK"

@@ -7,9 +7,15 @@
 //               [--routing cache|partitioned] [--cache lru|lfu|gdsize]
 //               [--prefetch N] [--pacing] [--universal-head]
 //               [--abr-outlier-filter] [--out DIR]
+//               [--telemetry-spill DIR]
 //
 // Runs on the layered sharded engine (deterministic for any --shards /
 // VSTREAM_SHARDS value) and prints a QoE and CDN summary either way.
+//
+// --telemetry-spill DIR streams telemetry to per-shard binary spill files
+// in DIR instead of holding every record in memory; the summary and any
+// --out CSV export are then produced incrementally from the spill set and
+// are byte-identical to the in-memory run.
 
 #include <cerrno>
 #include <cstdio>
@@ -21,6 +27,7 @@
 
 #include "analysis/qoe.h"
 #include "core/report.h"
+#include "core/streaming.h"
 #include "engine/engine.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
@@ -38,6 +45,7 @@ namespace {
       "          [--routing cache|partitioned] [--cache lru|lfu|gdsize]\n"
       "          [--prefetch N] [--pacing] [--universal-head]\n"
       "          [--abr-outlier-filter] [--out DIR]\n"
+      "          [--telemetry-spill DIR]\n"
       "          [--breaker-threshold MS] [--retry-budget PCT]\n"
       "          [--shed-watermark PCT]\n",
       argv0);
@@ -126,6 +134,8 @@ int main(int argc, char** argv) {
           positive_double_arg("--shed-watermark", next()) / 100.0;
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--telemetry-spill") {
+      options.telemetry_spill_dir = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -141,18 +151,35 @@ int main(int argc, char** argv) {
   core::print_metric("routing", cdn::to_string(scenario.routing));
   core::print_metric("cache_policy", cdn::to_string(scenario.fleet.server.policy));
 
-  engine::AnalyzedRun analyzed;
+  engine::RunResult run;
   try {
-    analyzed = engine::run_and_analyze(scenario, std::move(options));
+    run = engine::run_simulation(scenario, std::move(options));
   } catch (const std::runtime_error& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
   }
-  const telemetry::JoinedDataset& joined = analyzed.joined;
-  core::print_metric("shards", static_cast<double>(analyzed.run.shard_count));
+  core::print_metric("shards", static_cast<double>(run.shard_count));
+
+  // Spilled runs analyze incrementally from disk; in-memory runs use the
+  // classic batch join.  Both yield the same numbers (see
+  // tests/engine/determinism_test.cc).
+  analysis::QoeAggregate qoe;
+  std::size_t dropped_as_proxy = 0;
+  if (run.spilled()) {
+    const core::StreamingAnalysis streamed =
+        core::analyze_spill(run.spill, run.catalog->chunk_duration_s());
+    qoe = streamed.qoe;
+    dropped_as_proxy = streamed.dropped_as_proxy;
+  } else {
+    const telemetry::ProxyFilterResult proxies =
+        telemetry::detect_proxies(run.dataset);
+    const telemetry::JoinedDataset joined =
+        telemetry::JoinedDataset::build(run.dataset, &proxies);
+    qoe = analysis::aggregate_qoe(joined);
+    dropped_as_proxy = joined.dropped_as_proxy();
+  }
 
   core::print_header("QoE summary (proxy-filtered sessions)");
-  const analysis::QoeAggregate qoe = analysis::aggregate_qoe(joined);
   core::Table table({"metric", "median", "mean", "p95"});
   table.add_row({"startup ms", core::fmt(qoe.startup_ms.median, 0),
                  core::fmt(qoe.startup_ms.mean, 0),
@@ -169,13 +196,13 @@ int main(int argc, char** argv) {
   table.print();
   core::print_metric("sessions_joined", static_cast<double>(qoe.sessions));
   core::print_metric("sessions_dropped_as_proxy",
-                     static_cast<double>(joined.dropped_as_proxy()));
+                     static_cast<double>(dropped_as_proxy));
   core::print_metric("share_with_rebuffering", qoe.share_with_rebuffering);
 
   core::print_header("CDN summary");
   std::uint64_t ram = 0, disk = 0, miss = 0, total = 0, backend = 0;
   std::uint64_t shed = 0, hedged = 0, swr = 0;
-  for (const cdn::ServerStats& s : analyzed.run.server_stats) {
+  for (const cdn::ServerStats& s : run.server_stats) {
     ram += s.ram_hits;
     disk += s.disk_hits;
     miss += s.misses;
@@ -195,7 +222,12 @@ int main(int argc, char** argv) {
   core::print_metric("swr_serves", static_cast<double>(swr));
 
   if (!out_dir.empty()) {
-    telemetry::export_dataset(analyzed.run.dataset, out_dir);
+    if (run.spilled()) {
+      const auto stream = run.spill.open();
+      telemetry::export_stream(*stream, out_dir);
+    } else {
+      telemetry::export_dataset(run.dataset, out_dir);
+    }
     std::printf("\nexported raw telemetry to %s "
                 "(player_sessions/cdn_sessions/player_chunks/cdn_chunks/"
                 "tcp_snapshots .csv)\n",
