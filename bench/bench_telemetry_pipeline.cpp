@@ -58,9 +58,15 @@ int run_child(const std::string& mode, std::size_t sessions,
   std::size_t records = 0;
   std::size_t joined_sessions = 0;
 
-  if (mode == "spill") {
+  if (mode == "spill" || mode == "ckpt") {
     engine::RunOptions options;
     options.telemetry_spill_dir = spill_dir.string();
+    if (mode == "ckpt") {
+      // Crash-safe variant: same spill pipeline plus batch boundaries,
+      // per-batch flushes and checkpoint sidecars at the default interval.
+      // The delta against plain spill is the durability tax.
+      options.checkpoint_dir = (spill_dir / "ckpt").string();
+    }
     const engine::RunResult run = engine::run_simulation(scenario, options);
     // One read pass to count records (also exercises the reader), then the
     // incremental two-pass analysis.
@@ -230,14 +236,18 @@ int main(int argc, char** argv) {
       run_mode(argv[0], "memory", sessions, seed, work_dir);
   const ChildResult spill =
       run_mode(argv[0], "spill", sessions, seed, work_dir);
+  const ChildResult ckpt = run_mode(argv[0], "ckpt", sessions, seed, work_dir);
 
   if (memory.records != spill.records ||
-      memory.sessions_joined != spill.sessions_joined) {
+      memory.sessions_joined != spill.sessions_joined ||
+      memory.records != ckpt.records ||
+      memory.sessions_joined != ckpt.sessions_joined) {
     std::fprintf(stderr,
                  "bench_telemetry_pipeline: mode mismatch "
-                 "(memory %zu records / %zu joined, spill %zu / %zu)\n",
+                 "(memory %zu records / %zu joined, spill %zu / %zu, "
+                 "ckpt %zu / %zu)\n",
                  memory.records, memory.sessions_joined, spill.records,
-                 spill.sessions_joined);
+                 spill.sessions_joined, ckpt.records, ckpt.sessions_joined);
     return 1;
   }
 
@@ -247,9 +257,18 @@ int main(int argc, char** argv) {
   std::printf("  spill:  %zu records, %.0f ms, %.0f records/s, %.1f MB peak\n",
               spill.records, spill.elapsed_ms, records_per_sec(spill),
               spill.peak_rss_mb);
+  std::printf("  ckpt:   %zu records, %.0f ms, %.0f records/s, %.1f MB peak\n",
+              ckpt.records, ckpt.elapsed_ms, records_per_sec(ckpt),
+              ckpt.peak_rss_mb);
 
   const double rss_ratio =
       spill.peak_rss_mb > 0.0 ? memory.peak_rss_mb / spill.peak_rss_mb : 0.0;
+  // Throughput cost of crash safety: checkpointed vs plain spill (same
+  // telemetry path, the delta is batching + flushes + sidecar writes).
+  const double ckpt_overhead_pct =
+      spill.elapsed_ms > 0.0
+          ? (ckpt.elapsed_ms - spill.elapsed_ms) / spill.elapsed_ms * 100.0
+          : 0.0;
 
   bench::emit_json(
       "BENCH_telemetry.json", "telemetry",
@@ -263,9 +282,14 @@ int main(int argc, char** argv) {
           {"spill_records_per_sec", records_per_sec(spill), "records/s"},
           {"spill_peak_rss_mb", spill.peak_rss_mb, "MB"},
           {"peak_rss_ratio", rss_ratio, "x"},
+          {"ckpt_elapsed_ms", ckpt.elapsed_ms, "ms"},
+          {"ckpt_records_per_sec", records_per_sec(ckpt), "records/s"},
+          {"ckpt_peak_rss_mb", ckpt.peak_rss_mb, "MB"},
+          {"checkpoint_overhead_pct", ckpt_overhead_pct, "%"},
       });
-  std::printf("  wrote BENCH_telemetry.json (peak RSS ratio %.2fx)\n",
-              rss_ratio);
+  std::printf("  wrote BENCH_telemetry.json (peak RSS ratio %.2fx, "
+              "checkpoint overhead %.1f%%)\n",
+              rss_ratio, ckpt_overhead_pct);
 
   std::error_code ec;
   std::filesystem::remove_all(work_dir, ec);

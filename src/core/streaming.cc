@@ -66,8 +66,19 @@ StreamingAnalysis analyze_impl(const OpenStream& open,
 StreamingAnalysis analyze_spill(const telemetry::SpillSet& spill,
                                 double chunk_duration_s,
                                 const telemetry::ProxyFilterConfig& proxy_config) {
-  return analyze_impl([&] { return spill.open(); }, chunk_duration_s,
-                      proxy_config);
+  // Both passes re-open (and re-scan) the files; account salvage once, on
+  // the first pass, or every counter would double.
+  telemetry::SpillReadStats stats;
+  bool first_pass = true;
+  StreamingAnalysis out = analyze_impl(
+      [&] {
+        auto stream = spill.open(first_pass ? &stats : nullptr);
+        first_pass = false;
+        return stream;
+      },
+      chunk_duration_s, proxy_config);
+  out.spill = stats;
+  return out;
 }
 
 StreamingAnalysis analyze_dataset(const telemetry::Dataset& data,

@@ -35,6 +35,12 @@ struct StreamingAnalysis {
   analysis::RecoveryImpact recovery;
   analysis::PerfScoreSummary perf;  ///< Eq. 2 roll-up over joined chunks
   std::vector<analysis::PrefixRollup> prefixes;
+  /// Spill-path salvage accounting: all-damage-counters-zero on a clean
+  /// read (spill.corrupted() == false).  A degraded spill still analyzes
+  /// — corrupt blocks are skipped, torn tails truncated — and this is
+  /// where the caller learns how much survived.  Always clean for
+  /// analyze_dataset (no disk involved).
+  telemetry::SpillReadStats spill;
 };
 
 /// Analyze a spilled run (engine::RunResult::spill).  `chunk_duration_s`

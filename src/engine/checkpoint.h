@@ -1,0 +1,84 @@
+// Per-shard checkpoint sidecars: the durable state a crashed run needs to
+// restart from its last committed batch instead of from zero.
+//
+// A checkpointed run executes each shard's partition in sequential batches
+// of `interval` sessions, every batch on a fresh Shard replica.  Because
+// session outcomes are session-isolated (own RNG substream, isolated
+// serving, fault epochs pure functions of simulated time), running a
+// partition in batches is just a finer sharding — covered by the engine's
+// shard-count-invariance guarantee — so batch boundaries never change any
+// result.  What a batch boundary adds is a durable cut: the shard's spill
+// file is flushed, and this sidecar records everything needed to continue
+// after the cut.
+//
+// Contents of one sidecar (shard-<i>.vckpt):
+//   * the run fingerprint — a hash over the admitted session schedule,
+//     the shard count, and the fault schedule.  Resuming against a
+//     different scenario/seed/shard count is a user error and throws
+//     (the fingerprints cannot match by construction);
+//   * next_index — how many of this shard's sessions are fully committed;
+//   * the spill file's committed byte offset and block count (a resumed
+//     SpillWriter truncates the uncommitted tail there);
+//   * the accumulated GroundTruth and per-server ServerStats of the
+//     committed batches (both merge commutatively with later batches).
+//
+// Admission, the warm archive, and per-session RNG substreams are pure
+// functions of (scenario, seed) and are simply re-derived on resume —
+// none of that state is stored.
+//
+// Durability model: sidecars are written to <path>.tmp and renamed over
+// the old sidecar, so a crash mid-checkpoint leaves the previous one
+// intact.  The whole payload is CRC32C-guarded; a missing, torn, or
+// corrupt sidecar reads as "no checkpoint" (the shard restarts from
+// zero — always safe, never wrong).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "cdn/ats_server.h"
+#include "engine/admission.h"
+#include "engine/ground_truth.h"
+#include "faults/fault_schedule.h"
+
+namespace vstream::engine {
+
+/// One shard's resumable state after its latest committed batch.
+struct ShardCheckpoint {
+  std::uint64_t fingerprint = 0;  ///< run_fingerprint() of the owning run
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 0;
+  /// Sessions [0, next_index) of this shard's partition are committed.
+  std::uint64_t next_index = 0;
+  /// Spill file state at the cut (SpillWriter::flush_committed()).
+  std::uint64_t spill_committed_bytes = 0;
+  std::uint64_t spill_blocks_written = 0;
+  /// Accounting accumulated over the committed batches.  injected_faults
+  /// is not stored: the engine sets it once on the merged result.
+  GroundTruth ground_truth;
+  std::vector<cdn::ServerStats> server_stats;
+};
+
+/// Deterministic identity of a run for resume validation: hashes the
+/// admitted schedule (id, rng seed, start time), the shard count, and the
+/// fault schedule.  Any change to scenario, seed, shard count, or faults
+/// changes the fingerprint.
+std::uint64_t run_fingerprint(const std::vector<AdmittedSession>& admitted,
+                              std::size_t shard_count,
+                              const faults::FaultSchedule* faults);
+
+/// Atomically replace the sidecar at `path` (tmp + rename).  Throws
+/// std::runtime_error on I/O failure.
+void write_checkpoint(const std::filesystem::path& path,
+                      const ShardCheckpoint& checkpoint);
+
+/// Read a sidecar.  Missing, torn, or corrupt files return nullopt — the
+/// caller restarts that shard from zero.  A well-formed sidecar whose
+/// fingerprint disagrees with the resuming run is NOT detected here;
+/// compare ShardCheckpoint::fingerprint at the call site.
+std::optional<ShardCheckpoint> read_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace vstream::engine

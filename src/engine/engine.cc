@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "engine/admission.h"
+#include "engine/checkpoint.h"
 #include "engine/sharded_runner.h"
 #include "engine/warmup.h"
 #include "sim/env_util.h"
@@ -76,14 +77,43 @@ RunResult run_simulation(const workload::Scenario& scenario,
 
   // Streaming telemetry: an explicit option wins, else the strict
   // environment knob (unset: in-memory; set but empty: refuse to run).
-  const std::string spill_dir =
+  std::string spill_dir =
       !options.telemetry_spill_dir.empty()
           ? options.telemetry_spill_dir
           : sim::nonempty_env("VSTREAM_TELEMETRY_SPILL");
+
+  // Crash safety: same precedence.  Checkpointing implies spill mode
+  // (record durability lives in the spill files); with no spill dir
+  // configured the checkpoint directory carries both.
+  const std::string ckpt_dir = !options.checkpoint_dir.empty()
+                                   ? options.checkpoint_dir
+                                   : sim::nonempty_env("VSTREAM_CHECKPOINT");
+  if (options.resume && ckpt_dir.empty()) {
+    throw std::runtime_error(
+        "run_simulation: resume requested without a checkpoint directory "
+        "(RunOptions.checkpoint_dir / VSTREAM_CHECKPOINT)");
+  }
+  if (!ckpt_dir.empty() && spill_dir.empty()) spill_dir = ckpt_dir;
+
   std::filesystem::path spill_path;
   if (!spill_dir.empty()) {
     spill_path = spill_dir;
     std::filesystem::create_directories(spill_path);
+  }
+
+  CheckpointConfig checkpoint;
+  if (!ckpt_dir.empty()) {
+    checkpoint.dir = ckpt_dir;
+    std::filesystem::create_directories(checkpoint.dir);
+    checkpoint.resume = options.resume;
+    checkpoint.interval =
+        options.checkpoint_interval != 0
+            ? options.checkpoint_interval
+            : positive_env("VSTREAM_CHECKPOINT_INTERVAL", 1000);
+    checkpoint.fingerprint =
+        run_fingerprint(admitted, result.shard_count,
+                        options.faults.empty() ? nullptr : &options.faults);
+    checkpoint.stop_after_batches = options.stop_after_checkpoints;
   }
 
   ShardResult merged = run_sharded(
@@ -91,7 +121,9 @@ RunResult run_simulation(const workload::Scenario& scenario,
       options.faults.empty() ? nullptr : &options.faults,
       options.bad_prefixes.empty() ? nullptr : &options.bad_prefixes,
       admitted, result.shard_count,
-      spill_dir.empty() ? nullptr : &spill_path);
+      spill_dir.empty() ? nullptr : &spill_path,
+      ckpt_dir.empty() ? nullptr : &checkpoint);
+  result.completed = merged.completed;
 
   for (std::filesystem::path& file : merged.spill_files) {
     result.spill.add_file(std::move(file));

@@ -54,6 +54,24 @@ struct RunOptions {
   /// (a non-empty directory path; set-but-empty throws) decides, else
   /// classic in-memory telemetry.
   std::string telemetry_spill_dir;
+  /// Non-empty: crash-safe execution — run in checkpointed batches and
+  /// write per-shard shard-<i>.vckpt sidecars to this directory (created
+  /// if missing).  Checkpointing implies spill mode; when no spill dir is
+  /// configured the checkpoint directory doubles as the spill directory.
+  /// Empty: the VSTREAM_CHECKPOINT environment variable (same strict
+  /// contract as the spill knob) decides, else no checkpointing.
+  std::string checkpoint_dir;
+  /// Resume from the sidecars in the checkpoint directory.  Missing or
+  /// corrupt sidecars restart their shard from zero; sidecars from a
+  /// different run configuration throw.  Requires checkpointing.
+  bool resume = false;
+  /// Sessions per shard between checkpoints.  0: the
+  /// VSTREAM_CHECKPOINT_INTERVAL environment variable (strictly positive
+  /// integer), else 1000.
+  std::size_t checkpoint_interval = 0;
+  /// Test/chaos hook: stop every shard after this many committed batches
+  /// (RunResult.completed turns false; a resume finishes the run).
+  std::size_t stop_after_checkpoints = 0;
 };
 
 /// A completed run: merged telemetry plus the world it was measured in.
@@ -71,6 +89,10 @@ struct RunResult {
   /// spill.open() streams the run's sessions in canonical order;
   /// spill.load() materializes the canonical Dataset.
   telemetry::SpillSet spill;
+  /// False only when a checkpointed run stopped early
+  /// (RunOptions.stop_after_checkpoints): the spill/checkpoint files hold
+  /// a committed prefix; run again with resume=true to finish.
+  bool completed = true;
 
   bool spilled() const { return !spill.empty(); }
 };

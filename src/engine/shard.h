@@ -38,6 +38,10 @@ struct ShardResult {
   /// Spill mode: the file(s) this shard's sink wrote, in shard order
   /// after the merge.
   std::vector<std::filesystem::path> spill_files;
+  /// False only when a checkpointed run was stopped early
+  /// (CheckpointConfig::stop_after_batches): the spill files hold a
+  /// committed prefix and a resume can finish the run.
+  bool completed = true;
 };
 
 class Shard {

@@ -1,10 +1,14 @@
 #include "engine/sharded_runner.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "engine/checkpoint.h"
 #include "telemetry/spill_sink.h"
 
 namespace vstream::engine {
@@ -66,6 +70,7 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts) {
     append(merged.dataset.tcp_snapshots,
            std::move(part.dataset.tcp_snapshots));
     merged.ground_truth.merge(std::move(part.ground_truth));
+    merged.completed = merged.completed && part.completed;
     for (std::filesystem::path& file : part.spill_files) {
       merged.spill_files.push_back(std::move(file));
     }
@@ -92,14 +97,113 @@ ShardResult run_sharded(const workload::Scenario& scenario,
                         const std::unordered_set<net::Prefix24>* bad_prefixes,
                         const std::vector<AdmittedSession>& admitted,
                         std::size_t shard_count,
-                        const std::filesystem::path* spill_dir) {
+                        const std::filesystem::path* spill_dir,
+                        const CheckpointConfig* checkpoint) {
+  if (checkpoint != nullptr && spill_dir == nullptr) {
+    throw std::invalid_argument(
+        "run_sharded: checkpointing requires spill-mode telemetry");
+  }
   const std::vector<std::vector<AdmittedSession>> parts =
       partition_sessions(admitted, shard_count);
   std::vector<ShardResult> results(parts.size());
 
+  // Checkpointed path: run the shard's partition in sequential batches on
+  // fresh Shard replicas (batching is just a finer sharding — see
+  // engine/checkpoint.h), flushing the spill file and writing a sidecar
+  // after every batch.
+  const auto run_checkpointed = [&](std::size_t i) {
+    const std::span<const AdmittedSession> part(parts[i]);
+    const std::filesystem::path spill_file =
+        *spill_dir / ("shard-" + std::to_string(i) + ".vspill");
+    const std::filesystem::path ckpt_file =
+        checkpoint->dir / ("shard-" + std::to_string(i) + ".vckpt");
+
+    std::size_t next = 0;
+    GroundTruth ground_truth;
+    std::vector<cdn::ServerStats> server_stats;
+    std::unique_ptr<telemetry::SpillSink> sink;
+    if (checkpoint->resume) {
+      if (std::optional<ShardCheckpoint> saved = read_checkpoint(ckpt_file)) {
+        if (saved->fingerprint != checkpoint->fingerprint ||
+            saved->shard_index != i ||
+            saved->shard_count != parts.size()) {
+          throw std::runtime_error(
+              "checkpoint: " + ckpt_file.string() +
+              " belongs to a different run configuration (scenario, seed, "
+              "shard count, or fault schedule changed) — refusing to mix");
+        }
+        next = std::min<std::size_t>(saved->next_index, part.size());
+        ground_truth = std::move(saved->ground_truth);
+        server_stats = std::move(saved->server_stats);
+        sink = std::make_unique<telemetry::SpillSink>(
+            spill_file, saved->spill_committed_bytes,
+            saved->spill_blocks_written);
+      }
+    }
+    if (sink == nullptr) {  // fresh start (no/invalid sidecar)
+      next = 0;
+      ground_truth = GroundTruth{};
+      server_stats.clear();
+      sink = std::make_unique<telemetry::SpillSink>(spill_file);
+    }
+
+    const std::size_t interval = std::max<std::size_t>(1, checkpoint->interval);
+    std::size_t batches = 0;
+    while (next < part.size()) {
+      const std::size_t count = std::min(interval, part.size() - next);
+      Shard shard(scenario, catalog, warm, faults, bad_prefixes, sink.get());
+      ShardResult batch = shard.run(part.subspan(next, count));
+      next += count;
+      ground_truth.merge(std::move(batch.ground_truth));
+      if (server_stats.empty()) {
+        server_stats.resize(batch.server_stats.size());
+      }
+      for (std::size_t j = 0; j < batch.server_stats.size(); ++j) {
+        server_stats[j] += batch.server_stats[j];
+      }
+
+      ShardCheckpoint cp;
+      cp.fingerprint = checkpoint->fingerprint;
+      cp.shard_index = i;
+      cp.shard_count = parts.size();
+      cp.next_index = next;
+      // Sessions the batch never completed (the finish() epilogue would
+      // normally write them) must be durable before the batch counts as
+      // committed, and the flush must precede recording the offset: every
+      // byte the sidecar claims is then in the OS page cache, which
+      // survives SIGKILL.
+      sink->flush_live();
+      cp.spill_committed_bytes = sink->flush_committed();
+      cp.spill_blocks_written = sink->blocks_written();
+      cp.ground_truth = ground_truth;
+      cp.server_stats = server_stats;
+      write_checkpoint(ckpt_file, cp);
+
+      ++batches;
+      if (checkpoint->stop_after_batches != 0 &&
+          batches >= checkpoint->stop_after_batches && next < part.size()) {
+        // Deliberate early stop (test/chaos hook): leave the spill file in
+        // its committed state for a later resume.
+        results[i].ground_truth = std::move(ground_truth);
+        results[i].server_stats = std::move(server_stats);
+        results[i].spill_files.push_back(spill_file);
+        results[i].completed = false;
+        return;
+      }
+    }
+    sink->finish();
+    results[i].ground_truth = std::move(ground_truth);
+    results[i].server_stats = std::move(server_stats);
+    results[i].spill_files.push_back(spill_file);
+  };
+
   // One shard = one spill file, so shards never contend on a writer and
   // the file set records the shard order the canonical merge expects.
   const auto run_one = [&](std::size_t i) {
+    if (checkpoint != nullptr) {
+      run_checkpointed(i);
+      return;
+    }
     if (spill_dir == nullptr) {
       Shard shard(scenario, catalog, warm, faults, bad_prefixes);
       results[i] = shard.run(parts[i]);
@@ -118,13 +222,25 @@ ShardResult run_sharded(const workload::Scenario& scenario,
     run_one(0);
   } else {
     // One worker thread per shard.  Everything shared is read-only while
-    // the threads run; each thread writes only its own results slot.
+    // the threads run; each thread writes only its own results slot.  A
+    // worker's exception (resume mismatch, disk full, ...) is parked and
+    // rethrown on the calling thread after every worker has joined.
     std::vector<std::thread> workers;
+    std::vector<std::exception_ptr> errors(parts.size());
     workers.reserve(parts.size());
     for (std::size_t i = 0; i < parts.size(); ++i) {
-      workers.emplace_back([&, i] { run_one(i); });
+      workers.emplace_back([&, i] {
+        try {
+          run_one(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
     }
     for (std::thread& worker : workers) worker.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
 
   return merge_shard_results(std::move(results));

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
 #include <unordered_set>
 #include <vector>
 
@@ -16,6 +18,25 @@
 #include "engine/shard.h"
 
 namespace vstream::engine {
+
+/// Crash-safe execution config (see engine/checkpoint.h for the model).
+/// Requires spill mode: record durability comes from the spill files; a
+/// checkpointed in-memory dataset would be lost with the process anyway.
+struct CheckpointConfig {
+  /// Directory for the per-shard shard-<i>.vckpt sidecars (must exist).
+  std::filesystem::path dir;
+  /// Resume from existing sidecars.  Missing/corrupt sidecars restart
+  /// their shard from zero; a sidecar from a different run configuration
+  /// (fingerprint mismatch) throws std::runtime_error.
+  bool resume = false;
+  /// Sessions per shard between checkpoints (the batch size).
+  std::size_t interval = 1000;
+  /// run_fingerprint() of the admitted schedule, for resume validation.
+  std::uint64_t fingerprint = 0;
+  /// Test/chaos hook: stop each shard after this many batches even if work
+  /// remains (result.completed turns false).  0 runs to completion.
+  std::size_t stop_after_batches = 0;
+};
 
 /// Deterministic partition: session id modulo shard_count.  Within each
 /// shard, generation order (ascending ids / nondecreasing start times) is
@@ -39,6 +60,14 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts);
 /// telemetry::SpillSink, the merged dataset comes back empty, and the
 /// result's spill_files lists the per-shard files in shard order.  The
 /// directory must already exist.
+///
+/// `checkpoint` non-null enables crash-safe batched execution (spill mode
+/// only — throws std::invalid_argument without `spill_dir`): each shard
+/// runs its partition in `checkpoint->interval`-session batches, flushing
+/// its spill file and writing a shard-<i>.vckpt sidecar after each batch;
+/// with `checkpoint->resume` the shard restarts from its last committed
+/// sidecar, truncating the spill file's uncommitted tail.  The merged
+/// output is bit-identical to an uninterrupted, checkpoint-free run.
 ShardResult run_sharded(const workload::Scenario& scenario,
                         const workload::VideoCatalog& catalog,
                         const WarmArchive& warm,
@@ -46,6 +75,7 @@ ShardResult run_sharded(const workload::Scenario& scenario,
                         const std::unordered_set<net::Prefix24>* bad_prefixes,
                         const std::vector<AdmittedSession>& admitted,
                         std::size_t shard_count,
-                        const std::filesystem::path* spill_dir = nullptr);
+                        const std::filesystem::path* spill_dir = nullptr,
+                        const CheckpointConfig* checkpoint = nullptr);
 
 }  // namespace vstream::engine

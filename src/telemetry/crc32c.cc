@@ -1,0 +1,66 @@
+#include "telemetry/crc32c.h"
+
+#include <array>
+
+namespace vstream::telemetry {
+
+namespace {
+
+// Reflected CRC32C polynomial (bit-reversed 0x1EDC6F41).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table,
+/// table[k][b] is the CRC of byte b followed by k zero bytes — the
+/// slicing-by-8 construction, built once at static-init time.
+struct Tables {
+  std::uint32_t t[8][256];
+
+  constexpr Tables() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+inline std::uint32_t load_le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t state, const void* data,
+                            std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state;
+
+  while (n >= 8) {
+    const std::uint32_t lo = load_le32(p) ^ crc;
+    const std::uint32_t hi = load_le32(p + 4);
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+          kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return crc;
+}
+
+}  // namespace vstream::telemetry

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/crc32c.h"
+
 namespace vstream::telemetry {
 
 namespace {
@@ -41,6 +43,24 @@ void put_str(std::string& out, const std::string& s) {
   out.append(s);
 }
 
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
 /// Bounds-checked read cursor over one block payload.
 struct Cursor {
   const char* p;
@@ -55,21 +75,13 @@ struct Cursor {
   }
   std::uint32_t get_u32() {
     need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    }
+    const std::uint32_t v = load_u32(p);
     p += 4;
     return v;
   }
   std::uint64_t get_u64() {
     need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    }
+    const std::uint64_t v = load_u64(p);
     p += 8;
     return v;
   }
@@ -291,6 +303,24 @@ SessionRecordGroup decode_payload(const std::string& payload,
   return group;
 }
 
+constexpr std::uint64_t kFileHeaderBytes = 8;    // magic + version
+constexpr std::uint64_t kBlockHeaderBytes = 24;  // marker+id+size+crc
+constexpr std::uint64_t kBlockTrailerBytes = 4;  // payload crc
+constexpr std::uint64_t kCommitFrameBytes = 16;  // marker+count+crc
+
+/// Validate a spill file header read into `raw` (8 bytes); throws on a
+/// foreign or future file.
+void check_file_header(const char* raw, const std::filesystem::path& path) {
+  if (load_u32(raw) != kSpillMagic) {
+    throw std::runtime_error("spill: bad magic in " + path.string());
+  }
+  const std::uint32_t version = load_u32(raw + 4);
+  if (version != kSpillVersion) {
+    throw std::runtime_error("spill: unsupported version " +
+                             std::to_string(version) + " in " + path.string());
+  }
+}
+
 }  // namespace
 
 // -------------------------------------------------------------- SpillWriter
@@ -305,6 +335,43 @@ SpillWriter::SpillWriter(const std::filesystem::path& path)
   put_u32(header, kSpillMagic);
   put_u32(header, kSpillVersion);
   out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  offset_ = kFileHeaderBytes;
+}
+
+SpillWriter::SpillWriter(const std::filesystem::path& path,
+                         std::uint64_t committed_bytes,
+                         std::uint64_t blocks_already_written)
+    : path_(path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("spill: cannot resume missing file " +
+                             path.string());
+  }
+  if (committed_bytes < kFileHeaderBytes || size < committed_bytes) {
+    throw std::runtime_error(
+        "spill: committed offset " + std::to_string(committed_bytes) +
+        " is not inside " + path.string() + " (size " + std::to_string(size) +
+        ") — checkpoint and spill file disagree");
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    char raw[kFileHeaderBytes];
+    if (!in.read(raw, kFileHeaderBytes)) {
+      throw std::runtime_error("spill: truncated header in " + path.string());
+    }
+    check_file_header(raw, path);
+  }
+  // Everything past the committed offset is uncommitted work from a
+  // crashed writer; drop it so the resumed run re-emits those sessions.
+  std::filesystem::resize_file(path, committed_bytes);
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("spill: cannot reopen " + path.string() +
+                             " for append");
+  }
+  offset_ = committed_bytes;
+  blocks_written_ = blocks_already_written;
 }
 
 SpillWriter::~SpillWriter() {
@@ -324,12 +391,38 @@ void SpillWriter::write(const SessionRecordGroup& group) {
   for (const auto& r : group.cdn_chunks) put_record(scratch_, r);
   for (const auto& r : group.tcp_snapshots) put_record(scratch_, r);
 
-  std::string header;
-  put_u64(header, group.session_id);
-  put_u64(header, scratch_.size());
-  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  frame_.clear();
+  put_u32(frame_, kSpillBlockMarker);
+  put_u64(frame_, group.session_id);
+  put_u64(frame_, scratch_.size());
+  put_u32(frame_, crc32c(frame_.data(), frame_.size()));  // header CRC
+  put_u32(frame_, crc32c(scratch_.data(), scratch_.size()));
+  // Header (incl. both CRCs staged back to back): write header bytes,
+  // payload, then the payload CRC that was staged after the header.
+  out_.write(frame_.data(), static_cast<std::streamsize>(kBlockHeaderBytes));
   out_.write(scratch_.data(), static_cast<std::streamsize>(scratch_.size()));
+  out_.write(frame_.data() + kBlockHeaderBytes,
+             static_cast<std::streamsize>(kBlockTrailerBytes));
   ++blocks_written_;
+
+  // Commit record: the group above is fully written; a recovery scan that
+  // sees this frame knows every prior byte belongs to complete blocks.
+  frame_.clear();
+  put_u32(frame_, kSpillCommitMarker);
+  put_u64(frame_, blocks_written_);
+  put_u32(frame_, crc32c(frame_.data(), frame_.size()));
+  out_.write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+
+  offset_ += kBlockHeaderBytes + scratch_.size() + kBlockTrailerBytes +
+             kCommitFrameBytes;
+}
+
+std::uint64_t SpillWriter::flush_committed() {
+  out_.flush();
+  if (out_.fail()) {
+    throw std::runtime_error("spill: error writing " + path_.string());
+  }
+  return offset_;
 }
 
 void SpillWriter::close() {
@@ -342,81 +435,155 @@ void SpillWriter::close() {
 
 // -------------------------------------------------------------- SpillReader
 
-SpillReader::SpillReader(const std::filesystem::path& path)
-    : in_(path, std::ios::binary), path_(path) {
+SpillReader::SpillReader(const std::filesystem::path& path,
+                         SpillReadStats* stats)
+    : in_(path, std::ios::binary), path_(path), external_stats_(stats) {
   if (!in_) {
     throw std::runtime_error("spill: cannot open " + path.string());
   }
-  char raw[8];
-  if (!in_.read(raw, 8)) {
+  in_.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0, std::ios::beg);
+  char raw[kFileHeaderBytes];
+  if (!in_.read(raw, kFileHeaderBytes)) {
     throw std::runtime_error("spill: truncated header in " + path.string());
   }
-  std::string header(raw, 8);
-  Cursor c{header.data(), header.data() + header.size(), path_};
-  if (c.get_u32() != kSpillMagic) {
-    throw std::runtime_error("spill: bad magic in " + path.string());
+  check_file_header(raw, path_);
+}
+
+void SpillReader::bump(std::uint64_t SpillReadStats::* counter,
+                       std::uint64_t n) {
+  stats_.*counter += n;
+  if (external_stats_ != nullptr) external_stats_->*counter += n;
+}
+
+SpillReader::FrameKind SpillReader::parse_frame(
+    bool decode, std::optional<SessionRecordGroup>* out, SpillBlockRef* ref) {
+  const std::uint64_t pos = static_cast<std::uint64_t>(in_.tellg());
+  if (pos >= file_size_) return FrameKind::kEnd;
+  const std::uint64_t remaining = file_size_ - pos;
+
+  const auto torn_tail = [&]() {
+    bump(&SpillReadStats::torn_tail_bytes, remaining);
+    in_.clear();
+    in_.seekg(0, std::ios::end);
+    return FrameKind::kEnd;
+  };
+  const auto resync = [&]() {
+    bump(&SpillReadStats::bytes_skipped, 1);
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(pos + 1), std::ios::beg);
+    return FrameKind::kSkip;
+  };
+
+  char head[kBlockHeaderBytes];
+  if (remaining < 4) return torn_tail();
+  if (!in_.read(head, 4)) return torn_tail();
+  const std::uint32_t marker = load_u32(head);
+
+  if (marker == kSpillCommitMarker) {
+    if (remaining < kCommitFrameBytes) return torn_tail();
+    if (!in_.read(head + 4, kCommitFrameBytes - 4)) return torn_tail();
+    if (crc32c(head, kCommitFrameBytes - 4) !=
+        load_u32(head + kCommitFrameBytes - 4)) {
+      return resync();
+    }
+    bump(&SpillReadStats::commit_frames, 1);
+    return FrameKind::kCommit;
   }
-  if (const std::uint32_t version = c.get_u32(); version != kSpillVersion) {
-    throw std::runtime_error("spill: unsupported version " +
-                             std::to_string(version) + " in " + path.string());
+  if (marker != kSpillBlockMarker) return resync();
+
+  if (remaining < kBlockHeaderBytes) return torn_tail();
+  if (!in_.read(head + 4, kBlockHeaderBytes - 4)) return torn_tail();
+  if (crc32c(head, 20) != load_u32(head + 20)) return resync();
+  const std::uint64_t session_id = load_u64(head + 4);
+  const std::uint64_t payload_size = load_u64(head + 12);
+  const std::uint64_t frame_bytes =
+      kBlockHeaderBytes + payload_size + kBlockTrailerBytes;
+  // The size field is CRC-protected, so a frame that does not fit in the
+  // remaining bytes means the writer died mid-block: a torn tail.
+  if (remaining < frame_bytes) return torn_tail();
+
+  if (!decode) {
+    if (ref != nullptr) {
+      ref->session_id = session_id;
+      ref->offset = pos;
+    }
+    in_.seekg(static_cast<std::streamoff>(payload_size + kBlockTrailerBytes),
+              std::ios::cur);
+    return FrameKind::kBlock;
   }
+
+  scratch_.resize(payload_size);
+  char trailer[kBlockTrailerBytes];
+  if (!in_.read(scratch_.data(),
+                static_cast<std::streamsize>(payload_size)) ||
+      !in_.read(trailer, kBlockTrailerBytes)) {
+    return torn_tail();
+  }
+  out->reset();
+  if (crc32c(scratch_.data(), scratch_.size()) != load_u32(trailer)) {
+    bump(&SpillReadStats::blocks_skipped, 1);
+    bump(&SpillReadStats::bytes_skipped, frame_bytes);
+    return FrameKind::kBlock;
+  }
+  try {
+    *out = decode_payload(scratch_, session_id, path_);
+  } catch (const std::exception&) {
+    // CRC-valid but undecodable: a writer bug or an adversarial file —
+    // either way skip the block rather than abort the analysis.
+    bump(&SpillReadStats::blocks_skipped, 1);
+    bump(&SpillReadStats::bytes_skipped, frame_bytes);
+    return FrameKind::kBlock;
+  }
+  bump(&SpillReadStats::blocks_ok, 1);
+  bump(&SpillReadStats::bytes_salvaged, payload_size);
+  return FrameKind::kBlock;
 }
 
 std::optional<SessionRecordGroup> SpillReader::next() {
-  char raw[16];
-  if (!in_.read(raw, 16)) {
-    if (in_.gcount() == 0) return std::nullopt;  // clean end of file
-    throw std::runtime_error("spill: truncated block header in " +
-                             path_.string());
+  for (;;) {
+    std::optional<SessionRecordGroup> group;
+    switch (parse_frame(/*decode=*/true, &group, nullptr)) {
+      case FrameKind::kBlock:
+        if (group.has_value()) return group;
+        break;  // corrupt block skipped; keep scanning
+      case FrameKind::kCommit:
+      case FrameKind::kSkip:
+        break;
+      case FrameKind::kEnd:
+        return std::nullopt;
+    }
   }
-  std::string header(raw, 16);
-  Cursor c{header.data(), header.data() + header.size(), path_};
-  const std::uint64_t session_id = c.get_u64();
-  const std::uint64_t payload_size = c.get_u64();
-  scratch_.resize(payload_size);
-  if (!in_.read(scratch_.data(),
-                static_cast<std::streamsize>(payload_size))) {
-    throw std::runtime_error("spill: truncated block payload in " +
-                             path_.string());
-  }
-  return decode_payload(scratch_, session_id, path_);
 }
 
 std::vector<SpillBlockRef> SpillReader::index() {
   in_.clear();
-  in_.seekg(8, std::ios::beg);  // past the file header
+  in_.seekg(static_cast<std::streamoff>(kFileHeaderBytes), std::ios::beg);
   std::vector<SpillBlockRef> refs;
   for (;;) {
-    const std::uint64_t offset = static_cast<std::uint64_t>(in_.tellg());
-    char raw[16];
-    if (!in_.read(raw, 16)) {
-      if (in_.gcount() == 0) break;
-      throw std::runtime_error("spill: truncated block header in " +
-                               path_.string());
-    }
-    std::string header(raw, 16);
-    Cursor c{header.data(), header.data() + header.size(), path_};
     SpillBlockRef ref;
-    ref.session_id = c.get_u64();
-    ref.offset = offset;
-    const std::uint64_t payload_size = c.get_u64();
-    in_.seekg(static_cast<std::streamoff>(payload_size), std::ios::cur);
-    refs.push_back(ref);
+    switch (parse_frame(/*decode=*/false, nullptr, &ref)) {
+      case FrameKind::kBlock:
+        refs.push_back(ref);
+        break;
+      case FrameKind::kCommit:
+      case FrameKind::kSkip:
+        break;
+      case FrameKind::kEnd:
+        in_.clear();
+        return refs;
+    }
   }
-  in_.clear();
-  return refs;
 }
 
-SessionRecordGroup SpillReader::read_at(const SpillBlockRef& ref) {
+std::optional<SessionRecordGroup> SpillReader::read_at(
+    const SpillBlockRef& ref) {
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(ref.offset), std::ios::beg);
-  std::optional<SessionRecordGroup> group = next();
-  if (!group) {
-    throw std::runtime_error("spill: no block at offset " +
-                             std::to_string(ref.offset) + " in " +
-                             path_.string());
-  }
-  return *std::move(group);
+  std::optional<SessionRecordGroup> group;
+  parse_frame(/*decode=*/true, &group, nullptr);
+  return group;
 }
 
 // ----------------------------------------------------------------- SpillSet
@@ -426,13 +593,15 @@ namespace {
 /// Merged ascending-session-id stream over a set of spill files, driven by
 /// a pre-sorted (session_id, file, offset) index.  Blocks for the same
 /// session across files are concatenated in file order — the canonical
-/// merge's tie-break.
+/// merge's tie-break.  Corrupt blocks are skipped (accounted in `stats`);
+/// a session whose every block is corrupt is absent from the stream.
 class SpillSetStream final : public SessionGroupStream {
  public:
-  explicit SpillSetStream(const std::vector<std::filesystem::path>& files) {
+  SpillSetStream(const std::vector<std::filesystem::path>& files,
+                 SpillReadStats* stats) {
     readers_.reserve(files.size());
     for (std::size_t i = 0; i < files.size(); ++i) {
-      readers_.push_back(std::make_unique<SpillReader>(files[i]));
+      readers_.push_back(std::make_unique<SpillReader>(files[i], stats));
       for (const SpillBlockRef& ref : readers_.back()->index()) {
         entries_.push_back(Entry{ref.session_id, i, ref.offset});
       }
@@ -446,14 +615,23 @@ class SpillSetStream final : public SessionGroupStream {
   }
 
   std::optional<SessionRecordGroup> next() override {
-    if (cursor_ >= entries_.size()) return std::nullopt;
-    const std::uint64_t id = entries_[cursor_].session_id;
-    SessionRecordGroup group = read_entry(entries_[cursor_++]);
-    while (cursor_ < entries_.size() &&
-           entries_[cursor_].session_id == id) {
-      group.append(read_entry(entries_[cursor_++]));
+    while (cursor_ < entries_.size()) {
+      const std::uint64_t id = entries_[cursor_].session_id;
+      std::optional<SessionRecordGroup> group;
+      while (cursor_ < entries_.size() &&
+             entries_[cursor_].session_id == id) {
+        std::optional<SessionRecordGroup> piece =
+            read_entry(entries_[cursor_++]);
+        if (!piece.has_value()) continue;  // corrupt block: salvage the rest
+        if (!group.has_value()) {
+          group = std::move(piece);
+        } else {
+          group->append(std::move(*piece));
+        }
+      }
+      if (group.has_value()) return group;
     }
-    return group;
+    return std::nullopt;
   }
 
  private:
@@ -463,9 +641,8 @@ class SpillSetStream final : public SessionGroupStream {
     std::uint64_t offset;
   };
 
-  SessionRecordGroup read_entry(const Entry& e) {
-    return readers_[e.file]->read_at(
-        SpillBlockRef{e.session_id, e.offset});
+  std::optional<SessionRecordGroup> read_entry(const Entry& e) {
+    return readers_[e.file]->read_at(SpillBlockRef{e.session_id, e.offset});
   }
 
   std::vector<std::unique_ptr<SpillReader>> readers_;
@@ -475,13 +652,14 @@ class SpillSetStream final : public SessionGroupStream {
 
 }  // namespace
 
-std::unique_ptr<SessionGroupStream> SpillSet::open() const {
-  return std::make_unique<SpillSetStream>(files_);
+std::unique_ptr<SessionGroupStream> SpillSet::open(
+    SpillReadStats* stats) const {
+  return std::make_unique<SpillSetStream>(files_, stats);
 }
 
-Dataset SpillSet::load() const {
+Dataset SpillSet::load(SpillReadStats* stats) const {
   Dataset data;
-  std::unique_ptr<SessionGroupStream> stream = open();
+  std::unique_ptr<SessionGroupStream> stream = open(stats);
   while (std::optional<SessionRecordGroup> group = stream->next()) {
     for (auto& r : group->player_sessions) {
       data.player_sessions.push_back(std::move(r));

@@ -1,13 +1,23 @@
-// Binary on-disk spill format for session record groups.
+// Binary on-disk spill format for session record groups (version 2:
+// CRC32C-framed, crash- and corruption-tolerant).
 //
 // Layout (all integers little-endian, fixed width):
 //
-//   file   := magic:u32 ("VSPL", 0x4C505356) version:u32 (1) block*
-//   block  := session_id:u64 payload_size:u64 payload
+//   file   := magic:u32 ("VSPL", 0x4C505356) version:u32 (2) frame*
+//   frame  := block | commit
+//   block  := bmark:u32 ("VBLK") session_id:u64 payload_size:u64
+//             header_crc:u32 payload payload_crc:u32
+//   commit := cmark:u32 ("VCMT") blocks_committed:u64 commit_crc:u32
 //   payload:= count:u32 x5 (player_sessions, cdn_sessions, player_chunks,
 //             cdn_chunks, tcp_snapshots) then the five record groups as
 //             contiguous column groups, each record field-by-field in the
 //             declared struct order
+//
+// header_crc is CRC32C over the 20 bytes bmark..payload_size, payload_crc
+// over the payload, commit_crc over cmark+blocks_committed.  A commit
+// frame is written only after its record group's block is fully written,
+// so the last commit frame bounds the file's consistent prefix: anything
+// after it is at best unflushed work from a crashed writer.
 //
 // Scalars: doubles are raw IEEE-754 bits (u64), so a write/read round
 // trip is bit-exact and CSV re-export stays byte-identical; bools and
@@ -18,12 +28,21 @@
 // SpillSet builds its per-file index: one header scan, then random-access
 // reads in ascending session-id order regardless of the completion order
 // the blocks were written in.
+//
+// Failure model: readers never throw on data damage.  A torn tail (the
+// writer was killed mid-frame) is truncated; a block whose header or
+// payload CRC fails is skipped, resynchronizing on the next frame marker;
+// every salvage decision is accounted in SpillReadStats so callers can
+// distinguish a clean read (stats.corrupted() == false) from a degraded
+// one.  Only environmental errors still throw: unopenable files, a wrong
+// magic, or an unsupported version.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,8 +50,35 @@
 
 namespace vstream::telemetry {
 
-inline constexpr std::uint32_t kSpillMagic = 0x4C505356;  // "VSPL"
-inline constexpr std::uint32_t kSpillVersion = 1;
+inline constexpr std::uint32_t kSpillMagic = 0x4C505356;    // "VSPL"
+inline constexpr std::uint32_t kSpillVersion = 2;
+inline constexpr std::uint32_t kSpillBlockMarker = 0x4B4C4256;   // "VBLK"
+inline constexpr std::uint32_t kSpillCommitMarker = 0x544D4356;  // "VCMT"
+
+/// Salvage accounting for one reader (or an aggregate over a SpillSet).
+/// All-zero except blocks_ok/bytes_salvaged/commit_frames on a clean file.
+struct SpillReadStats {
+  std::uint64_t blocks_ok = 0;       ///< blocks read and decoded intact
+  std::uint64_t blocks_skipped = 0;  ///< CRC-failed or undecodable blocks
+  std::uint64_t bytes_salvaged = 0;  ///< payload bytes of the intact blocks
+  std::uint64_t bytes_skipped = 0;   ///< corrupt bytes scanned past (resync)
+  std::uint64_t torn_tail_bytes = 0; ///< incomplete trailing frame dropped
+  std::uint64_t commit_frames = 0;   ///< commit records seen
+
+  /// True when any damage was encountered (skips, resyncs, torn tail).
+  bool corrupted() const {
+    return blocks_skipped != 0 || bytes_skipped != 0 || torn_tail_bytes != 0;
+  }
+  SpillReadStats& operator+=(const SpillReadStats& other) {
+    blocks_ok += other.blocks_ok;
+    blocks_skipped += other.blocks_skipped;
+    bytes_salvaged += other.bytes_salvaged;
+    bytes_skipped += other.bytes_skipped;
+    torn_tail_bytes += other.torn_tail_bytes;
+    commit_frames += other.commit_frames;
+    return *this;
+  }
+};
 
 /// Appends session blocks to one spill file.  Not thread-safe; in the
 /// sharded engine each shard owns one writer.
@@ -41,54 +87,92 @@ class SpillWriter {
   /// Creates/truncates `path` and writes the file header.  Throws
   /// std::runtime_error when the file cannot be opened.
   explicit SpillWriter(const std::filesystem::path& path);
+
+  /// Resume an existing spill file at a previously committed offset (see
+  /// committed_bytes()): validates the header, truncates everything past
+  /// `committed_bytes` (uncommitted work from a crashed run), and appends
+  /// from there.  `blocks_already_written` restores the commit counter.
+  /// Throws std::runtime_error on a missing/short/incompatible file.
+  SpillWriter(const std::filesystem::path& path,
+              std::uint64_t committed_bytes,
+              std::uint64_t blocks_already_written);
+
   ~SpillWriter();  // closes (without the error check close() performs)
 
   SpillWriter(const SpillWriter&) = delete;
   SpillWriter& operator=(const SpillWriter&) = delete;
 
-  /// Serialize one session's records as a block.  The group's vectors are
-  /// written in their current order (emission order, for byte-identical
-  /// CSV re-export).
+  /// Serialize one session's records as a block and its commit frame.  The
+  /// group's vectors are written in their current order (emission order,
+  /// for byte-identical CSV re-export).
   void write(const SessionRecordGroup& group);
+
+  /// Push buffered frames to the OS and return the committed byte offset —
+  /// the value a checkpoint must record for a later resume.  Throws on
+  /// write errors.
+  std::uint64_t flush_committed();
 
   /// Flush and close, throwing on write errors.  Idempotent.
   void close();
 
   std::uint64_t blocks_written() const { return blocks_written_; }
+  /// File offset after the last fully written frame.
+  std::uint64_t committed_bytes() const { return offset_; }
 
  private:
   std::ofstream out_;
   std::filesystem::path path_;
   std::string scratch_;  ///< reused payload buffer
+  std::string frame_;    ///< reused frame-header/commit buffer
   std::uint64_t blocks_written_ = 0;
+  std::uint64_t offset_ = 0;  ///< bytes written so far (header + frames)
 };
 
 /// One block's location inside a spill file.
 struct SpillBlockRef {
   std::uint64_t session_id = 0;
-  std::uint64_t offset = 0;  ///< file offset of the block header
+  std::uint64_t offset = 0;  ///< file offset of the block frame
 };
 
 /// Reads one spill file: sequentially, or random-access via an index.
-/// Throws std::runtime_error on bad magic/version or truncated data.
+/// The constructor throws std::runtime_error on an unopenable file, bad
+/// magic or unsupported version; after that, damage never throws — torn
+/// tails are truncated and corrupt blocks skipped, accounted in stats()
+/// (and mirrored into the optional external `stats` accumulator, which
+/// lets a SpillSet aggregate salvage over many readers).
 class SpillReader {
  public:
-  explicit SpillReader(const std::filesystem::path& path);
+  explicit SpillReader(const std::filesystem::path& path,
+                       SpillReadStats* stats = nullptr);
 
-  /// Next block in file order; nullopt at end of file.
+  /// Next intact block in file order; nullopt at end of file.
   std::optional<SessionRecordGroup> next();
 
-  /// Scan every block header (payloads skipped) and return the refs in
-  /// file order.  Leaves the sequential cursor at end of file.
+  /// Scan every frame header (payloads skipped, not CRC-checked) and
+  /// return the structurally valid block refs in file order.  Leaves the
+  /// sequential cursor at end of file.
   std::vector<SpillBlockRef> index();
 
   /// Read the block at `ref.offset` (moves the sequential cursor).
-  SessionRecordGroup read_at(const SpillBlockRef& ref);
+  /// nullopt when the block is corrupt (accounted in stats()).
+  std::optional<SessionRecordGroup> read_at(const SpillBlockRef& ref);
+
+  const SpillReadStats& stats() const { return stats_; }
 
  private:
+  /// Parse one frame at the cursor; decode_payload controls whether block
+  /// payloads are read+verified (next/read_at) or skipped (index).
+  enum class FrameKind { kBlock, kCommit, kSkip, kEnd };
+  FrameKind parse_frame(bool decode, std::optional<SessionRecordGroup>* out,
+                        SpillBlockRef* ref);
+  void bump(std::uint64_t SpillReadStats::* counter, std::uint64_t n);
+
   std::ifstream in_;
   std::filesystem::path path_;
   std::string scratch_;
+  std::uint64_t file_size_ = 0;
+  SpillReadStats stats_;
+  SpillReadStats* external_stats_ = nullptr;
 };
 
 class SpillGroupStream;
@@ -108,12 +192,17 @@ class SpillSet {
   bool empty() const { return files_.empty(); }
 
   /// Open a merged stream over all files in ascending session-id order.
-  std::unique_ptr<SessionGroupStream> open() const;
+  /// When `stats` is non-null it accumulates salvage accounting across
+  /// every file as the stream is consumed (final once the stream returns
+  /// nullopt).  Corrupt blocks are skipped; a session whose every block is
+  /// corrupt disappears from the stream.
+  std::unique_ptr<SessionGroupStream> open(
+      SpillReadStats* stats = nullptr) const;
 
   /// Materialize every record back into one canonical Dataset (ascending
   /// session id, per-session emission order) — byte-equivalent to the
   /// in-memory run's merged dataset.
-  Dataset load() const;
+  Dataset load(SpillReadStats* stats = nullptr) const;
 
  private:
   std::vector<std::filesystem::path> files_;

@@ -7,6 +7,11 @@ namespace vstream::telemetry {
 SpillSink::SpillSink(const std::filesystem::path& path)
     : path_(path), writer_(path) {}
 
+SpillSink::SpillSink(const std::filesystem::path& path,
+                     std::uint64_t committed_bytes,
+                     std::uint64_t blocks_already_written)
+    : path_(path), writer_(path, committed_bytes, blocks_already_written) {}
+
 SessionRecordGroup& SpillSink::group_for(std::uint64_t session_id) {
   auto [it, inserted] = live_.try_emplace(session_id);
   if (inserted) {
@@ -43,9 +48,13 @@ void SpillSink::session_complete(std::uint64_t session_id) {
   live_.erase(it);
 }
 
-void SpillSink::finish() {
+void SpillSink::flush_live() {
   for (const auto& [id, group] : live_) writer_.write(group);
   live_.clear();
+}
+
+void SpillSink::finish() {
+  flush_live();
   writer_.close();
 }
 

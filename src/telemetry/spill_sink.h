@@ -21,6 +21,12 @@ class SpillSink final : public RecordSink {
   /// Creates/truncates the spill file.  Throws when it cannot be opened.
   explicit SpillSink(const std::filesystem::path& path);
 
+  /// Resume an existing spill file at a checkpointed committed offset:
+  /// uncommitted tail frames are truncated and appending continues.
+  /// Throws on a missing/short/incompatible file.
+  SpillSink(const std::filesystem::path& path, std::uint64_t committed_bytes,
+            std::uint64_t blocks_already_written);
+
   void record(PlayerSessionRecord r) override;
   void record(CdnSessionRecord r) override;
   void record(PlayerChunkRecord r) override;
@@ -35,9 +41,21 @@ class SpillSink final : public RecordSink {
   /// the file, throwing on write errors.
   void finish() override;
 
+  /// The finish() epilogue without the close: spill still-live sessions in
+  /// ascending-id order and keep appending.  A checkpointed run calls this
+  /// at every batch boundary so no session's records are hostage to the
+  /// in-memory buffer when the batch is declared committed.
+  void flush_live();
+
+  /// Flush written frames and return the committed byte offset for a
+  /// checkpoint (see SpillWriter::flush_committed).  Throws on I/O errors.
+  std::uint64_t flush_committed() { return writer_.flush_committed(); }
+
   const std::filesystem::path& path() const { return path_; }
   std::size_t live_sessions() const { return live_.size(); }
   std::size_t peak_live_sessions() const { return peak_live_; }
+  std::uint64_t blocks_written() const { return writer_.blocks_written(); }
+  std::uint64_t committed_bytes() const { return writer_.committed_bytes(); }
 
  private:
   SessionRecordGroup& group_for(std::uint64_t session_id);

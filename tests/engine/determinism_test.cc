@@ -311,6 +311,118 @@ TEST(EngineDeterminismTest, SpillAnalysisMatchesBatchAnalysis) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(EngineDeterminismTest, CheckpointedRunMatchesUninterrupted) {
+  // Batching a shard's partition into checkpoint intervals must not change
+  // a single byte of output: batches are just a finer sharding.
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  const std::filesystem::path dir = spill_scratch("ckpt");
+  for (const std::size_t shards : {1, 2, 4}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    options.checkpoint_dir = (dir / ("s" + std::to_string(shards))).string();
+    options.checkpoint_interval = 13;  // deliberately awkward batch size
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+
+    EXPECT_TRUE(run.completed) << "shards=" << shards;
+    ASSERT_TRUE(run.spilled()) << "shards=" << shards;
+    EXPECT_EQ(export_string(run.spill.load()), reference_csv)
+        << "shards=" << shards;
+    expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+    // Every shard left a sidecar behind.
+    for (std::size_t i = 0; i < shards; ++i) {
+      EXPECT_TRUE(std::filesystem::exists(
+          std::filesystem::path(options.checkpoint_dir) /
+          ("shard-" + std::to_string(i) + ".vckpt")))
+          << "shards=" << shards << " sidecar " << i;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminismTest, ResumedRunIsBitIdenticalToUninterrupted) {
+  // The resume scenario the crash-safety work exists for: checkpoint
+  // mid-run, stop, restart with resume — analysis bit-identical and CSVs
+  // byte-identical to a run that never stopped.  Faults included so the
+  // recovery paths cross the checkpoint boundary too.
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.faults = eventful_schedule();
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+  const double tau = reference.catalog->chunk_duration_s();
+  const core::StreamingAnalysis reference_analysis =
+      core::analyze_dataset(reference.dataset, tau);
+
+  const std::filesystem::path dir = spill_scratch("resume");
+  for (const std::size_t shards : {1, 2, 4}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    options.faults = eventful_schedule();
+    options.checkpoint_dir = (dir / ("s" + std::to_string(shards))).string();
+    options.checkpoint_interval = 20;
+
+    // Phase 1: run until the first checkpoint, then stop mid-run.
+    options.stop_after_checkpoints = 1;
+    const engine::RunResult partial =
+        engine::run_simulation(scenario, options);
+    EXPECT_FALSE(partial.completed) << "shards=" << shards;
+
+    // Phase 2: a fresh engine invocation resumes and finishes.
+    options.stop_after_checkpoints = 0;
+    options.resume = true;
+    const engine::RunResult resumed =
+        engine::run_simulation(scenario, options);
+    EXPECT_TRUE(resumed.completed) << "shards=" << shards;
+    ASSERT_TRUE(resumed.spilled()) << "shards=" << shards;
+
+    // Byte-identical CSV export, bit-identical accounting and analysis.
+    telemetry::SpillReadStats stats;
+    EXPECT_EQ(export_string(resumed.spill.load(&stats)), reference_csv)
+        << "shards=" << shards;
+    EXPECT_FALSE(stats.corrupted()) << "shards=" << shards;
+    expect_equal_ground_truth(resumed.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(resumed.server_stats, reference.server_stats);
+
+    const core::StreamingAnalysis resumed_analysis =
+        core::analyze_spill(resumed.spill, tau);
+    EXPECT_EQ(resumed_analysis.sessions_joined,
+              reference_analysis.sessions_joined);
+    EXPECT_EQ(resumed_analysis.qoe.startup_ms.mean,
+              reference_analysis.qoe.startup_ms.mean);
+    EXPECT_EQ(resumed_analysis.perf.mean_score,
+              reference_analysis.perf.mean_score);
+    EXPECT_EQ(resumed_analysis.recovery.retries,
+              reference_analysis.recovery.retries);
+    EXPECT_FALSE(resumed_analysis.spill.corrupted()) << "shards=" << shards;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDeterminismTest, ResumeOfCompletedRunIsANoOp) {
+  const workload::Scenario scenario = small_scenario();
+  const std::filesystem::path dir = spill_scratch("noop");
+  engine::RunOptions options;
+  options.shards = 2;
+  options.checkpoint_dir = dir.string();
+  options.checkpoint_interval = 50;
+  const engine::RunResult first = engine::run_simulation(scenario, options);
+  EXPECT_TRUE(first.completed);
+  const std::string first_csv = export_string(first.spill.load());
+
+  options.resume = true;
+  const engine::RunResult again = engine::run_simulation(scenario, options);
+  EXPECT_TRUE(again.completed);
+  EXPECT_EQ(export_string(again.spill.load()), first_csv);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EngineDeterminismTest, RunAndAnalyzeRefusesSpilledRuns) {
   workload::Scenario scenario = small_scenario();
   scenario.session_count = 10;

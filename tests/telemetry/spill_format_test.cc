@@ -242,8 +242,12 @@ TEST_F(SpillFormatTest, IndexAndRandomAccessRead) {
   EXPECT_EQ(index[0].session_id, 30u);
   EXPECT_EQ(index[1].session_id, 10u);
   EXPECT_EQ(index[2].session_id, 20u);
-  expect_groups_equal(full_group(10), reader.read_at(index[1]));
-  expect_groups_equal(full_group(30), reader.read_at(index[0]));
+  auto at1 = reader.read_at(index[1]);
+  ASSERT_TRUE(at1.has_value());
+  expect_groups_equal(full_group(10), *at1);
+  auto at0 = reader.read_at(index[0]);
+  ASSERT_TRUE(at0.has_value());
+  expect_groups_equal(full_group(30), *at0);
 }
 
 TEST_F(SpillFormatTest, SpillSetStreamsAscendingAcrossFiles) {
@@ -356,17 +360,202 @@ TEST_F(SpillFormatTest, RejectsMissingFile) {
   EXPECT_THROW(SpillReader reader(file("nope.vspill")), std::runtime_error);
 }
 
-TEST_F(SpillFormatTest, RejectsTruncatedBlock) {
+TEST_F(SpillFormatTest, TruncatedTailIsDroppedNotFatal) {
+  // A writer killed mid-frame leaves a torn tail; recovery keeps every
+  // fully committed block and accounts the dropped bytes.
   const auto path = file("trunc.vspill");
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(1));
+    writer.write(full_group(2));
+    writer.close();
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 25);  // into block 2's trailer
+  SpillReader reader(path);
+  auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  expect_groups_equal(full_group(1), *first);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.stats().corrupted());
+  EXPECT_GT(reader.stats().torn_tail_bytes, 0u);
+  EXPECT_EQ(reader.stats().blocks_ok, 1u);
+}
+
+TEST_F(SpillFormatTest, CorruptPayloadByteSkipsOnlyThatBlock) {
+  const auto path = file("flip.vspill");
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(1));
+    writer.write(full_group(2));
+    writer.write(full_group(3));
+    writer.close();
+  }
+  // Flip one byte in the middle of block 2's payload.
+  SpillReader probe(path);
+  const auto index = probe.index();
+  ASSERT_EQ(index.size(), 3u);
+  const std::uint64_t target = index[1].offset + 24 + 40;  // inside payload
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(target));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(target));
+    f.write(&b, 1);
+  }
+  SpillReader reader(path);
+  std::vector<std::uint64_t> ids;
+  while (auto g = reader.next()) ids.push_back(g->session_id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(reader.stats().blocks_skipped, 1u);
+  EXPECT_EQ(reader.stats().blocks_ok, 2u);
+  EXPECT_TRUE(reader.stats().corrupted());
+}
+
+TEST_F(SpillFormatTest, ResumedWriterTruncatesUncommittedTail) {
+  const auto path = file("resume.vspill");
+  std::uint64_t committed = 0;
+  std::uint64_t blocks = 0;
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(1));
+    committed = writer.flush_committed();
+    blocks = writer.blocks_written();
+    // Simulate a crash after more (to-be-discarded) work: write another
+    // block, then abandon the writer without recording its offset.
+    writer.write(full_group(99));
+    writer.flush_committed();
+  }
+  {
+    SpillWriter writer(path, committed, blocks);
+    EXPECT_EQ(writer.committed_bytes(), committed);
+    EXPECT_EQ(writer.blocks_written(), blocks);
+    writer.write(full_group(2));
+    writer.close();
+    EXPECT_EQ(writer.blocks_written(), 2u);
+  }
+  SpillReader reader(path);
+  std::vector<std::uint64_t> ids;
+  while (auto g = reader.next()) ids.push_back(g->session_id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_FALSE(reader.stats().corrupted());
+  EXPECT_EQ(reader.stats().commit_frames, 2u);
+}
+
+TEST_F(SpillFormatTest, ResumeRejectsOffsetBeyondFile) {
+  const auto path = file("resume_bad.vspill");
   {
     SpillWriter writer(path);
     writer.write(full_group(1));
     writer.close();
   }
   const auto size = std::filesystem::file_size(path);
-  std::filesystem::resize_file(path, size - 7);
+  EXPECT_THROW(SpillWriter(path, size + 100, 1), std::runtime_error);
+  EXPECT_THROW(SpillWriter(path, 3, 0), std::runtime_error);
+  EXPECT_THROW(SpillWriter(file("gone.vspill"), 8, 0), std::runtime_error);
+}
+
+std::string read_all(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_all(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Drain a reader over a possibly damaged file; must terminate and never
+/// throw (the fuzz contract: recover or account, never crash).
+std::vector<std::uint64_t> drain_ids(const std::filesystem::path& path) {
   SpillReader reader(path);
-  EXPECT_THROW(reader.next(), std::runtime_error);
+  std::vector<std::uint64_t> ids;
+  while (auto g = reader.next()) ids.push_back(g->session_id);
+  return ids;
+}
+
+TEST_F(SpillFormatTest, FuzzFlipEveryByteNeverCrashes) {
+  const auto path = file("fuzz_flip.vspill");
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(1));
+    writer.write(full_group(2));
+    writer.close();
+  }
+  const std::string clean = read_all(path);
+  const auto mutant = file("fuzz_flip_mut.vspill");
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::string bytes = clean;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0xA5);
+    write_all(mutant, bytes);
+    if (i < 8) {
+      // Header damage is environmental (wrong magic/version): a structured
+      // throw, never UB.
+      EXPECT_THROW(drain_ids(mutant), std::runtime_error) << "byte " << i;
+      continue;
+    }
+    std::vector<std::uint64_t> ids;
+    EXPECT_NO_THROW(ids = drain_ids(mutant)) << "byte " << i;
+    // Damage past the header loses at most the enclosing block.
+    EXPECT_LE(ids.size(), 2u) << "byte " << i;
+  }
+}
+
+TEST_F(SpillFormatTest, FuzzTruncateEveryOffsetNeverCrashes) {
+  const auto path = file("fuzz_trunc.vspill");
+  {
+    SpillWriter writer(path);
+    writer.write(full_group(1));
+    writer.write(full_group(2));
+    writer.close();
+  }
+  const std::string clean = read_all(path);
+  const auto mutant = file("fuzz_trunc_mut.vspill");
+  for (std::size_t len = 0; len <= clean.size(); ++len) {
+    write_all(mutant, clean.substr(0, len));
+    if (len < 8) {
+      EXPECT_THROW(drain_ids(mutant), std::runtime_error) << "len " << len;
+      continue;
+    }
+    std::vector<std::uint64_t> ids;
+    EXPECT_NO_THROW(ids = drain_ids(mutant)) << "len " << len;
+    // Truncation only ever drops a suffix of the committed blocks.
+    ASSERT_LE(ids.size(), 2u) << "len " << len;
+    if (!ids.empty()) {
+      EXPECT_EQ(ids[0], 1u) << "len " << len;
+    }
+  }
+}
+
+TEST_F(SpillFormatTest, SpillSetAggregatesSalvageStats) {
+  SpillSet set;
+  {
+    SpillWriter a(file("shard-0.vspill"));
+    a.write(full_group(1));
+    a.write(full_group(3));
+    a.close();
+    SpillWriter b(file("shard-1.vspill"));
+    b.write(full_group(2));
+    b.close();
+  }
+  // Tear shard-1's tail mid-block.
+  const auto b_path = file("shard-1.vspill");
+  std::filesystem::resize_file(b_path,
+                               std::filesystem::file_size(b_path) - 30);
+  set.add_file(file("shard-0.vspill"));
+  set.add_file(b_path);
+
+  SpillReadStats stats;
+  const auto stream = set.open(&stats);
+  std::vector<std::uint64_t> ids;
+  while (auto g = stream->next()) ids.push_back(g->session_id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_TRUE(stats.corrupted());
+  EXPECT_GT(stats.torn_tail_bytes, 0u);
+  EXPECT_EQ(stats.blocks_ok, 2u);
 }
 
 TEST_F(SpillFormatTest, EmptySpillSet) {

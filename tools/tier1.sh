@@ -26,20 +26,23 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 echo "==> tier-1: ASan build ($asan_dir)"
 cmake -B "$asan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=address
-cmake --build "$asan_dir" -j --target test_sim test_cdn test_core test_faults test_engine
+cmake --build "$asan_dir" -j --target test_sim test_cdn test_core test_faults test_engine test_telemetry
 
-echo "==> tier-1: ASan suites (sim, cdn, core, faults, engine)"
-for suite in test_sim test_cdn test_core test_faults test_engine; do
+echo "==> tier-1: ASan suites (sim, cdn, core, faults, engine, telemetry)"
+# test_telemetry includes the spill corruption fuzz (flip every byte,
+# truncate at every offset) — under ASan it proves the recovery scan never
+# reads out of bounds on damaged input.
+for suite in test_sim test_cdn test_core test_faults test_engine test_telemetry; do
   echo "--> $suite"
   "$asan_dir/tests/$suite"
 done
 
 echo "==> tier-1: UBSan build ($ubsan_dir)"
 cmake -B "$ubsan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=undefined
-cmake --build "$ubsan_dir" -j --target test_engine test_core
+cmake --build "$ubsan_dir" -j --target test_engine test_core test_telemetry
 
-echo "==> tier-1: UBSan suites (engine, core)"
-for suite in test_engine test_core; do
+echo "==> tier-1: UBSan suites (engine, core, telemetry)"
+for suite in test_engine test_core test_telemetry; do
   echo "--> $suite"
   UBSAN_OPTIONS=halt_on_error=1 "$ubsan_dir/tests/$suite"
 done
@@ -88,6 +91,16 @@ for f in player_sessions cdn_sessions player_chunks cdn_chunks tcp_snapshots; do
   cmp "$spill_work/mem/$f.csv" "$spill_work/spill/$f.csv"
 done
 echo "    spill CSVs byte-identical to in-memory ($spill_files spill files)"
+
+echo "==> tier-1: chaos smoke (kill-and-resume, byte-identical CSVs)"
+cmake --build "$build_dir" -j --target vstream-chaos
+# Small config: one SIGKILL per (shards, profile) cell still walks the
+# whole durability chain — spill CRC framing, flush-before-commit,
+# atomic sidecar replace, truncate-to-committed on resume.  The full
+# matrix (shards 1,2,4,8, >= 5 kills) runs via the tool's defaults.
+"$build_dir/tools/vstream-chaos" --sessions 200 --shards 1,2 \
+  --profiles none,eventful --kills 1 --interval 25 \
+  --scratch "$build_dir/tier1-chaos"
 
 echo "==> tier-1: telemetry bench smoke (-> BENCH_telemetry.json)"
 cmake --build "$build_dir" -j --target bench_telemetry_pipeline

@@ -1,0 +1,333 @@
+// vstream_chaos — kill-and-resume crash-safety harness for vstream-sim.
+//
+//   vstream_chaos [--sim PATH] [--sessions N] [--seed S]
+//                 [--shards LIST] [--profiles LIST] [--kills N]
+//                 [--interval N] [--chaos-seed S] [--scratch DIR]
+//
+// For every (shard count, fault profile) configuration it:
+//
+//   1. runs vstream-sim once, uninterrupted, exporting the reference CSVs;
+//   2. runs the same scenario with --checkpoint --resume, delivering
+//      SIGKILL at randomized (seeded, hence reproducible) points and
+//      resuming after each kill until the run completes; and
+//   3. byte-compares all five exported CSV files against the reference.
+//
+// A kill can land anywhere — mid-batch, mid-spill-write, mid-checkpoint
+// rename — so a pass demonstrates the whole durability chain: CRC-framed
+// spill blocks, flush-before-commit ordering, atomic sidecar replacement,
+// and truncate-to-committed on resume.  Defaults cover shards {1,2,4,8}
+// fault-free and under the scripted "eventful" fault profile.
+//
+// Exit status: 0 when every configuration byte-matches, 1 on any mismatch
+// or unexpected simulator failure, 2 on usage/setup errors.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCsvFiles[] = {
+    "player_sessions.csv", "cdn_sessions.csv", "player_chunks.csv",
+    "cdn_chunks.csv", "tcp_snapshots.csv"};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--sim PATH] [--sessions N] [--seed S]\n"
+      "          [--shards LIST] [--profiles LIST] [--kills N]\n"
+      "          [--interval N] [--chaos-seed S] [--scratch DIR]\n"
+      "defaults: --shards 1,2,4,8 --profiles none,eventful --kills 3\n"
+      "          --sessions 600 --interval 50 (per shard count+profile)\n",
+      argv0);
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& raw) {
+  std::vector<std::string> out;
+  std::stringstream ss(raw);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Spawn `args` (args[0] = binary) with stdout discarded; returns the pid.
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::close(null_fd);
+    }
+    ::execv(argv[0], argv.data());
+    std::perror("execv");  // only reached on failure
+    ::_exit(127);
+  }
+  return pid;
+}
+
+struct ChildExit {
+  bool exited = false;   ///< child finished on its own
+  int status = 0;        ///< exit status when `exited`
+  bool killed = false;   ///< we delivered SIGKILL
+};
+
+/// Wait up to `deadline_ms`; if the child is still running then, SIGKILL
+/// it.  SIGKILL is the point: the child gets no chance to flush, close or
+/// clean up — exactly what a power cut or OOM kill looks like.
+ChildExit wait_or_kill(pid_t pid, long deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    int status = 0;
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      ChildExit r;
+      r.exited = true;
+      r.status = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+      return r;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (deadline_ms >= 0 && elapsed >= deadline_ms) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      ChildExit r;
+      r.killed = true;
+      return r;
+    }
+    ::usleep(2'000);
+  }
+}
+
+int wait_for(pid_t pid) {
+  return wait_or_kill(pid, -1).status;
+}
+
+bool files_identical(const fs::path& a, const fs::path& b) {
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  std::stringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  return sa.str() == sb.str();
+}
+
+struct Config {
+  std::string sim;
+  std::size_t sessions = 600;
+  std::uint64_t seed = 20160516;
+  std::size_t kills = 3;
+  std::size_t interval = 50;
+  std::uint64_t chaos_seed = 1234;
+  fs::path scratch = "chaos-scratch";
+};
+
+struct CaseResult {
+  std::size_t shards = 0;
+  std::string profile;
+  std::size_t kills_delivered = 0;
+  std::size_t attempts = 0;
+  bool ok = false;
+};
+
+std::vector<std::string> sim_args(const Config& cfg, std::size_t shards,
+                                  const std::string& profile) {
+  std::vector<std::string> args = {cfg.sim,
+                                   "--sessions", std::to_string(cfg.sessions),
+                                   "--seed", std::to_string(cfg.seed),
+                                   "--shards", std::to_string(shards)};
+  if (profile != "none") {
+    args.push_back("--fault-profile");
+    args.push_back(profile);
+  }
+  return args;
+}
+
+CaseResult run_case(const Config& cfg, std::size_t shards,
+                    const std::string& profile, std::mt19937_64& rng) {
+  CaseResult result;
+  result.shards = shards;
+  result.profile = profile;
+
+  const fs::path dir =
+      cfg.scratch / ("s" + std::to_string(shards) + "-" + profile);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path clean_csv = dir / "clean";
+  const fs::path chaos_csv = dir / "chaos";
+  const fs::path ckpt = dir / "ckpt";
+
+  // 1. Uninterrupted reference run (plain in-memory telemetry: the chaos
+  // run's CSVs must match it even across the spill/export pipeline).
+  std::vector<std::string> ref = sim_args(cfg, shards, profile);
+  ref.insert(ref.end(), {"--out", clean_csv.string()});
+  const auto ref_start = std::chrono::steady_clock::now();
+  if (const int status = wait_for(spawn(ref)); status != 0) {
+    std::fprintf(stderr, "  reference run failed (exit %d)\n", status);
+    return result;
+  }
+  const long clean_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - ref_start)
+          .count();
+
+  // Kill window scaled to the measured clean runtime so kills land while
+  // the simulator is genuinely mid-run (early bias: resumed attempts are
+  // shorter than the first).
+  const long kill_min = std::max<long>(5, clean_ms / 20);
+  const long kill_max = std::max<long>(kill_min + 1, clean_ms / 2);
+  std::uniform_int_distribution<long> delay(kill_min, kill_max);
+
+  // 2. Kill-and-resume loop.  --resume on the very first attempt is safe:
+  // no sidecars means a fresh start.
+  std::vector<std::string> chaos = sim_args(cfg, shards, profile);
+  chaos.insert(chaos.end(),
+               {"--checkpoint", ckpt.string(), "--resume",
+                "--checkpoint-interval", std::to_string(cfg.interval),
+                "--out", chaos_csv.string()});
+  for (;;) {
+    ++result.attempts;
+    const pid_t pid = spawn(chaos);
+    if (result.kills_delivered < cfg.kills) {
+      const ChildExit ended = wait_or_kill(pid, delay(rng));
+      if (ended.killed) {
+        ++result.kills_delivered;
+        continue;  // resume on the next attempt
+      }
+      if (ended.status != 0) {
+        std::fprintf(stderr, "  chaos attempt failed (exit %d)\n",
+                     ended.status);
+        return result;
+      }
+      break;  // finished before the kill timer — that's a completion
+    }
+    if (const int status = wait_for(pid); status != 0) {
+      std::fprintf(stderr, "  final attempt failed (exit %d)\n", status);
+      return result;
+    }
+    break;
+  }
+
+  // 3. Byte-compare every exported CSV against the reference.
+  result.ok = true;
+  for (const char* file : kCsvFiles) {
+    if (!files_identical(clean_csv / file, chaos_csv / file)) {
+      std::fprintf(stderr, "  MISMATCH: %s differs from the clean run\n",
+                   (chaos_csv / file).string().c_str());
+      result.ok = false;
+    }
+  }
+  return result;
+}
+
+int run_tool(int argc, char** argv) {
+  Config cfg;
+  std::vector<std::string> shard_list = {"1", "2", "4", "8"};
+  std::vector<std::string> profiles = {"none", "eventful"};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--sim") {
+      cfg.sim = next();
+    } else if (arg == "--sessions") {
+      cfg.sessions = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--shards") {
+      shard_list = split_csv(next());
+    } else if (arg == "--profiles") {
+      profiles = split_csv(next());
+    } else if (arg == "--kills") {
+      cfg.kills = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (arg == "--interval") {
+      cfg.interval = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (arg == "--chaos-seed") {
+      cfg.chaos_seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--scratch") {
+      cfg.scratch = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (cfg.sim.empty()) {
+    // Default: the vstream-sim that was built next to this binary.
+    cfg.sim = (fs::path(argv[0]).parent_path() / "vstream-sim").string();
+  }
+  if (!fs::exists(cfg.sim)) {
+    std::fprintf(stderr, "simulator binary not found: %s (use --sim)\n",
+                 cfg.sim.c_str());
+    return 2;
+  }
+
+  std::mt19937_64 rng(cfg.chaos_seed);
+  std::vector<CaseResult> results;
+  std::size_t total_kills = 0;
+  bool all_ok = true;
+  for (const std::string& profile : profiles) {
+    for (const std::string& shards : shard_list) {
+      std::printf("chaos: shards=%s profile=%s ...\n", shards.c_str(),
+                  profile.c_str());
+      std::fflush(stdout);
+      const CaseResult r = run_case(
+          cfg, static_cast<std::size_t>(std::atol(shards.c_str())), profile,
+          rng);
+      std::printf("  %s  (attempts=%zu kills=%zu)\n",
+                  r.ok ? "identical to clean run" : "FAILED", r.attempts,
+                  r.kills_delivered);
+      std::fflush(stdout);
+      total_kills += r.kills_delivered;
+      all_ok = all_ok && r.ok;
+      results.push_back(r);
+    }
+  }
+
+  std::printf("chaos summary: %zu configurations, %zu SIGKILLs delivered, "
+              "%s\n",
+              results.size(), total_kills, all_ok ? "all identical" : "FAILED");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vstream-chaos: error: %s\n", error.what());
+    return 2;
+  }
+}

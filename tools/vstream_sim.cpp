@@ -8,6 +8,8 @@
 //               [--prefetch N] [--pacing] [--universal-head]
 //               [--abr-outlier-filter] [--out DIR]
 //               [--telemetry-spill DIR]
+//               [--checkpoint DIR] [--resume] [--checkpoint-interval N]
+//               [--fault-profile none|eventful|overload]
 //
 // Runs on the layered sharded engine (deterministic for any --shards /
 // VSTREAM_SHARDS value) and prints a QoE and CDN summary either way.
@@ -16,11 +18,22 @@
 // in DIR instead of holding every record in memory; the summary and any
 // --out CSV export are then produced incrementally from the spill set and
 // are byte-identical to the in-memory run.
+//
+// --checkpoint DIR makes the run crash-safe: per-shard checkpoint
+// sidecars land in DIR (which doubles as the spill directory unless
+// --telemetry-spill is also given), and --resume restarts from the last
+// committed checkpoint after a crash — the final output is byte-identical
+// to a run that was never interrupted.  See tools/vstream_chaos.cpp for
+// the kill-and-resume harness that proves it.
+//
+// Errors (bad flags aside) surface as a one-line diagnostic and exit
+// status 2 — never a raw terminate.
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -29,6 +42,7 @@
 #include "core/report.h"
 #include "core/streaming.h"
 #include "engine/engine.h"
+#include "faults/fault_schedule.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
@@ -46,10 +60,42 @@ namespace {
       "          [--prefetch N] [--pacing] [--universal-head]\n"
       "          [--abr-outlier-filter] [--out DIR]\n"
       "          [--telemetry-spill DIR]\n"
+      "          [--checkpoint DIR] [--resume] [--checkpoint-interval N]\n"
+      "          [--fault-profile none|eventful|overload]\n"
       "          [--breaker-threshold MS] [--retry-budget PCT]\n"
       "          [--shed-watermark PCT]\n",
       argv0);
   std::exit(2);
+}
+
+/// Named fault schedules so scripted-fault runs are reproducible from the
+/// command line (the chaos harness exercises checkpoint/resume under
+/// faults with these).
+faults::FaultSchedule parse_fault_profile(const std::string& s,
+                                          const char* argv0) {
+  if (s == "none") return {};
+  if (s == "eventful") {
+    // One of each recovery path: crash (failover), backend outage (miss
+    // errors), loss burst, disk degradation (slow reads / timeouts).
+    return faults::FaultSchedule::scripted({
+        {faults::FaultKind::kServerCrash, 5'000.0, 60'000.0, 0, 1, 1.0},
+        {faults::FaultKind::kBackendOutage, 20'000.0, 30'000.0, 0, 0, 1.0},
+        {faults::FaultKind::kLossBurst, 40'000.0, 25'000.0, 0, 0, 0.05},
+        {faults::FaultKind::kDiskDegradation, 70'000.0, 40'000.0, 1, 0, 8.0},
+    });
+  }
+  if (s == "overload") {
+    // Flash crowd on PoP 0 plus an origin brownout: shedding, breakers
+    // and hedging all engage.
+    return faults::FaultSchedule::scripted({
+        {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 0, 3.0},
+        {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 1, 3.0},
+        {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 2, 2.0},
+        {faults::FaultKind::kBackendSlowdown, 10'000.0, 60'000.0, 0, 0, 8.0},
+        {faults::FaultKind::kBackendOutage, 80'000.0, 15'000.0, 0, 0, 1.0},
+    });
+  }
+  usage(argv0);
 }
 
 /// Strict positive-number parse for the overload knobs (same contract as
@@ -65,6 +111,19 @@ double positive_double_arg(const char* flag, const std::string& raw) {
     std::exit(2);
   }
   return parsed;
+}
+
+/// Strict positive-integer parse (--checkpoint-interval).
+std::size_t positive_size_arg(const char* flag, const std::string& raw) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE || parsed == 0) {
+    std::fprintf(stderr, "%s must be a positive integer, got \"%s\"\n", flag,
+                 raw.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 client::AbrKind parse_abr(const std::string& s, const char* argv0) {
@@ -88,9 +147,7 @@ cdn::PolicyKind parse_cache(const std::string& s, const char* argv0) {
   usage(argv0);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_tool(int argc, char** argv) {
   workload::Scenario scenario = workload::paper_scenario();
   scenario.session_count = 2'000;
   engine::RunOptions options;
@@ -136,6 +193,15 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--telemetry-spill") {
       options.telemetry_spill_dir = next();
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_dir = next();
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--checkpoint-interval") {
+      options.checkpoint_interval =
+          positive_size_arg("--checkpoint-interval", next());
+    } else if (arg == "--fault-profile") {
+      options.faults = parse_fault_profile(next(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -151,14 +217,12 @@ int main(int argc, char** argv) {
   core::print_metric("routing", cdn::to_string(scenario.routing));
   core::print_metric("cache_policy", cdn::to_string(scenario.fleet.server.policy));
 
-  engine::RunResult run;
-  try {
-    run = engine::run_simulation(scenario, std::move(options));
-  } catch (const std::runtime_error& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
-    return 2;
-  }
+  engine::RunResult run = engine::run_simulation(scenario, std::move(options));
   core::print_metric("shards", static_cast<double>(run.shard_count));
+  if (!run.completed) {
+    std::printf("run stopped at a checkpoint; resume with --resume to "
+                "finish (partial committed state below)\n");
+  }
 
   // Spilled runs analyze incrementally from disk; in-memory runs use the
   // classic batch join.  Both yield the same numbers (see
@@ -170,6 +234,20 @@ int main(int argc, char** argv) {
         core::analyze_spill(run.spill, run.catalog->chunk_duration_s());
     qoe = streamed.qoe;
     dropped_as_proxy = streamed.dropped_as_proxy;
+    if (streamed.spill.corrupted()) {
+      // Damaged spill data is salvaged, not fatal — but say so out loud.
+      core::print_header("spill recovery (corruption detected)");
+      core::print_metric("blocks_ok",
+                         static_cast<double>(streamed.spill.blocks_ok));
+      core::print_metric("blocks_skipped",
+                         static_cast<double>(streamed.spill.blocks_skipped));
+      core::print_metric("bytes_salvaged",
+                         static_cast<double>(streamed.spill.bytes_salvaged));
+      core::print_metric("bytes_skipped",
+                         static_cast<double>(streamed.spill.bytes_skipped));
+      core::print_metric("torn_tail_bytes",
+                         static_cast<double>(streamed.spill.torn_tail_bytes));
+    }
   } else {
     const telemetry::ProxyFilterResult proxies =
         telemetry::detect_proxies(run.dataset);
@@ -234,4 +312,18 @@ int main(int argc, char** argv) {
                 out_dir.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Satellite of the crash-safety work: any failure — bad resume sidecar,
+  // unwritable spill directory, disk full — is one diagnostic line and
+  // exit status 2, never an unhandled exception.
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vstream-sim: error: %s\n", error.what());
+    return 2;
+  }
 }
