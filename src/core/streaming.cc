@@ -1,8 +1,13 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <unordered_set>
 #include <utility>
 
+#include "runtime/executor.h"
 #include "telemetry/streaming_join.h"
 
 namespace vstream::core {
@@ -61,11 +66,191 @@ StreamingAnalysis analyze_impl(const OpenStream& open,
   return out;
 }
 
+/// Stable-sort a session-level record stream by session id — turns the
+/// concatenation of per-file (ascending-id) record runs into exactly the
+/// sequence the merged SpillSet stream would have produced: ascending id,
+/// ties broken by file order, per-file emission order preserved.
+template <typename Record>
+void sort_by_session(std::vector<Record>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.session_id < b.session_id;
+                   });
+}
+
+/// The parallel spill fold: per-file tasks on `executor`, merged in file
+/// order.  Bit-identical to the serial analyze_impl fold (see the header
+/// doc for why).
+StreamingAnalysis analyze_spill_parallel(
+    const telemetry::SpillSet& spill, double chunk_duration_s,
+    const telemetry::ProxyFilterConfig& proxy_config,
+    runtime::Executor& executor) {
+  const std::vector<std::filesystem::path>& files = spill.files();
+  StreamingAnalysis out;
+
+  // Pass 1, per file: the session-level records (all proxy detection
+  // needs) plus every block's session id (for cross-file session
+  // detection), each file read by one task into its own slot.
+  struct FileScan {
+    telemetry::Dataset session_level;
+    std::vector<std::uint64_t> ids;  ///< ascending; one per session group
+    telemetry::SpillReadStats stats;
+  };
+  std::vector<FileScan> scans(files.size());
+  executor.parallel_for(files.size(), [&](std::size_t f) {
+    FileScan& scan = scans[f];
+    telemetry::SpillSet one;
+    one.add_file(files[f]);
+    auto stream = one.open(&scan.stats);
+    while (auto group = stream->next()) {
+      scan.ids.push_back(group->session_id);
+      for (auto& r : group->player_sessions) {
+        scan.session_level.player_sessions.push_back(std::move(r));
+      }
+      for (auto& r : group->cdn_sessions) {
+        scan.session_level.cdn_sessions.push_back(std::move(r));
+      }
+    }
+  });
+
+  // Salvage accounting comes from pass 1 only (the serial path likewise
+  // accounts only its first scan); the per-file counters sum to exactly
+  // the merged stream's totals.
+  for (const FileScan& scan : scans) out.spill += scan.stats;
+
+  // Rebuild the merged-stream record order from the per-file runs, then
+  // detect proxies on it — identical input to the serial path's pass 1.
+  {
+    telemetry::Dataset session_level;
+    std::size_t players = 0, cdns = 0;
+    for (const FileScan& scan : scans) {
+      players += scan.session_level.player_sessions.size();
+      cdns += scan.session_level.cdn_sessions.size();
+    }
+    session_level.player_sessions.reserve(players);
+    session_level.cdn_sessions.reserve(cdns);
+    for (FileScan& scan : scans) {
+      for (auto& r : scan.session_level.player_sessions) {
+        session_level.player_sessions.push_back(std::move(r));
+      }
+      for (auto& r : scan.session_level.cdn_sessions) {
+        session_level.cdn_sessions.push_back(std::move(r));
+      }
+      scan.session_level = telemetry::Dataset{};
+    }
+    sort_by_session(session_level.player_sessions);
+    sort_by_session(session_level.cdn_sessions);
+    out.proxies = telemetry::detect_proxies(session_level, proxy_config);
+  }
+
+  // Sessions whose blocks live in more than one file must be joined from
+  // the *merged* group (the per-file fold would see torn halves and
+  // mis-count them as incomplete).  The engine never produces them — a
+  // session completes wholly on one shard — but analyze_spill accepts
+  // arbitrary file sets.
+  std::unordered_set<std::uint64_t> cross_file;
+  {
+    std::vector<std::uint64_t> all_ids;
+    std::size_t total = 0;
+    for (const FileScan& scan : scans) total += scan.ids.size();
+    all_ids.reserve(total);
+    for (const FileScan& scan : scans) {
+      all_ids.insert(all_ids.end(), scan.ids.begin(), scan.ids.end());
+    }
+    std::sort(all_ids.begin(), all_ids.end());
+    for (std::size_t i = 1; i < all_ids.size(); ++i) {
+      if (all_ids[i] == all_ids[i - 1]) cross_file.insert(all_ids[i]);
+    }
+  }
+
+  // Pass 2, per file: join + accumulate into per-file accumulators.
+  struct FileFold {
+    std::size_t joined = 0;
+    std::size_t as_proxy = 0;
+    std::size_t incomplete = 0;
+    analysis::QoeAccumulator qoe;
+    analysis::PrefixRollupAccumulator prefixes;
+    std::optional<analysis::PerfScoreAccumulator> perf;
+    analysis::RecoveryImpactAccumulator recovery;
+  };
+  std::vector<FileFold> folds(files.size());
+  executor.parallel_for(files.size(), [&](std::size_t f) {
+    FileFold& fold = folds[f];
+    fold.perf.emplace(chunk_duration_s);
+    telemetry::StreamingJoiner joiner(&out.proxies);
+    telemetry::SpillSet one;
+    one.add_file(files[f]);
+    auto stream = one.open();  // salvage was accounted in pass 1
+    while (auto group = stream->next()) {
+      if (cross_file.count(group->session_id) != 0) continue;
+      const auto joined = joiner.join(*group);
+      if (!joined) continue;
+      fold.qoe.add(*joined);
+      fold.prefixes.add(*joined);
+      fold.perf->add(*joined);
+      fold.recovery.add(*joined);
+    }
+    fold.joined = joiner.sessions_joined();
+    fold.as_proxy = joiner.dropped_as_proxy();
+    fold.incomplete = joiner.dropped_incomplete();
+  });
+
+  // Merge in file order; finalize() sorts by session id, so the merge
+  // grouping is invisible in the result.
+  analysis::QoeAccumulator qoe;
+  analysis::PrefixRollupAccumulator prefixes;
+  analysis::PerfScoreAccumulator perf(chunk_duration_s);
+  analysis::RecoveryImpactAccumulator recovery;
+  for (FileFold& fold : folds) {
+    out.sessions_joined += fold.joined;
+    out.dropped_as_proxy += fold.as_proxy;
+    out.dropped_incomplete += fold.incomplete;
+    qoe.merge(std::move(fold.qoe));
+    prefixes.merge(std::move(fold.prefixes));
+    perf.merge(std::move(*fold.perf));
+    recovery.merge(std::move(fold.recovery));
+  }
+
+  if (!cross_file.empty()) {
+    // Final serial pass: the merged stream concatenates a cross-file
+    // session's blocks in file order before the join sees them.
+    telemetry::StreamingJoiner joiner(&out.proxies);
+    auto stream = spill.open();
+    while (auto group = stream->next()) {
+      if (cross_file.count(group->session_id) == 0) continue;
+      const auto joined = joiner.join(*group);
+      if (!joined) continue;
+      qoe.add(*joined);
+      prefixes.add(*joined);
+      perf.add(*joined);
+      recovery.add(*joined);
+    }
+    out.sessions_joined += joiner.sessions_joined();
+    out.dropped_as_proxy += joiner.dropped_as_proxy();
+    out.dropped_incomplete += joiner.dropped_incomplete();
+  }
+
+  out.qoe = std::move(qoe).finalize();
+  out.prefixes = std::move(prefixes).finalize();
+  out.perf = std::move(perf).finalize();
+  out.recovery = std::move(recovery).finalize();
+  return out;
+}
+
 }  // namespace
 
 StreamingAnalysis analyze_spill(const telemetry::SpillSet& spill,
                                 double chunk_duration_s,
-                                const telemetry::ProxyFilterConfig& proxy_config) {
+                                const telemetry::ProxyFilterConfig& proxy_config,
+                                std::size_t threads) {
+  const std::size_t workers =
+      threads == 1 ? 1 : runtime::resolve_thread_count(threads);
+  if (workers > 1 && spill.files().size() > 1) {
+    runtime::Executor executor(workers);
+    return analyze_spill_parallel(spill, chunk_duration_s, proxy_config,
+                                  executor);
+  }
+
   // Both passes re-open (and re-scan) the files; account salvage once, on
   // the first pass, or every counter would double.
   telemetry::SpillReadStats stats;

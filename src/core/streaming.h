@@ -45,9 +45,22 @@ struct StreamingAnalysis {
 
 /// Analyze a spilled run (engine::RunResult::spill).  `chunk_duration_s`
 /// is Eq. 2's tau — workload::VideoCatalog::chunk_duration_s().
+///
+/// `threads` > 1 folds the per-shard spill files as parallel tasks on a
+/// work-stealing pool (runtime::Executor) and merges the per-file
+/// accumulators in file order; 0 resolves via
+/// runtime::resolve_thread_count (VSTREAM_THREADS, else hardware
+/// concurrency); 1 — the default — keeps the serial merged-stream fold.
+/// Every value produces a bit-identical StreamingAnalysis: finalize()
+/// sorts by session id, so the fold partition is invisible, and proxy
+/// detection sees the records in exactly the merged-stream order either
+/// way.  Sessions whose blocks span several files (never produced by the
+/// engine, where a session completes wholly on one shard) are detected
+/// and joined in a final cross-file pass so their groups are never split.
 StreamingAnalysis analyze_spill(const telemetry::SpillSet& spill,
                                 double chunk_duration_s,
-                                const telemetry::ProxyFilterConfig& proxy_config = {});
+                                const telemetry::ProxyFilterConfig& proxy_config = {},
+                                std::size_t threads = 1);
 
 /// Same analysis over a canonical in-memory dataset, streamed through
 /// DatasetGroupStream — the equivalence oracle for the spill path, and a

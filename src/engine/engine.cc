@@ -2,12 +2,12 @@
 
 #include <filesystem>
 #include <stdexcept>
-#include <thread>
 
 #include "engine/admission.h"
 #include "engine/checkpoint.h"
 #include "engine/sharded_runner.h"
 #include "engine/warmup.h"
+#include "runtime/executor.h"
 #include "sim/env_util.h"
 #include "workload/population.h"
 #include "workload/session_generator.h"
@@ -40,9 +40,7 @@ cdn::OverloadConfig resolve_overload_env(cdn::OverloadConfig base) {
 
 std::size_t resolve_shard_count(std::size_t requested) {
   if (requested != 0) return requested;
-  const std::size_t hw =
-      std::max(1u, std::thread::hardware_concurrency());
-  return positive_env("VSTREAM_SHARDS", hw);
+  return positive_env("VSTREAM_SHARDS", runtime::kDefaultLogicalShards);
 }
 
 RunResult run_simulation(const workload::Scenario& scenario,
@@ -50,6 +48,7 @@ RunResult run_simulation(const workload::Scenario& scenario,
   RunResult result;
   result.scenario = scenario;
   result.shard_count = resolve_shard_count(options.shards);
+  result.thread_count = runtime::resolve_thread_count(options.threads);
   // Overload-protection knobs apply before the world is built, so every
   // server (and the warm archive prototype) sees the same config.
   result.scenario.fleet.server.overload =
@@ -116,13 +115,15 @@ RunResult run_simulation(const workload::Scenario& scenario,
     checkpoint.stop_after_batches = options.stop_after_checkpoints;
   }
 
+  ExecOptions exec;
+  exec.threads = result.thread_count;
   ShardResult merged = run_sharded(
       world, *catalog, warm,
       options.faults.empty() ? nullptr : &options.faults,
       options.bad_prefixes.empty() ? nullptr : &options.bad_prefixes,
       admitted, result.shard_count,
       spill_dir.empty() ? nullptr : &spill_path,
-      ckpt_dir.empty() ? nullptr : &checkpoint);
+      ckpt_dir.empty() ? nullptr : &checkpoint, &exec);
   result.completed = merged.completed;
 
   for (std::filesystem::path& file : merged.spill_files) {

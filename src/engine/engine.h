@@ -9,12 +9,14 @@
 //
 // Determinism guarantee: for a fixed (scenario, RunOptions) the returned
 // dataset, ground truth and server stats are bit-identical for ANY shard
-// count.  Admission is single-threaded (one master-RNG draw order), every
-// session runs on its own RNG substream against session-isolated server
-// state plus a shared immutable warm archive, fault epochs are pure
-// functions of simulated time and are replayed identically inside every
-// shard, and the merge re-orders all record streams into canonical
-// session-id order.  Shards change wall-clock time only.
+// count AND any physical thread count.  Admission is single-threaded
+// (one master-RNG draw order), every session runs on its own RNG
+// substream against session-isolated server state plus a shared
+// immutable warm archive, fault epochs are pure functions of simulated
+// time and are replayed identically inside every shard, and the merge
+// re-orders all record streams into canonical session-id order.  Shards
+// define the partition; threads (the work-stealing runtime's pool size)
+// define the concurrency — both change wall-clock time only.
 #pragma once
 
 #include <cstddef>
@@ -35,9 +37,16 @@
 namespace vstream::engine {
 
 struct RunOptions {
-  /// Worker count; 0 resolves via resolve_shard_count() (VSTREAM_SHARDS
-  /// environment variable, else hardware concurrency).
+  /// Logical shard count — the determinism partition; 0 resolves via
+  /// resolve_shard_count() (VSTREAM_SHARDS environment variable, else
+  /// runtime::kDefaultLogicalShards).  Never changes results.
   std::size_t shards = 0;
+  /// Physical worker threads executing the shards' work on the
+  /// work-stealing runtime; 0 resolves via
+  /// runtime::resolve_thread_count() (VSTREAM_THREADS environment
+  /// variable, else hardware concurrency).  Never changes results —
+  /// only wall-clock time.
+  std::size_t threads = 0;
   /// Pre-populate caches to steady state (see build_warm_archive).
   bool warm_caches = true;
   double disk_fill = 0.92;
@@ -84,7 +93,10 @@ struct RunResult {
   GroundTruth ground_truth;
   /// Per-server serve counters, indexed pop * servers_per_pop + server.
   std::vector<cdn::ServerStats> server_stats;
+  /// Logical shards the run was partitioned into.
   std::size_t shard_count = 0;
+  /// Physical worker threads that executed it.
+  std::size_t thread_count = 0;
   /// Spill mode only: the per-shard spill files, in shard order.
   /// spill.open() streams the run's sessions in canonical order;
   /// spill.load() materializes the canonical Dataset.
@@ -107,10 +119,13 @@ struct AnalyzedRun {
   telemetry::JoinedDataset joined;
 };
 
-/// Resolve the effective shard count: `requested` if nonzero, else the
-/// VSTREAM_SHARDS environment variable (must parse as a positive integer;
-/// anything else throws std::runtime_error), else std::thread::
-/// hardware_concurrency() (minimum 1).
+/// Resolve the effective *logical* shard count: `requested` if nonzero,
+/// else the VSTREAM_SHARDS environment variable (must parse as a
+/// positive integer; anything else throws std::runtime_error), else
+/// runtime::kDefaultLogicalShards — a fixed constant, deliberately NOT
+/// hardware concurrency: the partition defines determinism and batch
+/// granularity, the physical pool (resolve_thread_count) tracks the
+/// hardware.
 std::size_t resolve_shard_count(std::size_t requested = 0);
 
 /// Strictly parse environment variable `name` as a positive integer.

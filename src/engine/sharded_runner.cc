@@ -1,11 +1,12 @@
 #include "engine/sharded_runner.h"
 
 #include <algorithm>
+#include <array>
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <utility>
 
 #include "engine/checkpoint.h"
@@ -47,34 +48,25 @@ std::vector<std::vector<AdmittedSession>> partition_sessions(
 }
 
 ShardResult merge_shard_results(std::vector<ShardResult> parts) {
-  ShardResult merged;
-  std::size_t sessions = 0, chunks = 0, snapshots = 0;
-  for (const ShardResult& part : parts) {
-    sessions += part.dataset.player_sessions.size();
-    chunks += part.dataset.player_chunks.size();
-    snapshots += part.dataset.tcp_snapshots.size();
-  }
-  merged.dataset.player_sessions.reserve(sessions);
-  merged.dataset.cdn_sessions.reserve(sessions);
-  merged.dataset.player_chunks.reserve(chunks);
-  merged.dataset.cdn_chunks.reserve(chunks);
-  merged.dataset.tcp_snapshots.reserve(snapshots);
+  return merge_shard_results(std::move(parts), nullptr);
+}
 
+ShardResult merge_shard_results(std::vector<ShardResult> parts,
+                                runtime::Executor* executor) {
+  ShardResult merged;
+
+  // Accounting first, serially in part order: ground truth and server
+  // stats are element-wise sums, spill files must keep shard order.
+  // Parts may disagree on server_stats size (an empty shard that never
+  // built a fleet reports none) — size to the largest part seen, not the
+  // first, so a leading empty shard cannot truncate the fleet counters.
   for (ShardResult& part : parts) {
-    append(merged.dataset.player_sessions,
-           std::move(part.dataset.player_sessions));
-    append(merged.dataset.cdn_sessions, std::move(part.dataset.cdn_sessions));
-    append(merged.dataset.player_chunks,
-           std::move(part.dataset.player_chunks));
-    append(merged.dataset.cdn_chunks, std::move(part.dataset.cdn_chunks));
-    append(merged.dataset.tcp_snapshots,
-           std::move(part.dataset.tcp_snapshots));
     merged.ground_truth.merge(std::move(part.ground_truth));
     merged.completed = merged.completed && part.completed;
     for (std::filesystem::path& file : part.spill_files) {
       merged.spill_files.push_back(std::move(file));
     }
-    if (merged.server_stats.empty()) {
+    if (merged.server_stats.size() < part.server_stats.size()) {
       merged.server_stats.resize(part.server_stats.size());
     }
     for (std::size_t i = 0; i < part.server_stats.size(); ++i) {
@@ -82,11 +74,35 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts) {
     }
   }
 
-  canonicalize(merged.dataset.player_sessions);
-  canonicalize(merged.dataset.cdn_sessions);
-  canonicalize(merged.dataset.player_chunks);
-  canonicalize(merged.dataset.cdn_chunks);
-  canonicalize(merged.dataset.tcp_snapshots);
+  // The five record streams are disjoint dataset members, so their
+  // append-in-part-order + canonical sort runs as five independent
+  // tasks.  Each task reads only its own member of every part; output
+  // order is fixed by part order + session id, never by task timing.
+  const auto merge_stream = [&parts, &merged](auto member) {
+    auto& into = merged.dataset.*member;
+    std::size_t total = 0;
+    for (const ShardResult& part : parts) {
+      total += (part.dataset.*member).size();
+    }
+    into.reserve(total);
+    for (ShardResult& part : parts) {
+      append(into, std::move(part.dataset.*member));
+    }
+    canonicalize(into);
+  };
+  const std::array<std::function<void()>, 5> streams = {
+      [&] { merge_stream(&telemetry::Dataset::player_sessions); },
+      [&] { merge_stream(&telemetry::Dataset::cdn_sessions); },
+      [&] { merge_stream(&telemetry::Dataset::player_chunks); },
+      [&] { merge_stream(&telemetry::Dataset::cdn_chunks); },
+      [&] { merge_stream(&telemetry::Dataset::tcp_snapshots); },
+  };
+  if (executor != nullptr && executor->workers() > 1) {
+    executor->parallel_for(streams.size(),
+                           [&](std::size_t i) { streams[i](); });
+  } else {
+    for (const auto& stream : streams) stream();
+  }
   return merged;
 }
 
@@ -98,11 +114,16 @@ ShardResult run_sharded(const workload::Scenario& scenario,
                         const std::vector<AdmittedSession>& admitted,
                         std::size_t shard_count,
                         const std::filesystem::path* spill_dir,
-                        const CheckpointConfig* checkpoint) {
+                        const CheckpointConfig* checkpoint,
+                        const ExecOptions* exec,
+                        runtime::ParallelStats* stats) {
   if (checkpoint != nullptr && spill_dir == nullptr) {
     throw std::invalid_argument(
         "run_sharded: checkpointing requires spill-mode telemetry");
   }
+  const ExecOptions options = exec != nullptr ? *exec : ExecOptions{};
+  runtime::Executor executor(runtime::resolve_thread_count(options.threads));
+
   const std::vector<std::vector<AdmittedSession>> parts =
       partition_sessions(admitted, shard_count);
   std::vector<ShardResult> results(parts.size());
@@ -197,53 +218,78 @@ ShardResult run_sharded(const workload::Scenario& scenario,
     results[i].spill_files.push_back(spill_file);
   };
 
-  // One shard = one spill file, so shards never contend on a writer and
-  // the file set records the shard order the canonical merge expects.
-  const auto run_one = [&](std::size_t i) {
-    if (checkpoint != nullptr) {
-      run_checkpointed(i);
-      return;
-    }
-    if (spill_dir == nullptr) {
-      Shard shard(scenario, catalog, warm, faults, bad_prefixes);
-      results[i] = shard.run(parts[i]);
-      return;
-    }
-    const std::filesystem::path file =
-        *spill_dir / ("shard-" + std::to_string(i) + ".vspill");
-    telemetry::SpillSink sink(file);
-    Shard shard(scenario, catalog, warm, faults, bad_prefixes, &sink);
-    results[i] = shard.run(parts[i]);
-    sink.finish();
-    results[i].spill_files.push_back(file);
-  };
-
-  if (parts.size() == 1) {
-    run_one(0);
+  // Everything shared is read-only while tasks run; each task writes
+  // only its own results slot, so the executor's placement decisions
+  // (which worker, what steal order) are invisible in the output.  A
+  // task's exception (resume mismatch, disk full, ...) is parked and
+  // rethrown on the calling thread after the run drains.
+  if (spill_dir != nullptr) {
+    // Spill / checkpoint mode: task = logical shard.  A shard owns its
+    // spill file (single writer, and the file set keeps shard order for
+    // the canonical merge) and its sidecar commit sequence — the
+    // checkpoint batches still run sequentially *inside* the task.
+    executor.parallel_for(
+        parts.size(),
+        [&](std::size_t i) {
+          if (checkpoint != nullptr) {
+            run_checkpointed(i);
+            return;
+          }
+          const std::filesystem::path file =
+              *spill_dir / ("shard-" + std::to_string(i) + ".vspill");
+          telemetry::SpillSink sink(file);
+          Shard shard(scenario, catalog, warm, faults, bad_prefixes, &sink);
+          results[i] = shard.run(parts[i]);
+          sink.finish();
+          results[i].spill_files.push_back(file);
+        },
+        stats);
   } else {
-    // One worker thread per shard.  Everything shared is read-only while
-    // the threads run; each thread writes only its own results slot.  A
-    // worker's exception (resume mismatch, disk full, ...) is parked and
-    // rethrown on the calling thread after every worker has joined.
-    std::vector<std::thread> workers;
-    std::vector<std::exception_ptr> errors(parts.size());
-    workers.reserve(parts.size());
-    for (std::size_t i = 0; i < parts.size(); ++i) {
-      workers.emplace_back([&, i] {
-        try {
-          run_one(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
+    // Memory mode: task = one memory_batch-session slice of a shard's
+    // partition on a fresh replica.  Batching is just finer sharding
+    // (bit-identical — the checkpoint-equivalence tests prove the same
+    // split), and fine tasks are what lets work-stealing absorb a
+    // skewed partition.  Batch list order (shard, then offset) is the
+    // deterministic merge order; empty shards keep one empty task so
+    // their server-stats shape still reaches the merge.
+    struct MemoryBatch {
+      std::size_t shard;
+      std::size_t offset;
+      std::size_t count;
+    };
+    const std::size_t batch_size =
+        executor.workers() > 1
+            ? std::max<std::size_t>(1, options.memory_batch != 0
+                                           ? options.memory_batch
+                                           : kDefaultMemoryBatch)
+            : 0;  // one worker: one task per shard, no replica churn
+    std::vector<MemoryBatch> batches;
+    batches.reserve(parts.size());
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      const std::size_t size = parts[s].size();
+      std::size_t offset = 0;
+      do {
+        const std::size_t count =
+            batch_size == 0 ? size : std::min(batch_size, size - offset);
+        batches.push_back({s, offset, count});
+        offset += count;
+      } while (offset < size);
     }
-    for (std::thread& worker : workers) worker.join();
-    for (const std::exception_ptr& error : errors) {
-      if (error) std::rethrow_exception(error);
-    }
+    results.assign(batches.size(), ShardResult{});
+    executor.parallel_for(
+        batches.size(),
+        [&](std::size_t t) {
+          const MemoryBatch& batch = batches[t];
+          Shard shard(scenario, catalog, warm, faults, bad_prefixes);
+          results[t] = shard.run(
+              std::span<const AdmittedSession>(parts[batch.shard])
+                  .subspan(batch.offset, batch.count));
+        },
+        stats);
   }
 
-  return merge_shard_results(std::move(results));
+  return merge_shard_results(std::move(results),
+                             executor.workers() > 1 ? &executor : nullptr);
 }
 
 }  // namespace vstream::engine

@@ -1,11 +1,18 @@
 // ShardedRunner: deterministic parallel execution of a session set.
 //
-// Sessions are partitioned by session id across N shards, each shard runs
-// its partition on a private replica stack (see Shard), and the per-shard
-// outputs are merged in canonical session-id order.  Because session
-// outcomes are session-isolated (serve_isolated) and fault epochs are
-// pure functions of simulated time, the merged output is bit-identical
-// for ANY shard count — shards only change wall-clock time, never results.
+// Sessions are partitioned by session id across N *logical* shards, each
+// shard runs its partition on a private replica stack (see Shard), and
+// the per-shard outputs are merged in canonical session-id order.
+// Because session outcomes are session-isolated (serve_isolated) and
+// fault epochs are pure functions of simulated time, the merged output
+// is bit-identical for ANY shard count — shards only change wall-clock
+// time, never results.
+//
+// Logical shards vs physical threads: the shard count defines the
+// determinism partition; the *thread* count (ExecOptions.threads /
+// VSTREAM_THREADS) defines how many OS threads execute the shards' work
+// on the runtime::Executor.  The two are independent knobs — neither
+// changes a single output bit (see DESIGN.md "Execution model").
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,7 @@
 
 #include "engine/admission.h"
 #include "engine/shard.h"
+#include "runtime/executor.h"
 
 namespace vstream::engine {
 
@@ -38,9 +46,41 @@ struct CheckpointConfig {
   std::size_t stop_after_batches = 0;
 };
 
+/// Physical execution config: how many OS threads run the logical
+/// shards' work, and how finely memory-mode partitions are batched.
+struct ExecOptions {
+  /// Physical worker threads; 0 resolves via
+  /// runtime::resolve_thread_count (VSTREAM_THREADS environment
+  /// variable, else hardware concurrency).  Never affects results.
+  std::size_t threads = 0;
+  /// Memory-mode batch granularity: each shard's partition is split into
+  /// batches of this many sessions, each an independent executor task on
+  /// a fresh replica (batching is just finer sharding — bit-identical,
+  /// proven by the checkpoint-equivalence tests).  Fine batches are what
+  /// let work-stealing absorb partition skew: a shard holding 10x the
+  /// sessions becomes many steal-able tasks instead of one long one.
+  /// 0 uses kDefaultMemoryBatch.  Ignored with one worker (one task per
+  /// shard — no replica churn when nothing can steal).
+  std::size_t memory_batch = 0;
+};
+
+/// Memory-mode batch size when ExecOptions.memory_batch is 0: small
+/// enough that even a worst-case skewed shard splits into dozens of
+/// steal-able tasks, large enough that replica construction stays
+/// negligible next to the sessions it serves.
+inline constexpr std::size_t kDefaultMemoryBatch = 64;
+
 /// Deterministic partition: session id modulo shard_count.  Within each
 /// shard, generation order (ascending ids / nondecreasing start times) is
 /// preserved.
+///
+/// Worst-case skew: ids strided by a multiple of shard_count (or
+/// clustered in one residue class) land every session in ONE shard —
+/// id-modulo is the canonical partition for determinism, not a balanced
+/// one.  The executor absorbs the imbalance instead: memory-mode batches
+/// (ExecOptions.memory_batch) turn the heavy shard into many steal-able
+/// tasks, so idle workers drain it (see the skew tests in
+/// tests/engine/merge_test.cc).
 std::vector<std::vector<AdmittedSession>> partition_sessions(
     const std::vector<AdmittedSession>& admitted, std::size_t shard_count);
 
@@ -50,9 +90,31 @@ std::vector<std::vector<AdmittedSession>> partition_sessions(
 /// records and therefore independent of the shard count.
 ShardResult merge_shard_results(std::vector<ShardResult> parts);
 
-/// Run `admitted` across `shard_count` workers (1 runs inline on the
-/// calling thread).  All reference parameters are read-only for the
-/// duration; `faults` and `bad_prefixes` may be null.
+/// Same merge with the five record streams (player/CDN sessions,
+/// player/CDN chunks, TCP snapshots) appended and sorted as five
+/// independent executor tasks — the streams are disjoint members, so
+/// the only shared state is read-only.  `executor` null falls back to
+/// the serial loop.  Byte-identical to the serial merge.
+ShardResult merge_shard_results(std::vector<ShardResult> parts,
+                                runtime::Executor* executor);
+
+/// Run `admitted` partitioned across `shard_count` logical shards on a
+/// work-stealing pool of `exec->threads` physical workers (null `exec`
+/// resolves ExecOptions{} — VSTREAM_THREADS, else hardware concurrency;
+/// one worker runs everything inline on the calling thread).  All
+/// reference parameters are read-only for the duration; `faults` and
+/// `bad_prefixes` may be null.  `stats` non-null receives the executor's
+/// task/steal accounting for the main run (not the merge).
+///
+/// Task granularity per telemetry mode:
+///   memory      one task per memory_batch sessions of a shard, each on
+///               a fresh replica — fine-grained, steal-friendly;
+///   spill       one task per shard: a shard owns its spill file, so the
+///               file is single-writer and the file set stays in shard
+///               order for the canonical merge;
+///   checkpoint  one task per shard: the sidecar commit sequence within
+///               a shard is inherently ordered (batches run sequentially
+///               *inside* the task, exactly as before).
 ///
 /// `spill_dir` selects the telemetry storage model: null materializes
 /// the merged Dataset in RAM (classic); otherwise each shard streams its
@@ -76,6 +138,8 @@ ShardResult run_sharded(const workload::Scenario& scenario,
                         const std::vector<AdmittedSession>& admitted,
                         std::size_t shard_count,
                         const std::filesystem::path* spill_dir = nullptr,
-                        const CheckpointConfig* checkpoint = nullptr);
+                        const CheckpointConfig* checkpoint = nullptr,
+                        const ExecOptions* exec = nullptr,
+                        runtime::ParallelStats* stats = nullptr);
 
 }  // namespace vstream::engine

@@ -1,0 +1,160 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+#include "sim/env_util.h"
+
+namespace vstream::runtime {
+
+Executor::Executor(std::size_t workers)
+    : workers_(std::max<std::size_t>(1, workers)), queues_(workers_) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void Executor::worker_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Run* run = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      run = run_;
+    }
+    execute(run, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++exited_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Executor::execute(Run* run, std::size_t worker) {
+  std::size_t executed = 0;
+  std::size_t stolen = 0;
+  for (;;) {
+    std::size_t index = 0;
+    bool have = false;
+    bool steal = false;
+    {
+      // Own deque, back first (the block was pushed in reverse, so the
+      // owner walks its range in ascending order).
+      WorkerQueue& own = queues_[worker];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (own.items.size() > own.head) {
+        index = own.items.back();
+        own.items.pop_back();
+        have = true;
+      }
+    }
+    if (!have) {
+      // Steal-on-empty: scan the other deques round-robin from our
+      // right-hand neighbour, taking the oldest task (front).
+      for (std::size_t offset = 1; offset < workers_ && !have; ++offset) {
+        WorkerQueue& victim = queues_[(worker + offset) % workers_];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (victim.items.size() > victim.head) {
+          index = victim.items[victim.head++];
+          have = true;
+          steal = true;
+        }
+      }
+    }
+    if (!have) break;  // every deque is empty: the run is drained
+    try {
+      (*run->body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(run->error_mu);
+      if (!run->error) run->error = std::current_exception();
+    }
+    ++executed;
+    stolen += steal ? 1 : 0;
+  }
+  if (run->stats != nullptr && executed != 0) {
+    std::lock_guard<std::mutex> lock(run->stats_mu);
+    run->stats->tasks_per_worker[worker] += executed;
+    run->stats->steals += stolen;
+  }
+}
+
+void Executor::parallel_for(std::size_t count,
+                            const std::function<void(std::size_t)>& body,
+                            ParallelStats* stats) {
+  if (stats != nullptr) {
+    stats->tasks = count;
+    stats->steals = 0;
+    stats->tasks_per_worker.assign(workers_, 0);
+  }
+  if (count == 0) return;
+
+  const bool parallel =
+      workers_ > 1 && count > 1 && !in_run_.exchange(true);
+  if (!parallel) {
+    // Single-worker pools, single tasks, and reentrant calls all run
+    // inline on the calling thread — same results, zero coordination.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    if (stats != nullptr) stats->tasks_per_worker[0] += count;
+    return;
+  }
+
+  // Pre-split [0, count) into one contiguous block per worker, pushed in
+  // reverse so the owner's back-pop walks ascending indices.  All deque
+  // storage is reserved here; nothing on the per-task path allocates.
+  for (std::size_t w = 0; w < workers_; ++w) {
+    const std::size_t lo = w * count / workers_;
+    const std::size_t hi = (w + 1) * count / workers_;
+    WorkerQueue& queue = queues_[w];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    queue.items.clear();
+    queue.head = 0;
+    queue.items.reserve(hi - lo);
+    for (std::size_t i = hi; i > lo; --i) queue.items.push_back(i - 1);
+  }
+
+  Run run;
+  run.body = &body;
+  run.stats = stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run_ = &run;
+    exited_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  execute(&run, 0);  // the caller is worker 0
+
+  {
+    // Wait for every background worker to leave the run: only then is
+    // `run` (stack-owned) guaranteed untouched by other threads.  Each
+    // worker enters execute() exactly once per generation, so exited_
+    // always reaches workers_ - 1.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return exited_ == workers_ - 1; });
+    run_ = nullptr;
+  }
+  in_run_.store(false);
+  if (run.error) std::rethrow_exception(run.error);
+}
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return sim::positive_env("VSTREAM_THREADS", hw);
+}
+
+}  // namespace vstream::runtime

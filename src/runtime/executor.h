@@ -1,0 +1,144 @@
+// Work-stealing task executor: the shared substrate that decouples
+// *logical* shards (the determinism partition) from *physical* threads
+// (the concurrency level).
+//
+// Before this layer, engine::run_sharded spawned exactly one std::thread
+// per shard, so the shard count was simultaneously the correctness unit
+// and the parallelism knob.  The Executor breaks that coupling: callers
+// enumerate independent tasks (shard batches, per-file analysis folds,
+// per-stream sorts) and a fixed pool of M workers executes them,
+// stealing from each other when their own queues drain.
+//
+// Design:
+//   * fixed worker pool — worker 0 is whatever thread calls
+//     parallel_for(); workers 1..M-1 are background threads parked on a
+//     condition variable between runs;
+//   * per-worker deques — each run pre-splits [0, count) into contiguous
+//     blocks, one deque per worker.  Owners pop from the back (LIFO,
+//     cache-warm), thieves steal from the front (FIFO, the oldest —
+//     i.e. largest remaining — work first);
+//   * steal-on-empty — a worker whose own deque drains scans the other
+//     deques round-robin and steals one task at a time, so a skewed
+//     block (one logical shard holding 10x the sessions, split into
+//     batches) is absorbed by whoever is idle;
+//   * no allocation on the steady-state submit path — deques are
+//     reserved up front per run; enqueueing a task writes into reserved
+//     storage and executing one is a plain indexed call;
+//   * exception_ptr propagation — the first task exception is captured,
+//     the remaining tasks still run (they are independent), and the
+//     exception is rethrown on the calling thread after the run ends.
+//
+// Determinism: the executor never decides *results*, only *placement*.
+// Every caller hands it tasks whose outputs land in preallocated,
+// task-indexed slots and are merged in task order afterwards, so thread
+// count and steal timing are invisible in the output — the property the
+// engine's determinism suite proves bit-for-bit.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vstream::runtime {
+
+/// Default logical-shard count for the engine (declared here so the
+/// runtime/engine layers agree without an include cycle): high enough
+/// that any realistic worker pool has batches to steal, small enough
+/// that per-shard replica overhead stays negligible.
+inline constexpr std::size_t kDefaultLogicalShards = 64;
+
+/// Observability for one parallel_for run (and the skew tests' evidence
+/// that a lopsided partition still spreads across workers).
+struct ParallelStats {
+  std::size_t tasks = 0;   ///< tasks submitted
+  std::size_t steals = 0;  ///< tasks executed by a non-owning worker
+  /// Tasks executed per worker; index 0 is the calling thread.
+  std::vector<std::size_t> tasks_per_worker;
+
+  /// Workers that executed at least one task.
+  std::size_t workers_used() const {
+    std::size_t used = 0;
+    for (const std::size_t n : tasks_per_worker) used += (n != 0) ? 1 : 0;
+    return used;
+  }
+};
+
+class Executor {
+ public:
+  /// A pool of `workers` physical threads (minimum 1).  Worker 0 is the
+  /// thread that calls parallel_for; `workers - 1` background threads
+  /// are spawned here and parked until a run starts.
+  explicit Executor(std::size_t workers);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  /// Run `body(i)` once for every i in [0, count), distributed over the
+  /// pool, and block until every task finished.  Tasks must be
+  /// independent (they run concurrently in unspecified order).  The
+  /// first exception thrown by a task is rethrown here after all tasks
+  /// ran.  Reentrant calls (a task invoking parallel_for on its own
+  /// executor, or a second thread racing a run) degrade safely to
+  /// inline serial execution on the calling thread.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body,
+                    ParallelStats* stats = nullptr);
+
+ private:
+  /// One worker's task deque.  `items[head..size)` are pending; the
+  /// owner pops from the back, thieves take from the front.  The mutex
+  /// guards both cursor and storage — critical sections are a handful
+  /// of instructions, and tasks are coarse (session batches, file
+  /// folds), so contention is irrelevant next to task cost.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::vector<std::size_t> items;
+    std::size_t head = 0;
+  };
+
+  /// Shared state of one parallel_for run, owned by the caller's stack.
+  struct Run {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex error_mu;
+    std::exception_ptr error;
+    ParallelStats* stats = nullptr;
+    std::mutex stats_mu;
+  };
+
+  void worker_main(std::size_t worker);
+  /// Drain tasks (own deque first, then steal) until none remain.
+  void execute(Run* run, std::size_t worker);
+
+  const std::size_t workers_;
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: a new run (generation) began
+  std::condition_variable done_cv_;  ///< caller: a worker left the run
+  std::uint64_t generation_ = 0;
+  Run* run_ = nullptr;
+  std::size_t exited_ = 0;  ///< background workers done with the current run
+  bool stop_ = false;
+
+  std::atomic<bool> in_run_{false};  ///< reentrancy guard (inline fallback)
+};
+
+/// Resolve the physical worker count: `requested` if nonzero, else the
+/// VSTREAM_THREADS environment variable (strict parse — set but invalid
+/// throws std::runtime_error naming the variable), else
+/// std::thread::hardware_concurrency() (minimum 1).  Mirrors
+/// engine::resolve_shard_count, which resolves the *logical* partition;
+/// this resolves the *physical* pool.
+std::size_t resolve_thread_count(std::size_t requested = 0);
+
+}  // namespace vstream::runtime

@@ -1,11 +1,14 @@
 #include "telemetry/export.h"
 
+#include <array>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "runtime/executor.h"
 #include "telemetry/fast_format.h"
 
 namespace vstream::telemetry {
@@ -450,27 +453,49 @@ auto read_file(const std::filesystem::path& path, Reader&& reader) {
 }  // namespace
 
 void export_dataset(const Dataset& data,
-                    const std::filesystem::path& directory) {
+                    const std::filesystem::path& directory,
+                    runtime::Executor* executor) {
   std::filesystem::create_directories(directory);
-  write_file(directory / "player_sessions.csv", [&](std::ostream& out) {
-    write_player_sessions_csv(out, data.player_sessions);
-  });
-  write_file(directory / "cdn_sessions.csv", [&](std::ostream& out) {
-    write_cdn_sessions_csv(out, data.cdn_sessions);
-  });
-  write_file(directory / "player_chunks.csv", [&](std::ostream& out) {
-    write_player_chunks_csv(out, data.player_chunks);
-  });
-  write_file(directory / "cdn_chunks.csv", [&](std::ostream& out) {
-    write_cdn_chunks_csv(out, data.cdn_chunks);
-  });
-  write_file(directory / "tcp_snapshots.csv", [&](std::ostream& out) {
-    write_tcp_snapshots_csv(out, data.tcp_snapshots);
-  });
+  // Five independent files: each task owns one path and reads one
+  // record vector, so parallel execution shares nothing mutable.
+  const std::array<std::function<void()>, 5> writers = {
+      [&] {
+        write_file(directory / "player_sessions.csv", [&](std::ostream& out) {
+          write_player_sessions_csv(out, data.player_sessions);
+        });
+      },
+      [&] {
+        write_file(directory / "cdn_sessions.csv", [&](std::ostream& out) {
+          write_cdn_sessions_csv(out, data.cdn_sessions);
+        });
+      },
+      [&] {
+        write_file(directory / "player_chunks.csv", [&](std::ostream& out) {
+          write_player_chunks_csv(out, data.player_chunks);
+        });
+      },
+      [&] {
+        write_file(directory / "cdn_chunks.csv", [&](std::ostream& out) {
+          write_cdn_chunks_csv(out, data.cdn_chunks);
+        });
+      },
+      [&] {
+        write_file(directory / "tcp_snapshots.csv", [&](std::ostream& out) {
+          write_tcp_snapshots_csv(out, data.tcp_snapshots);
+        });
+      },
+  };
+  if (executor != nullptr && executor->workers() > 1) {
+    executor->parallel_for(writers.size(),
+                           [&](std::size_t i) { writers[i](); });
+  } else {
+    for (const auto& writer : writers) writer();
+  }
 }
 
 void export_stream(SessionGroupStream& groups,
-                   const std::filesystem::path& directory) {
+                   const std::filesystem::path& directory,
+                   runtime::Executor* executor) {
   std::filesystem::create_directories(directory);
   const auto open = [&](const char* name) {
     std::ofstream out(directory / name);
@@ -497,13 +522,57 @@ void export_stream(SessionGroupStream& groups,
     cc.append('\n');
     ts.append(kTcpSnapshotHeader);
     ts.append('\n');
+
+    // The group stream is a serial pull source, but formatting dominates:
+    // pull a window of groups, then drain each of the five streams over
+    // the whole window as an independent task (each task touches only its
+    // own buffer + file).  Rows keep stream order per file, so the bytes
+    // match the serial loop exactly.
+    constexpr std::size_t kWindowGroups = 256;
+    std::vector<SessionRecordGroup> window;
+    window.reserve(kWindowGroups);
+    const std::array<std::function<void()>, 5> drains = {
+        [&] {
+          for (const auto& g : window) {
+            for (const auto& r : g.player_sessions) append_csv_row(ps, r);
+          }
+        },
+        [&] {
+          for (const auto& g : window) {
+            for (const auto& r : g.cdn_sessions) append_csv_row(cs, r);
+          }
+        },
+        [&] {
+          for (const auto& g : window) {
+            for (const auto& r : g.player_chunks) append_csv_row(pc, r);
+          }
+        },
+        [&] {
+          for (const auto& g : window) {
+            for (const auto& r : g.cdn_chunks) append_csv_row(cc, r);
+          }
+        },
+        [&] {
+          for (const auto& g : window) {
+            for (const auto& r : g.tcp_snapshots) append_csv_row(ts, r);
+          }
+        },
+    };
+    const auto drain_window = [&] {
+      if (window.empty()) return;
+      if (executor != nullptr && executor->workers() > 1) {
+        executor->parallel_for(drains.size(),
+                               [&](std::size_t i) { drains[i](); });
+      } else {
+        for (const auto& drain : drains) drain();
+      }
+      window.clear();
+    };
     while (std::optional<SessionRecordGroup> group = groups.next()) {
-      for (const auto& r : group->player_sessions) append_csv_row(ps, r);
-      for (const auto& r : group->cdn_sessions) append_csv_row(cs, r);
-      for (const auto& r : group->player_chunks) append_csv_row(pc, r);
-      for (const auto& r : group->cdn_chunks) append_csv_row(cc, r);
-      for (const auto& r : group->tcp_snapshots) append_csv_row(ts, r);
+      window.push_back(std::move(*group));
+      if (window.size() >= kWindowGroups) drain_window();
     }
+    drain_window();
   }  // buffers flush before the streams close
 }
 

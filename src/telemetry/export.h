@@ -18,6 +18,10 @@
 #include "telemetry/collector.h"
 #include "telemetry/record_group.h"
 
+namespace vstream::runtime {
+class Executor;
+}
+
 namespace vstream::telemetry {
 
 class WriteBuffer;
@@ -57,9 +61,12 @@ std::vector<TcpSnapshotRecord> read_tcp_snapshots_csv(std::istream& in);
 
 /// Write all five streams into `directory` (created if missing) as
 /// player_sessions.csv, cdn_sessions.csv, player_chunks.csv,
-/// cdn_chunks.csv, tcp_snapshots.csv.
+/// cdn_chunks.csv, tcp_snapshots.csv.  `executor` non-null writes the
+/// five files as five independent tasks (distinct files — no shared
+/// mutable state); the bytes of every file are identical either way.
 void export_dataset(const Dataset& data,
-                    const std::filesystem::path& directory);
+                    const std::filesystem::path& directory,
+                    runtime::Executor* executor = nullptr);
 
 /// Load a dataset previously written by export_dataset().
 Dataset import_dataset(const std::filesystem::path& directory);
@@ -69,7 +76,14 @@ Dataset import_dataset(const std::filesystem::path& directory);
 /// canonical order (ascending session id, per-session emission order —
 /// what SpillSet::open() and DatasetGroupStream produce), the files are
 /// byte-identical to export_dataset() on the equivalent merged dataset.
+///
+/// `executor` non-null formats in windows: groups are pulled serially
+/// into a bounded window, then each of the five streams formats the
+/// whole window into its own file as an independent task.  Rows keep
+/// stream order within each file, so the output is byte-identical to
+/// the serial path.
 void export_stream(SessionGroupStream& groups,
-                   const std::filesystem::path& directory);
+                   const std::filesystem::path& directory,
+                   runtime::Executor* executor = nullptr);
 
 }  // namespace vstream::telemetry

@@ -435,6 +435,225 @@ TEST(EngineDeterminismTest, RunAndAnalyzeRefusesSpilledRuns) {
   std::filesystem::remove_all(dir);
 }
 
+// ===================================================================
+// Thread-count invariance: the physical worker pool decides only WHERE
+// tasks execute, never what they produce.  Every cell of the
+// threads x shards matrix must reproduce the single-threaded,
+// single-shard run byte for byte — fault-free, faulted, overloaded,
+// spilled, and across a kill/resume boundary.
+
+TEST(ThreadDeterminismTest, ThreadsTimesShardsMatrixFaultFree) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.threads = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+  ASSERT_FALSE(reference.dataset.player_chunks.empty());
+
+  for (const std::size_t shards : {1, 4, 64}) {
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      engine::RunOptions options;
+      options.shards = shards;
+      options.threads = threads;
+      const engine::RunResult run = engine::run_simulation(scenario, options);
+      EXPECT_EQ(run.thread_count, threads);
+      EXPECT_EQ(export_string(run.dataset), reference_csv)
+          << "shards=" << shards << " threads=" << threads;
+      expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+      expect_equal_server_stats(run.server_stats, reference.server_stats);
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, ThreadCountInvariantUnderFaults) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.threads = 1;
+  base.faults = eventful_schedule();
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+  EXPECT_GT(reference.ground_truth.chunk_retries +
+                reference.ground_truth.request_timeouts +
+                reference.ground_truth.failover_events,
+            0u);
+
+  for (const std::size_t shards : {4, 64}) {
+    for (const std::size_t threads : {2, 8}) {
+      engine::RunOptions options;
+      options.shards = shards;
+      options.threads = threads;
+      options.faults = eventful_schedule();
+      const engine::RunResult run = engine::run_simulation(scenario, options);
+      EXPECT_EQ(export_string(run.dataset), reference_csv)
+          << "shards=" << shards << " threads=" << threads;
+      expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+      expect_equal_server_stats(run.server_stats, reference.server_stats);
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, ThreadCountInvariantUnderOverloadProtection) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.threads = 1;
+  base.faults = overload_schedule();
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+  std::uint64_t shed = 0;
+  for (const cdn::ServerStats& s : reference.server_stats) {
+    shed += s.shed_requests;
+  }
+  EXPECT_GT(shed, 0u);
+
+  for (const std::size_t shards : {1, 4, 64}) {
+    engine::RunOptions options;
+    options.shards = shards;
+    options.threads = 8;
+    options.faults = overload_schedule();
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+    EXPECT_EQ(export_string(run.dataset), reference_csv)
+        << "shards=" << shards;
+    expect_equal_ground_truth(run.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+  }
+}
+
+TEST(ThreadDeterminismTest, SpilledRunsAreThreadCountInvariant) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.threads = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  const std::filesystem::path dir = spill_scratch("threads_spill");
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    engine::RunOptions options;
+    options.shards = 4;
+    options.threads = threads;
+    options.telemetry_spill_dir =
+        (dir / ("t" + std::to_string(threads))).string();
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+    ASSERT_TRUE(run.spilled()) << "threads=" << threads;
+    EXPECT_EQ(run.spill.files().size(), 4u) << "threads=" << threads;
+    EXPECT_EQ(export_string(run.spill.load()), reference_csv)
+        << "threads=" << threads;
+    expect_equal_server_stats(run.server_stats, reference.server_stats);
+  }
+
+  // The wide-partition cell: 64 spill files written by 4 workers.
+  engine::RunOptions wide;
+  wide.shards = 64;
+  wide.threads = 4;
+  wide.telemetry_spill_dir = (dir / "wide").string();
+  const engine::RunResult run = engine::run_simulation(scenario, wide);
+  ASSERT_TRUE(run.spilled());
+  EXPECT_EQ(run.spill.files().size(), 64u);
+  EXPECT_EQ(export_string(run.spill.load()), reference_csv);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ThreadDeterminismTest, ResumedRunIsThreadCountInvariant) {
+  // Kill/resume under a faulted schedule, interrupted run and resume both
+  // multi-threaded — output must match a single-threaded run that never
+  // stopped.
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions base;
+  base.shards = 1;
+  base.threads = 1;
+  base.faults = eventful_schedule();
+  const engine::RunResult reference = engine::run_simulation(scenario, base);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  const std::filesystem::path dir = spill_scratch("threads_resume");
+  for (const std::size_t threads : {4, 8}) {
+    engine::RunOptions options;
+    options.shards = 4;
+    options.threads = threads;
+    options.faults = eventful_schedule();
+    options.checkpoint_dir = (dir / ("t" + std::to_string(threads))).string();
+    options.checkpoint_interval = 20;
+
+    options.stop_after_checkpoints = 1;
+    const engine::RunResult partial =
+        engine::run_simulation(scenario, options);
+    EXPECT_FALSE(partial.completed) << "threads=" << threads;
+
+    options.stop_after_checkpoints = 0;
+    options.resume = true;
+    const engine::RunResult resumed =
+        engine::run_simulation(scenario, options);
+    EXPECT_TRUE(resumed.completed) << "threads=" << threads;
+    ASSERT_TRUE(resumed.spilled()) << "threads=" << threads;
+    EXPECT_EQ(export_string(resumed.spill.load()), reference_csv)
+        << "threads=" << threads;
+    expect_equal_ground_truth(resumed.ground_truth, reference.ground_truth);
+    expect_equal_server_stats(resumed.server_stats, reference.server_stats);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ThreadDeterminismTest, ParallelSpillAnalysisMatchesSerial) {
+  // analyze_spill folds per-file accumulators as parallel tasks; every
+  // thread count must produce the bit-identical analysis the serial
+  // merged-stream fold produces.  64 shards → 64 spill files gives the
+  // pool real work to steal.
+  const workload::Scenario scenario = small_scenario();
+  const std::filesystem::path dir = spill_scratch("threads_analysis");
+  engine::RunOptions options;
+  options.shards = 64;
+  options.threads = 4;
+  options.telemetry_spill_dir = dir.string();
+  const engine::RunResult run = engine::run_simulation(scenario, options);
+  ASSERT_TRUE(run.spilled());
+  const double tau = run.catalog->chunk_duration_s();
+
+  const core::StreamingAnalysis serial =
+      core::analyze_spill(run.spill, tau, {}, 1);
+  ASSERT_GT(serial.sessions_joined, 0u);
+
+  for (const std::size_t threads : {2, 4, 8}) {
+    const core::StreamingAnalysis parallel =
+        core::analyze_spill(run.spill, tau, {}, threads);
+    EXPECT_EQ(parallel.proxies.proxy_sessions, serial.proxies.proxy_sessions);
+    EXPECT_EQ(parallel.sessions_joined, serial.sessions_joined);
+    EXPECT_EQ(parallel.dropped_as_proxy, serial.dropped_as_proxy);
+    EXPECT_EQ(parallel.dropped_incomplete, serial.dropped_incomplete);
+    EXPECT_EQ(parallel.qoe.sessions, serial.qoe.sessions);
+    EXPECT_EQ(parallel.qoe.startup_ms.mean, serial.qoe.startup_ms.mean);
+    EXPECT_EQ(parallel.qoe.startup_ms.median, serial.qoe.startup_ms.median);
+    EXPECT_EQ(parallel.qoe.rebuffer_rate_pct.p95,
+              serial.qoe.rebuffer_rate_pct.p95);
+    EXPECT_EQ(parallel.qoe.avg_bitrate_kbps.mean,
+              serial.qoe.avg_bitrate_kbps.mean);
+    EXPECT_EQ(parallel.qoe.share_with_rebuffering,
+              serial.qoe.share_with_rebuffering);
+    EXPECT_EQ(parallel.perf.chunks, serial.perf.chunks);
+    EXPECT_EQ(parallel.perf.scored_chunks, serial.perf.scored_chunks);
+    EXPECT_EQ(parallel.perf.mean_score, serial.perf.mean_score);
+    EXPECT_EQ(parallel.recovery.retries, serial.recovery.retries);
+    EXPECT_EQ(parallel.recovery.mean_recovery_ms,
+              serial.recovery.mean_recovery_ms);
+    ASSERT_EQ(parallel.prefixes.size(), serial.prefixes.size());
+    for (std::size_t i = 0; i < serial.prefixes.size(); ++i) {
+      EXPECT_EQ(parallel.prefixes[i].prefix, serial.prefixes[i].prefix);
+      EXPECT_EQ(parallel.prefixes[i].session_count,
+                serial.prefixes[i].session_count);
+      EXPECT_EQ(parallel.prefixes[i].mean_srtt_ms,
+                serial.prefixes[i].mean_srtt_ms);
+    }
+    // Salvage accounting sums to the serial totals exactly.
+    EXPECT_EQ(parallel.spill.blocks_ok, serial.spill.blocks_ok);
+    EXPECT_EQ(parallel.spill.bytes_salvaged, serial.spill.bytes_salvaged);
+    EXPECT_EQ(parallel.spill.commit_frames, serial.spill.commit_frames);
+    EXPECT_FALSE(parallel.spill.corrupted());
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EngineDeterminismTest, RunAndAnalyzeJoinsMergedDataset) {
   const workload::Scenario scenario = small_scenario();
   engine::RunOptions options;

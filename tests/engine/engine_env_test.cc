@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "engine/engine.h"
+#include "runtime/executor.h"
 
 namespace vstream {
 namespace {
@@ -77,9 +78,37 @@ TEST(ResolveShardCountTest, EnvVariableUsedWhenUnspecified) {
   EXPECT_EQ(engine::resolve_shard_count(0), 6u);
 }
 
-TEST(ResolveShardCountTest, DefaultsToHardwareConcurrency) {
+TEST(ResolveShardCountTest, DefaultsToFixedLogicalShardCount) {
+  // The logical partition is a fixed constant, not hardware concurrency:
+  // the physical pool (resolve_thread_count) tracks the machine, the
+  // partition defines determinism and batch granularity.
   EnvGuard guard("VSTREAM_SHARDS");
-  EXPECT_GE(engine::resolve_shard_count(0), 1u);
+  EXPECT_EQ(engine::resolve_shard_count(0), runtime::kDefaultLogicalShards);
+}
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  EnvGuard guard("VSTREAM_THREADS");
+  guard.set("16");
+  EXPECT_EQ(runtime::resolve_thread_count(3), 3u);
+}
+
+TEST(ResolveThreadCountTest, EnvVariableUsedWhenUnspecified) {
+  EnvGuard guard("VSTREAM_THREADS");
+  guard.set("6");
+  EXPECT_EQ(runtime::resolve_thread_count(0), 6u);
+}
+
+TEST(ResolveThreadCountTest, DefaultsToHardwareConcurrency) {
+  EnvGuard guard("VSTREAM_THREADS");
+  EXPECT_GE(runtime::resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCountTest, InvalidEnvThrows) {
+  EnvGuard guard("VSTREAM_THREADS");
+  guard.set("0");
+  EXPECT_THROW(runtime::resolve_thread_count(0), std::runtime_error);
+  guard.set("turbo");
+  EXPECT_THROW(runtime::resolve_thread_count(0), std::runtime_error);
 }
 
 TEST(ResolveShardCountTest, InvalidEnvThrows) {

@@ -1,0 +1,274 @@
+// merge_shard_results edge cases and partition-skew behavior.
+//
+// The canonical merge is the one place every shard's (or batch's) output
+// flows through, so its edge cases — empty parts, parts with no records,
+// parts that disagree on server-stats shape — decide whether odd
+// partitions stay bit-identical.  The skew tests document the worst case
+// of the id-modulo partition (it is canonical, not balanced) and prove
+// the executor's batch granularity absorbs it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/admission.h"
+#include "engine/engine.h"
+#include "engine/sharded_runner.h"
+#include "engine/warmup.h"
+#include "runtime/executor.h"
+#include "telemetry/export.h"
+#include "workload/population.h"
+#include "workload/scenario.h"
+#include "workload/session_generator.h"
+
+namespace vstream {
+namespace {
+
+std::string export_string(const telemetry::Dataset& data) {
+  std::ostringstream out;
+  telemetry::write_player_sessions_csv(out, data.player_sessions);
+  telemetry::write_cdn_sessions_csv(out, data.cdn_sessions);
+  telemetry::write_player_chunks_csv(out, data.player_chunks);
+  telemetry::write_cdn_chunks_csv(out, data.cdn_chunks);
+  telemetry::write_tcp_snapshots_csv(out, data.tcp_snapshots);
+  return out.str();
+}
+
+std::filesystem::path merge_scratch(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (std::string("vstream_merge_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------------- synthetic parts
+
+engine::ShardResult part_with_sessions(std::initializer_list<std::uint64_t> ids) {
+  engine::ShardResult part;
+  for (const std::uint64_t id : ids) {
+    telemetry::PlayerSessionRecord player;
+    player.session_id = id;
+    part.dataset.player_sessions.push_back(player);
+    telemetry::CdnSessionRecord cdn;
+    cdn.session_id = id;
+    part.dataset.cdn_sessions.push_back(cdn);
+    telemetry::PlayerChunkRecord chunk;
+    chunk.session_id = id;
+    part.dataset.player_chunks.push_back(chunk);
+  }
+  return part;
+}
+
+TEST(MergeShardResultsTest, NoPartsYieldsEmptyCompletedResult) {
+  const engine::ShardResult merged = engine::merge_shard_results({});
+  EXPECT_TRUE(merged.dataset.player_sessions.empty());
+  EXPECT_TRUE(merged.server_stats.empty());
+  EXPECT_TRUE(merged.spill_files.empty());
+  EXPECT_TRUE(merged.completed);
+}
+
+TEST(MergeShardResultsTest, AllEmptyPartsMergeToEmpty) {
+  std::vector<engine::ShardResult> parts(5);
+  const engine::ShardResult merged =
+      engine::merge_shard_results(std::move(parts));
+  EXPECT_TRUE(merged.dataset.player_sessions.empty());
+  EXPECT_TRUE(merged.completed);
+}
+
+TEST(MergeShardResultsTest, ServerStatsSizedToLargestPart) {
+  // Regression: a leading part with empty server stats (an empty shard,
+  // or a stopped batch) must not truncate the fleet counters to zero
+  // servers — the merge sizes to the largest part seen.
+  std::vector<engine::ShardResult> parts(3);
+  parts[1].server_stats.resize(4);
+  parts[1].server_stats[2].requests_served = 7;
+  parts[2].server_stats.resize(4);
+  parts[2].server_stats[2].requests_served = 5;
+  parts[2].server_stats[3].ram_hits = 11;
+  const engine::ShardResult merged =
+      engine::merge_shard_results(std::move(parts));
+  ASSERT_EQ(merged.server_stats.size(), 4u);
+  EXPECT_EQ(merged.server_stats[2].requests_served, 12u);
+  EXPECT_EQ(merged.server_stats[3].ram_hits, 11u);
+}
+
+TEST(MergeShardResultsTest, CompletedIsConjunctionOverParts) {
+  std::vector<engine::ShardResult> parts(3);
+  parts[1].completed = false;  // one stopped-early shard taints the run
+  EXPECT_FALSE(engine::merge_shard_results(std::move(parts)).completed);
+}
+
+TEST(MergeShardResultsTest, SingleSessionPartsInterleaveCanonically) {
+  // Shard order deliberately scrambles session order; the merge must
+  // re-establish ascending session id regardless.
+  std::vector<engine::ShardResult> parts;
+  parts.push_back(part_with_sessions({3}));
+  parts.push_back(part_with_sessions({}));  // zero completed sessions
+  parts.push_back(part_with_sessions({1}));
+  parts.push_back(part_with_sessions({2, 5}));
+  parts.push_back(part_with_sessions({0, 4}));
+  const engine::ShardResult merged =
+      engine::merge_shard_results(std::move(parts));
+  ASSERT_EQ(merged.dataset.player_sessions.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(merged.dataset.player_sessions[i].session_id, i);
+    EXPECT_EQ(merged.dataset.cdn_sessions[i].session_id, i);
+    EXPECT_EQ(merged.dataset.player_chunks[i].session_id, i);
+  }
+}
+
+TEST(MergeShardResultsTest, ParallelMergeIsByteIdenticalToSerial) {
+  const auto build_parts = [] {
+    std::vector<engine::ShardResult> parts;
+    parts.push_back(part_with_sessions({2, 9, 11}));
+    parts.push_back(part_with_sessions({}));
+    parts.push_back(part_with_sessions({0, 7}));
+    parts.push_back(part_with_sessions({1, 3, 5, 8}));
+    return parts;
+  };
+  const engine::ShardResult serial =
+      engine::merge_shard_results(build_parts(), nullptr);
+  runtime::Executor executor(4);
+  const engine::ShardResult parallel =
+      engine::merge_shard_results(build_parts(), &executor);
+  EXPECT_EQ(export_string(serial.dataset), export_string(parallel.dataset));
+}
+
+// --------------------------------------------------- partition skew
+
+engine::AdmittedSession admitted_with_id(std::uint64_t id) {
+  engine::AdmittedSession session;
+  session.spec.session_id = id;
+  return session;
+}
+
+TEST(PartitionSkewTest, StridedIdsCollapseIntoOneShard) {
+  // Documented worst case: ids strided by a multiple of the shard count
+  // all land in one residue class — id-modulo is the *canonical*
+  // partition (any shard count, same outputs), not a balanced one.
+  std::vector<engine::AdmittedSession> admitted;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    admitted.push_back(admitted_with_id(i * 4));
+  }
+  const auto parts = engine::partition_sessions(admitted, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].size(), 40u);
+  EXPECT_TRUE(parts[1].empty());
+  EXPECT_TRUE(parts[2].empty());
+  EXPECT_TRUE(parts[3].empty());
+}
+
+TEST(PartitionSkewTest, TenToOneSkewStillSpreadsAcrossWorkers) {
+  // One shard holding 10x the sessions must not serialize the run: the
+  // memory-mode batch granularity turns the heavy shard into many
+  // steal-able tasks.  Build a real world, then remap session ids so
+  // shard 0 of 4 holds ~10x what shard 1 holds (the other two are
+  // empty), run with 4 workers and small batches, and require (a) more
+  // than one worker executed tasks — or at least one steal happened —
+  // and (b) the output is bit-identical to the single-threaded run.
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 110;
+
+  sim::Rng rng(scenario.seed);
+  const workload::VideoCatalog catalog(scenario.catalog, rng);
+  workload::Population population(scenario.population, rng);
+  workload::SessionGenerator generator(scenario.sessions, catalog, population);
+  const cdn::Fleet prototype(scenario.fleet, catalog.size());
+  const engine::WarmArchive warm =
+      engine::build_warm_archive(prototype, catalog, 0.92, false);
+  std::vector<engine::AdmittedSession> admitted =
+      engine::admit_sessions(scenario, generator, rng);
+  ASSERT_EQ(admitted.size(), 110u);
+  // 100 sessions into residue 0, 10 into residue 1 (ids stay unique).
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    admitted[i].spec.session_id =
+        i < 100 ? i * 4 : (i - 100) * 4 + 1;
+  }
+
+  const auto run = [&](std::size_t threads, std::size_t batch,
+                       runtime::ParallelStats* stats) {
+    engine::ExecOptions exec;
+    exec.threads = threads;
+    exec.memory_batch = batch;
+    return engine::run_sharded(scenario, catalog, warm, nullptr, nullptr,
+                               admitted, 4, nullptr, nullptr, &exec, stats);
+  };
+
+  const engine::ShardResult reference = run(1, 0, nullptr);
+  runtime::ParallelStats stats;
+  const engine::ShardResult skewed = run(4, 8, &stats);
+
+  // 100 sessions / batch 8 = 13 tasks for the heavy shard, 2 for the
+  // light one, 2 empty-shard tasks.
+  EXPECT_EQ(stats.tasks, 17u);
+  EXPECT_TRUE(stats.workers_used() >= 2 || stats.steals >= 1)
+      << "heavy shard was executed by a single worker with no steals";
+  EXPECT_EQ(export_string(reference.dataset), export_string(skewed.dataset));
+}
+
+// ------------------------------------- engine-level merge edge cases
+
+TEST(MergeEdgeCaseTest, MostlyEmptyShardsMatchSingleShardBothPaths) {
+  // 3 sessions over 8 shards: at least five shards run zero sessions.
+  // Memory and spill paths must both reproduce the 1-shard output.
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 3;
+
+  engine::RunOptions one;
+  one.shards = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, one);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  engine::RunOptions memory;
+  memory.shards = 8;
+  memory.threads = 4;
+  EXPECT_EQ(export_string(engine::run_simulation(scenario, memory).dataset),
+            reference_csv);
+
+  engine::RunOptions spill;
+  spill.shards = 8;
+  spill.threads = 4;
+  const std::filesystem::path dir = merge_scratch("empty_shards");
+  spill.telemetry_spill_dir = dir.string();
+  const engine::RunResult spilled = engine::run_simulation(scenario, spill);
+  ASSERT_TRUE(spilled.spilled());
+  EXPECT_EQ(spilled.spill.files().size(), 8u);  // empty shards spill too
+  EXPECT_EQ(export_string(spilled.spill.load()), reference_csv);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MergeEdgeCaseTest, SingleSessionShardsMatchSingleShardBothPaths) {
+  // Exactly one session per shard — every per-shard stream is length 1,
+  // so the merge is pure interleaving.
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 4;
+
+  engine::RunOptions one;
+  one.shards = 1;
+  const engine::RunResult reference = engine::run_simulation(scenario, one);
+  const std::string reference_csv = export_string(reference.dataset);
+
+  engine::RunOptions four;
+  four.shards = 4;
+  four.threads = 4;
+  EXPECT_EQ(export_string(engine::run_simulation(scenario, four).dataset),
+            reference_csv);
+
+  engine::RunOptions spill;
+  spill.shards = 4;
+  spill.threads = 2;
+  const std::filesystem::path dir = merge_scratch("single_session");
+  spill.telemetry_spill_dir = dir.string();
+  const engine::RunResult spilled = engine::run_simulation(scenario, spill);
+  ASSERT_TRUE(spilled.spilled());
+  EXPECT_EQ(export_string(spilled.spill.load()), reference_csv);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace vstream

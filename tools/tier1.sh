@@ -2,10 +2,12 @@
 # Tier-1 verification: full build + ctest, then the sim/cdn/core/faults/
 # engine suites again under AddressSanitizer (VSTREAM_SANITIZE=address),
 # the engine/core suites under UBSan (VSTREAM_SANITIZE=undefined), and the
-# sharded engine suite under TSan (VSTREAM_SANITIZE=thread) at >= 4
-# worker threads.  The engine ASan/TSan passes exercise the overload-
-# protection layer (breakers, shedding, hedges) via the determinism
-# suite's overload scenario.
+# work-stealing executor + sharded engine suites under TSan
+# (VSTREAM_SANITIZE=thread) at >= 4 physical workers.  The engine
+# ASan/TSan passes exercise the overload-protection layer (breakers,
+# shedding, hedges) via the determinism suite's overload scenario; the
+# TSan pass additionally runs the steal-heavy executor stress tests and
+# an oversubscribed (threads > cores) determinism run.
 #
 # Usage: tools/tier1.sh [build-dir] [asan-build-dir] [ubsan-build-dir] \
 #                       [tsan-build-dir]
@@ -26,13 +28,13 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 echo "==> tier-1: ASan build ($asan_dir)"
 cmake -B "$asan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=address
-cmake --build "$asan_dir" -j --target test_sim test_cdn test_core test_faults test_engine test_telemetry
+cmake --build "$asan_dir" -j --target test_runtime test_sim test_cdn test_core test_faults test_engine test_telemetry
 
-echo "==> tier-1: ASan suites (sim, cdn, core, faults, engine, telemetry)"
+echo "==> tier-1: ASan suites (runtime, sim, cdn, core, faults, engine, telemetry)"
 # test_telemetry includes the spill corruption fuzz (flip every byte,
 # truncate at every offset) — under ASan it proves the recovery scan never
 # reads out of bounds on damaged input.
-for suite in test_sim test_cdn test_core test_faults test_engine test_telemetry; do
+for suite in test_runtime test_sim test_cdn test_core test_faults test_engine test_telemetry; do
   echo "--> $suite"
   "$asan_dir/tests/$suite"
 done
@@ -49,10 +51,26 @@ done
 
 echo "==> tier-1: TSan build ($tsan_dir)"
 cmake -B "$tsan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=thread
-cmake --build "$tsan_dir" -j --target test_engine
+cmake --build "$tsan_dir" -j --target test_runtime test_engine
 
-echo "==> tier-1: TSan sharded engine suite (VSTREAM_SHARDS=4)"
-VSTREAM_SHARDS=4 TSAN_OPTIONS=halt_on_error=1 "$tsan_dir/tests/test_engine"
+echo "==> tier-1: TSan executor suite (steal-heavy stress included)"
+TSAN_OPTIONS=halt_on_error=1 "$tsan_dir/tests/test_runtime"
+
+echo "==> tier-1: TSan sharded engine suite (VSTREAM_SHARDS=4, 4 workers)"
+# Covers the parallel shard/batch execution, parallel merge, parallel
+# analyze_spill and the checkpoint/resume paths on real worker threads.
+VSTREAM_SHARDS=4 VSTREAM_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+  "$tsan_dir/tests/test_engine"
+
+echo "==> tier-1: oversubscribed determinism (threads > cores)"
+# More workers than the machine has cores forces preemption mid-steal.
+# EngineDeterminismTest leaves options.threads unset, so VSTREAM_THREADS
+# drives the pool: every shard-count/fault/overload/spill/resume check
+# must still be bit-identical at the oversubscribed width.
+oversub=$(( $(nproc) * 2 + 3 ))
+VSTREAM_THREADS=$oversub "$build_dir/tests/test_engine" \
+  --gtest_filter='EngineDeterminismTest.*'
+echo "    determinism holds at $oversub workers on $(nproc) cores"
 
 echo "==> tier-1: perf smoke (hotpath suite -> BENCH_hotpaths.json)"
 cmake --build "$build_dir" -j --target bench_micro_hotpaths
@@ -94,12 +112,15 @@ echo "    spill CSVs byte-identical to in-memory ($spill_files spill files)"
 
 echo "==> tier-1: chaos smoke (kill-and-resume, byte-identical CSVs)"
 cmake --build "$build_dir" -j --target vstream-chaos
-# Small config: one SIGKILL per (shards, profile) cell still walks the
-# whole durability chain — spill CRC framing, flush-before-commit,
-# atomic sidecar replace, truncate-to-committed on resume.  The full
-# matrix (shards 1,2,4,8, >= 5 kills) runs via the tool's defaults.
+# Small config: one SIGKILL per (shards, threads, profile) cell still
+# walks the whole durability chain — spill CRC framing,
+# flush-before-commit, atomic sidecar replace, truncate-to-committed on
+# resume.  --threads 1,4 adds the threaded-resume scenario: the chaos
+# run executes on 4 workers while its reference is single-threaded, so
+# each cell also proves thread-count invariance across a crash.  The
+# full matrix (shards 1,2,4,8, >= 5 kills) runs via the tool's defaults.
 "$build_dir/tools/vstream-chaos" --sessions 200 --shards 1,2 \
-  --profiles none,eventful --kills 1 --interval 25 \
+  --threads 1,4 --profiles none,eventful --kills 1 --interval 25 \
   --scratch "$build_dir/tier1-chaos"
 
 echo "==> tier-1: telemetry bench smoke (-> BENCH_telemetry.json)"
@@ -118,5 +139,31 @@ if [ "$telemetry_metrics" -lt 5 ]; then
   exit 1
 fi
 echo "    BENCH_telemetry.json OK ($telemetry_metrics metrics)"
+
+echo "==> tier-1: scaling bench smoke (-> BENCH_scaling.json)"
+cmake --build "$build_dir" -j --target bench_scaling
+# Small workload, one rep: validates the harness (sweep runs, outputs
+# stay bit-identical across thread counts, JSON well-formed), not the
+# shape of the curve — that needs a multi-core host and real sessions.
+(cd "$build_dir" && VSTREAM_BENCH_SESSIONS=60 \
+  ./bench/bench_scaling --reps 1 >/dev/null)
+python3 -m json.tool "$build_dir/BENCH_scaling.json" >/dev/null
+scaling_metrics=$(python3 -c "
+import json
+with open('$build_dir/BENCH_scaling.json') as f:
+    doc = json.load(f)
+metrics = doc['metrics']
+assert doc['suite'] == 'scaling', doc['suite']
+for t in (1, 2, 4, 8):
+    assert f'sim_sessions_per_s_t{t}' in metrics, f'missing t{t} rate'
+    assert metrics[f'sim_sessions_per_s_t{t}']['value'] > 0
+    assert f'analyze_spill_ms_t{t}' in metrics, f'missing t{t} analyze'
+print(len(metrics))
+")
+if [ "$scaling_metrics" -lt 10 ]; then
+  echo "tier-1: BENCH_scaling.json has only $scaling_metrics metrics (< 10)" >&2
+  exit 1
+fi
+echo "    BENCH_scaling.json OK ($scaling_metrics metrics)"
 
 echo "==> tier-1: OK"

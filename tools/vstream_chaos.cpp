@@ -1,16 +1,24 @@
 // vstream_chaos — kill-and-resume crash-safety harness for vstream-sim.
 //
 //   vstream_chaos [--sim PATH] [--sessions N] [--seed S]
-//                 [--shards LIST] [--profiles LIST] [--kills N]
-//                 [--interval N] [--chaos-seed S] [--scratch DIR]
+//                 [--shards LIST] [--threads LIST] [--profiles LIST]
+//                 [--kills N] [--interval N] [--chaos-seed S]
+//                 [--scratch DIR]
 //
-// For every (shard count, fault profile) configuration it:
+// For every (shard count, thread count, fault profile) configuration it:
 //
-//   1. runs vstream-sim once, uninterrupted, exporting the reference CSVs;
-//   2. runs the same scenario with --checkpoint --resume, delivering
-//      SIGKILL at randomized (seeded, hence reproducible) points and
-//      resuming after each kill until the run completes; and
+//   1. runs vstream-sim once, uninterrupted and single-threaded,
+//      exporting the reference CSVs;
+//   2. runs the same scenario with --checkpoint --resume at the case's
+//      --threads value, delivering SIGKILL at randomized (seeded, hence
+//      reproducible) points and resuming after each kill until the run
+//      completes; and
 //   3. byte-compares all five exported CSV files against the reference.
+//
+// Threaded cases are the threaded-resume scenario: the reference runs on
+// one thread, the killed-and-resumed runs on several, so a pass proves
+// the physical thread count changes nothing — not even across a chain of
+// SIGKILLs and resumes.
 //
 // A kill can land anywhere — mid-batch, mid-spill-write, mid-checkpoint
 // rename — so a pass demonstrates the whole durability chain: CRC-framed
@@ -52,10 +60,11 @@ constexpr const char* kCsvFiles[] = {
   std::fprintf(
       stderr,
       "usage: %s [--sim PATH] [--sessions N] [--seed S]\n"
-      "          [--shards LIST] [--profiles LIST] [--kills N]\n"
-      "          [--interval N] [--chaos-seed S] [--scratch DIR]\n"
-      "defaults: --shards 1,2,4,8 --profiles none,eventful --kills 3\n"
-      "          --sessions 600 --interval 50 (per shard count+profile)\n",
+      "          [--shards LIST] [--threads LIST] [--profiles LIST]\n"
+      "          [--kills N] [--interval N] [--chaos-seed S]\n"
+      "          [--scratch DIR]\n"
+      "defaults: --shards 1,2,4,8 --threads 1 --profiles none,eventful\n"
+      "          --kills 3 --sessions 600 --interval 50 (per case)\n",
       argv0);
   std::exit(2);
 }
@@ -151,6 +160,7 @@ struct Config {
 
 struct CaseResult {
   std::size_t shards = 0;
+  std::size_t threads = 1;
   std::string profile;
   std::size_t kills_delivered = 0;
   std::size_t attempts = 0;
@@ -158,11 +168,13 @@ struct CaseResult {
 };
 
 std::vector<std::string> sim_args(const Config& cfg, std::size_t shards,
+                                  std::size_t threads,
                                   const std::string& profile) {
   std::vector<std::string> args = {cfg.sim,
                                    "--sessions", std::to_string(cfg.sessions),
                                    "--seed", std::to_string(cfg.seed),
-                                   "--shards", std::to_string(shards)};
+                                   "--shards", std::to_string(shards),
+                                   "--threads", std::to_string(threads)};
   if (profile != "none") {
     args.push_back("--fault-profile");
     args.push_back(profile);
@@ -171,22 +183,26 @@ std::vector<std::string> sim_args(const Config& cfg, std::size_t shards,
 }
 
 CaseResult run_case(const Config& cfg, std::size_t shards,
-                    const std::string& profile, std::mt19937_64& rng) {
+                    std::size_t threads, const std::string& profile,
+                    std::mt19937_64& rng) {
   CaseResult result;
   result.shards = shards;
+  result.threads = threads;
   result.profile = profile;
 
   const fs::path dir =
-      cfg.scratch / ("s" + std::to_string(shards) + "-" + profile);
+      cfg.scratch / ("s" + std::to_string(shards) + "-t" +
+                     std::to_string(threads) + "-" + profile);
   fs::remove_all(dir);
   fs::create_directories(dir);
   const fs::path clean_csv = dir / "clean";
   const fs::path chaos_csv = dir / "chaos";
   const fs::path ckpt = dir / "ckpt";
 
-  // 1. Uninterrupted reference run (plain in-memory telemetry: the chaos
-  // run's CSVs must match it even across the spill/export pipeline).
-  std::vector<std::string> ref = sim_args(cfg, shards, profile);
+  // 1. Uninterrupted reference run (plain in-memory telemetry on ONE
+  // thread: the chaos run's CSVs must match it even across the
+  // spill/export pipeline and a different physical thread count).
+  std::vector<std::string> ref = sim_args(cfg, shards, 1, profile);
   ref.insert(ref.end(), {"--out", clean_csv.string()});
   const auto ref_start = std::chrono::steady_clock::now();
   if (const int status = wait_for(spawn(ref)); status != 0) {
@@ -207,7 +223,7 @@ CaseResult run_case(const Config& cfg, std::size_t shards,
 
   // 2. Kill-and-resume loop.  --resume on the very first attempt is safe:
   // no sidecars means a fresh start.
-  std::vector<std::string> chaos = sim_args(cfg, shards, profile);
+  std::vector<std::string> chaos = sim_args(cfg, shards, threads, profile);
   chaos.insert(chaos.end(),
                {"--checkpoint", ckpt.string(), "--resume",
                 "--checkpoint-interval", std::to_string(cfg.interval),
@@ -250,6 +266,7 @@ CaseResult run_case(const Config& cfg, std::size_t shards,
 int run_tool(int argc, char** argv) {
   Config cfg;
   std::vector<std::string> shard_list = {"1", "2", "4", "8"};
+  std::vector<std::string> thread_list = {"1"};
   std::vector<std::string> profiles = {"none", "eventful"};
 
   for (int i = 1; i < argc; ++i) {
@@ -266,6 +283,8 @@ int run_tool(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--shards") {
       shard_list = split_csv(next());
+    } else if (arg == "--threads") {
+      thread_list = split_csv(next());
     } else if (arg == "--profiles") {
       profiles = split_csv(next());
     } else if (arg == "--kills") {
@@ -299,19 +318,22 @@ int run_tool(int argc, char** argv) {
   bool all_ok = true;
   for (const std::string& profile : profiles) {
     for (const std::string& shards : shard_list) {
-      std::printf("chaos: shards=%s profile=%s ...\n", shards.c_str(),
-                  profile.c_str());
-      std::fflush(stdout);
-      const CaseResult r = run_case(
-          cfg, static_cast<std::size_t>(std::atol(shards.c_str())), profile,
-          rng);
-      std::printf("  %s  (attempts=%zu kills=%zu)\n",
-                  r.ok ? "identical to clean run" : "FAILED", r.attempts,
-                  r.kills_delivered);
-      std::fflush(stdout);
-      total_kills += r.kills_delivered;
-      all_ok = all_ok && r.ok;
-      results.push_back(r);
+      for (const std::string& threads : thread_list) {
+        std::printf("chaos: shards=%s threads=%s profile=%s ...\n",
+                    shards.c_str(), threads.c_str(), profile.c_str());
+        std::fflush(stdout);
+        const CaseResult r = run_case(
+            cfg, static_cast<std::size_t>(std::atol(shards.c_str())),
+            static_cast<std::size_t>(std::atol(threads.c_str())), profile,
+            rng);
+        std::printf("  %s  (attempts=%zu kills=%zu)\n",
+                    r.ok ? "identical to clean run" : "FAILED", r.attempts,
+                    r.kills_delivered);
+        std::fflush(stdout);
+        total_kills += r.kills_delivered;
+        all_ok = all_ok && r.ok;
+        results.push_back(r);
+      }
     }
   }
 

@@ -2,7 +2,7 @@
 // and optionally export the raw telemetry as CSV for offline analysis
 // (see vstream_analyze).
 //
-//   vstream_sim [--sessions N] [--seed S] [--shards N]
+//   vstream_sim [--sessions N] [--seed S] [--shards N] [--threads N]
 //               [--abr fixed|rate|buffer|hybrid]
 //               [--routing cache|partitioned] [--cache lru|lfu|gdsize]
 //               [--prefetch N] [--pacing] [--universal-head]
@@ -13,6 +13,12 @@
 //
 // Runs on the layered sharded engine (deterministic for any --shards /
 // VSTREAM_SHARDS value) and prints a QoE and CDN summary either way.
+//
+// --threads N (or VSTREAM_THREADS) sets the physical worker count of the
+// work-stealing runtime: the logical shard partition — and therefore
+// every output bit — is unchanged; only wall-clock time moves.  The
+// thread count also drives the incremental spill analysis and CSV
+// export.
 //
 // --telemetry-spill DIR streams telemetry to per-shard binary spill files
 // in DIR instead of holding every record in memory; the summary and any
@@ -43,6 +49,7 @@
 #include "core/streaming.h"
 #include "engine/engine.h"
 #include "faults/fault_schedule.h"
+#include "runtime/executor.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
@@ -54,7 +61,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--sessions N] [--seed S] [--shards N]\n"
+      "usage: %s [--sessions N] [--seed S] [--shards N] [--threads N]\n"
       "          [--abr fixed|rate|buffer|hybrid]\n"
       "          [--routing cache|partitioned] [--cache lru|lfu|gdsize]\n"
       "          [--prefetch N] [--pacing] [--universal-head]\n"
@@ -165,6 +172,8 @@ int run_tool(int argc, char** argv) {
       scenario.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--shards") {
       options.shards = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (arg == "--threads") {
+      options.threads = positive_size_arg("--threads", next());
     } else if (arg == "--abr") {
       scenario.abr = parse_abr(next(), argv[0]);
     } else if (arg == "--routing") {
@@ -219,6 +228,7 @@ int run_tool(int argc, char** argv) {
 
   engine::RunResult run = engine::run_simulation(scenario, std::move(options));
   core::print_metric("shards", static_cast<double>(run.shard_count));
+  core::print_metric("threads", static_cast<double>(run.thread_count));
   if (!run.completed) {
     std::printf("run stopped at a checkpoint; resume with --resume to "
                 "finish (partial committed state below)\n");
@@ -230,8 +240,8 @@ int run_tool(int argc, char** argv) {
   analysis::QoeAggregate qoe;
   std::size_t dropped_as_proxy = 0;
   if (run.spilled()) {
-    const core::StreamingAnalysis streamed =
-        core::analyze_spill(run.spill, run.catalog->chunk_duration_s());
+    const core::StreamingAnalysis streamed = core::analyze_spill(
+        run.spill, run.catalog->chunk_duration_s(), {}, run.thread_count);
     qoe = streamed.qoe;
     dropped_as_proxy = streamed.dropped_as_proxy;
     if (streamed.spill.corrupted()) {
@@ -300,11 +310,13 @@ int run_tool(int argc, char** argv) {
   core::print_metric("swr_serves", static_cast<double>(swr));
 
   if (!out_dir.empty()) {
+    runtime::Executor exporter(run.thread_count);
+    runtime::Executor* pool = exporter.workers() > 1 ? &exporter : nullptr;
     if (run.spilled()) {
       const auto stream = run.spill.open();
-      telemetry::export_stream(*stream, out_dir);
+      telemetry::export_stream(*stream, out_dir, pool);
     } else {
-      telemetry::export_dataset(run.dataset, out_dir);
+      telemetry::export_dataset(run.dataset, out_dir, pool);
     }
     std::printf("\nexported raw telemetry to %s "
                 "(player_sessions/cdn_sessions/player_chunks/cdn_chunks/"
