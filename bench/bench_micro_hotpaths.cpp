@@ -17,6 +17,7 @@
 #include "bench_json.h"
 #include "cdn/ats_server.h"
 #include "cdn/cache.h"
+#include "failpoints/failpoint.h"
 #include "net/packet_sim.h"
 #include "net/tcp_model.h"
 #include "sim/event_queue.h"
@@ -271,6 +272,18 @@ telemetry::Dataset make_bench_dataset(std::size_t sessions,
   return data;
 }
 
+void BM_FailpointDisarmedEvaluate(benchmark::State& state) {
+  // The production cost of the failpoint instrumentation: one relaxed
+  // atomic load per disarmed site evaluation (failpoints/failpoint.h).
+  failpoints::Registry::instance().disarm_all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        failpoints::should_fail(failpoints::Site::kSpillWrite));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointDisarmedEvaluate);
+
 void BM_JoinDataset(benchmark::State& state) {
   const auto sessions = static_cast<std::size_t>(state.range(0));
   const telemetry::Dataset data = make_bench_dataset(sessions, 32);
@@ -367,10 +380,40 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  // Armed-but-never-firing rerun: every site armed with a fire point the
+  // run cannot reach, so each evaluation takes the full armed path (site
+  // lock + trigger check) instead of the disarmed relaxed load.  The
+  // relative slowdown is therefore an *upper bound* on the disarmed
+  // instrumentation overhead — negative values are measurement noise.
+  {
+    failpoints::Registry::instance().arm(
+        "spill.write=error@once:1099511627776,"
+        "spill.flush=error@once:1099511627776,"
+        "checkpoint.write=error@once:1099511627776,"
+        "checkpoint.rename=error@once:1099511627776,"
+        "export.open=error@once:1099511627776,"
+        "export.write=error@once:1099511627776,"
+        "runtime.task_stall=error@once:1099511627776");
+  }
+  const auto armed_start = std::chrono::steady_clock::now();
+  {
+    const bench::BenchRun run = bench::run_paper_workload(sessions);
+    benchmark::DoNotOptimize(run.result.dataset.player_chunks.size());
+  }
+  const double armed_elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    armed_start)
+          .count();
+  failpoints::Registry::instance().disarm_all();
+  const double overhead_pct = (armed_elapsed_s / elapsed_s - 1.0) * 100.0;
+
   std::vector<bench::JsonMetric> metrics = reporter.metrics();
   metrics.push_back({"end_to_end_sessions_per_s",
                      static_cast<double>(sessions) / elapsed_s, "sessions/s"});
+  metrics.push_back({"failpoint_overhead_pct", overhead_pct, "pct"});
   bench::emit_json("BENCH_hotpaths.json", "hotpaths", metrics);
+  std::printf("failpoint_overhead_pct: %.3f (armed-never-fire vs disarmed)\n",
+              overhead_pct);
   std::printf("end_to_end: %zu sessions in %.3f s (%.1f sessions/s)\n",
               sessions, elapsed_s,
               static_cast<double>(sessions) / elapsed_s);

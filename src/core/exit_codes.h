@@ -1,0 +1,55 @@
+// The exit-code contract shared by vstream-sim, vstream-analyze, and
+// vstream-chaos (documented for operators in README.md).
+//
+// Before this header both tools collapsed every failure to exit 2, so a
+// script could not tell "you passed a bad flag" from "the disk filled
+// mid-run" — and the latter is resumable (--resume picks up from the
+// last checkpoint; committed spill blocks salvage what already ran)
+// while the former needs a human.  The codes:
+//
+//   0  success
+//   1  chaos invariant violation (vstream-chaos only: a campaign run
+//      produced non-identical CSVs, an undocumented exit, or a hang)
+//   2  usage / configuration error — bad flag, malformed VSTREAM_*
+//      variable, checkpoint fingerprint mismatch; fix the invocation
+//   3  host I/O failure — full disk, unwritable directory, failed
+//      rename, or an injected failpoint equivalent; the run aborted
+//      cleanly and is typically resumable
+//   4  salvage-incomplete analysis — the run/analysis completed but the
+//      spill data had corruption (torn tail, damaged blocks); results
+//      cover the salvaged subset only
+//   5  watchdog abort — a task exceeded the VSTREAM_WATCHDOG_MS
+//      deadline with VSTREAM_WATCHDOG_FATAL=1 armed
+#pragma once
+
+#include <exception>
+#include <filesystem>
+
+#include "sim/host_error.h"
+
+namespace vstream::core {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitChaosViolation = 1,
+  kExitConfig = 2,
+  kExitHostIo = 3,
+  kExitSalvageIncomplete = 4,
+  kExitWatchdog = 5,
+};
+
+/// Map a catch-at-main exception to its documented exit code: host I/O
+/// failures (ours or the standard library's filesystem errors) are 3,
+/// everything else is a usage/config error (2).
+inline int exit_code_for(const std::exception& error) {
+  if (dynamic_cast<const sim::HostIoError*>(&error) != nullptr) {
+    return kExitHostIo;
+  }
+  if (dynamic_cast<const std::filesystem::filesystem_error*>(&error) !=
+      nullptr) {
+    return kExitHostIo;
+  }
+  return kExitConfig;
+}
+
+}  // namespace vstream::core

@@ -5,7 +5,10 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
+#include "failpoints/failpoint.h"
+#include "sim/host_error.h"
 #include "telemetry/crc32c.h"
 
 namespace vstream::engine {
@@ -241,18 +244,37 @@ void write_checkpoint(const std::filesystem::path& path,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      throw std::runtime_error("checkpoint: cannot open " + tmp.string());
+      throw sim::HostIoError("checkpoint: cannot open " + tmp.string());
+    }
+    if (failpoints::should_fail(failpoints::Site::kCheckpointWrite)) {
+      out.setstate(std::ios::badbit);
     }
     out.write(file.data(), static_cast<std::streamsize>(file.size()));
     out.flush();
     out.close();
     if (out.fail()) {
-      throw std::runtime_error("checkpoint: error writing " + tmp.string());
+      // A failed tmp write never touches the previous sidecar at `path`;
+      // drop the torn tmp so nothing mistakes it for a checkpoint.
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw sim::HostIoError("checkpoint: error writing " + tmp.string());
     }
   }
   // Atomic within the directory: a crash leaves either the old complete
   // sidecar or the new complete sidecar, never a torn one at `path`.
-  std::filesystem::rename(tmp, path);
+  std::error_code rename_ec;
+  if (failpoints::should_fail(failpoints::Site::kCheckpointRename)) {
+    rename_ec = std::make_error_code(std::errc::io_error);
+  } else {
+    std::filesystem::rename(tmp, path, rename_ec);
+  }
+  if (rename_ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw sim::HostIoError("checkpoint: cannot rename " + tmp.string() +
+                           " to " + path.string() + ": " +
+                           rename_ec.message());
+  }
 }
 
 std::optional<ShardCheckpoint> read_checkpoint(

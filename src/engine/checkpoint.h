@@ -70,7 +70,11 @@ std::uint64_t run_fingerprint(const std::vector<AdmittedSession>& admitted,
                               const faults::FaultSchedule* faults);
 
 /// Atomically replace the sidecar at `path` (tmp + rename).  Throws
-/// std::runtime_error on I/O failure.
+/// sim::HostIoError on I/O failure (real or injected via the
+/// checkpoint.write / checkpoint.rename failpoints); any torn tmp file
+/// is removed and the previous sidecar at `path` is never touched, so
+/// the runner's degradation policy (continue without checkpoints) keeps
+/// a consistent resume point.
 void write_checkpoint(const std::filesystem::path& path,
                       const ShardCheckpoint& checkpoint);
 

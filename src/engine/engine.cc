@@ -125,6 +125,7 @@ RunResult run_simulation(const workload::Scenario& scenario,
       spill_dir.empty() ? nullptr : &spill_path,
       ckpt_dir.empty() ? nullptr : &checkpoint, &exec);
   result.completed = merged.completed;
+  result.checkpoints_degraded = merged.checkpoints_degraded;
 
   for (std::filesystem::path& file : merged.spill_files) {
     result.spill.add_file(std::move(file));

@@ -105,6 +105,11 @@ struct RunResult {
   /// (RunOptions.stop_after_checkpoints): the spill/checkpoint files hold
   /// a committed prefix; run again with resume=true to finish.
   bool completed = true;
+  /// True when checkpoint sidecar writes failed mid-run and the run
+  /// degraded to checkpoint-free execution: results are complete and
+  /// correct, but a crash would resume from the last *good* sidecar
+  /// (warned once on stderr when it happened).
+  bool checkpoints_degraded = false;
 
   bool spilled() const { return !spill.empty(); }
 };

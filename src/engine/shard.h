@@ -42,6 +42,11 @@ struct ShardResult {
   /// (CheckpointConfig::stop_after_batches): the spill files hold a
   /// committed prefix and a resume can finish the run.
   bool completed = true;
+  /// True when a checkpoint sidecar write failed mid-run and the run
+  /// degraded to checkpoint-free execution (results stay complete and
+  /// correct; only crash-resumability is lost).  ORed across shards by
+  /// the merge.
+  bool checkpoints_degraded = false;
 };
 
 class Shard {

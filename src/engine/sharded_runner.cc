@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <span>
@@ -10,6 +12,7 @@
 #include <utility>
 
 #include "engine/checkpoint.h"
+#include "sim/host_error.h"
 #include "telemetry/spill_sink.h"
 
 namespace vstream::engine {
@@ -63,6 +66,8 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts,
   for (ShardResult& part : parts) {
     merged.ground_truth.merge(std::move(part.ground_truth));
     merged.completed = merged.completed && part.completed;
+    merged.checkpoints_degraded =
+        merged.checkpoints_degraded || part.checkpoints_degraded;
     for (std::filesystem::path& file : part.spill_files) {
       merged.spill_files.push_back(std::move(file));
     }
@@ -99,7 +104,8 @@ ShardResult merge_shard_results(std::vector<ShardResult> parts,
   };
   if (executor != nullptr && executor->workers() > 1) {
     executor->parallel_for(streams.size(),
-                           [&](std::size_t i) { streams[i](); });
+                           [&](std::size_t i) { streams[i](); }, nullptr,
+                           "merge");
   } else {
     for (const auto& stream : streams) stream();
   }
@@ -127,6 +133,15 @@ ShardResult run_sharded(const workload::Scenario& scenario,
   const std::vector<std::vector<AdmittedSession>> parts =
       partition_sessions(admitted, shard_count);
   std::vector<ShardResult> results(parts.size());
+
+  // Degradation policy: a failed sidecar write (full disk, unwritable
+  // dir, checkpoint.write/rename failpoint) must not kill a run whose
+  // *data* path is healthy — the spill writes themselves still commit.
+  // First failure warns once; the flag stops every shard's further
+  // checkpoint attempts (the disk is shared, retrying per batch just
+  // spams), and existing sidecars are left intact, so a crash after
+  // degradation still resumes from the last good checkpoint.
+  std::atomic<bool> checkpoints_disabled{false};
 
   // Checkpointed path: run the shard's partition in sequential batches on
   // fresh Shard replicas (batching is just a finer sharding — see
@@ -198,7 +213,20 @@ ShardResult run_sharded(const workload::Scenario& scenario,
       cp.spill_blocks_written = sink->blocks_written();
       cp.ground_truth = ground_truth;
       cp.server_stats = server_stats;
-      write_checkpoint(ckpt_file, cp);
+      if (!checkpoints_disabled.load(std::memory_order_relaxed)) {
+        try {
+          write_checkpoint(ckpt_file, cp);
+        } catch (const sim::HostIoError& error) {
+          if (!checkpoints_disabled.exchange(true)) {
+            std::fprintf(
+                stderr,
+                "vstream: warning: %s — continuing without further "
+                "checkpoints (run completes; crash-resume falls back to the "
+                "last good sidecar)\n",
+                error.what());
+          }
+        }
+      }
 
       ++batches;
       if (checkpoint->stop_after_batches != 0 &&
@@ -209,6 +237,8 @@ ShardResult run_sharded(const workload::Scenario& scenario,
         results[i].server_stats = std::move(server_stats);
         results[i].spill_files.push_back(spill_file);
         results[i].completed = false;
+        results[i].checkpoints_degraded =
+            checkpoints_disabled.load(std::memory_order_relaxed);
         return;
       }
     }
@@ -216,6 +246,8 @@ ShardResult run_sharded(const workload::Scenario& scenario,
     results[i].ground_truth = std::move(ground_truth);
     results[i].server_stats = std::move(server_stats);
     results[i].spill_files.push_back(spill_file);
+    results[i].checkpoints_degraded =
+        checkpoints_disabled.load(std::memory_order_relaxed);
   };
 
   // Everything shared is read-only while tasks run; each task writes
@@ -243,7 +275,7 @@ ShardResult run_sharded(const workload::Scenario& scenario,
           sink.finish();
           results[i].spill_files.push_back(file);
         },
-        stats);
+        stats, "shard");
   } else {
     // Memory mode: task = one memory_batch-session slice of a shard's
     // partition on a fresh replica.  Batching is just finer sharding
@@ -285,7 +317,7 @@ ShardResult run_sharded(const workload::Scenario& scenario,
               std::span<const AdmittedSession>(parts[batch.shard])
                   .subspan(batch.offset, batch.count));
         },
-        stats);
+        stats, "shard");
   }
 
   return merge_shard_results(std::move(results),

@@ -1,0 +1,223 @@
+#include "failpoints/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/mt64.h"
+
+namespace vstream::failpoints {
+namespace {
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "spill.write",       "spill.flush", "checkpoint.write",
+    "checkpoint.rename", "export.open", "export.write",
+    "runtime.task_stall",
+};
+
+enum class Trigger : std::uint8_t { kAlways, kOnce, kAfter, kProb };
+
+[[noreturn]] void bad_spec(std::string_view spec, const char* why) {
+  throw std::runtime_error("VSTREAM_FAILPOINTS: bad spec \"" +
+                           std::string(spec) + "\": " + why);
+}
+
+/// Parse a non-negative integer field; the whole of `text` must be
+/// digits (the env contract's no-trailing-garbage rule).
+std::uint64_t parse_u64_field(std::string_view text, std::string_view spec,
+                              const char* what) {
+  if (text.empty()) bad_spec(spec, what);
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') bad_spec(spec, what);
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+double parse_prob_field(std::string_view text, std::string_view spec) {
+  if (text.empty()) bad_spec(spec, "prob trigger needs a probability");
+  char* end = nullptr;
+  const std::string copy(text);
+  const double p = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !(p > 0.0) || p > 1.0) {
+    bad_spec(spec, "probability must be in (0, 1]");
+  }
+  return p;
+}
+
+}  // namespace
+
+/// Armed configuration and counters of one site.  The mutex guards the
+/// trigger state and RNG; counters are plain (updated under the lock)
+/// and read back through counters() under the same lock.
+struct Registry::State {
+  std::mutex mu;
+  Mode mode = Mode::kError;
+  std::uint32_t stall_ms = 0;
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t trigger_n = 0;  // once:/after: threshold
+  double prob = 0.0;
+  sim::Mt64 rng;
+  SiteCounters counters;
+};
+
+Registry::Registry() : states_(new State[kSiteCount]) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    armed_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry;  // immortal: sites outlive main
+  return *registry;
+}
+
+const char* site_name(Site site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<Site> parse_site(std::string_view name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+void Registry::arm(std::string_view specs) {
+  std::size_t pos = 0;
+  while (pos < specs.size()) {
+    std::size_t comma = specs.find(',', pos);
+    if (comma == std::string_view::npos) comma = specs.size();
+    const std::string_view spec = specs.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (spec.empty()) bad_spec(specs, "empty spec in list");
+
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string_view::npos) bad_spec(spec, "expected site=mode");
+    const std::optional<Site> site = parse_site(spec.substr(0, eq));
+    if (!site) bad_spec(spec, "unknown site");
+
+    std::string_view rest = spec.substr(eq + 1);
+    std::string_view mode_text = rest;
+    std::string_view trigger_text;
+    const std::size_t at = rest.find('@');
+    if (at != std::string_view::npos) {
+      mode_text = rest.substr(0, at);
+      trigger_text = rest.substr(at + 1);
+      if (trigger_text.empty()) bad_spec(spec, "empty trigger after '@'");
+    }
+
+    State& state = states_[static_cast<std::size_t>(*site)];
+    std::lock_guard<std::mutex> lock(state.mu);
+
+    if (mode_text == "error") {
+      state.mode = Mode::kError;
+      state.stall_ms = 0;
+    } else if (mode_text.rfind("stall:", 0) == 0) {
+      state.mode = Mode::kStall;
+      state.stall_ms = static_cast<std::uint32_t>(parse_u64_field(
+          mode_text.substr(6), spec, "stall needs a millisecond count"));
+    } else {
+      bad_spec(spec, "mode must be 'error' or 'stall:<ms>'");
+    }
+
+    if (trigger_text.empty()) {
+      state.trigger = Trigger::kAlways;
+    } else if (trigger_text.rfind("once:", 0) == 0) {
+      state.trigger = Trigger::kOnce;
+      state.trigger_n = parse_u64_field(trigger_text.substr(5), spec,
+                                        "once needs an evaluation index");
+    } else if (trigger_text.rfind("after:", 0) == 0) {
+      state.trigger = Trigger::kAfter;
+      state.trigger_n = parse_u64_field(trigger_text.substr(6), spec,
+                                        "after needs an evaluation index");
+    } else if (trigger_text.rfind("prob:", 0) == 0) {
+      std::string_view fields = trigger_text.substr(5);
+      const std::size_t colon = fields.find(':');
+      std::uint64_t seed = static_cast<std::uint64_t>(*site) + 1;
+      if (colon != std::string_view::npos) {
+        seed = parse_u64_field(fields.substr(colon + 1), spec,
+                               "prob seed must be an integer");
+        fields = fields.substr(0, colon);
+      }
+      state.trigger = Trigger::kProb;
+      state.prob = parse_prob_field(fields, spec);
+      state.rng.seed(seed);
+    } else {
+      bad_spec(spec, "trigger must be once:<n>, after:<n>, or prob:<p>");
+    }
+
+    state.counters = SiteCounters{};
+    armed_[static_cast<std::size_t>(*site)].store(true,
+                                                  std::memory_order_relaxed);
+    any_armed_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Registry::arm_from_env() {
+  const char* raw = std::getenv("VSTREAM_FAILPOINTS");
+  if (raw == nullptr || raw[0] == '\0') return;
+  arm(raw);
+}
+
+void Registry::disarm_all() {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    State& state = states_[i];
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.counters = SiteCounters{};
+    armed_[i].store(false, std::memory_order_relaxed);
+  }
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+bool Registry::evaluate_armed(Site site) {
+  State& state = states_[static_cast<std::size_t>(site)];
+  Mode mode;
+  std::uint32_t stall_ms;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    const std::uint64_t index = state.counters.evaluated++;
+    switch (state.trigger) {
+      case Trigger::kAlways:
+        fired = true;
+        break;
+      case Trigger::kOnce:
+        fired = index == state.trigger_n;
+        break;
+      case Trigger::kAfter:
+        fired = index >= state.trigger_n;
+        break;
+      case Trigger::kProb: {
+        // Uniform in [0, 1): top 53 bits, the standard double ladder.
+        const double u =
+            static_cast<double>(state.rng() >> 11) * 0x1.0p-53;
+        fired = u < state.prob;
+        break;
+      }
+    }
+    if (fired) ++state.counters.fired;
+    mode = state.mode;
+    stall_ms = state.stall_ms;
+  }
+  if (!fired) return false;
+  if (mode == Mode::kStall) {
+    // The stall happens outside the site lock so other threads keep
+    // evaluating; it simulates a stuck host interaction, and only ever
+    // changes timing, never results.
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    return false;
+  }
+  return true;
+}
+
+SiteCounters Registry::counters(Site site) const {
+  State& state = states_[static_cast<std::size_t>(site)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.counters;
+}
+
+}  // namespace vstream::failpoints

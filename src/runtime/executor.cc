@@ -1,13 +1,34 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
+#include "failpoints/failpoint.h"
 #include "sim/env_util.h"
+#include "sim/host_error.h"
 
 namespace vstream::runtime {
 
-Executor::Executor(std::size_t workers)
-    : workers_(std::max<std::size_t>(1, workers)), queues_(workers_) {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Executor::Executor(std::size_t workers, std::size_t watchdog_ms)
+    : workers_(std::max<std::size_t>(1, workers)),
+      watchdog_ms_(watchdog_ms != 0
+                       ? watchdog_ms
+                       : sim::positive_env("VSTREAM_WATCHDOG_MS", 0)),
+      watchdog_fatal_(sim::string_env("VSTREAM_WATCHDOG_FATAL") == "1"),
+      queues_(workers_),
+      slots_(workers_) {
   threads_.reserve(workers_ - 1);
   for (std::size_t w = 1; w < workers_; ++w) {
     threads_.emplace_back([this, w] { worker_main(w); });
@@ -75,11 +96,28 @@ void Executor::execute(Run* run, std::size_t worker) {
       }
     }
     if (!have) break;  // every deque is empty: the run is drained
+    if (run->watched) {
+      // Publish what this worker is about to run; started_ns first so a
+      // watchdog that observes the task index sees a valid start time.
+      TaskSlot& slot = slots_[worker];
+      slot.started_ns.store(steady_now_ns(), std::memory_order_relaxed);
+      slot.task.store(index, std::memory_order_release);
+    }
     try {
+      // Host-fault hook: a stall fire sleeps here (timing only — the
+      // watchdog's quarry), an error fire aborts the task through the
+      // run's normal first-exception rethrow.
+      if (failpoints::should_fail(failpoints::Site::kRuntimeTaskStall)) {
+        throw sim::HostIoError(
+            "runtime: injected task fault (failpoint runtime.task_stall)");
+      }
       (*run->body)(index);
     } catch (...) {
       std::lock_guard<std::mutex> lock(run->error_mu);
       if (!run->error) run->error = std::current_exception();
+    }
+    if (run->watched) {
+      slots_[worker].task.store(TaskSlot::kIdle, std::memory_order_release);
     }
     ++executed;
     stolen += steal ? 1 : 0;
@@ -91,12 +129,46 @@ void Executor::execute(Run* run, std::size_t worker) {
   }
 }
 
+void Executor::watchdog_main(Run* run, const std::atomic<bool>* run_done) {
+  const auto poll =
+      std::chrono::milliseconds(std::max<std::size_t>(1, watchdog_ms_ / 4));
+  const std::int64_t deadline_ns =
+      static_cast<std::int64_t>(watchdog_ms_) * 1'000'000;
+  // One report per stuck (worker, task) occurrence, not one per poll.
+  std::vector<std::size_t> reported(workers_, TaskSlot::kIdle);
+  while (!run_done->load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    for (std::size_t w = 0; w < workers_; ++w) {
+      const std::size_t task = slots_[w].task.load(std::memory_order_acquire);
+      if (task == TaskSlot::kIdle || reported[w] == task) continue;
+      const std::int64_t started =
+          slots_[w].started_ns.load(std::memory_order_relaxed);
+      const std::int64_t elapsed = steady_now_ns() - started;
+      if (elapsed < deadline_ns) continue;
+      reported[w] = task;
+      run->watchdog_reports.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "vstream: watchdog: %s task %zu on worker %zu stuck for "
+                   "%lld ms (deadline %zu ms)\n",
+                   run->label, task, w,
+                   static_cast<long long>(elapsed / 1'000'000), watchdog_ms_);
+      if (watchdog_fatal_) {
+        std::fprintf(stderr,
+                     "vstream: watchdog: aborting (VSTREAM_WATCHDOG_FATAL)\n");
+        std::fflush(stderr);
+        std::_Exit(5);  // kExitWatchdog, core/exit_codes.h
+      }
+    }
+  }
+}
+
 void Executor::parallel_for(std::size_t count,
                             const std::function<void(std::size_t)>& body,
-                            ParallelStats* stats) {
+                            ParallelStats* stats, const char* label) {
   if (stats != nullptr) {
     stats->tasks = count;
     stats->steals = 0;
+    stats->watchdog_reports = 0;
     stats->tasks_per_worker.assign(workers_, 0);
   }
   if (count == 0) return;
@@ -106,7 +178,15 @@ void Executor::parallel_for(std::size_t count,
   if (!parallel) {
     // Single-worker pools, single tasks, and reentrant calls all run
     // inline on the calling thread — same results, zero coordination.
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    // The task_stall failpoint is still evaluated (same count per task
+    // as the pooled path), but nothing watches the calling thread.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (failpoints::should_fail(failpoints::Site::kRuntimeTaskStall)) {
+        throw sim::HostIoError(
+            "runtime: injected task fault (failpoint runtime.task_stall)");
+      }
+      body(i);
+    }
     if (stats != nullptr) stats->tasks_per_worker[0] += count;
     return;
   }
@@ -128,6 +208,20 @@ void Executor::parallel_for(std::size_t count,
   Run run;
   run.body = &body;
   run.stats = stats;
+  run.label = label;
+  run.watched = watchdog_ms_ != 0;
+
+  std::atomic<bool> run_done{false};
+  std::thread watchdog;
+  if (run.watched) {
+    for (TaskSlot& slot : slots_) {
+      slot.task.store(TaskSlot::kIdle, std::memory_order_relaxed);
+    }
+    watchdog = std::thread([this, &run, &run_done] {
+      watchdog_main(&run, &run_done);
+    });
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     run_ = &run;
@@ -146,6 +240,14 @@ void Executor::parallel_for(std::size_t count,
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return exited_ == workers_ - 1; });
     run_ = nullptr;
+  }
+  if (run.watched) {
+    run_done.store(true, std::memory_order_release);
+    watchdog.join();
+    if (stats != nullptr) {
+      stats->watchdog_reports =
+          run.watchdog_reports.load(std::memory_order_relaxed);
+    }
   }
   in_run_.store(false);
   if (run.error) std::rethrow_exception(run.error);

@@ -58,6 +58,8 @@ inline constexpr std::size_t kDefaultLogicalShards = 64;
 struct ParallelStats {
   std::size_t tasks = 0;   ///< tasks submitted
   std::size_t steals = 0;  ///< tasks executed by a non-owning worker
+  /// Stuck tasks the watchdog reported this run (see Executor docs).
+  std::size_t watchdog_reports = 0;
   /// Tasks executed per worker; index 0 is the calling thread.
   std::vector<std::size_t> tasks_per_worker;
 
@@ -74,7 +76,19 @@ class Executor {
   /// A pool of `workers` physical threads (minimum 1).  Worker 0 is the
   /// thread that calls parallel_for; `workers - 1` background threads
   /// are spawned here and parked until a run starts.
-  explicit Executor(std::size_t workers);
+  ///
+  /// `watchdog_ms` nonzero (or the VSTREAM_WATCHDOG_MS environment
+  /// variable — strict positive parse) arms a stuck-task watchdog: each
+  /// parallel run spawns one monitor thread that reports any task still
+  /// executing past the deadline to stderr, naming the task label,
+  /// index, and worker, and counts it in ParallelStats.watchdog_reports.
+  /// With VSTREAM_WATCHDOG_FATAL=1 the first report instead aborts the
+  /// process with the documented watchdog exit code (5,
+  /// core/exit_codes.h) — a hung host call becomes a clean diagnostic
+  /// rather than an indefinite hang.  Inline (single-worker/reentrant)
+  /// execution is not watched: the calling thread is the one that would
+  /// be stuck.
+  explicit Executor(std::size_t workers, std::size_t watchdog_ms = 0);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -88,10 +102,15 @@ class Executor {
   /// first exception thrown by a task is rethrown here after all tasks
   /// ran.  Reentrant calls (a task invoking parallel_for on its own
   /// executor, or a second thread racing a run) degrade safely to
-  /// inline serial execution on the calling thread.
+  /// inline serial execution on the calling thread.  `label` names the
+  /// task domain in watchdog diagnostics ("shard", "merge", ...).
+  /// Every task first evaluates the runtime.task_stall failpoint: a
+  /// stall fire sleeps (timing only, never results), an error fire
+  /// throws sim::HostIoError through the normal rethrow path.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body,
-                    ParallelStats* stats = nullptr);
+                    ParallelStats* stats = nullptr,
+                    const char* label = "task");
 
  private:
   /// One worker's task deque.  `items[head..size)` are pending; the
@@ -112,14 +131,29 @@ class Executor {
     std::exception_ptr error;
     ParallelStats* stats = nullptr;
     std::mutex stats_mu;
+    const char* label = "task";
+    bool watched = false;  ///< workers publish task slots for the watchdog
+    std::atomic<std::size_t> watchdog_reports{0};
+  };
+
+  /// What each worker is running right now, published for the watchdog.
+  struct alignas(64) TaskSlot {
+    static constexpr std::size_t kIdle = ~std::size_t{0};
+    std::atomic<std::size_t> task{kIdle};
+    std::atomic<std::int64_t> started_ns{0};
   };
 
   void worker_main(std::size_t worker);
   /// Drain tasks (own deque first, then steal) until none remain.
   void execute(Run* run, std::size_t worker);
+  /// Watchdog monitor loop; runs on its own thread for watched runs.
+  void watchdog_main(Run* run, const std::atomic<bool>* run_done);
 
   const std::size_t workers_;
+  const std::size_t watchdog_ms_;
+  const bool watchdog_fatal_;
   std::vector<WorkerQueue> queues_;
+  std::vector<TaskSlot> slots_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

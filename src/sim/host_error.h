@@ -1,0 +1,28 @@
+// HostIoError: the exception class for *host* I/O failures — a write
+// that hit a full disk, an unwritable directory, a failed rename, or a
+// deterministically injected equivalent (src/failpoints).
+//
+// The distinction matters for the exit-code contract (core/exit_codes.h):
+// a bad flag or a mis-set VSTREAM_* variable is the operator's problem
+// (exit 2, fix the invocation and rerun), while a host I/O failure is the
+// machine's problem (exit 3, the run may be resumable from its last
+// checkpoint and the spill files salvage what was committed).  Every
+// layer that touches the filesystem on behalf of a run — SpillWriter,
+// checkpoint sidecars, CSV export — throws this type so the tools can
+// tell the two apart at catch-at-main time.
+//
+// Lives in sim/ (the dependency-free bottom layer) so telemetry, engine,
+// runtime, and failpoints can all throw it without a new link edge.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vstream::sim {
+
+class HostIoError : public std::runtime_error {
+ public:
+  explicit HostIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace vstream::sim

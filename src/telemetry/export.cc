@@ -6,9 +6,12 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "failpoints/failpoint.h"
 #include "runtime/executor.h"
+#include "sim/host_error.h"
 #include "telemetry/fast_format.h"
 
 namespace vstream::telemetry {
@@ -436,11 +439,33 @@ std::vector<TcpSnapshotRecord> read_tcp_snapshots_csv(std::istream& in) {
 
 namespace {
 
+/// Open failure, real or injected (export.open): sim::HostIoError.
+void check_open(std::ofstream& out, const std::filesystem::path& path) {
+  if (failpoints::should_fail(failpoints::Site::kExportOpen)) {
+    out.setstate(std::ios::badbit);
+  }
+  if (!out) throw sim::HostIoError("csv: cannot open " + path.string());
+}
+
+/// Per-file completion check: a short write (full disk) latches the
+/// stream's badbit; detect it after the final flush so the tool exits
+/// nonzero instead of leaving a truncated CSV behind with exit 0.
+void check_written(std::ofstream& out, const std::filesystem::path& path) {
+  if (failpoints::should_fail(failpoints::Site::kExportWrite)) {
+    out.setstate(std::ios::badbit);
+  }
+  out.flush();
+  if (out.fail()) {
+    throw sim::HostIoError("csv: error writing " + path.string());
+  }
+}
+
 template <typename Writer>
 void write_file(const std::filesystem::path& path, Writer&& writer) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("csv: cannot open " + path.string());
+  check_open(out, path);
   writer(out);
+  check_written(out, path);
 }
 
 template <typename Reader>
@@ -499,10 +524,7 @@ void export_stream(SessionGroupStream& groups,
   std::filesystem::create_directories(directory);
   const auto open = [&](const char* name) {
     std::ofstream out(directory / name);
-    if (!out) {
-      throw std::runtime_error("csv: cannot open " +
-                               (directory / name).string());
-    }
+    check_open(out, directory / name);
     return out;
   };
   std::ofstream ps_out = open("player_sessions.csv");
@@ -510,6 +532,29 @@ void export_stream(SessionGroupStream& groups,
   std::ofstream pc_out = open("player_chunks.csv");
   std::ofstream cc_out = open("cdn_chunks.csv");
   std::ofstream ts_out = open("tcp_snapshots.csv");
+  // One failure check covering all five streams, evaluated after every
+  // drained window (fail fast on a mid-export disk error — badbit
+  // latches even while rows are still buffered) and once after the
+  // final buffer flush.  The export.write failpoint fails all five, the
+  // shape a full disk actually has.
+  const std::array<std::pair<std::ofstream*, const char*>, 5> streams = {{
+      {&ps_out, "player_sessions.csv"},
+      {&cs_out, "cdn_sessions.csv"},
+      {&pc_out, "player_chunks.csv"},
+      {&cc_out, "cdn_chunks.csv"},
+      {&ts_out, "tcp_snapshots.csv"},
+  }};
+  const auto check_streams = [&] {
+    if (failpoints::should_fail(failpoints::Site::kExportWrite)) {
+      for (const auto& [out, name] : streams) out->setstate(std::ios::badbit);
+    }
+    for (const auto& [out, name] : streams) {
+      if (out->fail()) {
+        throw sim::HostIoError("csv: error writing " +
+                               (directory / name).string());
+      }
+    }
+  };
   {
     WriteBuffer ps(ps_out), cs(cs_out), pc(pc_out), cc(cc_out), ts(ts_out);
     ps.append(kPlayerSessionHeader);
@@ -567,6 +612,7 @@ void export_stream(SessionGroupStream& groups,
         for (const auto& drain : drains) drain();
       }
       window.clear();
+      check_streams();
     };
     while (std::optional<SessionRecordGroup> group = groups.next()) {
       window.push_back(std::move(*group));
@@ -574,6 +620,8 @@ void export_stream(SessionGroupStream& groups,
     }
     drain_window();
   }  // buffers flush before the streams close
+  for (const auto& [out, name] : streams) out->flush();
+  check_streams();
 }
 
 Dataset import_dataset(const std::filesystem::path& directory) {

@@ -64,6 +64,9 @@ std::vector<TcpSnapshotRecord> read_tcp_snapshots_csv(std::istream& in);
 /// cdn_chunks.csv, tcp_snapshots.csv.  `executor` non-null writes the
 /// five files as five independent tasks (distinct files — no shared
 /// mutable state); the bytes of every file are identical either way.
+/// Every file's stream state is checked after its final flush: a short
+/// write (full disk, or the export.open/export.write failpoints) throws
+/// sim::HostIoError — a truncated CSV never goes unreported.
 void export_dataset(const Dataset& data,
                     const std::filesystem::path& directory,
                     runtime::Executor* executor = nullptr);

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "failpoints/failpoint.h"
+#include "sim/host_error.h"
 #include "telemetry/crc32c.h"
 
 namespace vstream::telemetry {
@@ -328,8 +330,8 @@ void check_file_header(const char* raw, const std::filesystem::path& path) {
 SpillWriter::SpillWriter(const std::filesystem::path& path)
     : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
   if (!out_) {
-    throw std::runtime_error("spill: cannot open " + path.string() +
-                             " for writing");
+    throw sim::HostIoError("spill: cannot open " + path.string() +
+                           " for writing");
   }
   std::string header;
   put_u32(header, kSpillMagic);
@@ -345,8 +347,8 @@ SpillWriter::SpillWriter(const std::filesystem::path& path,
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
   if (ec) {
-    throw std::runtime_error("spill: cannot resume missing file " +
-                             path.string());
+    throw sim::HostIoError("spill: cannot resume missing file " +
+                           path.string());
   }
   if (committed_bytes < kFileHeaderBytes || size < committed_bytes) {
     throw std::runtime_error(
@@ -367,8 +369,8 @@ SpillWriter::SpillWriter(const std::filesystem::path& path,
   std::filesystem::resize_file(path, committed_bytes);
   out_.open(path, std::ios::binary | std::ios::app);
   if (!out_) {
-    throw std::runtime_error("spill: cannot reopen " + path.string() +
-                             " for append");
+    throw sim::HostIoError("spill: cannot reopen " + path.string() +
+                           " for append");
   }
   offset_ = committed_bytes;
   blocks_written_ = blocks_already_written;
@@ -379,6 +381,11 @@ SpillWriter::~SpillWriter() {
 }
 
 void SpillWriter::write(const SessionRecordGroup& group) {
+  // Failpoint spill.write: an injected host failure takes the same road
+  // as a real one — fail the stream, let the post-write check throw.
+  if (failpoints::should_fail(failpoints::Site::kSpillWrite)) {
+    out_.setstate(std::ios::badbit);
+  }
   scratch_.clear();
   put_u32(scratch_, static_cast<std::uint32_t>(group.player_sessions.size()));
   put_u32(scratch_, static_cast<std::uint32_t>(group.cdn_sessions.size()));
@@ -413,14 +420,23 @@ void SpillWriter::write(const SessionRecordGroup& group) {
   put_u32(frame_, crc32c(frame_.data(), frame_.size()));
   out_.write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
 
+  // Fail fast on a write error: nothing after a failed block can commit,
+  // and the committed prefix stays salvageable for --resume / analyze.
+  if (out_.fail()) {
+    throw sim::HostIoError("spill: error writing " + path_.string());
+  }
+
   offset_ += kBlockHeaderBytes + scratch_.size() + kBlockTrailerBytes +
              kCommitFrameBytes;
 }
 
 std::uint64_t SpillWriter::flush_committed() {
+  if (failpoints::should_fail(failpoints::Site::kSpillFlush)) {
+    out_.setstate(std::ios::badbit);
+  }
   out_.flush();
   if (out_.fail()) {
-    throw std::runtime_error("spill: error writing " + path_.string());
+    throw sim::HostIoError("spill: error writing " + path_.string());
   }
   return offset_;
 }
@@ -429,7 +445,7 @@ void SpillWriter::close() {
   if (!out_.is_open()) return;
   out_.close();
   if (out_.fail()) {
-    throw std::runtime_error("spill: error writing " + path_.string());
+    throw sim::HostIoError("spill: error writing " + path_.string());
   }
 }
 

@@ -1,0 +1,175 @@
+// Failpoint registry semantics: spec parsing (every valid and invalid
+// form), deterministic once/after triggers, seeded prob reproducibility,
+// the count-free disarmed fast path, and the exit-code mapping the tools
+// build their contract on.
+#include "failpoints/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "core/exit_codes.h"
+#include "sim/host_error.h"
+
+namespace vstream::failpoints {
+namespace {
+
+/// The registry is process-wide; every test starts and ends disarmed so
+/// suites can run in any order.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().disarm_all(); }
+  void TearDown() override { Registry::instance().disarm_all(); }
+
+  Registry& reg() { return Registry::instance(); }
+};
+
+TEST_F(FailpointTest, SiteNamesRoundTrip) {
+  const Site all[] = {Site::kSpillWrite,       Site::kSpillFlush,
+                      Site::kCheckpointWrite,  Site::kCheckpointRename,
+                      Site::kExportOpen,       Site::kExportWrite,
+                      Site::kRuntimeTaskStall};
+  ASSERT_EQ(sizeof(all) / sizeof(all[0]), kSiteCount);
+  for (const Site site : all) {
+    const auto parsed = parse_site(site_name(site));
+    ASSERT_TRUE(parsed.has_value()) << site_name(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_site("bogus.site").has_value());
+  EXPECT_FALSE(parse_site("").has_value());
+  EXPECT_FALSE(parse_site("spill.write ").has_value());
+}
+
+TEST_F(FailpointTest, DisarmedPathCountsNothing) {
+  EXPECT_FALSE(reg().any_armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(should_fail(Site::kSpillWrite));
+  }
+  const SiteCounters c = reg().counters(Site::kSpillWrite);
+  EXPECT_EQ(c.evaluated, 0u);
+  EXPECT_EQ(c.fired, 0u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnTheNthEvaluation) {
+  reg().arm("spill.write=error@once:3");
+  EXPECT_TRUE(reg().any_armed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(should_fail(Site::kSpillWrite), i == 3) << "evaluation " << i;
+  }
+  const SiteCounters c = reg().counters(Site::kSpillWrite);
+  EXPECT_EQ(c.evaluated, 10u);
+  EXPECT_EQ(c.fired, 1u);
+}
+
+TEST_F(FailpointTest, AfterFiresFromTheNthEvaluationOn) {
+  reg().arm("checkpoint.write=error@after:4");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(should_fail(Site::kCheckpointWrite), i >= 4)
+        << "evaluation " << i;
+  }
+  const SiteCounters c = reg().counters(Site::kCheckpointWrite);
+  EXPECT_EQ(c.evaluated, 10u);
+  EXPECT_EQ(c.fired, 6u);
+}
+
+TEST_F(FailpointTest, BareModeFiresEveryEvaluation) {
+  reg().arm("export.write=error");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(should_fail(Site::kExportWrite));
+  }
+  EXPECT_EQ(reg().counters(Site::kExportWrite).fired, 5u);
+}
+
+TEST_F(FailpointTest, ProbIsReproducibleForASeed) {
+  const auto fire_count = [&] {
+    reg().disarm_all();
+    reg().arm("spill.flush=error@prob:0.3:12345");
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 2'000; ++i) {
+      if (should_fail(Site::kSpillFlush)) ++fired;
+    }
+    return fired;
+  };
+  const std::uint64_t first = fire_count();
+  const std::uint64_t second = fire_count();
+  EXPECT_EQ(first, second);
+  // p = 0.3 over 2000 draws: a run landing outside [400, 800] would be a
+  // broken generator, not bad luck.
+  EXPECT_GT(first, 400u);
+  EXPECT_LT(first, 800u);
+}
+
+TEST_F(FailpointTest, StallSleepsAndReturnsFalse) {
+  reg().arm("runtime.task_stall=stall:30@once:0");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(should_fail(Site::kRuntimeTaskStall));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 25);
+  EXPECT_EQ(reg().counters(Site::kRuntimeTaskStall).fired, 1u);
+  // The trigger spent itself: later evaluations neither fire nor stall.
+  EXPECT_FALSE(should_fail(Site::kRuntimeTaskStall));
+}
+
+TEST_F(FailpointTest, MultipleSpecsArmIndependently) {
+  reg().arm("spill.write=error@once:0,checkpoint.rename=error@once:1");
+  EXPECT_TRUE(should_fail(Site::kSpillWrite));
+  EXPECT_FALSE(should_fail(Site::kCheckpointRename));
+  EXPECT_TRUE(should_fail(Site::kCheckpointRename));
+  // Unarmed sites stay on the fast path.
+  EXPECT_FALSE(should_fail(Site::kExportOpen));
+  EXPECT_EQ(reg().counters(Site::kExportOpen).evaluated, 0u);
+}
+
+TEST_F(FailpointTest, DisarmAllResetsCountersAndState) {
+  reg().arm("spill.write=error");
+  EXPECT_TRUE(should_fail(Site::kSpillWrite));
+  reg().disarm_all();
+  EXPECT_FALSE(reg().any_armed());
+  EXPECT_FALSE(should_fail(Site::kSpillWrite));
+  const SiteCounters c = reg().counters(Site::kSpillWrite);
+  EXPECT_EQ(c.evaluated, 0u);
+  EXPECT_EQ(c.fired, 0u);
+}
+
+TEST_F(FailpointTest, TrailingCommaIsTolerated) {
+  reg().arm("spill.write=error@once:0,");
+  EXPECT_TRUE(should_fail(Site::kSpillWrite));
+}
+
+TEST_F(FailpointTest, BadSpecsThrowNamingTheSpec) {
+  const char* bad[] = {
+      "bogus.site=error",           // unknown site
+      "spill.write",                // missing mode
+      "spill.write=explode",        // unknown mode
+      "spill.write=error@soon",     // unknown trigger
+      "spill.write=error@once:",    // missing count
+      "spill.write=error@once:x9",  // non-numeric count
+      "spill.write=stall:",         // missing stall duration
+      "spill.write=error@prob:0",   // probability out of (0, 1]
+      "spill.write=error@prob:1.5",
+      "spill.write=error@prob:0.5:zz",  // non-numeric seed
+      "spill.write=error,,export.open=error",  // empty spec in list
+  };
+  for (const char* spec : bad) {
+    reg().disarm_all();
+    EXPECT_THROW(reg().arm(spec), std::runtime_error) << spec;
+  }
+}
+
+TEST_F(FailpointTest, ExitCodeMappingMatchesTheContract) {
+  EXPECT_EQ(core::exit_code_for(sim::HostIoError("disk gone")),
+            core::kExitHostIo);
+  EXPECT_EQ(core::exit_code_for(std::filesystem::filesystem_error(
+                "mkdir", std::make_error_code(std::errc::io_error))),
+            core::kExitHostIo);
+  EXPECT_EQ(core::exit_code_for(std::runtime_error("bad flag")),
+            core::kExitConfig);
+}
+
+}  // namespace
+}  // namespace vstream::failpoints

@@ -153,6 +153,52 @@ TEST(ExecutorTest, ReentrantParallelForFallsBackInline) {
   EXPECT_EQ(inner_ran.load(), 32u);
 }
 
+TEST(ExecutorWatchdogTest, StuckTaskIsReportedAndResultsUnchanged) {
+  // One task outlives the 20 ms deadline by an order of magnitude: the
+  // watchdog must name it (>= 1 report) without perturbing the results —
+  // it observes, it never cancels.
+  Executor executor(4, /*watchdog_ms=*/20);
+  ParallelStats stats;
+  std::vector<int> out(16, 0);
+  executor.parallel_for(
+      16,
+      [&](std::size_t i) {
+        if (i == 5) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+        out[i] = static_cast<int>(i) + 1;
+      },
+      &stats);
+  EXPECT_GE(stats.watchdog_reports, 1u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ExecutorWatchdogTest, FastTasksDrawNoReports) {
+  Executor executor(4, /*watchdog_ms=*/250);
+  ParallelStats stats;
+  std::atomic<std::size_t> ran{0};
+  executor.parallel_for(
+      64, [&](std::size_t) { ran.fetch_add(1); }, &stats);
+  EXPECT_EQ(ran.load(), 64u);
+  EXPECT_EQ(stats.watchdog_reports, 0u);
+}
+
+TEST(ExecutorWatchdogTest, DisabledByDefault) {
+  // watchdog_ms 0 (and no VSTREAM_WATCHDOG_MS) means no monitor thread:
+  // even a slow task draws no report.
+  Executor executor(2);
+  ParallelStats stats;
+  executor.parallel_for(
+      4,
+      [&](std::size_t i) {
+        if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      },
+      &stats);
+  EXPECT_EQ(stats.watchdog_reports, 0u);
+}
+
 TEST(ExecutorStressTest, ManyTinyTasksStealHeavy) {
   // The TSan centerpiece: thousands of near-empty tasks per run force
   // constant deque churn and steals; repeated runs cycle the generation

@@ -28,23 +28,23 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
 echo "==> tier-1: ASan build ($asan_dir)"
 cmake -B "$asan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=address
-cmake --build "$asan_dir" -j --target test_runtime test_sim test_cdn test_core test_faults test_engine test_telemetry
+cmake --build "$asan_dir" -j --target test_runtime test_sim test_cdn test_core test_faults test_engine test_telemetry test_failpoints
 
-echo "==> tier-1: ASan suites (runtime, sim, cdn, core, faults, engine, telemetry)"
+echo "==> tier-1: ASan suites (runtime, sim, cdn, core, faults, engine, telemetry, failpoints)"
 # test_telemetry includes the spill corruption fuzz (flip every byte,
 # truncate at every offset) — under ASan it proves the recovery scan never
 # reads out of bounds on damaged input.
-for suite in test_runtime test_sim test_cdn test_core test_faults test_engine test_telemetry; do
+for suite in test_runtime test_sim test_cdn test_core test_faults test_engine test_telemetry test_failpoints; do
   echo "--> $suite"
   "$asan_dir/tests/$suite"
 done
 
 echo "==> tier-1: UBSan build ($ubsan_dir)"
 cmake -B "$ubsan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=undefined
-cmake --build "$ubsan_dir" -j --target test_engine test_core test_telemetry
+cmake --build "$ubsan_dir" -j --target test_engine test_core test_telemetry test_failpoints
 
-echo "==> tier-1: UBSan suites (engine, core, telemetry)"
-for suite in test_engine test_core test_telemetry; do
+echo "==> tier-1: UBSan suites (engine, core, telemetry, failpoints)"
+for suite in test_engine test_core test_telemetry test_failpoints; do
   echo "--> $suite"
   UBSAN_OPTIONS=halt_on_error=1 "$ubsan_dir/tests/$suite"
 done
@@ -122,6 +122,17 @@ cmake --build "$build_dir" -j --target vstream-chaos
 "$build_dir/tools/vstream-chaos" --sessions 200 --shards 1,2 \
   --threads 1,4 --profiles none,eventful --kills 1 --interval 25 \
   --scratch "$build_dir/tier1-chaos"
+
+echo "==> tier-1: chaos failpoint smoke (no silent corruption)"
+# Every registered failpoint site, one rotating fire point each, with one
+# SIGKILL mixed into armed attempts: each run must either complete
+# byte-identical to the clean reference or abort with the documented exit
+# code and a one-line diagnostic (tools/vstream_chaos.cpp header).  The
+# acceptance-scale campaign (shards 1,4,64 x threads 1,4, with and
+# without kills) is recorded in EXPERIMENTS.md.
+"$build_dir/tools/vstream-chaos" --sessions 150 --shards 2 --threads 1,4 \
+  --kills 1 --interval 25 --failpoints default --fp-rounds 1 \
+  --scratch "$build_dir/tier1-chaos-fp"
 
 echo "==> tier-1: telemetry bench smoke (-> BENCH_telemetry.json)"
 cmake --build "$build_dir" -j --target bench_telemetry_pipeline

@@ -9,7 +9,10 @@
 // --telemetry-spill DIR` / `--checkpoint DIR`; spill directories are
 // detected automatically.  Damaged spill data is salvaged block by block
 // (a "spill recovery" section reports what was skipped) rather than
-// aborting the analysis.  Errors print one diagnostic line and exit 2.
+// aborting the analysis — but the tool then exits with the documented
+// salvage-incomplete status (4, core/exit_codes.h) so scripts learn the
+// results cover a subset.  Other errors print one diagnostic line and
+// exit 2 (usage/config) or 3 (host I/O).
 //
 // Performs the §3 preprocessing (proxy filter + join), then prints:
 //   * the QoE summary,
@@ -29,6 +32,7 @@
 #include "analysis/aggregate.h"
 #include "analysis/detectors.h"
 #include "analysis/qoe.h"
+#include "core/exit_codes.h"
 #include "core/report.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
@@ -184,7 +188,10 @@ int run_tool(int argc, char** argv) {
                          ? 0.0
                          : static_cast<double>(sessions_with_flag) /
                                static_cast<double>(joined.sessions().size()));
-  return 0;
+  // Salvaged-but-incomplete data: everything above was printed, but the
+  // exit status records that corruption trimmed the dataset.
+  return spill_stats.corrupted() ? core::kExitSalvageIncomplete
+                                 : core::kExitOk;
 }
 
 }  // namespace
@@ -194,6 +201,6 @@ int main(int argc, char** argv) {
     return run_tool(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "vstream-analyze: error: %s\n", error.what());
-    return 2;
+    return core::exit_code_for(error);
   }
 }

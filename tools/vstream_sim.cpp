@@ -32,8 +32,12 @@
 // to a run that was never interrupted.  See tools/vstream_chaos.cpp for
 // the kill-and-resume harness that proves it.
 //
-// Errors (bad flags aside) surface as a one-line diagnostic and exit
-// status 2 — never a raw terminate.
+// Errors surface as a one-line diagnostic and a documented exit status
+// (core/exit_codes.h): 2 usage/config, 3 host I/O failure (disk full,
+// unwritable directory, injected VSTREAM_FAILPOINTS fault — typically
+// resumable with --resume), 4 when analysis completed but spill
+// corruption limited it to the salvaged subset.  Never a raw terminate,
+// never a truncated CSV with exit 0.
 
 #include <cerrno>
 #include <cstdio>
@@ -45,9 +49,11 @@
 #include <utility>
 
 #include "analysis/qoe.h"
+#include "core/exit_codes.h"
 #include "core/report.h"
 #include "core/streaming.h"
 #include "engine/engine.h"
+#include "failpoints/failpoint.h"
 #include "faults/fault_schedule.h"
 #include "runtime/executor.h"
 #include "telemetry/export.h"
@@ -233,6 +239,10 @@ int run_tool(int argc, char** argv) {
     std::printf("run stopped at a checkpoint; resume with --resume to "
                 "finish (partial committed state below)\n");
   }
+  if (run.checkpoints_degraded) {
+    core::print_metric("checkpoints_degraded", 1.0);
+  }
+  int exit_code = core::kExitOk;
 
   // Spilled runs analyze incrementally from disk; in-memory runs use the
   // classic batch join.  Both yield the same numbers (see
@@ -245,7 +255,10 @@ int run_tool(int argc, char** argv) {
     qoe = streamed.qoe;
     dropped_as_proxy = streamed.dropped_as_proxy;
     if (streamed.spill.corrupted()) {
-      // Damaged spill data is salvaged, not fatal — but say so out loud.
+      // Damaged spill data is salvaged, not fatal — but say so out loud
+      // and exit with the documented salvage-incomplete status so a
+      // script knows the numbers cover a subset.
+      exit_code = core::kExitSalvageIncomplete;
       core::print_header("spill recovery (corruption detected)");
       core::print_metric("blocks_ok",
                          static_cast<double>(streamed.spill.blocks_ok));
@@ -323,19 +336,21 @@ int run_tool(int argc, char** argv) {
                 "tcp_snapshots .csv)\n",
                 out_dir.c_str());
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Satellite of the crash-safety work: any failure — bad resume sidecar,
-  // unwritable spill directory, disk full — is one diagnostic line and
-  // exit status 2, never an unhandled exception.
+  // Any failure — bad flag, bad resume sidecar, unwritable directory,
+  // disk full, injected failpoint — is one diagnostic line and the
+  // documented exit code for its class (core/exit_codes.h), never an
+  // unhandled exception.
   try {
+    failpoints::Registry::instance().arm_from_env();
     return run_tool(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "vstream-sim: error: %s\n", error.what());
-    return 2;
+    return core::exit_code_for(error);
   }
 }
