@@ -33,6 +33,7 @@
 #include "engine/engine.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
+#include "telemetry/spill_io.h"
 
 using namespace vstream;
 
@@ -55,8 +56,17 @@ int run_child(const std::string& mode, std::size_t sessions,
   scenario.seed = seed;
 
   const auto start = std::chrono::steady_clock::now();
+  const auto ms_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
   std::size_t records = 0;
   std::size_t joined_sessions = 0;
+  double sim_ms = 0.0;
+  double analyze_ms = 0.0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_logical_bytes = 0;
 
   if (mode == "spill" || mode == "ckpt") {
     engine::RunOptions options;
@@ -68,34 +78,49 @@ int run_child(const std::string& mode, std::size_t sessions,
       options.checkpoint_dir = (spill_dir / "ckpt").string();
     }
     const engine::RunResult run = engine::run_simulation(scenario, options);
-    // One read pass to count records (also exercises the reader), then the
+    sim_ms = ms_since(start);
+    for (const std::filesystem::path& file : run.spill.files()) {
+      std::error_code ec;
+      spill_bytes += std::filesystem::file_size(file, ec);
+    }
+    // One read pass to count records (also exercises the reader and
+    // collects the logical/compressed byte accounting), then the
     // incremental two-pass analysis.
     {
-      const auto stream = run.spill.open();
+      telemetry::SpillReadStats stats;
+      const auto stream = run.spill.open(&stats);
       while (auto group = stream->next()) records += group->record_count();
+      spill_logical_bytes = stats.logical_bytes;
     }
+    const auto analyze_start = std::chrono::steady_clock::now();
     const core::StreamingAnalysis streamed =
         core::analyze_spill(run.spill, run.catalog->chunk_duration_s());
+    analyze_ms = ms_since(analyze_start);
     joined_sessions = streamed.sessions_joined;
   } else {
     const engine::RunResult run = engine::run_simulation(scenario, {});
+    sim_ms = ms_since(start);
     records = dataset_records(run.dataset);
+    const auto analyze_start = std::chrono::steady_clock::now();
     const telemetry::ProxyFilterResult proxies =
         telemetry::detect_proxies(run.dataset);
     const telemetry::JoinedDataset joined =
         telemetry::JoinedDataset::build(run.dataset, &proxies);
     joined_sessions = analysis::aggregate_qoe(joined).sessions;
+    analyze_ms = ms_since(analyze_start);
   }
 
-  const double elapsed_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  const double elapsed_ms = ms_since(start);
 
   std::ofstream out(metrics_path, std::ios::trunc);
   out << "records=" << records << "\n"
       << "elapsed_ms=" << elapsed_ms << "\n"
-      << "sessions_joined=" << joined_sessions << "\n";
+      << "sim_ms=" << sim_ms << "\n"
+      << "analyze_ms=" << analyze_ms << "\n"
+      << "sessions_joined=" << joined_sessions << "\n"
+      << "spill_bytes=" << spill_bytes << "\n"
+      << "spill_logical_bytes=" << spill_logical_bytes << "\n"
+      << "spill_stall_us=" << telemetry::spill_write_stall_us() << "\n";
   out.flush();
   return out ? 0 : 1;
 }
@@ -103,8 +128,13 @@ int run_child(const std::string& mode, std::size_t sessions,
 struct ChildResult {
   std::size_t records = 0;
   double elapsed_ms = 0.0;
+  double sim_ms = 0.0;
+  double analyze_ms = 0.0;
   std::size_t sessions_joined = 0;
   double peak_rss_mb = 0.0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t spill_logical_bytes = 0;
+  std::uint64_t spill_stall_us = 0;
 };
 
 /// Fork + re-exec this binary in `mode`, harvest ru_maxrss via wait4 and
@@ -175,8 +205,13 @@ ChildResult run_mode(const char* self, const std::string& mode,
   }
   result.records = static_cast<std::size_t>(std::stoull(kv["records"]));
   result.elapsed_ms = std::stod(kv["elapsed_ms"]);
+  result.sim_ms = std::stod(kv["sim_ms"]);
+  result.analyze_ms = std::stod(kv["analyze_ms"]);
   result.sessions_joined =
       static_cast<std::size_t>(std::stoull(kv["sessions_joined"]));
+  result.spill_bytes = std::stoull(kv["spill_bytes"]);
+  result.spill_logical_bytes = std::stoull(kv["spill_logical_bytes"]);
+  result.spill_stall_us = std::stoull(kv["spill_stall_us"]);
   return result;
 }
 
@@ -269,6 +304,20 @@ int main(int argc, char** argv) {
       spill.elapsed_ms > 0.0
           ? (ckpt.elapsed_ms - spill.elapsed_ms) / spill.elapsed_ms * 100.0
           : 0.0;
+  // Simulation-phase cost of spilling telemetry vs keeping it in memory:
+  // the spill byte path (encode + buffered async writes) is the delta.
+  const double spill_sim_overhead_pct =
+      memory.sim_ms > 0.0
+          ? (spill.sim_ms - memory.sim_ms) / memory.sim_ms * 100.0
+          : 0.0;
+  const double spill_bytes_per_session =
+      sessions > 0 ? static_cast<double>(spill.spill_bytes) /
+                         static_cast<double>(sessions)
+                   : 0.0;
+  const double spill_compression_ratio =
+      spill.spill_bytes > 0 ? static_cast<double>(spill.spill_logical_bytes) /
+                                  static_cast<double>(spill.spill_bytes)
+                            : 0.0;
 
   bench::emit_json(
       "BENCH_telemetry.json", "telemetry",
@@ -278,9 +327,17 @@ int main(int argc, char** argv) {
           {"memory_elapsed_ms", memory.elapsed_ms, "ms"},
           {"memory_records_per_sec", records_per_sec(memory), "records/s"},
           {"memory_peak_rss_mb", memory.peak_rss_mb, "MB"},
+          {"memory_sim_ms", memory.sim_ms, "ms"},
           {"spill_elapsed_ms", spill.elapsed_ms, "ms"},
           {"spill_records_per_sec", records_per_sec(spill), "records/s"},
           {"spill_peak_rss_mb", spill.peak_rss_mb, "MB"},
+          {"spill_sim_ms", spill.sim_ms, "ms"},
+          {"spill_sim_overhead_pct", spill_sim_overhead_pct, "%"},
+          {"analyze_spill_ms", spill.analyze_ms, "ms"},
+          {"spill_bytes_per_session", spill_bytes_per_session, "B/session"},
+          {"spill_compression_ratio", spill_compression_ratio, "x"},
+          {"spill_write_stall_ms",
+           static_cast<double>(spill.spill_stall_us) / 1000.0, "ms"},
           {"peak_rss_ratio", rss_ratio, "x"},
           {"ckpt_elapsed_ms", ckpt.elapsed_ms, "ms"},
           {"ckpt_records_per_sec", records_per_sec(ckpt), "records/s"},
@@ -288,8 +345,10 @@ int main(int argc, char** argv) {
           {"checkpoint_overhead_pct", ckpt_overhead_pct, "%"},
       });
   std::printf("  wrote BENCH_telemetry.json (peak RSS ratio %.2fx, "
+              "spill sim overhead %.1f%%, %.0f B/session, ratio %.2fx, "
               "checkpoint overhead %.1f%%)\n",
-              rss_ratio, ckpt_overhead_pct);
+              rss_ratio, spill_sim_overhead_pct, spill_bytes_per_session,
+              spill_compression_ratio, ckpt_overhead_pct);
 
   std::error_code ec;
   std::filesystem::remove_all(work_dir, ec);

@@ -117,6 +117,7 @@ RunResult run_simulation(const workload::Scenario& scenario,
 
   ExecOptions exec;
   exec.threads = result.thread_count;
+  exec.spill_format = options.spill_format;
   ShardResult merged = run_sharded(
       world, *catalog, warm,
       options.faults.empty() ? nullptr : &options.faults,

@@ -180,7 +180,8 @@ ShardResult run_sharded(const workload::Scenario& scenario,
       next = 0;
       ground_truth = GroundTruth{};
       server_stats.clear();
-      sink = std::make_unique<telemetry::SpillSink>(spill_file);
+      sink = std::make_unique<telemetry::SpillSink>(spill_file,
+                                                    options.spill_format);
     }
 
     const std::size_t interval = std::max<std::size_t>(1, checkpoint->interval);
@@ -269,7 +270,7 @@ ShardResult run_sharded(const workload::Scenario& scenario,
           }
           const std::filesystem::path file =
               *spill_dir / ("shard-" + std::to_string(i) + ".vspill");
-          telemetry::SpillSink sink(file);
+          telemetry::SpillSink sink(file, options.spill_format);
           Shard shard(scenario, catalog, warm, faults, bad_prefixes, &sink);
           results[i] = shard.run(parts[i]);
           sink.finish();

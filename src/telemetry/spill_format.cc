@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
 #include "failpoints/failpoint.h"
+#include "sim/env_util.h"
 #include "sim/host_error.h"
 #include "telemetry/crc32c.h"
+#include "telemetry/spill_codec.h"
 
 namespace vstream::telemetry {
 
@@ -63,7 +66,7 @@ std::uint64_t load_u64(const char* p) {
   return v;
 }
 
-/// Bounds-checked read cursor over one block payload.
+/// Bounds-checked read cursor over one v2 block payload.
 struct Cursor {
   const char* p;
   const char* end;
@@ -102,7 +105,7 @@ struct Cursor {
   }
 };
 
-// ------------------------------------------------------ record serializers
+// --------------------------------------------- v2 (row) record serializers
 // Field order mirrors the struct declarations in records.h; session_id is
 // block-level and omitted.
 
@@ -267,10 +270,23 @@ TcpSnapshotRecord get_tcp_snapshot(Cursor& c, std::uint64_t id) {
   return r;
 }
 
-SessionRecordGroup decode_payload(const std::string& payload,
-                                  std::uint64_t session_id,
-                                  const std::filesystem::path& path) {
-  Cursor c{payload.data(), payload.data() + payload.size(), path};
+void encode_payload_v2(std::string& out, const SessionRecordGroup& group) {
+  put_u32(out, static_cast<std::uint32_t>(group.player_sessions.size()));
+  put_u32(out, static_cast<std::uint32_t>(group.cdn_sessions.size()));
+  put_u32(out, static_cast<std::uint32_t>(group.player_chunks.size()));
+  put_u32(out, static_cast<std::uint32_t>(group.cdn_chunks.size()));
+  put_u32(out, static_cast<std::uint32_t>(group.tcp_snapshots.size()));
+  for (const auto& r : group.player_sessions) put_record(out, r);
+  for (const auto& r : group.cdn_sessions) put_record(out, r);
+  for (const auto& r : group.player_chunks) put_record(out, r);
+  for (const auto& r : group.cdn_chunks) put_record(out, r);
+  for (const auto& r : group.tcp_snapshots) put_record(out, r);
+}
+
+SessionRecordGroup decode_payload_v2(const char* data, std::size_t size,
+                                     std::uint64_t session_id,
+                                     const std::filesystem::path& path) {
+  Cursor c{data, data + size, path};
   SessionRecordGroup group;
   group.session_id = session_id;
   const std::uint32_t n_ps = c.get_u32();
@@ -305,39 +321,413 @@ SessionRecordGroup decode_payload(const std::string& payload,
   return group;
 }
 
+// ------------------------------------------------- v3 (columnar) payloads
+// Column order within each stream is the struct declaration order —
+// exactly the v2 field order, transposed.  Encoding per column lives in
+// spill_codec.h; the helpers below just gather/scatter fields.
+
+/// Decode-bomb guard: a block holds one session's records, so any count
+/// beyond this is a writer bug or adversarial input, rejected before any
+/// allocation is sized from it.
+constexpr std::uint64_t kMaxBlockRecords = std::uint64_t{1} << 24;
+
+template <typename Rec, typename Get>
+void int_col(std::string& out, const std::vector<Rec>& recs,
+             std::vector<std::uint64_t>& tmp, Get get) {
+  tmp.clear();
+  tmp.reserve(recs.size());
+  for (const Rec& r : recs) {
+    tmp.push_back(static_cast<std::uint64_t>(get(r)));
+  }
+  codec::encode_int_column(out, tmp);
+}
+
+template <typename Rec, typename Get>
+void f64_col(std::string& out, const std::vector<Rec>& recs,
+             std::vector<std::uint64_t>& tmp, Get get) {
+  tmp.clear();
+  tmp.reserve(recs.size());
+  for (const Rec& r : recs) {
+    tmp.push_back(std::bit_cast<std::uint64_t>(static_cast<double>(get(r))));
+  }
+  codec::encode_f64_column(out, tmp);
+}
+
+template <typename Rec, typename Get>
+void bool_col(std::string& out, const std::vector<Rec>& recs,
+              std::vector<std::uint8_t>& tmp, Get get) {
+  tmp.clear();
+  tmp.reserve(recs.size());
+  for (const Rec& r : recs) {
+    tmp.push_back(get(r) ? 1 : 0);
+  }
+  codec::encode_bool_column(out, tmp);
+}
+
+template <typename Rec, typename Set>
+void get_int_col(codec::Reader& r, std::vector<Rec>& recs,
+                 std::vector<std::uint64_t>& tmp, std::uint64_t max,
+                 Set set) {
+  codec::decode_int_column(r, recs.size(), tmp);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (tmp[i] > max) codec::fail("integer column value out of range");
+    set(recs[i], tmp[i]);
+  }
+}
+
+template <typename Rec, typename Set>
+void get_f64_col(codec::Reader& r, std::vector<Rec>& recs,
+                 std::vector<std::uint64_t>& tmp, Set set) {
+  codec::decode_f64_column(r, recs.size(), tmp);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    set(recs[i], std::bit_cast<double>(tmp[i]));
+  }
+}
+
+template <typename Rec, typename Set>
+void get_bool_col(codec::Reader& r, std::vector<Rec>& recs,
+                  std::vector<std::uint8_t>& tmp, Set set) {
+  codec::decode_bool_column(r, recs.size(), tmp);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    set(recs[i], tmp[i] != 0);
+  }
+}
+
+constexpr std::uint64_t kMaxU32 = 0xFFFFFFFFull;
+constexpr std::uint64_t kMaxU64 = ~std::uint64_t{0};
+constexpr std::uint64_t kMaxU8 = 0xFFull;
+
+void encode_payload_v3(std::string& out, const SessionRecordGroup& g,
+                       std::vector<std::uint64_t>& tmp,
+                       std::vector<std::uint8_t>& btmp) {
+  codec::put_varint(out, g.player_sessions.size());
+  codec::put_varint(out, g.cdn_sessions.size());
+  codec::put_varint(out, g.player_chunks.size());
+  codec::put_varint(out, g.cdn_chunks.size());
+  codec::put_varint(out, g.tcp_snapshots.size());
+
+  const auto& ps = g.player_sessions;
+  int_col(out, ps, tmp, [](const auto& r) { return r.client_ip; });
+  for (const auto& r : ps) codec::put_string(out, r.user_agent);
+  f64_col(out, ps, tmp, [](const auto& r) { return r.video_duration_s; });
+  f64_col(out, ps, tmp, [](const auto& r) { return r.start_time_ms; });
+  f64_col(out, ps, tmp, [](const auto& r) { return r.startup_ms; });
+  int_col(out, ps, tmp, [](const auto& r) { return r.chunks_requested; });
+  bool_col(out, ps, btmp, [](const auto& r) { return r.completed; });
+
+  const auto& cs = g.cdn_sessions;
+  int_col(out, cs, tmp, [](const auto& r) { return r.observed_ip; });
+  for (const auto& r : cs) codec::put_string(out, r.observed_user_agent);
+  int_col(out, cs, tmp, [](const auto& r) { return r.pop; });
+  int_col(out, cs, tmp, [](const auto& r) { return r.server; });
+  for (const auto& r : cs) codec::put_string(out, r.org);
+  int_col(out, cs, tmp, [](const auto& r) {
+    return static_cast<std::uint8_t>(r.access);
+  });
+  for (const auto& r : cs) codec::put_string(out, r.city);
+  for (const auto& r : cs) codec::put_string(out, r.country);
+  f64_col(out, cs, tmp, [](const auto& r) { return r.client_distance_km; });
+
+  const auto& pc = g.player_chunks;
+  int_col(out, pc, tmp, [](const auto& r) { return r.chunk_id; });
+  f64_col(out, pc, tmp, [](const auto& r) { return r.request_sent_ms; });
+  f64_col(out, pc, tmp, [](const auto& r) { return r.dfb_ms; });
+  f64_col(out, pc, tmp, [](const auto& r) { return r.dlb_ms; });
+  int_col(out, pc, tmp, [](const auto& r) { return r.bitrate_kbps; });
+  f64_col(out, pc, tmp, [](const auto& r) { return r.rebuffer_ms; });
+  int_col(out, pc, tmp, [](const auto& r) { return r.rebuffer_count; });
+  bool_col(out, pc, btmp, [](const auto& r) { return r.visible; });
+  f64_col(out, pc, tmp, [](const auto& r) { return r.avg_fps; });
+  int_col(out, pc, tmp, [](const auto& r) { return r.dropped_frames; });
+  int_col(out, pc, tmp, [](const auto& r) { return r.total_frames; });
+  int_col(out, pc, tmp, [](const auto& r) { return r.retries; });
+  int_col(out, pc, tmp, [](const auto& r) { return r.timeouts; });
+  bool_col(out, pc, btmp, [](const auto& r) { return r.failed_over; });
+  f64_col(out, pc, tmp, [](const auto& r) { return r.recovery_ms; });
+
+  const auto& cc = g.cdn_chunks;
+  int_col(out, cc, tmp, [](const auto& r) { return r.chunk_id; });
+  f64_col(out, cc, tmp, [](const auto& r) { return r.dwait_ms; });
+  f64_col(out, cc, tmp, [](const auto& r) { return r.dopen_ms; });
+  f64_col(out, cc, tmp, [](const auto& r) { return r.dread_ms; });
+  f64_col(out, cc, tmp, [](const auto& r) { return r.dbe_ms; });
+  int_col(out, cc, tmp, [](const auto& r) {
+    return static_cast<std::uint8_t>(r.cache_level);
+  });
+  int_col(out, cc, tmp, [](const auto& r) { return r.chunk_bytes; });
+  int_col(out, cc, tmp, [](const auto& r) { return r.pop; });
+  int_col(out, cc, tmp, [](const auto& r) { return r.server; });
+  bool_col(out, cc, btmp, [](const auto& r) { return r.served_stale; });
+  bool_col(out, cc, btmp, [](const auto& r) { return r.shed; });
+  bool_col(out, cc, btmp, [](const auto& r) { return r.hedged; });
+  bool_col(out, cc, btmp, [](const auto& r) { return r.hedge_won; });
+  bool_col(out, cc, btmp, [](const auto& r) { return r.budget_denied; });
+  bool_col(out, cc, btmp, [](const auto& r) { return r.served_swr; });
+  int_col(out, cc, tmp, [](const auto& r) {
+    return static_cast<std::uint8_t>(r.breaker);
+  });
+
+  const auto& ts = g.tcp_snapshots;
+  int_col(out, ts, tmp, [](const auto& r) { return r.chunk_id; });
+  f64_col(out, ts, tmp, [](const auto& r) { return r.at_ms; });
+  f64_col(out, ts, tmp, [](const auto& r) { return r.info.srtt_ms; });
+  f64_col(out, ts, tmp, [](const auto& r) { return r.info.rttvar_ms; });
+  int_col(out, ts, tmp, [](const auto& r) { return r.info.cwnd_segments; });
+  int_col(out, ts, tmp,
+          [](const auto& r) { return r.info.ssthresh_segments; });
+  int_col(out, ts, tmp, [](const auto& r) { return r.info.mss_bytes; });
+  int_col(out, ts, tmp, [](const auto& r) { return r.info.total_retrans; });
+  int_col(out, ts, tmp, [](const auto& r) { return r.info.segments_out; });
+  int_col(out, ts, tmp, [](const auto& r) { return r.info.bytes_acked; });
+  bool_col(out, ts, btmp, [](const auto& r) { return r.info.in_slow_start; });
+}
+
+SessionRecordGroup decode_payload_v3(const char* data, std::size_t size,
+                                     std::uint64_t session_id,
+                                     std::vector<std::uint64_t>& tmp,
+                                     std::vector<std::uint8_t>& btmp) {
+  codec::Reader r{data, data + size};
+  SessionRecordGroup g;
+  g.session_id = session_id;
+  const std::uint64_t n_ps = codec::get_varint(r);
+  const std::uint64_t n_cs = codec::get_varint(r);
+  const std::uint64_t n_pc = codec::get_varint(r);
+  const std::uint64_t n_cc = codec::get_varint(r);
+  const std::uint64_t n_ts = codec::get_varint(r);
+  if (n_ps > kMaxBlockRecords || n_cs > kMaxBlockRecords ||
+      n_pc > kMaxBlockRecords || n_cc > kMaxBlockRecords ||
+      n_ts > kMaxBlockRecords) {
+    codec::fail("implausible record count in block");
+  }
+
+  auto& ps = g.player_sessions;
+  ps.resize(n_ps);
+  for (auto& rec : ps) rec.session_id = session_id;
+  get_int_col(r, ps, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.client_ip = static_cast<std::uint32_t>(v);
+              });
+  for (auto& rec : ps) rec.user_agent = codec::get_string(r);
+  get_f64_col(r, ps, tmp,
+              [](auto& rec, double v) { rec.video_duration_s = v; });
+  get_f64_col(r, ps, tmp, [](auto& rec, double v) { rec.start_time_ms = v; });
+  get_f64_col(r, ps, tmp, [](auto& rec, double v) { rec.startup_ms = v; });
+  get_int_col(r, ps, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.chunks_requested = static_cast<std::uint32_t>(v);
+              });
+  get_bool_col(r, ps, btmp, [](auto& rec, bool v) { rec.completed = v; });
+
+  auto& cs = g.cdn_sessions;
+  cs.resize(n_cs);
+  for (auto& rec : cs) rec.session_id = session_id;
+  get_int_col(r, cs, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.observed_ip = static_cast<std::uint32_t>(v);
+              });
+  for (auto& rec : cs) rec.observed_user_agent = codec::get_string(r);
+  get_int_col(r, cs, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.pop = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, cs, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.server = static_cast<std::uint32_t>(v);
+              });
+  for (auto& rec : cs) rec.org = codec::get_string(r);
+  get_int_col(r, cs, tmp, kMaxU8,
+              [](auto& rec, std::uint64_t v) {
+                rec.access = static_cast<net::AccessType>(v);
+              });
+  for (auto& rec : cs) rec.city = codec::get_string(r);
+  for (auto& rec : cs) rec.country = codec::get_string(r);
+  get_f64_col(r, cs, tmp,
+              [](auto& rec, double v) { rec.client_distance_km = v; });
+
+  auto& pc = g.player_chunks;
+  pc.resize(n_pc);
+  for (auto& rec : pc) rec.session_id = session_id;
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.chunk_id = static_cast<std::uint32_t>(v);
+              });
+  get_f64_col(r, pc, tmp,
+              [](auto& rec, double v) { rec.request_sent_ms = v; });
+  get_f64_col(r, pc, tmp, [](auto& rec, double v) { rec.dfb_ms = v; });
+  get_f64_col(r, pc, tmp, [](auto& rec, double v) { rec.dlb_ms = v; });
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.bitrate_kbps = static_cast<std::uint32_t>(v);
+              });
+  get_f64_col(r, pc, tmp, [](auto& rec, double v) { rec.rebuffer_ms = v; });
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.rebuffer_count = static_cast<std::uint32_t>(v);
+              });
+  get_bool_col(r, pc, btmp, [](auto& rec, bool v) { rec.visible = v; });
+  get_f64_col(r, pc, tmp, [](auto& rec, double v) { rec.avg_fps = v; });
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.dropped_frames = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.total_frames = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.retries = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, pc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.timeouts = static_cast<std::uint32_t>(v);
+              });
+  get_bool_col(r, pc, btmp, [](auto& rec, bool v) { rec.failed_over = v; });
+  get_f64_col(r, pc, tmp, [](auto& rec, double v) { rec.recovery_ms = v; });
+
+  auto& cc = g.cdn_chunks;
+  cc.resize(n_cc);
+  for (auto& rec : cc) rec.session_id = session_id;
+  get_int_col(r, cc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.chunk_id = static_cast<std::uint32_t>(v);
+              });
+  get_f64_col(r, cc, tmp, [](auto& rec, double v) { rec.dwait_ms = v; });
+  get_f64_col(r, cc, tmp, [](auto& rec, double v) { rec.dopen_ms = v; });
+  get_f64_col(r, cc, tmp, [](auto& rec, double v) { rec.dread_ms = v; });
+  get_f64_col(r, cc, tmp, [](auto& rec, double v) { rec.dbe_ms = v; });
+  get_int_col(r, cc, tmp, kMaxU8,
+              [](auto& rec, std::uint64_t v) {
+                rec.cache_level = static_cast<cdn::CacheLevel>(v);
+              });
+  get_int_col(r, cc, tmp, kMaxU64,
+              [](auto& rec, std::uint64_t v) { rec.chunk_bytes = v; });
+  get_int_col(r, cc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.pop = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, cc, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.server = static_cast<std::uint32_t>(v);
+              });
+  get_bool_col(r, cc, btmp, [](auto& rec, bool v) { rec.served_stale = v; });
+  get_bool_col(r, cc, btmp, [](auto& rec, bool v) { rec.shed = v; });
+  get_bool_col(r, cc, btmp, [](auto& rec, bool v) { rec.hedged = v; });
+  get_bool_col(r, cc, btmp, [](auto& rec, bool v) { rec.hedge_won = v; });
+  get_bool_col(r, cc, btmp,
+               [](auto& rec, bool v) { rec.budget_denied = v; });
+  get_bool_col(r, cc, btmp, [](auto& rec, bool v) { rec.served_swr = v; });
+  get_int_col(r, cc, tmp, kMaxU8,
+              [](auto& rec, std::uint64_t v) {
+                rec.breaker = static_cast<cdn::BreakerState>(v);
+              });
+
+  auto& ts = g.tcp_snapshots;
+  ts.resize(n_ts);
+  for (auto& rec : ts) rec.session_id = session_id;
+  get_int_col(r, ts, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.chunk_id = static_cast<std::uint32_t>(v);
+              });
+  get_f64_col(r, ts, tmp, [](auto& rec, double v) { rec.at_ms = v; });
+  get_f64_col(r, ts, tmp, [](auto& rec, double v) { rec.info.srtt_ms = v; });
+  get_f64_col(r, ts, tmp,
+              [](auto& rec, double v) { rec.info.rttvar_ms = v; });
+  get_int_col(r, ts, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.info.cwnd_segments = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, ts, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.info.ssthresh_segments = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, ts, tmp, kMaxU32,
+              [](auto& rec, std::uint64_t v) {
+                rec.info.mss_bytes = static_cast<std::uint32_t>(v);
+              });
+  get_int_col(r, ts, tmp, kMaxU64,
+              [](auto& rec, std::uint64_t v) { rec.info.total_retrans = v; });
+  get_int_col(r, ts, tmp, kMaxU64,
+              [](auto& rec, std::uint64_t v) { rec.info.segments_out = v; });
+  get_int_col(r, ts, tmp, kMaxU64,
+              [](auto& rec, std::uint64_t v) { rec.info.bytes_acked = v; });
+  get_bool_col(r, ts, btmp,
+               [](auto& rec, bool v) { rec.info.in_slow_start = v; });
+
+  if (r.p != r.end) codec::fail("trailing bytes in block payload");
+  return g;
+}
+
+/// The v2 row encoding size of a group, computed without encoding it —
+/// the "logical" size behind SpillReadStats::logical_bytes, so the
+/// compression ratio of a v3 file is measurable from the file alone.
+std::uint64_t v2_payload_bytes(const SessionRecordGroup& g) {
+  std::uint64_t b = 20;  // five u32 counts
+  for (const auto& r : g.player_sessions) b += 37 + r.user_agent.size();
+  for (const auto& r : g.cdn_sessions) {
+    b += 37 + r.observed_user_agent.size() + r.org.size() + r.city.size() +
+         r.country.size();
+  }
+  b += 78 * g.player_chunks.size();
+  b += 60 * g.cdn_chunks.size();
+  b += 65 * g.tcp_snapshots.size();
+  return b;
+}
+
 constexpr std::uint64_t kFileHeaderBytes = 8;    // magic + version
 constexpr std::uint64_t kBlockHeaderBytes = 24;  // marker+id+size+crc
 constexpr std::uint64_t kBlockTrailerBytes = 4;  // payload crc
 constexpr std::uint64_t kCommitFrameBytes = 16;  // marker+count+crc
 
-/// Validate a spill file header read into `raw` (8 bytes); throws on a
-/// foreign or future file.
-void check_file_header(const char* raw, const std::filesystem::path& path) {
+/// Validate a spill file header read into `raw` (8 bytes) and return its
+/// version; throws on a foreign or future file.
+std::uint32_t check_file_header(const char* raw,
+                                const std::filesystem::path& path) {
   if (load_u32(raw) != kSpillMagic) {
     throw std::runtime_error("spill: bad magic in " + path.string());
   }
   const std::uint32_t version = load_u32(raw + 4);
-  if (version != kSpillVersion) {
+  if (version != kSpillVersionV2 && version != kSpillVersionV3) {
     throw std::runtime_error("spill: unsupported version " +
                              std::to_string(version) + " in " + path.string());
   }
+  return version;
 }
 
 }  // namespace
 
+std::uint32_t resolve_spill_format(std::uint32_t requested) {
+  if (requested == 0) {
+    const std::string raw = sim::nonempty_env("VSTREAM_SPILL_FORMAT", "");
+    if (raw.empty()) return kSpillVersionDefault;
+    if (raw == "2") return kSpillVersionV2;
+    if (raw == "3") return kSpillVersionV3;
+    throw std::runtime_error("VSTREAM_SPILL_FORMAT must be 2 or 3 (got \"" +
+                             raw + "\")");
+  }
+  if (requested != kSpillVersionV2 && requested != kSpillVersionV3) {
+    throw std::runtime_error("spill: unsupported format request " +
+                             std::to_string(requested));
+  }
+  return requested;
+}
+
 // -------------------------------------------------------------- SpillWriter
 
-SpillWriter::SpillWriter(const std::filesystem::path& path)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  if (!out_) {
-    throw sim::HostIoError("spill: cannot open " + path.string() +
-                           " for writing");
-  }
-  std::string header;
-  put_u32(header, kSpillMagic);
-  put_u32(header, kSpillVersion);
-  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+void SpillWriter::write_file_header() {
+  frame_.clear();
+  put_u32(frame_, kSpillMagic);
+  put_u32(frame_, version_);
+  io_->append(frame_.data(), frame_.size());
   offset_ = kFileHeaderBytes;
+}
+
+SpillWriter::SpillWriter(const std::filesystem::path& path,
+                         std::uint32_t format)
+    : path_(path), version_(resolve_spill_format(format)) {
+  io_ = std::make_unique<SpillFileBackend>(path, /*truncate=*/true,
+                                           resolve_spill_async());
+  write_file_header();
 }
 
 SpillWriter::SpillWriter(const std::filesystem::path& path,
@@ -362,54 +752,52 @@ SpillWriter::SpillWriter(const std::filesystem::path& path,
     if (!in.read(raw, kFileHeaderBytes)) {
       throw std::runtime_error("spill: truncated header in " + path.string());
     }
-    check_file_header(raw, path);
+    // A resumed writer appends in the file's version, not the configured
+    // one: a run that started as v2 stays v2 across a crash.
+    version_ = check_file_header(raw, path);
   }
   // Everything past the committed offset is uncommitted work from a
   // crashed writer; drop it so the resumed run re-emits those sessions.
   std::filesystem::resize_file(path, committed_bytes);
-  out_.open(path, std::ios::binary | std::ios::app);
-  if (!out_) {
-    throw sim::HostIoError("spill: cannot reopen " + path.string() +
-                           " for append");
-  }
+  io_ = std::make_unique<SpillFileBackend>(path, /*truncate=*/false,
+                                           resolve_spill_async());
   offset_ = committed_bytes;
   blocks_written_ = blocks_already_written;
 }
 
-SpillWriter::~SpillWriter() {
-  if (out_.is_open()) out_.close();
-}
+SpillWriter::~SpillWriter() = default;  // backend drains + closes best-effort
 
 void SpillWriter::write(const SessionRecordGroup& group) {
   // Failpoint spill.write: an injected host failure takes the same road
-  // as a real one — fail the stream, let the post-write check throw.
+  // as a real one — poison the writer, throw from this very call.  Frames
+  // staged before the failure still drain (they are complete and
+  // committed), matching the pre-async behavior where earlier blocks
+  // survived in the stream buffer.
   if (failpoints::should_fail(failpoints::Site::kSpillWrite)) {
-    out_.setstate(std::ios::badbit);
+    poisoned_ = true;
+  }
+  if (poisoned_ || io_->failed()) {
+    throw sim::HostIoError("spill: error writing " + path_.string());
   }
   scratch_.clear();
-  put_u32(scratch_, static_cast<std::uint32_t>(group.player_sessions.size()));
-  put_u32(scratch_, static_cast<std::uint32_t>(group.cdn_sessions.size()));
-  put_u32(scratch_, static_cast<std::uint32_t>(group.player_chunks.size()));
-  put_u32(scratch_, static_cast<std::uint32_t>(group.cdn_chunks.size()));
-  put_u32(scratch_, static_cast<std::uint32_t>(group.tcp_snapshots.size()));
-  for (const auto& r : group.player_sessions) put_record(scratch_, r);
-  for (const auto& r : group.cdn_sessions) put_record(scratch_, r);
-  for (const auto& r : group.player_chunks) put_record(scratch_, r);
-  for (const auto& r : group.cdn_chunks) put_record(scratch_, r);
-  for (const auto& r : group.tcp_snapshots) put_record(scratch_, r);
+  if (version_ == kSpillVersionV3) {
+    encode_payload_v3(scratch_, group, col_, bcol_);
+  } else {
+    encode_payload_v2(scratch_, group);
+  }
 
+  // One contiguous frame image: block header (incl. both CRCs staged
+  // back to back), payload, payload CRC, then the commit frame.  The
+  // backend staged-buffer drain turns many frames into one write(2).
   frame_.clear();
   put_u32(frame_, kSpillBlockMarker);
   put_u64(frame_, group.session_id);
   put_u64(frame_, scratch_.size());
   put_u32(frame_, crc32c(frame_.data(), frame_.size()));  // header CRC
   put_u32(frame_, crc32c(scratch_.data(), scratch_.size()));
-  // Header (incl. both CRCs staged back to back): write header bytes,
-  // payload, then the payload CRC that was staged after the header.
-  out_.write(frame_.data(), static_cast<std::streamsize>(kBlockHeaderBytes));
-  out_.write(scratch_.data(), static_cast<std::streamsize>(scratch_.size()));
-  out_.write(frame_.data() + kBlockHeaderBytes,
-             static_cast<std::streamsize>(kBlockTrailerBytes));
+  io_->append(frame_.data(), kBlockHeaderBytes);
+  io_->append(scratch_.data(), scratch_.size());
+  io_->append(frame_.data() + kBlockHeaderBytes, kBlockTrailerBytes);
   ++blocks_written_;
 
   // Commit record: the group above is fully written; a recovery scan that
@@ -418,11 +806,11 @@ void SpillWriter::write(const SessionRecordGroup& group) {
   put_u32(frame_, kSpillCommitMarker);
   put_u64(frame_, blocks_written_);
   put_u32(frame_, crc32c(frame_.data(), frame_.size()));
-  out_.write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+  io_->append(frame_.data(), frame_.size());
 
   // Fail fast on a write error: nothing after a failed block can commit,
   // and the committed prefix stays salvageable for --resume / analyze.
-  if (out_.fail()) {
+  if (io_->failed()) {
     throw sim::HostIoError("spill: error writing " + path_.string());
   }
 
@@ -432,19 +820,23 @@ void SpillWriter::write(const SessionRecordGroup& group) {
 
 std::uint64_t SpillWriter::flush_committed() {
   if (failpoints::should_fail(failpoints::Site::kSpillFlush)) {
-    out_.setstate(std::ios::badbit);
+    poisoned_ = true;
   }
-  out_.flush();
-  if (out_.fail()) {
+  if (poisoned_) {
+    throw sim::HostIoError("spill: error writing " + path_.string());
+  }
+  io_->flush();
+  if (io_->failed()) {
     throw sim::HostIoError("spill: error writing " + path_.string());
   }
   return offset_;
 }
 
 void SpillWriter::close() {
-  if (!out_.is_open()) return;
-  out_.close();
-  if (out_.fail()) {
+  if (closed_) return;
+  closed_ = true;
+  io_->close();
+  if (poisoned_ || io_->failed()) {
     throw sim::HostIoError("spill: error writing " + path_.string());
   }
 }
@@ -453,18 +845,15 @@ void SpillWriter::close() {
 
 SpillReader::SpillReader(const std::filesystem::path& path,
                          SpillReadStats* stats)
-    : in_(path, std::ios::binary), path_(path), external_stats_(stats) {
-  if (!in_) {
-    throw std::runtime_error("spill: cannot open " + path.string());
-  }
-  in_.seekg(0, std::ios::end);
-  file_size_ = static_cast<std::uint64_t>(in_.tellg());
-  in_.seekg(0, std::ios::beg);
+    : src_(open_spill_source(path)), path_(path), external_stats_(stats) {
+  file_size_ = src_->size();
   char raw[kFileHeaderBytes];
-  if (!in_.read(raw, kFileHeaderBytes)) {
+  if (file_size_ < kFileHeaderBytes) {
     throw std::runtime_error("spill: truncated header in " + path.string());
   }
-  check_file_header(raw, path_);
+  src_->read(0, raw, kFileHeaderBytes);
+  version_ = check_file_header(raw, path_);
+  pos_ = kFileHeaderBytes;
 }
 
 void SpillReader::bump(std::uint64_t SpillReadStats::* counter,
@@ -475,42 +864,41 @@ void SpillReader::bump(std::uint64_t SpillReadStats::* counter,
 
 SpillReader::FrameKind SpillReader::parse_frame(
     bool decode, std::optional<SessionRecordGroup>* out, SpillBlockRef* ref) {
-  const std::uint64_t pos = static_cast<std::uint64_t>(in_.tellg());
+  const std::uint64_t pos = pos_;
   if (pos >= file_size_) return FrameKind::kEnd;
   const std::uint64_t remaining = file_size_ - pos;
 
   const auto torn_tail = [&]() {
     bump(&SpillReadStats::torn_tail_bytes, remaining);
-    in_.clear();
-    in_.seekg(0, std::ios::end);
+    pos_ = file_size_;
     return FrameKind::kEnd;
   };
   const auto resync = [&]() {
     bump(&SpillReadStats::bytes_skipped, 1);
-    in_.clear();
-    in_.seekg(static_cast<std::streamoff>(pos + 1), std::ios::beg);
+    pos_ = pos + 1;
     return FrameKind::kSkip;
   };
 
   char head[kBlockHeaderBytes];
   if (remaining < 4) return torn_tail();
-  if (!in_.read(head, 4)) return torn_tail();
+  src_->read(pos, head, 4);
   const std::uint32_t marker = load_u32(head);
 
   if (marker == kSpillCommitMarker) {
     if (remaining < kCommitFrameBytes) return torn_tail();
-    if (!in_.read(head + 4, kCommitFrameBytes - 4)) return torn_tail();
+    src_->read(pos + 4, head + 4, kCommitFrameBytes - 4);
     if (crc32c(head, kCommitFrameBytes - 4) !=
         load_u32(head + kCommitFrameBytes - 4)) {
       return resync();
     }
     bump(&SpillReadStats::commit_frames, 1);
+    pos_ = pos + kCommitFrameBytes;
     return FrameKind::kCommit;
   }
   if (marker != kSpillBlockMarker) return resync();
 
   if (remaining < kBlockHeaderBytes) return torn_tail();
-  if (!in_.read(head + 4, kBlockHeaderBytes - 4)) return torn_tail();
+  src_->read(pos + 4, head + 4, kBlockHeaderBytes - 4);
   if (crc32c(head, 20) != load_u32(head + 20)) return resync();
   const std::uint64_t session_id = load_u64(head + 4);
   const std::uint64_t payload_size = load_u64(head + 12);
@@ -525,35 +913,44 @@ SpillReader::FrameKind SpillReader::parse_frame(
       ref->session_id = session_id;
       ref->offset = pos;
     }
-    in_.seekg(static_cast<std::streamoff>(payload_size + kBlockTrailerBytes),
-              std::ios::cur);
+    pos_ = pos + frame_bytes;
     return FrameKind::kBlock;
   }
 
-  scratch_.resize(payload_size);
-  char trailer[kBlockTrailerBytes];
-  if (!in_.read(scratch_.data(),
-                static_cast<std::streamsize>(payload_size)) ||
-      !in_.read(trailer, kBlockTrailerBytes)) {
-    return torn_tail();
+  // Decode straight from the mapping when the source supports views; the
+  // pread fallback copies into the reader's reusable scratch buffer.
+  const char* payload = src_->view(pos + kBlockHeaderBytes, payload_size);
+  if (payload == nullptr) {
+    scratch_.resize(payload_size);
+    src_->read(pos + kBlockHeaderBytes, scratch_.data(), payload_size);
+    payload = scratch_.data();
   }
+  char trailer[kBlockTrailerBytes];
+  src_->read(pos + kBlockHeaderBytes + payload_size, trailer,
+             kBlockTrailerBytes);
+  pos_ = pos + frame_bytes;
   out->reset();
-  if (crc32c(scratch_.data(), scratch_.size()) != load_u32(trailer)) {
+  if (crc32c(payload, payload_size) != load_u32(trailer)) {
     bump(&SpillReadStats::blocks_skipped, 1);
     bump(&SpillReadStats::bytes_skipped, frame_bytes);
     return FrameKind::kBlock;
   }
   try {
-    *out = decode_payload(scratch_, session_id, path_);
+    *out = version_ == kSpillVersionV3
+               ? decode_payload_v3(payload, payload_size, session_id, col_,
+                                   bcol_)
+               : decode_payload_v2(payload, payload_size, session_id, path_);
   } catch (const std::exception&) {
     // CRC-valid but undecodable: a writer bug or an adversarial file —
     // either way skip the block rather than abort the analysis.
+    out->reset();
     bump(&SpillReadStats::blocks_skipped, 1);
     bump(&SpillReadStats::bytes_skipped, frame_bytes);
     return FrameKind::kBlock;
   }
   bump(&SpillReadStats::blocks_ok, 1);
   bump(&SpillReadStats::bytes_salvaged, payload_size);
+  bump(&SpillReadStats::logical_bytes, v2_payload_bytes(**out));
   return FrameKind::kBlock;
 }
 
@@ -574,8 +971,7 @@ std::optional<SessionRecordGroup> SpillReader::next() {
 }
 
 std::vector<SpillBlockRef> SpillReader::index() {
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(kFileHeaderBytes), std::ios::beg);
+  pos_ = kFileHeaderBytes;
   std::vector<SpillBlockRef> refs;
   for (;;) {
     SpillBlockRef ref;
@@ -587,7 +983,6 @@ std::vector<SpillBlockRef> SpillReader::index() {
       case FrameKind::kSkip:
         break;
       case FrameKind::kEnd:
-        in_.clear();
         return refs;
     }
   }
@@ -595,8 +990,7 @@ std::vector<SpillBlockRef> SpillReader::index() {
 
 std::optional<SessionRecordGroup> SpillReader::read_at(
     const SpillBlockRef& ref) {
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(ref.offset), std::ios::beg);
+  pos_ = ref.offset;
   std::optional<SessionRecordGroup> group;
   parse_frame(/*decode=*/true, &group, nullptr);
   return group;

@@ -1,33 +1,51 @@
-// Binary on-disk spill format for session record groups (version 2:
-// CRC32C-framed, crash- and corruption-tolerant).
+// Binary on-disk spill format for session record groups (versions 2 and
+// 3: CRC32C-framed, crash- and corruption-tolerant).
 //
 // Layout (all integers little-endian, fixed width):
 //
-//   file   := magic:u32 ("VSPL", 0x4C505356) version:u32 (2) frame*
+//   file   := magic:u32 ("VSPL", 0x4C505356) version:u32 (2|3) frame*
 //   frame  := block | commit
 //   block  := bmark:u32 ("VBLK") session_id:u64 payload_size:u64
 //             header_crc:u32 payload payload_crc:u32
 //   commit := cmark:u32 ("VCMT") blocks_committed:u64 commit_crc:u32
-//   payload:= count:u32 x5 (player_sessions, cdn_sessions, player_chunks,
-//             cdn_chunks, tcp_snapshots) then the five record groups as
-//             contiguous column groups, each record field-by-field in the
-//             declared struct order
 //
 // header_crc is CRC32C over the 20 bytes bmark..payload_size, payload_crc
 // over the payload, commit_crc over cmark+blocks_committed.  A commit
 // frame is written only after its record group's block is fully written,
 // so the last commit frame bounds the file's consistent prefix: anything
-// after it is at best unflushed work from a crashed writer.
+// after it is at best unflushed work from a crashed writer.  Framing is
+// identical in both versions — only the payload encoding differs, so the
+// recovery scan, indexing and salvage accounting are version-blind.
 //
-// Scalars: doubles are raw IEEE-754 bits (u64), so a write/read round
-// trip is bit-exact and CSV re-export stays byte-identical; bools and
-// enums are one byte; strings are u32 length + bytes.  The per-record
-// session_id is NOT stored — it is block-level and re-applied on read.
+// v2 payload: count:u32 x5 (player_sessions, cdn_sessions, player_chunks,
+// cdn_chunks, tcp_snapshots) then the five record groups row by row,
+// field-by-field in the declared struct order.  Doubles are raw IEEE-754
+// bits (u64) so the round trip is bit-exact; bools and enums are one
+// byte; strings are u32 length + bytes.
 //
-// `payload_size` makes blocks skippable without decoding, which is how
-// SpillSet builds its per-file index: one header scan, then random-access
-// reads in ascending session-id order regardless of the completion order
-// the blocks were written in.
+// v3 payload (the default): count:varint x5, then the same five groups
+// *columnar* — for each stream, each struct field in declaration order
+// becomes one column encoded by spill_codec.h (const/zigzag-delta
+// varints for integers, const/xor-prev/exponent-split for doubles,
+// const/bit-packed for bools, varint-length strings).  Same counts, same
+// field order, same bit-exact doubles — just fewer bytes.  The format is
+// selected by SpillWriter's `format` argument with 0 deferring to
+// VSTREAM_SPILL_FORMAT (strict {2,3}; default 3); readers dispatch on
+// the file header, so mixed-version spill sets work and resumed writers
+// adopt the existing file's version regardless of the environment.
+//
+// The per-record session_id is NOT stored in either version — it is
+// block-level and re-applied on read.  `payload_size` makes blocks
+// skippable without decoding, which is how SpillSet builds its per-file
+// index: one header scan, then random-access reads in ascending
+// session-id order regardless of write order.
+//
+// Byte path: writers stage frames in a buffer drained as one contiguous
+// write per ~256 KiB, by default on a dedicated writer thread so the
+// shard's serving loop never blocks on write() (spill_io.h; sync mode
+// via VSTREAM_SPILL_ASYNC=0 is byte-identical).  Readers map the file
+// read-only (madvise SEQUENTIAL) and decode straight from the page
+// cache; VSTREAM_SPILL_MMAP=0 selects the plain pread fallback.
 //
 // Failure model: readers never throw on data damage.  A torn tail (the
 // writer was killed mid-frame) is truncated; a block whose header or
@@ -40,23 +58,31 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "telemetry/record_group.h"
+#include "telemetry/spill_io.h"
 
 namespace vstream::telemetry {
 
 inline constexpr std::uint32_t kSpillMagic = 0x4C505356;    // "VSPL"
-inline constexpr std::uint32_t kSpillVersion = 2;
+inline constexpr std::uint32_t kSpillVersionV2 = 2;
+inline constexpr std::uint32_t kSpillVersionV3 = 3;
+inline constexpr std::uint32_t kSpillVersionDefault = kSpillVersionV3;
 inline constexpr std::uint32_t kSpillBlockMarker = 0x4B4C4256;   // "VBLK"
 inline constexpr std::uint32_t kSpillCommitMarker = 0x544D4356;  // "VCMT"
 
+/// Resolve a spill format request: 2 and 3 pass through, 0 defers to
+/// VSTREAM_SPILL_FORMAT (strict: unset means kSpillVersionDefault, any
+/// value other than "2"/"3" throws std::runtime_error naming the knob).
+std::uint32_t resolve_spill_format(std::uint32_t requested = 0);
+
 /// Salvage accounting for one reader (or an aggregate over a SpillSet).
-/// All-zero except blocks_ok/bytes_salvaged/commit_frames on a clean file.
+/// All-zero except blocks_ok/bytes_salvaged/commit_frames/logical_bytes
+/// on a clean file.
 struct SpillReadStats {
   std::uint64_t blocks_ok = 0;       ///< blocks read and decoded intact
   std::uint64_t blocks_skipped = 0;  ///< CRC-failed or undecodable blocks
@@ -64,6 +90,10 @@ struct SpillReadStats {
   std::uint64_t bytes_skipped = 0;   ///< corrupt bytes scanned past (resync)
   std::uint64_t torn_tail_bytes = 0; ///< incomplete trailing frame dropped
   std::uint64_t commit_frames = 0;   ///< commit records seen
+  /// v2-equivalent payload bytes of the decoded blocks: what the same
+  /// records would occupy row-encoded.  logical_bytes / bytes_salvaged is
+  /// the realized compression ratio (1.0 for v2 files by construction).
+  std::uint64_t logical_bytes = 0;
 
   /// True when any damage was encountered (skips, resyncs, torn tail).
   bool corrupted() const {
@@ -76,23 +106,33 @@ struct SpillReadStats {
     bytes_skipped += other.bytes_skipped;
     torn_tail_bytes += other.torn_tail_bytes;
     commit_frames += other.commit_frames;
+    logical_bytes += other.logical_bytes;
     return *this;
   }
 };
 
 /// Appends session blocks to one spill file.  Not thread-safe; in the
-/// sharded engine each shard owns one writer.
+/// sharded engine each shard owns one writer.  Frames are staged and
+/// written through SpillFileBackend (buffered, async by default); write
+/// errors — real or failpoint-injected — surface as sim::HostIoError
+/// from the write()/flush_committed()/close() call that observes them
+/// and poison the writer for good.
 class SpillWriter {
  public:
-  /// Creates/truncates `path` and writes the file header.  Throws
-  /// std::runtime_error when the file cannot be opened.
-  explicit SpillWriter(const std::filesystem::path& path);
+  /// Creates/truncates `path` and writes the file header.  `format` is
+  /// resolved via resolve_spill_format (0 = environment/default).
+  /// Throws std::runtime_error when the file cannot be opened or the
+  /// format request is invalid.
+  explicit SpillWriter(const std::filesystem::path& path,
+                       std::uint32_t format = 0);
 
   /// Resume an existing spill file at a previously committed offset (see
   /// committed_bytes()): validates the header, truncates everything past
   /// `committed_bytes` (uncommitted work from a crashed run), and appends
-  /// from there.  `blocks_already_written` restores the commit counter.
-  /// Throws std::runtime_error on a missing/short/incompatible file.
+  /// from there — in the *file's* header version, so a resume is format-
+  /// stable even when the environment changed.  `blocks_already_written`
+  /// restores the commit counter.  Throws std::runtime_error on a
+  /// missing/short/incompatible file.
   SpillWriter(const std::filesystem::path& path,
               std::uint64_t committed_bytes,
               std::uint64_t blocks_already_written);
@@ -107,7 +147,7 @@ class SpillWriter {
   /// for byte-identical CSV re-export).
   void write(const SessionRecordGroup& group);
 
-  /// Push buffered frames to the OS and return the committed byte offset —
+  /// Drain staged frames to the OS and return the committed byte offset —
   /// the value a checkpoint must record for a later resume.  Throws on
   /// write errors.
   std::uint64_t flush_committed();
@@ -118,14 +158,22 @@ class SpillWriter {
   std::uint64_t blocks_written() const { return blocks_written_; }
   /// File offset after the last fully written frame.
   std::uint64_t committed_bytes() const { return offset_; }
+  std::uint32_t format_version() const { return version_; }
 
  private:
-  std::ofstream out_;
+  void write_file_header();
+
   std::filesystem::path path_;
+  std::uint32_t version_ = kSpillVersionDefault;
+  std::unique_ptr<SpillFileBackend> io_;
   std::string scratch_;  ///< reused payload buffer
   std::string frame_;    ///< reused frame-header/commit buffer
+  std::vector<std::uint64_t> col_;   ///< reused v3 column scratch
+  std::vector<std::uint8_t> bcol_;   ///< reused v3 bool column scratch
   std::uint64_t blocks_written_ = 0;
   std::uint64_t offset_ = 0;  ///< bytes written so far (header + frames)
+  bool poisoned_ = false;     ///< sticky failpoint-injected failure
+  bool closed_ = false;
 };
 
 /// One block's location inside a spill file.
@@ -139,7 +187,9 @@ struct SpillBlockRef {
 /// magic or unsupported version; after that, damage never throws — torn
 /// tails are truncated and corrupt blocks skipped, accounted in stats()
 /// (and mirrored into the optional external `stats` accumulator, which
-/// lets a SpillSet aggregate salvage over many readers).
+/// lets a SpillSet aggregate salvage over many readers).  Decode scratch
+/// is owned per reader, so one reader per thread scales without shared
+/// state.
 class SpillReader {
  public:
   explicit SpillReader(const std::filesystem::path& path,
@@ -158,6 +208,10 @@ class SpillReader {
   std::optional<SessionRecordGroup> read_at(const SpillBlockRef& ref);
 
   const SpillReadStats& stats() const { return stats_; }
+  /// The file header's format version (2 or 3).
+  std::uint32_t format_version() const { return version_; }
+  /// Total file size in bytes.
+  std::uint64_t file_bytes() const { return file_size_; }
 
  private:
   /// Parse one frame at the cursor; decode_payload controls whether block
@@ -167,10 +221,14 @@ class SpillReader {
                         SpillBlockRef* ref);
   void bump(std::uint64_t SpillReadStats::* counter, std::uint64_t n);
 
-  std::ifstream in_;
+  std::unique_ptr<SpillByteSource> src_;
   std::filesystem::path path_;
-  std::string scratch_;
+  std::string scratch_;              ///< payload copy (pread fallback only)
+  std::vector<std::uint64_t> col_;   ///< reused v3 column scratch
+  std::vector<std::uint8_t> bcol_;   ///< reused v3 bool column scratch
+  std::uint64_t pos_ = 0;
   std::uint64_t file_size_ = 0;
+  std::uint32_t version_ = kSpillVersionV2;
   SpillReadStats stats_;
   SpillReadStats* external_stats_ = nullptr;
 };

@@ -1,0 +1,135 @@
+// Byte-level I/O backends for the spill format (spill_format.h):
+//
+//   * SpillByteSource — read side.  The default backend maps the file
+//     read-only (mmap + madvise(MADV_SEQUENTIAL)) so parse and CRC work
+//     straight out of the page cache with zero copies; a plain pread
+//     backend is the fallback for platforms/filesystems where mmap fails
+//     and is selectable explicitly via VSTREAM_SPILL_MMAP=0 (strict
+//     {0,1} contract, sim/env_util.h) so tests cover both paths.
+//
+//   * SpillFileBackend — write side.  Appends are staged in a buffer and
+//     drained as one contiguous write per ~256 KiB (one syscall per many
+//     blocks instead of three per block).  With async enabled (default;
+//     VSTREAM_SPILL_ASYNC=0 forces synchronous drains) a dedicated
+//     writer thread flushes the back buffer while the shard thread keeps
+//     encoding into the front buffer — the serving hot loop only blocks
+//     when it outruns the disk, and that stall time is accounted (see
+//     spill_write_stall_us) so the bench can report it.
+//
+// Error model: write errors are *sticky*.  The backend never throws;
+// failed() reports the first error and SpillWriter turns it into the
+// documented sim::HostIoError at the next write()/flush/close — the
+// same fail-fast surface the synchronous writer had.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace vstream::telemetry {
+
+/// Buffer size at which staged writes drain to the OS.
+inline constexpr std::size_t kSpillIoBufferBytes = 256 * 1024;
+
+/// Process-wide count of microseconds shard threads spent blocked on the
+/// spill writer (waiting for buffer room or a flush).  Monotone; the
+/// telemetry bench reads it to report spill_write_stall_ms.
+std::uint64_t spill_write_stall_us();
+void add_spill_write_stall_us(std::uint64_t us);
+
+/// True when VSTREAM_SPILL_ASYNC enables the writer thread (default on;
+/// strict {0,1} parse — anything else throws std::runtime_error).
+bool resolve_spill_async();
+
+// --------------------------------------------------------------- read side
+
+/// Random-access, read-only view of one spill file.  Offsets are bounds-
+/// checked by the caller against size(); backends may assume validity.
+class SpillByteSource {
+ public:
+  virtual ~SpillByteSource() = default;
+  std::uint64_t size() const { return size_; }
+
+  /// Copy `n` bytes at `off` into `dst`.  Throws sim::HostIoError on an
+  /// environmental read failure (never on data content).
+  virtual void read(std::uint64_t off, char* dst, std::size_t n) = 0;
+
+  /// Zero-copy pointer to [off, off+n), or nullptr when the backend
+  /// cannot provide one (pread fallback) — callers then read() into
+  /// scratch.
+  virtual const char* view(std::uint64_t off, std::size_t n) = 0;
+
+ protected:
+  std::uint64_t size_ = 0;
+};
+
+/// Open `path` with the configured backend (mmap unless disabled or
+/// unavailable, else pread).  Throws std::runtime_error when the file
+/// cannot be opened.
+std::unique_ptr<SpillByteSource> open_spill_source(
+    const std::filesystem::path& path);
+
+// -------------------------------------------------------------- write side
+
+/// Buffered appender for one spill file; optionally double-buffered with
+/// a dedicated writer thread.  Not thread-safe externally (one shard owns
+/// one backend); internally the front/back buffer hand-off is the only
+/// shared state.
+class SpillFileBackend {
+ public:
+  /// Opens `path` (truncating or appending).  Throws sim::HostIoError
+  /// when the file cannot be opened.  `async` normally comes from
+  /// resolve_spill_async().
+  SpillFileBackend(const std::filesystem::path& path, bool truncate,
+                   bool async);
+
+  /// Drains and closes best-effort (errors stay reported via failed()).
+  ~SpillFileBackend();
+
+  SpillFileBackend(const SpillFileBackend&) = delete;
+  SpillFileBackend& operator=(const SpillFileBackend&) = delete;
+
+  /// Stage `n` bytes; drains a full buffer (hand-off to the writer
+  /// thread, or a direct write when synchronous).
+  void append(const char* data, std::size_t n);
+
+  /// Drain everything staged and flush the stream to the OS.
+  void flush();
+
+  /// Drain, flush and close the file.  Idempotent.
+  void close();
+
+  /// Sticky: true once any write/flush failed.
+  bool failed() const { return error_.load(std::memory_order_acquire); }
+
+ private:
+  void submit_front();          // hand front_ to the writer thread
+  void drain_sync();            // synchronous path: write front_ now
+  void io_thread();
+
+  std::ofstream out_;
+  bool async_ = false;
+  bool closed_ = false;
+  std::string front_;           // encoder-side staging buffer
+  std::atomic<bool> error_{false};
+
+  // Async-only state below; guarded by m_.
+  std::thread io_;
+  std::mutex m_;
+  std::condition_variable cv_work_;   // wakes the writer thread
+  std::condition_variable cv_room_;   // wakes a stalled encoder
+  std::string back_;
+  bool back_full_ = false;
+  bool io_busy_ = false;
+  bool flush_req_ = false;
+  bool flush_done_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace vstream::telemetry

@@ -245,6 +245,41 @@ TEST(EngineDeterminismTest, SpillRunMatchesInMemoryForEveryShardCount) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(EngineDeterminismTest, SpillFormatNeverChangesTheDataset) {
+  // v2 (row) and v3 (columnar) files must materialize byte-identical
+  // datasets — the on-disk encoding is invisible to every consumer.
+  const workload::Scenario scenario = small_scenario();
+  const std::filesystem::path dir = spill_scratch("format");
+  std::string v2_csv;
+  std::uint64_t v2_bytes = 0;
+  std::uint64_t v3_bytes = 0;
+  for (const std::uint32_t format : {2u, 3u}) {
+    engine::RunOptions options;
+    options.shards = 4;
+    options.spill_format = format;
+    options.telemetry_spill_dir =
+        (dir / ("v" + std::to_string(format))).string();
+    const engine::RunResult run = engine::run_simulation(scenario, options);
+    ASSERT_TRUE(run.spilled());
+    std::uint64_t bytes = 0;
+    for (const std::filesystem::path& file : run.spill.files()) {
+      bytes += std::filesystem::file_size(file);
+    }
+    const std::string csv = export_string(run.spill.load());
+    if (format == 2) {
+      v2_csv = csv;
+      v2_bytes = bytes;
+    } else {
+      EXPECT_EQ(csv, v2_csv);
+      v3_bytes = bytes;
+    }
+  }
+  // The columnar format must actually pay for itself on real telemetry.
+  EXPECT_LT(v3_bytes, v2_bytes * 3 / 4)
+      << "v3 " << v3_bytes << " vs v2 " << v2_bytes;
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EngineDeterminismTest, SpillAnalysisMatchesBatchAnalysis) {
   const workload::Scenario scenario = small_scenario();
 

@@ -97,18 +97,32 @@ rm -rf "$spill_work"
 mkdir -p "$spill_work"
 "$build_dir/tools/vstream-sim" --sessions 200 --seed 11 --shards 4 \
   --out "$spill_work/mem" >/dev/null
-"$build_dir/tools/vstream-sim" --sessions 200 --seed 11 --shards 4 \
-  --telemetry-spill "$spill_work/spill-dir" \
-  --out "$spill_work/spill" >/dev/null
-spill_files=$(ls "$spill_work/spill-dir"/*.vspill 2>/dev/null | wc -l)
-if [ "$spill_files" -lt 1 ]; then
-  echo "tier-1: spill run left no .vspill files in $spill_work/spill-dir" >&2
+# Both on-disk formats (v2 row, v3 columnar) must reproduce the in-memory
+# CSVs byte for byte; v3 must be the smaller encoding of the same run.
+for fmt in 2 3; do
+  "$build_dir/tools/vstream-sim" --sessions 200 --seed 11 --shards 4 \
+    --spill-format "$fmt" \
+    --telemetry-spill "$spill_work/spill-dir-v$fmt" \
+    --out "$spill_work/spill-v$fmt" >/dev/null
+  spill_files=$(ls "$spill_work/spill-dir-v$fmt"/*.vspill 2>/dev/null | wc -l)
+  if [ "$spill_files" -lt 1 ]; then
+    echo "tier-1: spill run left no .vspill files (format $fmt)" >&2
+    exit 1
+  fi
+  for f in player_sessions cdn_sessions player_chunks cdn_chunks tcp_snapshots; do
+    cmp "$spill_work/mem/$f.csv" "$spill_work/spill-v$fmt/$f.csv"
+  done
+done
+v2_bytes=$(du -sb "$spill_work/spill-dir-v2" | cut -f1)
+v3_bytes=$(du -sb "$spill_work/spill-dir-v3" | cut -f1)
+if [ "$v3_bytes" -ge "$v2_bytes" ]; then
+  echo "tier-1: v3 spill ($v3_bytes B) not smaller than v2 ($v2_bytes B)" >&2
   exit 1
 fi
-for f in player_sessions cdn_sessions player_chunks cdn_chunks tcp_snapshots; do
-  cmp "$spill_work/mem/$f.csv" "$spill_work/spill/$f.csv"
-done
-echo "    spill CSVs byte-identical to in-memory ($spill_files spill files)"
+"$build_dir/tools/vstream-analyze" "$spill_work/spill-dir-v3" --spill-stats \
+  >/dev/null
+echo "    spill CSVs byte-identical to in-memory for v2 and v3" \
+  "(v2 $v2_bytes B, v3 $v3_bytes B)"
 
 echo "==> tier-1: chaos smoke (kill-and-resume, byte-identical CSVs)"
 cmake --build "$build_dir" -j --target vstream-chaos
