@@ -24,6 +24,7 @@
 #include "cdn/backend.h"
 #include "cdn/cache.h"
 #include "cdn/chunk.h"
+#include "cdn/idealization.h"
 #include "cdn/overload.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -192,24 +193,29 @@ class AtsServer {
  public:
   AtsServer(AtsConfig config, BackendConfig backend);
 
-  /// Serve one chunk request arriving at `now` (simulated clock).
+  /// Serve one chunk request arriving at `now` (simulated clock).  Both
+  /// entry points run the single cdn::serve_pipeline (serve_pipeline.h)
+  /// against mode-specific ServeEnv backends; `ideal` (null for factual
+  /// serving) is the counterfactual-replay hook (cdn/idealization.h).
   ServeResult serve(const ChunkKey& key, std::uint64_t size_bytes, sim::Ms now,
-                    sim::Rng& rng, const ServeOptions& opts = {});
+                    sim::Rng& rng, const ServeOptions& opts = {},
+                    const IdealizationPolicy* ideal = nullptr);
 
-  /// Session-isolated twin of serve(): branch-for-branch the same latency
-  /// model, but all mutable state is external — cache content comes from
-  /// the immutable `warm` archive plus the session's own overlay, counters
-  /// go to `stats`, and there is no cross-session thread-pool queueing (the
-  /// paper finds production servers well-provisioned, §4.1: D_wait is
-  /// scheduling noise).  Degradation flags (backend down/slow, disk
-  /// degraded) are still read from this server, which the fault injector
-  /// drives per shard.  const: concurrent calls on the same server object
-  /// with distinct rng/session/stats are race-free.
+  /// Session-isolated twin of serve(): the same pipeline, but all mutable
+  /// state is external — cache content comes from the immutable `warm`
+  /// archive plus the session's own overlay, counters go to `stats`, and
+  /// there is no cross-session thread-pool queueing (the paper finds
+  /// production servers well-provisioned, §4.1: D_wait is scheduling
+  /// noise).  Degradation flags (backend down/slow, disk degraded) are
+  /// still read from this server, which the fault injector drives per
+  /// shard.  const: concurrent calls on the same server object with
+  /// distinct rng/session/stats are race-free.
   ServeResult serve_isolated(const ChunkKey& key, std::uint64_t size_bytes,
                              sim::Ms now, sim::Rng& rng,
                              const TwoLevelCache& warm,
                              SessionServerState& session, ServerStats& stats,
-                             const ServeOptions& opts = {}) const;
+                             const ServeOptions& opts = {},
+                             const IdealizationPolicy* ideal = nullptr) const;
 
   /// Pre-load an object into the cache hierarchy without serving a request
   /// (steady-state warm-up; does not touch the hit/miss counters).
@@ -231,25 +237,26 @@ class AtsServer {
   /// When the earliest service thread frees up (exposed for tests).
   sim::Ms earliest_thread_free_ms() const;
 
-  std::uint64_t requests_served() const { return requests_served_; }
-  std::uint64_t ram_hits() const { return ram_hits_; }
-  std::uint64_t disk_hits() const { return disk_hits_; }
-  std::uint64_t misses() const { return misses_; }
-  double miss_ratio() const;
+  std::uint64_t requests_served() const { return stats_.requests_served; }
+  std::uint64_t ram_hits() const { return stats_.ram_hits; }
+  std::uint64_t disk_hits() const { return stats_.disk_hits; }
+  std::uint64_t misses() const { return stats_.misses; }
+  double miss_ratio() const { return stats_.miss_ratio(); }
   /// Chunks fetched speculatively after misses (backend load the §4.1-2
   /// recommendation pays for its latency win).
-  std::uint64_t prefetched_chunks() const { return prefetched_chunks_; }
+  std::uint64_t prefetched_chunks() const { return stats_.prefetched_chunks; }
   /// Misses that piggybacked on an already in-flight backend fetch for the
   /// same object (collapsed forwarding — the backend-protection role the
   /// paper ascribes to the retry timer, §4.1-2 take-away 2).
-  std::uint64_t collapsed_misses() const { return collapsed_misses_; }
+  std::uint64_t collapsed_misses() const { return stats_.collapsed_misses; }
   /// Actual backend fetches issued: misses - collapsed + prefetches +
   /// hedges.  Hedges reach a real origin replica, so they count toward
   /// backend load; budget-denied retries never leave the server and are
   /// structurally excluded.
-  std::uint64_t backend_requests() const {
-    return backend_fetches_ + prefetched_chunks_ + hedged_fetches_;
-  }
+  std::uint64_t backend_requests() const { return stats_.backend_requests(); }
+  /// The coupled-mode counters as one ServerStats block (the same struct
+  /// the sharded engine accounts per shard).
+  const ServerStats& stats() const { return stats_; }
 
   // ---- degraded-operation modes (driven by faults::FaultInjector) ----
 
@@ -268,22 +275,22 @@ class AtsServer {
   double overload() const { return overload_factor_; }
 
   /// Cache hits served while the backend was down.
-  std::uint64_t stale_serves() const { return stale_serves_; }
+  std::uint64_t stale_serves() const { return stats_.stale_serves; }
   /// Misses turned into error responses by a backend outage.
-  std::uint64_t backend_errors() const { return backend_errors_; }
+  std::uint64_t backend_errors() const { return stats_.backend_errors; }
 
   // ---- overload protection (coupled-mode counters; the sharded engine
-  // accounts the same events into ServerStats) ----
-  std::uint64_t shed_requests() const { return shed_requests_; }
-  std::uint64_t hedged_fetches() const { return hedged_fetches_; }
-  std::uint64_t hedge_wins() const { return hedge_wins_; }
+  // accounts the same events into per-shard ServerStats) ----
+  std::uint64_t shed_requests() const { return stats_.shed_requests; }
+  std::uint64_t hedged_fetches() const { return stats_.hedged_fetches; }
+  std::uint64_t hedge_wins() const { return stats_.hedge_wins; }
   std::uint64_t breaker_open_transitions() const {
     return breaker_.open_transitions();
   }
   std::uint64_t retry_budget_exhausted() const {
-    return retry_budget_exhausted_;
+    return stats_.retry_budget_exhausted;
   }
-  std::uint64_t swr_serves() const { return swr_serves_; }
+  std::uint64_t swr_serves() const { return stats_.swr_serves; }
   /// Coupled-mode breaker state at `now` (advances open -> half-open).
   BreakerState breaker_state(sim::Ms now) {
     return breaker_.state(config_.overload, now);
@@ -297,11 +304,16 @@ class AtsServer {
   const AtsConfig& config() const { return config_; }
 
  private:
+  // The coupled and session-isolated ServeEnv backends (defined in
+  // ats_server.cc) plug this server's state into cdn::serve_pipeline.
+  friend struct FleetServeEnv;
+  friend struct SessionServeEnv;
+
   /// Cold-content seek penalty from the video's access recency.
   sim::Ms seek_penalty_ms(std::uint32_t video_id, sim::Ms now) const;
 
   /// Same penalty computed from an externally supplied recency map
-  /// (serve_isolated's per-session view).
+  /// (the session-isolated env's per-session view).
   sim::Ms seek_penalty_from_ms(
       const std::unordered_map<std::uint32_t, sim::Ms>& last_access,
       std::uint32_t video_id, sim::Ms now) const;
@@ -311,15 +323,9 @@ class AtsServer {
   Backend backend_;
 
   std::unordered_map<std::uint32_t, sim::Ms> last_video_access_;
-  std::uint64_t requests_served_ = 0;
-  std::uint64_t ram_hits_ = 0;
-  std::uint64_t disk_hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t prefetched_chunks_ = 0;
-  std::uint64_t collapsed_misses_ = 0;
-  std::uint64_t backend_fetches_ = 0;
-  std::uint64_t stale_serves_ = 0;
-  std::uint64_t backend_errors_ = 0;
+  /// Coupled-mode serve counters (one block, same struct the sharded
+  /// engine accounts per shard and sums after the run).
+  ServerStats stats_;
 
   bool backend_down_ = false;
   double backend_slowdown_ = 1.0;
@@ -329,11 +335,6 @@ class AtsServer {
   // ---- overload protection (coupled mode) ----
   CircuitBreaker breaker_;
   RetryBudget budget_;
-  std::uint64_t shed_requests_ = 0;
-  std::uint64_t hedged_fetches_ = 0;
-  std::uint64_t hedge_wins_ = 0;
-  std::uint64_t retry_budget_exhausted_ = 0;
-  std::uint64_t swr_serves_ = 0;
 
   /// In-flight backend fetches (key -> completion time): concurrent misses
   /// for the same object wait for the ongoing fetch instead of issuing

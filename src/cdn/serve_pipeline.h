@@ -1,0 +1,310 @@
+// The ONE serve path.
+//
+// AtsServer::serve (coupled mode: one live fleet whose caches, queues and
+// recency evolve across sessions) and AtsServer::serve_isolated (sharded
+// mode: outcomes are a pure function of the immutable warm archive, the
+// session's own history and its private RNG substream) used to be ~200
+// lines each of branch-for-branch mirrored logic that had to be edited in
+// lockstep.  serve_pipeline() is that logic written once; the two modes
+// differ only in the ServeEnv backend they plug in.
+//
+// A ServeEnv supplies, in pipeline terms:
+//
+//   config(), backend()             — immutable server configuration
+//   backend_down(), backend_slowdown(), disk_slowdown(), overload_factor()
+//                                   — fault-injector degradation flags
+//   on_arrival(now)                 — load tracking (coupled: decayed
+//                                     arrival-rate estimate; isolated: none)
+//   queue_wait(now)                 — accept-queue delay (coupled: earliest
+//                                     thread-pool slot, latched for
+//                                     finish(); isolated: 0 — D_wait is
+//                                     scheduling noise, §4.1)
+//   breaker(), budget(), stats()    — overload-protection state + counters
+//                                     (coupled: the server's; isolated: the
+//                                     session's private view)
+//   lookup(key, bytes)              — cache probe (coupled: mutating
+//                                     two-level lookup with promotion;
+//                                     isolated: session overlay shadowing
+//                                     the immutable warm archive)
+//   pending_fetch_ms(key, now)      — read-while-writer: time until an
+//                                     in-flight fetch of this object lands
+//   seek_penalty(video, now)        — cold-content disk seek from recency
+//   promote_to_ram(key)             — disk hit promotion (coupled: done by
+//                                     lookup(); isolated: overlay insert)
+//   admit(key, bytes)               — cache admission on a miss
+//   prefetch_would_miss(key, bytes) — would a speculative fetch miss?
+//   record_inflight(key, ready, now, purge)
+//                                   — register an in-flight backend fetch
+//                                     (coupled purges completed entries
+//                                     past 4096 when `purge`)
+//   finish(result, key, now)        — post-serve bookkeeping: thread-pool
+//                                     occupancy (coupled) and video recency
+//
+// Determinism contract: for a null (or kNone) IdealizationPolicy the
+// pipeline performs EXACTLY the RNG draws of the pre-unification bodies,
+// in the same order — tests/engine/serve_equivalence_test.cc pins all five
+// exported CSV streams of both modes to pre-refactor golden hashes.
+// Idealizations (see cdn/idealization.h) may skip draws; replay output is
+// then deterministic per policy, just no longer byte-comparable to the
+// factual run.
+#pragma once
+
+#include <algorithm>
+
+#include "cdn/ats_server.h"
+#include "cdn/idealization.h"
+#include "cdn/overload.h"
+
+namespace vstream::cdn {
+
+template <class Env>
+ServeResult serve_pipeline(Env& env, const ChunkKey& key,
+                           std::uint64_t size_bytes, sim::Ms now,
+                           sim::Rng& rng, const ServeOptions& opts,
+                           const IdealizationPolicy* ideal) {
+  const AtsConfig& config = env.config();
+  const OverloadConfig& ocfg = config.overload;
+  const bool ideal_cache = ideal != nullptr && ideal->zero_latency_cache();
+  const bool ideal_backend = ideal != nullptr && ideal->instant_backend();
+  const bool no_overload = ideal != nullptr && ideal->no_overload();
+  const bool backend_down = !ideal_backend && env.backend_down();
+  ServeResult result;
+
+  env.on_arrival(now);
+
+  // Every arriving request earns a sliver of retry budget (token bucket);
+  // retries and hedges spend whole tokens, so fleet-internal retry traffic
+  // is capped near retry_budget_ratio of the served load.
+  env.budget().earn(ocfg);
+  const std::uint64_t trips_before = env.breaker().open_transitions();
+  result.breaker = env.breaker().state(ocfg, now);
+  if (no_overload) result.breaker = BreakerState::kClosed;
+
+  // ---- D_wait: accept-queue time until a service thread picks the
+  // request up.  Well-provisioned in production (§4.1: latency is NOT
+  // correlated with load), so this is normally just scheduling noise; it
+  // only grows when every thread is pinned down (e.g. a backend meltdown
+  // holding threads for hundreds of milliseconds each).
+  const sim::Ms queue_wait = env.queue_wait(now);
+  result.dwait_ms =
+      queue_wait +
+      rng.lognormal_median(config.wait_median_ms, config.wait_sigma);
+
+  // ---- D_open: header read + first open attempt ----
+  result.dopen_ms =
+      rng.lognormal_median(config.open_median_ms, config.open_sigma);
+
+  // ---- priority load shedding (past the headers: priority is known) ----
+  // Effective load combines the fault-driven overload factor (flash crowd)
+  // with the observed accept-queue delay, mapped so a request waiting
+  // shed_queue_delay_ms sees load == shed_watermark.  (With the isolated
+  // env's zero queue wait this degenerates to the overload factor alone —
+  // a deterministic function of simulated time, which is what keeps
+  // sharded output partition-invariant.)
+  double load_factor = env.overload_factor();
+  if (ocfg.shed_queue_delay_ms > 0.0) {
+    load_factor = std::max(
+        load_factor, ocfg.shed_watermark * queue_wait / ocfg.shed_queue_delay_ms);
+  }
+  if (no_overload) load_factor = 1.0;
+  const double shed_p =
+      no_overload ? 0.0 : shed_probability(ocfg, load_factor, opts.priority);
+  if (shed_p > 0.0 && rng.bernoulli(shed_p)) {
+    // Cheap local 503 before any cache work; the thread is released
+    // immediately (finish() is skipped) and the client retries elsewhere.
+    ++env.stats().shed_requests;
+    result.shed = true;
+    result.failed = true;
+    result.dread_ms = rng.lognormal_median(config.error_response_median_ms,
+                                           config.error_response_sigma);
+    return result;
+  }
+
+  // ---- cache lookup and D_read ----
+  const CacheLevel level =
+      ideal_cache ? CacheLevel::kRam : env.lookup(key, size_bytes);
+  result.level = level;
+
+  // Read-while-writer: an object admitted by a concurrent miss may still
+  // be streaming in from the backend; a hit on it cannot produce a first
+  // byte before the in-flight fetch does ("many near-simultaneous requests
+  // may overwhelm the backend" — collapsing them is the retry timer's job,
+  // §4.1-2).  An ideal cache always has the bytes resident.
+  const sim::Ms pending_fetch_ms =
+      ideal_cache ? 0.0 : env.pending_fetch_ms(key, now);
+
+  switch (level) {
+    case CacheLevel::kRam:
+      ++env.stats().ram_hits;
+      result.dread_ms = rng.lognormal_median(config.ram_read_median_ms,
+                                             config.ram_read_sigma);
+      if (pending_fetch_ms > 0.0) {
+        ++env.stats().collapsed_misses;
+        result.dread_ms += pending_fetch_ms;
+      }
+      if (backend_down) {
+        result.stale = true;
+        ++env.stats().stale_serves;
+      } else if (result.breaker == BreakerState::kOpen) {
+        // Open breaker: serve the cached copy without consulting the
+        // origin (stale-while-revalidate); revalidation waits until the
+        // breaker closes.
+        result.swr = true;
+        ++env.stats().swr_serves;
+      }
+      break;
+    case CacheLevel::kDisk: {
+      ++env.stats().disk_hits;
+      // First open attempt does not return immediately (object not in RAM):
+      // ATS's asynchronous read retries after the open-read-retry timer,
+      // then pays the disk read plus a cold-content seek penalty (both
+      // stretched while the disk is degraded).
+      result.retry_timer_fired = true;
+      const sim::Ms disk_read =
+          (rng.lognormal_median(config.disk_read_median_ms,
+                                config.disk_read_sigma) +
+           env.seek_penalty(key.video_id, now)) *
+          env.disk_slowdown();
+      result.dread_ms = config.open_retry_ms + disk_read + pending_fetch_ms;
+      if (pending_fetch_ms > 0.0) ++env.stats().collapsed_misses;
+      if (backend_down) {
+        result.stale = true;
+        ++env.stats().stale_serves;
+      } else if (result.breaker == BreakerState::kOpen) {
+        result.swr = true;
+        ++env.stats().swr_serves;
+      }
+      env.promote_to_ram(key);
+      break;
+    }
+    case CacheLevel::kMiss: {
+      if (backend_down) {
+        // Graceful degradation: with the origin unreachable a miss cannot
+        // be filled.  Fail fast with a locally generated error — no cache
+        // admission, no in-flight fetch — and let the client retry or fail
+        // over to a server that still holds the object.  The breaker sees
+        // the failure, so a sustained outage trips it and later misses
+        // skip straight to the fast-fail below.
+        ++env.stats().misses;
+        ++env.stats().backend_errors;
+        result.failed = true;
+        result.dread_ms = rng.lognormal_median(
+            config.error_response_median_ms, config.error_response_sigma);
+        env.breaker().record(ocfg, now, /*success=*/false);
+        break;
+      }
+      ++env.stats().misses;
+      if (result.breaker == BreakerState::kOpen) {
+        // Breaker open and nothing cached: fast-fail instead of queueing
+        // on a melted origin.  The client retries or fails over.
+        result.failed = true;
+        result.dread_ms = rng.lognormal_median(
+            config.error_response_median_ms, config.error_response_sigma);
+        break;
+      }
+      // Collapsed forwarding: if another request already has this object
+      // in flight from the backend, wait for that fetch instead of issuing
+      // a duplicate — the backend-protection behaviour the paper ties to
+      // the retry timer ("many near-simultaneous requests may overwhelm
+      // the backend service", §4.1-2).
+      if (pending_fetch_ms > 0.0) {
+        result.retry_timer_fired = true;
+        ++env.stats().collapsed_misses;
+        result.dbe_ms = pending_fetch_ms;
+      } else {
+        if (opts.retry && !(no_overload || env.budget().spend(ocfg))) {
+          // A re-issued request needs a fresh backend fetch but the retry
+          // budget is dry: stop the retry storm here with a local error
+          // rather than amplify the outage.
+          ++env.stats().retry_budget_exhausted;
+          result.budget_denied = true;
+          result.failed = true;
+          result.dread_ms = rng.lognormal_median(
+              config.error_response_median_ms, config.error_response_sigma);
+          break;
+        }
+        // Retry timer fires while the backend request is issued; backend
+        // and delivery are pipelined (§2.1) so D_read is dominated by the
+        // backend's first byte.
+        result.retry_timer_fired = true;
+        ++env.stats().backend_fetches;
+        result.dbe_ms = ideal_backend
+                            ? 0.0
+                            : env.backend().fetch_first_byte_ms(rng) *
+                                  env.backend_slowdown();
+        // Hedged fetch: once the primary is past the backend's healthy p95
+        // first byte, race one hedge against a second origin replica and
+        // take whichever responds first.  Budget-bounded, and only while
+        // the breaker is fully closed (half-open probes stay single).
+        if (ocfg.hedge_enabled && result.breaker == BreakerState::kClosed) {
+          const sim::Ms hedge_after = ocfg.hedge_after_ms > 0.0
+                                          ? ocfg.hedge_after_ms
+                                          : env.backend().p95_first_byte_ms();
+          if (result.dbe_ms > hedge_after &&
+              (no_overload || env.budget().spend(ocfg))) {
+            ++env.stats().hedged_fetches;
+            result.hedged = true;
+            const sim::Ms hedge_total =
+                hedge_after + env.backend().fetch_first_byte_ms(rng) *
+                                  env.backend_slowdown();
+            if (hedge_total < result.dbe_ms) {
+              result.dbe_ms = hedge_total;
+              result.hedge_won = true;
+              ++env.stats().hedge_wins;
+            }
+          }
+        }
+        env.breaker().record(
+            ocfg, now, result.dbe_ms <= ocfg.breaker_latency_threshold_ms);
+        env.record_inflight(key, now + result.dbe_ms, now, /*purge=*/true);
+      }
+      result.dread_ms = config.open_retry_ms + result.dbe_ms;
+      env.admit(key, size_bytes);
+
+      // §4.1-2 take-away: after the first miss, fetch the session's next
+      // chunks in the background so its later requests hit.  The transfer
+      // is asynchronous (off the serving path); the cost is backend load,
+      // tracked in backend_requests().  Prefetches are the lowest-priority
+      // class: an overloaded server sheds them first, and a non-closed
+      // breaker suppresses them entirely.
+      if (result.breaker == BreakerState::kClosed) {
+        const double prefetch_shed_p =
+            no_overload
+                ? 0.0
+                : shed_probability(ocfg, load_factor, RequestPriority::kPrefetch);
+        for (std::uint32_t ahead = 1; ahead <= config.prefetch_on_miss;
+             ++ahead) {
+          const ChunkKey next{key.video_id, key.chunk_index + ahead,
+                              key.bitrate_kbps};
+          if (env.prefetch_would_miss(next, size_bytes)) {
+            if (prefetch_shed_p > 0.0 && rng.bernoulli(prefetch_shed_p)) {
+              ++env.stats().shed_requests;  // suppressed speculative fetch
+              continue;
+            }
+            env.admit(next, size_bytes);
+            ++env.stats().prefetched_chunks;
+            // The speculative fetch is in flight too: a request arriving
+            // before it completes waits for it (read-while-writer), it just
+            // skips the backend round trip of its own.
+            env.record_inflight(next,
+                                now + (ideal_backend
+                                           ? 0.0
+                                           : env.backend().fetch_first_byte_ms(
+                                                 rng) *
+                                                 env.backend_slowdown()),
+                                now, /*purge=*/false);
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  env.stats().breaker_open_transitions +=
+      env.breaker().open_transitions() - trips_before;
+  env.finish(result, key, now);
+  ++env.stats().requests_served;
+  return result;
+}
+
+}  // namespace vstream::cdn

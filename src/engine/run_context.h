@@ -11,6 +11,7 @@
 
 #include "cdn/ats_server.h"
 #include "cdn/fleet.h"
+#include "cdn/idealization.h"
 #include "engine/ground_truth.h"
 #include "engine/warmup.h"
 #include "faults/fault_injector.h"
@@ -32,6 +33,10 @@ struct RunContext {
   const faults::FaultInjector* injector = nullptr;
   /// Null or empty when no prefixes are flagged (§4.2-1 a-priori hints).
   const std::unordered_set<net::Prefix24>* bad_prefixes = nullptr;
+  /// Counterfactual replay: non-null idealizes exactly one subsystem for
+  /// every session in this domain (see cdn/idealization.h).  Null — and a
+  /// kNone policy — is the bit-exact factual run.
+  const cdn::IdealizationPolicy* idealization = nullptr;
 
   // -- sharded (session-isolated) mode; both null in coupled mode --
 

@@ -113,6 +113,13 @@ void SessionRuntime::rebuild_connection() {
   path.random_loss =
       std::min(0.02, path.random_loss * client.prefix->loss_multiplier);
   path.base_rtt_ms += congestion_offset_ms_;
+  if (ctx_.idealization != nullptr && ctx_.idealization->lossless_network()) {
+    // Counterfactual lossless path: no random loss and no peak-hour
+    // congestion penalty.  The bottleneck rate and propagation RTT stay —
+    // physics is not a subsystem we can fix.
+    path.random_loss = 0.0;
+    path.base_rtt_ms -= congestion_offset_ms_;
+  }
   current_loss_ = path.random_loss;
   conn_ = std::make_unique<net::TcpConnection>(tcp_config_, path, rng_.fork());
 }
@@ -122,14 +129,15 @@ cdn::ServeResult SessionRuntime::serve_chunk(const cdn::ChunkKey& key,
                                              const cdn::ServeOptions& opts) {
   cdn::AtsServer& server = ctx_.fleet->server(ref_);
   if (ctx_.warm_archive == nullptr) {
-    return server.serve(key, bytes, now, rng_, opts);
+    return server.serve(key, bytes, now, rng_, opts, ctx_.idealization);
   }
   const std::uint32_t linear =
       ref_.pop * ctx_.fleet->servers_per_pop() + ref_.server;
   return server.serve_isolated(key, bytes, now, rng_,
                                ctx_.warm_archive->for_server(ref_.server),
                                server_states_[linear],
-                               (*ctx_.server_stats)[linear], opts);
+                               (*ctx_.server_stats)[linear], opts,
+                               ctx_.idealization);
 }
 
 sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
@@ -162,7 +170,20 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
   ctx.last_bitrate_kbps = last_bitrate_;
   ctx.known_bad_prefix = ctx_.bad_prefixes != nullptr &&
                          ctx_.bad_prefixes->contains(client.prefix->prefix);
-  const std::uint32_t bitrate = abr_->choose(ctx, ladder);
+  // Oracle-ABR counterfactual: pick the highest rung sustainable at the
+  // session's true bottleneck rate (with delivery headroom), which the
+  // simulator knows exactly and a production ABR can only estimate from
+  // noisy throughput samples.  abr_->choose draws no RNG, so substituting
+  // the decision leaves every downstream draw aligned with the baseline.
+  std::uint32_t bitrate;
+  if (ctx_.idealization != nullptr && ctx_.idealization->oracle_abr()) {
+    bitrate = ladder.front();
+    for (const std::uint32_t rung : ladder) {
+      if (rung <= 0.85 * bottleneck_kbps_) bitrate = rung;
+    }
+  } else {
+    bitrate = abr_->choose(ctx, ladder);
+  }
   last_bitrate_ = bitrate;
 
   // Last chunk may carry less than tau seconds (§3).
@@ -272,9 +293,14 @@ sim::Ms SessionRuntime::step(sim::Ms fleet_now) {
   {
     // Injected loss bursts ride on top of the path's base loss while
     // active; the path reverts on its own once the burst epoch ends.
+    // A lossless-network counterfactual suppresses both.
     double loss = current_loss_;
     if (ctx_.injector != nullptr) {
       loss = std::min(0.25, loss + ctx_.injector->extra_client_loss(fleet_now));
+    }
+    if (ctx_.idealization != nullptr &&
+        ctx_.idealization->lossless_network()) {
+      loss = 0.0;
     }
     conn_->mutable_path().set_random_loss(loss);
   }

@@ -6,7 +6,8 @@ Shard::Shard(const workload::Scenario& scenario,
              const workload::VideoCatalog& catalog, const WarmArchive& warm,
              const faults::FaultSchedule* faults,
              const std::unordered_set<net::Prefix24>* bad_prefixes,
-             telemetry::RecordSink* sink)
+             telemetry::RecordSink* sink,
+             const cdn::IdealizationPolicy* ideal)
     : scenario_(scenario),
       fleet_(scenario.fleet, catalog.size()),
       collector_(scenario.tcp_sample_interval_ms, sink),
@@ -18,6 +19,7 @@ Shard::Shard(const workload::Scenario& scenario,
   ctx_.collector = &collector_;
   ctx_.ground_truth = &ground_truth_;
   ctx_.bad_prefixes = bad_prefixes;
+  ctx_.idealization = ideal;
   ctx_.warm_archive = &warm;
   ctx_.server_stats = &server_stats_;
   ctx_.round_scratch = &round_scratch_;

@@ -55,11 +55,14 @@ class Shard {
   /// may be null (no injection).  `sink` may be null (records materialize
   /// in the shard's dataset); when set it receives every record plus a
   /// session_complete() per finished session, and must outlive run().
+  /// `ideal` may be null (factual run); when set, every session in the
+  /// shard runs with that one subsystem idealized (counterfactual replay).
   Shard(const workload::Scenario& scenario,
         const workload::VideoCatalog& catalog, const WarmArchive& warm,
         const faults::FaultSchedule* faults,
         const std::unordered_set<net::Prefix24>* bad_prefixes,
-        telemetry::RecordSink* sink = nullptr);
+        telemetry::RecordSink* sink = nullptr,
+        const cdn::IdealizationPolicy* ideal = nullptr);
 
   /// Run this shard's session partition through the event queue and return
   /// the shard-local telemetry and accounting.  Call once.

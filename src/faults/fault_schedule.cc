@@ -48,6 +48,32 @@ FaultSchedule FaultSchedule::scripted(std::vector<FaultEvent> events) {
   return schedule;
 }
 
+std::optional<FaultSchedule> FaultSchedule::named(std::string_view name) {
+  if (name == "none") return FaultSchedule{};
+  if (name == "eventful") {
+    // One of each recovery path: crash (failover), backend outage (miss
+    // errors), loss burst, disk degradation (slow reads / timeouts).
+    return scripted({
+        {FaultKind::kServerCrash, 5'000.0, 60'000.0, 0, 1, 1.0},
+        {FaultKind::kBackendOutage, 20'000.0, 30'000.0, 0, 0, 1.0},
+        {FaultKind::kLossBurst, 40'000.0, 25'000.0, 0, 0, 0.05},
+        {FaultKind::kDiskDegradation, 70'000.0, 40'000.0, 1, 0, 8.0},
+    });
+  }
+  if (name == "overload") {
+    // Flash crowd on PoP 0 plus an origin brownout: shedding, breakers
+    // and hedging all engage.
+    return scripted({
+        {FaultKind::kOverload, 2'000.0, 90'000.0, 0, 0, 3.0},
+        {FaultKind::kOverload, 2'000.0, 90'000.0, 0, 1, 3.0},
+        {FaultKind::kOverload, 2'000.0, 90'000.0, 0, 2, 2.0},
+        {FaultKind::kBackendSlowdown, 10'000.0, 60'000.0, 0, 0, 8.0},
+        {FaultKind::kBackendOutage, 80'000.0, 15'000.0, 0, 0, 1.0},
+    });
+  }
+  return std::nullopt;
+}
+
 FaultSchedule FaultSchedule::stochastic(const StochasticFaultConfig& config,
                                         std::uint32_t pop_count,
                                         std::uint32_t servers_per_pop,

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sim/rng.h"
@@ -101,6 +103,13 @@ class FaultSchedule {
                                   std::uint32_t pop_count,
                                   std::uint32_t servers_per_pop,
                                   sim::Rng& rng);
+
+  /// The CLI-named profiles ("none", "eventful", "overload"), defined once
+  /// here so a run (`vstream-sim --fault-profile P`) and its offline
+  /// attribution pass (`vstream-analyze --attribution --fault-profile P`)
+  /// rebuild the identical fault world.  Returns nullopt for an unknown
+  /// name.
+  static std::optional<FaultSchedule> named(std::string_view name);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }

@@ -10,6 +10,7 @@
 
 #include "core/streaming.h"
 #include "engine/engine.h"
+#include "engine/replay.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
@@ -687,6 +688,106 @@ TEST(ThreadDeterminismTest, ParallelSpillAnalysisMatchesSerial) {
     EXPECT_FALSE(parallel.spill.corrupted());
   }
   std::filesystem::remove_all(dir);
+}
+
+// ===================================================================
+// Replay determinism: re-running any single session through
+// engine::ReplayContext with a null idealization must reproduce that
+// session's slice of the full run — records byte-identical, QoE
+// bit-identical — no matter how many shards or threads the full run
+// used.  This is the property the attribution pass stands on.
+
+/// The records of one session, in the full dataset's stream order.
+telemetry::Dataset session_slice(const telemetry::Dataset& data,
+                                 std::uint64_t id) {
+  telemetry::Dataset out;
+  for (const auto& r : data.player_sessions) {
+    if (r.session_id == id) out.player_sessions.push_back(r);
+  }
+  for (const auto& r : data.cdn_sessions) {
+    if (r.session_id == id) out.cdn_sessions.push_back(r);
+  }
+  for (const auto& r : data.player_chunks) {
+    if (r.session_id == id) out.player_chunks.push_back(r);
+  }
+  for (const auto& r : data.cdn_chunks) {
+    if (r.session_id == id) out.cdn_chunks.push_back(r);
+  }
+  for (const auto& r : data.tcp_snapshots) {
+    if (r.session_id == id) out.tcp_snapshots.push_back(r);
+  }
+  return out;
+}
+
+/// A spread of admitted session ids: first, last, and three in between.
+std::vector<std::uint64_t> probe_ids(const engine::ReplayContext& ctx) {
+  const auto& admitted = ctx.admitted();
+  std::vector<std::uint64_t> ids;
+  for (const std::size_t at :
+       {std::size_t{0}, admitted.size() / 4, admitted.size() / 2,
+        3 * admitted.size() / 4, admitted.size() - 1}) {
+    ids.push_back(admitted[at].spec.session_id);
+  }
+  return ids;
+}
+
+void expect_replay_matches_cells(const faults::FaultSchedule& schedule,
+                                 const char* tag) {
+  const workload::Scenario scenario = small_scenario();
+  engine::RunOptions replay_options;
+  replay_options.faults = schedule;
+  const engine::ReplayContext ctx(scenario, replay_options);
+  const std::vector<std::uint64_t> ids = probe_ids(ctx);
+
+  for (const std::size_t shards : {1, 4, 64}) {
+    for (const std::size_t threads : {1, 4}) {
+      engine::RunOptions options;
+      options.shards = shards;
+      options.threads = threads;
+      options.faults = schedule;
+      const engine::RunResult run = engine::run_simulation(scenario, options);
+
+      for (const std::uint64_t id : ids) {
+        const auto replayed = ctx.replay_session(id);
+        ASSERT_TRUE(replayed.has_value())
+            << tag << " session " << id << " not admitted";
+        const telemetry::Dataset original = session_slice(run.dataset, id);
+        EXPECT_EQ(export_string(replayed->dataset), export_string(original))
+            << tag << " session " << id << " shards=" << shards
+            << " threads=" << threads;
+
+        // QoE through the same join the analysis tools use must be
+        // bit-identical too.
+        const telemetry::JoinedDataset joined =
+            telemetry::JoinedDataset::build(original);
+        ASSERT_EQ(joined.sessions().size(), 1u) << tag << " session " << id;
+        const analysis::SessionQoe original_qoe =
+            analysis::session_qoe(joined.sessions().front());
+        EXPECT_EQ(replayed->qoe.startup_ms, original_qoe.startup_ms);
+        EXPECT_EQ(replayed->qoe.rebuffer_rate_pct,
+                  original_qoe.rebuffer_rate_pct);
+        EXPECT_EQ(replayed->qoe.rebuffer_events, original_qoe.rebuffer_events);
+        EXPECT_EQ(replayed->qoe.avg_bitrate_kbps,
+                  original_qoe.avg_bitrate_kbps);
+        EXPECT_EQ(replayed->qoe.dropped_frame_pct,
+                  original_qoe.dropped_frame_pct);
+        EXPECT_EQ(replayed->qoe.chunks, original_qoe.chunks);
+      }
+    }
+  }
+}
+
+TEST(ReplayDeterminismTest, FactualReplayMatchesFullRunFaultFree) {
+  expect_replay_matches_cells(faults::FaultSchedule(), "fault-free");
+}
+
+TEST(ReplayDeterminismTest, FactualReplayMatchesFullRunUnderFaults) {
+  expect_replay_matches_cells(eventful_schedule(), "faulted");
+}
+
+TEST(ReplayDeterminismTest, UnknownSessionIdIsRejected) {
+  const engine::ReplayContext ctx(small_scenario());
+  EXPECT_FALSE(ctx.replay_session(~std::uint64_t{0}).has_value());
 }
 
 TEST(EngineDeterminismTest, RunAndAnalyzeJoinsMergedDataset) {

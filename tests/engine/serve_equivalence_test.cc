@@ -1,0 +1,165 @@
+// Serve-path unification proof: the golden hashes below were captured from
+// the pre-refactor implementation (the one with two hand-mirrored serve
+// bodies, AtsServer::serve / serve_isolated) and pin every byte of all five
+// exported CSV streams for both execution modes:
+//
+//   * coupled   — core::Pipeline, one live fleet, mutable caches/queues;
+//   * sharded   — engine::run_simulation, session-isolated serving against
+//                 the immutable warm archive.
+//
+// The unified cdn::serve_pipeline<Env> must reproduce the exact RNG draw
+// order and state transitions of both originals, so these hashes must never
+// change.  If a deliberate behaviour change is ever made to the serve path,
+// regenerate with:
+//
+//   VSTREAM_SERVE_GOLDEN=print build/tests/test_engine
+//       --gtest_filter='ServeUnificationGolden.*'      (one command line)
+//
+// and update the constants — in the same commit that changes behaviour,
+// with the determinism suite still green.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "engine/engine.h"
+#include "faults/fault_schedule.h"
+#include "telemetry/export.h"
+#include "workload/scenario.h"
+
+namespace vstream {
+namespace {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct StreamHashes {
+  std::uint64_t player_sessions = 0;
+  std::uint64_t cdn_sessions = 0;
+  std::uint64_t player_chunks = 0;
+  std::uint64_t cdn_chunks = 0;
+  std::uint64_t tcp_snapshots = 0;
+};
+
+StreamHashes hash_streams(const telemetry::Dataset& data) {
+  StreamHashes hashes;
+  const auto hash_of = [](const auto& writer, const auto& records) {
+    std::ostringstream out;
+    writer(out, records);
+    return fnv1a64(out.str());
+  };
+  hashes.player_sessions = hash_of(
+      [](std::ostream& o, const auto& r) {
+        telemetry::write_player_sessions_csv(o, r);
+      },
+      data.player_sessions);
+  hashes.cdn_sessions = hash_of(
+      [](std::ostream& o, const auto& r) {
+        telemetry::write_cdn_sessions_csv(o, r);
+      },
+      data.cdn_sessions);
+  hashes.player_chunks = hash_of(
+      [](std::ostream& o, const auto& r) {
+        telemetry::write_player_chunks_csv(o, r);
+      },
+      data.player_chunks);
+  hashes.cdn_chunks = hash_of(
+      [](std::ostream& o, const auto& r) {
+        telemetry::write_cdn_chunks_csv(o, r);
+      },
+      data.cdn_chunks);
+  hashes.tcp_snapshots = hash_of(
+      [](std::ostream& o, const auto& r) {
+        telemetry::write_tcp_snapshots_csv(o, r);
+      },
+      data.tcp_snapshots);
+  return hashes;
+}
+
+bool print_mode() {
+  const char* mode = std::getenv("VSTREAM_SERVE_GOLDEN");
+  return mode != nullptr && std::string(mode) == "print";
+}
+
+void check_or_print(const char* label, const StreamHashes& got,
+                    const StreamHashes& want) {
+  if (print_mode()) {
+    std::fprintf(stderr,
+                 "GOLDEN %s: {0x%016llxull, 0x%016llxull, 0x%016llxull, "
+                 "0x%016llxull, 0x%016llxull}\n",
+                 label,
+                 static_cast<unsigned long long>(got.player_sessions),
+                 static_cast<unsigned long long>(got.cdn_sessions),
+                 static_cast<unsigned long long>(got.player_chunks),
+                 static_cast<unsigned long long>(got.cdn_chunks),
+                 static_cast<unsigned long long>(got.tcp_snapshots));
+    return;
+  }
+  EXPECT_EQ(got.player_sessions, want.player_sessions)
+      << label << ": player_sessions.csv changed";
+  EXPECT_EQ(got.cdn_sessions, want.cdn_sessions)
+      << label << ": cdn_sessions.csv changed";
+  EXPECT_EQ(got.player_chunks, want.player_chunks)
+      << label << ": player_chunks.csv changed";
+  EXPECT_EQ(got.cdn_chunks, want.cdn_chunks)
+      << label << ": cdn_chunks.csv changed";
+  EXPECT_EQ(got.tcp_snapshots, want.tcp_snapshots)
+      << label << ": tcp_snapshots.csv changed";
+}
+
+/// The schedule mixes every serve-path regime the pipeline has to
+/// reproduce: overload shedding, breaker trips + hedges (brownout), a
+/// backend outage (stale serves, miss errors), a server crash (failover)
+/// and a degraded disk (seek/retry-timer path).
+faults::FaultSchedule serve_path_schedule() {
+  return faults::FaultSchedule::scripted({
+      {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 0, 3.0},
+      {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 1, 3.0},
+      {faults::FaultKind::kBackendSlowdown, 10'000.0, 60'000.0, 0, 0, 8.0},
+      {faults::FaultKind::kServerCrash, 5'000.0, 60'000.0, 0, 2, 1.0},
+      {faults::FaultKind::kBackendOutage, 70'000.0, 20'000.0, 0, 0, 1.0},
+      {faults::FaultKind::kDiskDegradation, 40'000.0, 40'000.0, 1, 0, 8.0},
+  });
+}
+
+TEST(ServeUnificationGolden, ShardedIsolatedPathMatchesPreRefactorBytes) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 150;
+  engine::RunOptions options;
+  options.shards = 2;
+  options.faults = serve_path_schedule();
+  const engine::RunResult run = engine::run_simulation(scenario, options);
+  ASSERT_FALSE(run.dataset.player_chunks.empty());
+
+  const StreamHashes want = {0xe0aa452bbbc7a79dull, 0x50009f55718719b1ull,
+                             0x97a1f7d087ca4024ull, 0x45009d5925adb762ull,
+                             0x43e934073858d517ull};
+  check_or_print("sharded", hash_streams(run.dataset), want);
+}
+
+TEST(ServeUnificationGolden, CoupledFleetPathMatchesPreRefactorBytes) {
+  workload::Scenario scenario = workload::test_scenario();
+  scenario.session_count = 150;
+  core::Pipeline pipeline(scenario);
+  pipeline.warm_caches();
+  pipeline.inject_faults(serve_path_schedule());
+  pipeline.run();
+  ASSERT_FALSE(pipeline.dataset().player_chunks.empty());
+
+  const StreamHashes want = {0x216972979293581eull, 0x427687ba8e1e2c6bull,
+                             0xec57e561827fd1dfull, 0x717617c3700527eaull,
+                             0xcfe5cbb7ba4432e5ull};
+  check_or_print("coupled", hash_streams(pipeline.dataset()), want);
+}
+
+}  // namespace
+}  // namespace vstream

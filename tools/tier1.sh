@@ -39,6 +39,13 @@ for suite in test_runtime test_sim test_cdn test_core test_faults test_engine te
   "$asan_dir/tests/$suite"
 done
 
+echo "==> tier-1: ASan serve-unification equivalence (explicit)"
+# Runs inside test_engine above too; the explicit pass guards against the
+# filter drifting if the suite is ever split.  Golden-hash proof that the
+# unified serve pipeline reproduces both pre-refactor serve paths over all
+# five CSV streams, with ASan watching the Env overlays.
+"$asan_dir/tests/test_engine" --gtest_filter='ServeUnificationGolden.*'
+
 echo "==> tier-1: UBSan build ($ubsan_dir)"
 cmake -B "$ubsan_dir" -S "$repo_root" -DVSTREAM_SANITIZE=undefined
 cmake --build "$ubsan_dir" -j --target test_engine test_core test_telemetry test_failpoints
@@ -123,6 +130,55 @@ fi
   >/dev/null
 echo "    spill CSVs byte-identical to in-memory for v2 and v3" \
   "(v2 $v2_bytes B, v3 $v3_bytes B)"
+
+echo "==> tier-1: attribution smoke (counterfactual replay, worst-5 blame)"
+attr_work="$build_dir/tier1-attr-smoke"
+rm -rf "$attr_work"
+mkdir -p "$attr_work"
+# In-run attribution: the factual replays must reproduce the measured
+# QoE, every session's blame fractions must sum to <= 1, and the report
+# must cover all five idealized subsystems.
+"$build_dir/tools/vstream-sim" --sessions 200 --seed 11 \
+  --fault-profile overload --attribute-worst 5 \
+  --attribution-out "$attr_work/BENCH_attribution.json" \
+  --out "$attr_work/telemetry" >/dev/null
+python3 -c "
+import json
+with open('$attr_work/BENCH_attribution.json') as f:
+    doc = json.load(f)
+assert doc['schema'] == 'vstream-attribution-v1', doc.get('schema')
+assert doc['sessions_analyzed'] >= 190, doc['sessions_analyzed']
+sessions = doc['sessions']
+assert len(sessions) == 5, len(sessions)
+subsystems = {'cache', 'network', 'backend', 'overload', 'abr'}
+for s in sessions:
+    assert set(s['blame']) == subsystems, s['blame']
+    assert set(s['ideal_penalty']) == subsystems
+    total = sum(s['blame'].values())
+    assert 0.0 <= total <= 1.0 + 1e-9, (s['session_id'], total)
+    # The JSON rounds to 6 significant digits, so the complement check
+    # needs slack beyond the per-field rounding noise.
+    assert abs(total + s['residual'] - 1.0) <= 1e-5 or s['baseline_penalty'] == 0
+    assert s['replay_matches_baseline'] is True, s['session_id']
+print('    BENCH_attribution.json OK (5 sessions, blame sums <= 1)')
+"
+# Offline attribution over the exported CSVs must agree with the in-run
+# pass (same world rebuilt from the same flags).
+"$build_dir/tools/vstream-analyze" "$attr_work/telemetry" --attribution \
+  --sessions 200 --seed 11 --fault-profile overload --worst 5 \
+  --attribution-out "$attr_work/BENCH_attribution_offline.json" >/dev/null
+python3 -c "
+import json
+a = json.load(open('$attr_work/BENCH_attribution.json'))
+b = json.load(open('$attr_work/BENCH_attribution_offline.json'))
+assert [s['session_id'] for s in a['sessions']] == \
+       [s['session_id'] for s in b['sessions']]
+for sa, sb in zip(a['sessions'], b['sessions']):
+    assert sb['replay_matches_baseline'] is True, sb['session_id']
+    for k in sa['blame']:
+        assert abs(sa['blame'][k] - sb['blame'][k]) < 1e-6, (sa, sb)
+print('    offline --attribution agrees with the in-run pass')
+"
 
 echo "==> tier-1: chaos smoke (kill-and-resume, byte-identical CSVs)"
 cmake --build "$build_dir" -j --target vstream-chaos

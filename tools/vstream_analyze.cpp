@@ -3,11 +3,24 @@
 // emitting the same CSV schema).
 //
 //   vstream_analyze DIR [--tail-threshold MS] [--epochs N] [--spill-stats]
+//                       [--attribution] [--sessions N] [--seed S]
+//                       [--fault-profile none|eventful|overload]
+//                       [--worst N] [--attribution-out FILE]
 //
 // --spill-stats prints a per-file byte-level report for a spill
 // directory instead of running the analyses: format version, block and
 // salvage counts, file bytes, and the realized compression ratio
 // (v2-equivalent logical bytes over the intact payload bytes on disk).
+//
+// --attribution replays the worst `--worst N` (default 20) sessions of
+// the dataset in DIR under each subsystem idealization
+// (cdn/idealization.h) and prints the blame breakdown, writing the full
+// report to --attribution-out (default BENCH_attribution.json).  The
+// replay rebuilds the run's world from scratch, so --sessions, --seed
+// and --fault-profile must match the flags of the `vstream-sim` run that
+// produced DIR; a mismatch is detected (the factual replays diverge from
+// the measured records) and reported as a warning with
+// `replay_matches_baseline: false` in the JSON.
 //
 // DIR may hold either the CSV export (player_sessions.csv, ...) or a set
 // of binary shard-*.vspill spill files written by `vstream_sim
@@ -31,18 +44,26 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/aggregate.h"
+#include "analysis/attribution.h"
 #include "analysis/detectors.h"
 #include "analysis/qoe.h"
 #include "core/exit_codes.h"
 #include "core/report.h"
+#include "engine/attribution.h"
+#include "engine/replay.h"
+#include "faults/fault_schedule.h"
+#include "sim/host_error.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
 #include "telemetry/spill_format.h"
+#include "workload/scenario.h"
 
 using namespace vstream;
 
@@ -113,11 +134,62 @@ int run_spill_stats(const std::vector<std::filesystem::path>& files) {
   return total.corrupted() ? core::kExitSalvageIncomplete : core::kExitOk;
 }
 
+/// --attribution: counterfactual replay of the worst sessions in `data`.
+/// The scenario must describe the run that produced the dataset; the
+/// engine detects divergence (factual replay != measured records) rather
+/// than silently attributing a different world.
+int run_attribution(const telemetry::Dataset& data,
+                    const workload::Scenario& scenario,
+                    faults::FaultSchedule faults, std::size_t worst_n,
+                    const std::string& out_path) {
+  engine::RunOptions world;
+  world.faults = std::move(faults);
+  const engine::ReplayContext replay_ctx(scenario, std::move(world));
+  engine::AttributionOptions attr_options;
+  attr_options.worst_n = worst_n;
+  const analysis::AttributionReport report =
+      engine::attribute_worst(replay_ctx, data, attr_options);
+
+  core::print_header("worst-session attribution (counterfactual replay)");
+  core::print_metric("sessions_attributed",
+                     static_cast<double>(report.sessions.size()));
+  core::Table blame({"subsystem", "mean blame"});
+  for (std::size_t i = 0; i < cdn::kIdealizedSubsystemCount; ++i) {
+    blame.add_row({cdn::idealization_name(cdn::kIdealizedSubsystems[i]),
+                   core::fmt(report.mean_blame(i), 3)});
+  }
+  blame.add_row({"(residual)", core::fmt(report.mean_residual(), 3)});
+  blame.print();
+  std::size_t replay_mismatches = 0;
+  for (const analysis::SessionAttribution& s : report.sessions) {
+    if (!s.baseline_matches) ++replay_mismatches;
+  }
+  if (replay_mismatches > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu factual replays diverged from the measured "
+                 "dataset; do --sessions/--seed/--fault-profile match the "
+                 "run that produced it?\n",
+                 replay_mismatches);
+  }
+
+  std::ofstream json_out(out_path);
+  if (!json_out) {
+    throw sim::HostIoError("attribution: cannot open " + out_path +
+                           " for writing");
+  }
+  analysis::write_attribution_json(json_out, report);
+  std::printf("\nwrote attribution report to %s\n", out_path.c_str());
+  return core::kExitOk;
+}
+
 int run_tool(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s DIR [--tail-threshold MS] [--epochs N] "
-                 "[--spill-stats]\n",
+                 "[--spill-stats]\n"
+                 "          [--attribution] [--sessions N] [--seed S]\n"
+                 "          [--fault-profile none|eventful|overload]\n"
+                 "          [--worst N] [--attribution-out FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -125,6 +197,14 @@ int run_tool(int argc, char** argv) {
   double tail_threshold_ms = 100.0;
   std::size_t epochs = 4;
   bool spill_stats_only = false;
+  bool attribution = false;
+  // Replay-world knobs: defaults mirror vstream-sim's so a default run
+  // attributes with no extra flags.
+  workload::Scenario scenario = workload::paper_scenario();
+  scenario.session_count = 2'000;
+  faults::FaultSchedule faults;
+  std::size_t worst_n = 20;
+  std::string attribution_out = "BENCH_attribution.json";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tail-threshold" && i + 1 < argc) {
@@ -133,6 +213,24 @@ int run_tool(int argc, char** argv) {
       epochs = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--spill-stats") {
       spill_stats_only = true;
+    } else if (arg == "--attribution") {
+      attribution = true;
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      scenario.session_count = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      scenario.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--fault-profile" && i + 1 < argc) {
+      const std::optional<faults::FaultSchedule> named =
+          faults::FaultSchedule::named(argv[++i]);
+      if (!named.has_value()) {
+        std::fprintf(stderr, "unknown fault profile: %s\n", argv[i]);
+        return 2;
+      }
+      faults = *named;
+    } else if (arg == "--worst" && i + 1 < argc) {
+      worst_n = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--attribution-out" && i + 1 < argc) {
+      attribution_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -180,6 +278,12 @@ int run_tool(int argc, char** argv) {
                        static_cast<double>(spill_stats.bytes_skipped));
     core::print_metric("torn_tail_bytes",
                        static_cast<double>(spill_stats.torn_tail_bytes));
+  }
+
+  if (attribution) {
+    const int status = run_attribution(data, scenario, std::move(faults),
+                                       worst_n, attribution_out);
+    return spill_stats.corrupted() ? core::kExitSalvageIncomplete : status;
   }
 
   const auto proxies = telemetry::detect_proxies(data);

@@ -10,6 +10,12 @@
 //               [--telemetry-spill DIR]
 //               [--checkpoint DIR] [--resume] [--checkpoint-interval N]
 //               [--fault-profile none|eventful|overload]
+//               [--attribute-worst N] [--attribution-out FILE]
+//
+// --attribute-worst N replays the N worst-QoE sessions once per idealized
+// subsystem (cache, network, backend, overload, ABR — see
+// cdn/idealization.h) and writes a blame breakdown to
+// BENCH_attribution.json (or --attribution-out FILE).
 //
 // Runs on the layered sharded engine (deterministic for any --shards /
 // VSTREAM_SHARDS value) and prints a QoE and CDN summary either way.
@@ -44,18 +50,23 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "analysis/attribution.h"
 #include "analysis/qoe.h"
 #include "core/exit_codes.h"
+#include "engine/attribution.h"
 #include "core/report.h"
 #include "core/streaming.h"
 #include "engine/engine.h"
 #include "failpoints/failpoint.h"
 #include "faults/fault_schedule.h"
 #include "runtime/executor.h"
+#include "sim/host_error.h"
 #include "telemetry/export.h"
 #include "telemetry/join.h"
 #include "telemetry/proxy_filter.h"
@@ -76,39 +87,21 @@ namespace {
       "          [--checkpoint DIR] [--resume] [--checkpoint-interval N]\n"
       "          [--fault-profile none|eventful|overload]\n"
       "          [--breaker-threshold MS] [--retry-budget PCT]\n"
-      "          [--shed-watermark PCT]\n",
+      "          [--shed-watermark PCT]\n"
+      "          [--attribute-worst N] [--attribution-out FILE]\n",
       argv0);
   std::exit(2);
 }
 
-/// Named fault schedules so scripted-fault runs are reproducible from the
-/// command line (the chaos harness exercises checkpoint/resume under
-/// faults with these).
+/// Named fault schedules (faults/fault_schedule.h) so scripted-fault runs
+/// are reproducible from the command line, and so `vstream-analyze
+/// --attribution` can rebuild the same fault world by name.
 faults::FaultSchedule parse_fault_profile(const std::string& s,
                                           const char* argv0) {
-  if (s == "none") return {};
-  if (s == "eventful") {
-    // One of each recovery path: crash (failover), backend outage (miss
-    // errors), loss burst, disk degradation (slow reads / timeouts).
-    return faults::FaultSchedule::scripted({
-        {faults::FaultKind::kServerCrash, 5'000.0, 60'000.0, 0, 1, 1.0},
-        {faults::FaultKind::kBackendOutage, 20'000.0, 30'000.0, 0, 0, 1.0},
-        {faults::FaultKind::kLossBurst, 40'000.0, 25'000.0, 0, 0, 0.05},
-        {faults::FaultKind::kDiskDegradation, 70'000.0, 40'000.0, 1, 0, 8.0},
-    });
-  }
-  if (s == "overload") {
-    // Flash crowd on PoP 0 plus an origin brownout: shedding, breakers
-    // and hedging all engage.
-    return faults::FaultSchedule::scripted({
-        {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 0, 3.0},
-        {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 1, 3.0},
-        {faults::FaultKind::kOverload, 2'000.0, 90'000.0, 0, 2, 2.0},
-        {faults::FaultKind::kBackendSlowdown, 10'000.0, 60'000.0, 0, 0, 8.0},
-        {faults::FaultKind::kBackendOutage, 80'000.0, 15'000.0, 0, 0, 1.0},
-    });
-  }
-  usage(argv0);
+  const std::optional<faults::FaultSchedule> schedule =
+      faults::FaultSchedule::named(s);
+  if (!schedule.has_value()) usage(argv0);
+  return *schedule;
 }
 
 /// Strict positive-number parse for the overload knobs (same contract as
@@ -165,6 +158,8 @@ int run_tool(int argc, char** argv) {
   scenario.session_count = 2'000;
   engine::RunOptions options;
   std::string out_dir;
+  std::size_t attribute_worst_n = 0;
+  std::string attribution_out = "BENCH_attribution.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -221,6 +216,10 @@ int run_tool(int argc, char** argv) {
           positive_size_arg("--checkpoint-interval", next());
     } else if (arg == "--fault-profile") {
       options.faults = parse_fault_profile(next(), argv[0]);
+    } else if (arg == "--attribute-worst") {
+      attribute_worst_n = positive_size_arg("--attribute-worst", next());
+    } else if (arg == "--attribution-out") {
+      attribution_out = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -236,6 +235,9 @@ int run_tool(int argc, char** argv) {
   core::print_metric("routing", cdn::to_string(scenario.routing));
   core::print_metric("cache_policy", cdn::to_string(scenario.fleet.server.policy));
 
+  // The attribution pass rebuilds the run's world from the same scenario
+  // and world-shaping options; keep a copy before the move.
+  const engine::RunOptions replay_options = options;
   engine::RunResult run = engine::run_simulation(scenario, std::move(options));
   core::print_metric("shards", static_cast<double>(run.shard_count));
   core::print_metric("threads", static_cast<double>(run.thread_count));
@@ -325,6 +327,50 @@ int run_tool(int argc, char** argv) {
   core::print_metric("shed_requests", static_cast<double>(shed));
   core::print_metric("hedged_fetches", static_cast<double>(hedged));
   core::print_metric("swr_serves", static_cast<double>(swr));
+
+  if (attribute_worst_n > 0) {
+    // Counterfactual attribution: replay the worst-N sessions once per
+    // idealized subsystem and report who is to blame.  Spilled runs
+    // materialize the dataset first (the worst-N selection needs it).
+    const telemetry::Dataset& baseline =
+        run.spilled() ? (run.dataset = run.spill.load(), run.dataset)
+                      : run.dataset;
+    const engine::ReplayContext replay_ctx(scenario, replay_options);
+    engine::AttributionOptions attr_options;
+    attr_options.worst_n = attribute_worst_n;
+    attr_options.threads = run.thread_count;
+    const analysis::AttributionReport report =
+        engine::attribute_worst(replay_ctx, baseline, attr_options);
+
+    core::print_header("worst-session attribution (counterfactual replay)");
+    core::print_metric("sessions_attributed",
+                       static_cast<double>(report.sessions.size()));
+    core::Table blame({"subsystem", "mean blame"});
+    for (std::size_t i = 0; i < cdn::kIdealizedSubsystemCount; ++i) {
+      blame.add_row({cdn::idealization_name(cdn::kIdealizedSubsystems[i]),
+                     core::fmt(report.mean_blame(i), 3)});
+    }
+    blame.add_row({"(residual)", core::fmt(report.mean_residual(), 3)});
+    blame.print();
+    std::size_t replay_mismatches = 0;
+    for (const analysis::SessionAttribution& s : report.sessions) {
+      if (!s.baseline_matches) ++replay_mismatches;
+    }
+    if (replay_mismatches > 0) {
+      std::fprintf(stderr,
+                   "warning: %zu factual replays diverged from the measured "
+                   "run; blame numbers are suspect\n",
+                   replay_mismatches);
+    }
+
+    std::ofstream json_out(attribution_out);
+    if (!json_out) {
+      throw sim::HostIoError("attribution: cannot open " + attribution_out +
+                             " for writing");
+    }
+    analysis::write_attribution_json(json_out, report);
+    std::printf("\nwrote attribution report to %s\n", attribution_out.c_str());
+  }
 
   if (!out_dir.empty()) {
     runtime::Executor exporter(run.thread_count);
